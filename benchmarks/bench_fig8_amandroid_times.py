@@ -1,0 +1,73 @@
+"""Fig. 8 — the distribution of Amandroid analysis time.
+
+Paper distribution (timeout = 300 paper-minutes; 141 analyzed apps):
+
+    1m-5m: 16   5m-10m: 8   10m-30m: 27   30m-100m: 23
+    100m-300m: 17   Timeout: 50  (35% timed out; no app under 1 minute)
+
+Shape to reproduce: a heavy right tail with roughly a third of the
+corpus hitting the timeout, and essentially nothing finishing in the
+fastest bucket.
+"""
+
+from benchmarks.conftest import (
+    bucket_histogram,
+    emit_table,
+    render_table,
+    run_corpus,
+    to_paper_minutes,
+)
+
+_PAPER_BUCKETS = {
+    "1m-5m": 16,
+    "5m-10m": 8,
+    "10m-30m": 27,
+    "30m-100m": 23,
+    "100m-300m": 17,
+    "Timeout": 50,
+}
+
+_EDGES = [
+    ("0m-1m", 0.0, 1.0),
+    ("1m-5m", 1.0, 5.0),
+    ("5m-10m", 5.0, 10.0),
+    ("10m-30m", 10.0, 30.0),
+    ("30m-100m", 30.0, 100.0),
+    ("100m-300m", 100.0, 300.0),
+]
+
+
+def test_fig8_amandroid_time_distribution(benchmark):
+    rows = benchmark.pedantic(run_corpus, rounds=1, iterations=1)
+
+    analyzed = [r for r in rows if r.am_error is None]
+    finished = [r for r in analyzed if not r.am_timed_out]
+    timed_out = [r for r in analyzed if r.am_timed_out]
+    minutes = [to_paper_minutes(r.am_seconds) for r in finished]
+    histogram = bucket_histogram(minutes, _EDGES)
+    histogram["Timeout"] = len(timed_out)
+
+    table_rows = [
+        [label, str(count), str(_PAPER_BUCKETS.get(label, "-"))]
+        for label, count in histogram.items()
+        if count or label in _PAPER_BUCKETS
+    ]
+    timeout_share = len(timed_out) / len(analyzed)
+    summary = (
+        f"\ntimeouts: {len(timed_out)}/{len(analyzed)} "
+        f"({timeout_share:.0%}, paper: 35%)"
+    )
+    emit_table(
+        "fig8_amandroid_times",
+        render_table(
+            "Fig. 8: Amandroid-style analysis-time distribution",
+            ["Bucket", "#Apps", "#Apps(paper)"],
+            table_rows,
+        )
+        + summary,
+    )
+
+    # Shape assertions.
+    assert 0.15 <= timeout_share <= 0.55, "timeout share near the paper's 35%"
+    fastest = histogram.get("0m-1m", 0)
+    assert fastest <= len(analyzed) * 0.1, "almost nothing under 1 paper-min"

@@ -1,0 +1,51 @@
+"""Sec. VI-B — the headline comparison: 37x faster at the median.
+
+Paper numbers: BackDroid median 2.13 paper-minutes vs Amandroid's 78.15
+(37x); 30% of apps under one minute for BackDroid vs 0% for Amandroid;
+77% vs 17% under ten minutes; BackDroid has zero timeouts vs 35%.
+"""
+
+import statistics
+
+from benchmarks.conftest import (
+    emit_table,
+    render_table,
+    run_corpus,
+    to_paper_minutes,
+)
+
+
+def test_speedup_medians(benchmark):
+    rows = benchmark.pedantic(run_corpus, rounds=1, iterations=1)
+
+    analyzed = [r for r in rows if r.am_error is None]
+    bd_minutes = sorted(to_paper_minutes(r.bd_seconds) for r in analyzed)
+    am_minutes = sorted(to_paper_minutes(r.am_seconds) for r in analyzed)
+    bd_median = statistics.median(bd_minutes)
+    am_median = statistics.median(am_minutes)
+    speedup = am_median / bd_median
+
+    def share_under(minutes_list, limit):
+        return sum(1 for m in minutes_list if m < limit) / len(minutes_list)
+
+    table = render_table(
+        "Sec. VI-B: overall performance comparison (paper-scale minutes)",
+        ["Metric", "BackDroid", "Amandroid", "Paper (BD vs AM)"],
+        [
+            ["median time", f"{bd_median:.2f}m", f"{am_median:.2f}m",
+             "2.13m vs 78.15m"],
+            ["speedup", f"{speedup:.1f}x", "1x", "37x"],
+            ["share < 1m", f"{share_under(bd_minutes, 1):.0%}",
+             f"{share_under(am_minutes, 1):.0%}", "30% vs 0%"],
+            ["share < 10m", f"{share_under(bd_minutes, 10):.0%}",
+             f"{share_under(am_minutes, 10):.0%}", "77% vs 17%"],
+            ["timeouts", "0",
+             str(sum(1 for r in analyzed if r.am_timed_out)), "0 vs 50 (35%)"],
+        ],
+    )
+    emit_table("speedup_medians", table)
+
+    # Shape assertions: who wins, and by roughly what factor.
+    assert speedup >= 10, "BackDroid must be an order of magnitude faster"
+    assert speedup <= 150, "the factor stays in the tens, as in the paper"
+    assert share_under(bd_minutes, 10) > share_under(am_minutes, 10)

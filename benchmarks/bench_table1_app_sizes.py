@@ -1,0 +1,61 @@
+"""Table I — average and median app sizes, 2014-2018.
+
+Paper values:
+
+=====  ============  ===========  =========
+Year   Average Size  Median Size  # Samples
+=====  ============  ===========  =========
+2014   13.8 MB        8.4 MB      2,840
+2015   18.8 MB       12.4 MB      1,375
+2016   21.6 MB       16.2 MB      3,510
+2017   32.9 MB       30.0 MB      1,706
+2018   42.6 MB       38.0 MB      3,178
+=====  ============  ===========  =========
+
+The corpus sampler reproduces the year-over-year upscaling trend; the
+benchmark measures the sampling itself and prints measured-vs-paper
+averages and medians.
+"""
+
+import statistics
+
+from benchmarks.conftest import emit_table, render_table
+from repro.workload.corpus import TABLE1_APP_SIZES, sample_year_corpus
+
+
+def _sample_all_years():
+    return {
+        year: sample_year_corpus(year, count=TABLE1_APP_SIZES[year][2])
+        for year in sorted(TABLE1_APP_SIZES)
+    }
+
+
+def test_table1_app_sizes(benchmark):
+    corpora = benchmark.pedantic(_sample_all_years, rounds=1, iterations=1)
+
+    rows = []
+    for year, apps in corpora.items():
+        sizes = [a.size_mb for a in apps]
+        paper_avg, paper_med, paper_n = TABLE1_APP_SIZES[year]
+        rows.append([
+            str(year),
+            f"{statistics.fmean(sizes):.1f}MB",
+            f"{paper_avg}MB",
+            f"{statistics.median(sizes):.1f}MB",
+            f"{paper_med}MB",
+            str(len(apps)),
+        ])
+    emit_table(
+        "table1_app_sizes",
+        render_table(
+            "Table I: app sizes per year (measured vs paper)",
+            ["Year", "Avg", "Avg(paper)", "Median", "Median(paper)", "#Samples"],
+            rows,
+        ),
+    )
+
+    # Shape assertions: the upscaling trend must hold.
+    medians = [statistics.median([a.size_mb for a in apps])
+               for apps in corpora.values()]
+    assert medians == sorted(medians), "median size must grow year over year"
+    assert medians[-1] / medians[0] > 3.5, "2018 median ~4x the 2014 median"

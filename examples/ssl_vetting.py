@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""SSL-misconfiguration vetting: the paper's Heyzap walkthrough.
+
+Rebuilds the Sec. IV-C example — an ad library whose
+``MySSLSocketFactory`` installs ``ALLOW_ALL_HOSTNAME_VERIFIER``, reachable
+only through ``APIClient.<clinit>`` — and shows each stage of the
+targeted analysis:
+
+1. the initial sink search locating ``setHostnameVerifier``;
+2. the recursive static-initializer search proving the ``<clinit>``
+   reachable via the class-use chain APIClient <- AdModel <- Activity;
+3. the SSG and the resolved verifier value;
+4. the final finding.
+
+Run:  python examples/ssl_vetting.py
+"""
+
+from repro.core import BackDroid, BackDroidConfig
+from repro.dex.types import MethodSignature
+from repro.search.clinit import clinit_reachability_search
+from repro.search.engine import CallerResolutionEngine
+from repro.workload.paperapps import build_heyzap
+
+
+def main() -> None:
+    apk = build_heyzap()
+    print(f"app: {apk.package} ({apk.class_count()} classes)\n")
+
+    driver = BackDroid(
+        BackDroidConfig(sink_rules=("ssl-verifier",), collect_ssg_dumps=True)
+    )
+
+    # Stage 1: the initial sink search over the dexdump plaintext.
+    sites = driver.find_sink_call_sites(apk)
+    print("1) initial sink search:")
+    for site in sites:
+        print(f"   {site.spec.description} found in {site.method.to_soot()}")
+
+    # Stage 2: the recursive <clinit> reachability search.
+    engine = CallerResolutionEngine(apk)
+    result = clinit_reachability_search(
+        engine.searcher, apk.full_pool, apk.manifest, "com.heyzap.internal.APIClient"
+    )
+    print("\n2) recursive static-initializer search:")
+    print(f"   APIClient.<clinit> reachable: {result.reachable}")
+    print("   witness chain: " + "  <-  ".join(result.chain))
+
+    # Stages 3-4: slicing, forward propagation, detection.
+    report = driver.analyze(apk)
+    print("\n3) self-contained slicing graph:")
+    for note in report.notes:
+        print("   " + note.replace("\n", "\n   "))
+    print("\n4) findings:")
+    for finding in report.findings:
+        print(f"   {finding}")
+    assert report.vulnerable, "the Heyzap shape must be flagged"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This offline environment has no ``wheel`` package, so PEP 517 editable
+installs (``pip install -e .``) cannot build a wheel.  ``python setup.py
+develop`` (or ``pip install -e . --no-build-isolation`` on machines with
+``wheel``) installs the package in editable mode from ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""BackDroid reproduction.
+
+A from-scratch Python reproduction of *"When Program Analysis Meets
+Bytecode Search: Targeted and Efficient Inter-procedural Analysis of
+Modern Android Apps in BackDroid"* (Wu, Gao, Deng, Chang — DSN 2021).
+
+Public entry points:
+
+* :class:`repro.core.backdroid.BackDroid` — the targeted, search-driven
+  analyzer (the paper's contribution).
+* :class:`repro.baseline.wholeapp.AmandroidStyleAnalyzer` — the whole-app
+  comparator used in the paper's evaluation.
+* :mod:`repro.workload` — synthetic app/corpus generation standing in for
+  the Google-Play datasets.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

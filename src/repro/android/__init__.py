@@ -1,0 +1,47 @@
+"""Android substrate: framework model, manifest, and the Apk container.
+
+The original BackDroid analyses real APKs against the Android SDK.  This
+package provides the equivalent substrate for the reproduction:
+
+* :mod:`repro.android.framework` — a bodiless model of the framework and
+  JDK classes the analyses must know about (lifecycle handlers, callback
+  interfaces, asynchronous dispatch APIs, ICC APIs, and the
+  security-sensitive sink APIs);
+* :mod:`repro.android.manifest` — the ``AndroidManifest.xml`` model:
+  registered components and their intent filters;
+* :mod:`repro.android.apk` — the ``Apk`` bundle of app classes + manifest
+  + metadata, with cached disassembly.
+"""
+
+from repro.android.framework import (
+    ASYNC_EDGE_MAP,
+    CALLBACK_REGISTRATIONS,
+    FRAMEWORK_PACKAGE_PREFIXES,
+    ICC_CALL_APIS,
+    LIFECYCLE_HANDLERS,
+    LIFECYCLE_PREDECESSORS,
+    SINK_CATALOGUE,
+    SinkSpec,
+    build_framework_pool,
+    is_framework_class,
+)
+from repro.android.manifest import Component, ComponentKind, IntentFilter, Manifest
+from repro.android.apk import Apk
+
+__all__ = [
+    "ASYNC_EDGE_MAP",
+    "Apk",
+    "CALLBACK_REGISTRATIONS",
+    "Component",
+    "ComponentKind",
+    "FRAMEWORK_PACKAGE_PREFIXES",
+    "ICC_CALL_APIS",
+    "IntentFilter",
+    "LIFECYCLE_HANDLERS",
+    "LIFECYCLE_PREDECESSORS",
+    "Manifest",
+    "SINK_CATALOGUE",
+    "SinkSpec",
+    "build_framework_pool",
+    "is_framework_class",
+]

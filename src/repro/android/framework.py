@@ -1,0 +1,638 @@
+"""The Android framework + JDK model.
+
+Android static analysis differs from classical program analysis in that
+entry points are *lifecycle handlers* invoked implicitly by the framework
+(Sec. II-A).  This module captures all the framework knowledge BackDroid
+and the baselines rely on:
+
+* a bodiless :class:`~repro.dex.hierarchy.ClassPool` of the framework/JDK
+  classes apps extend and call (so hierarchy queries such as "which
+  interface declares ``void run()``" resolve);
+* the lifecycle-handler tables (Sec. IV-E domain knowledge);
+* the callback-registration and asynchronous-dispatch edge maps that
+  *whole-app* tools hardwire (and that BackDroid's advanced search
+  deliberately avoids needing);
+* the ICC call APIs for the two-time ICC search (Sec. IV-D);
+* the security-sensitive **sink API catalogue** for the crypto and SSL
+  misconfiguration problems evaluated in Sec. VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dex.builder import AppBuilder, ClassBuilder
+from repro.dex.hierarchy import ClassPool
+from repro.dex.types import MethodSignature
+
+#: Packages treated as framework/SDK space.  Classes under these prefixes
+#: are not part of the app's DEX, are never disassembled or searched, and
+#: mark the boundary where the advanced search's forward taint analysis
+#: stops (the "ending method" of Sec. IV-B).
+FRAMEWORK_PACKAGE_PREFIXES = (
+    "android.",
+    "androidx.",
+    "java.",
+    "javax.",
+    "dalvik.",
+    "org.apache.http.",
+    "org.json.",
+    "org.w3c.",
+    "org.xml.",
+)
+
+
+def is_framework_class(class_name: str) -> bool:
+    """True when *class_name* belongs to the modelled framework/JDK."""
+    return class_name.startswith(FRAMEWORK_PACKAGE_PREFIXES)
+
+
+# ======================================================================
+# Lifecycle domain knowledge (Sec. IV-E)
+# ======================================================================
+
+#: Component base class -> its lifecycle handler names.
+LIFECYCLE_HANDLERS: dict[str, tuple[str, ...]] = {
+    "android.app.Activity": (
+        "onCreate",
+        "onStart",
+        "onRestart",
+        "onResume",
+        "onPause",
+        "onStop",
+        "onDestroy",
+        "onNewIntent",
+        "onActivityResult",
+    ),
+    "android.app.Service": (
+        "onCreate",
+        "onStartCommand",
+        "onStart",
+        "onBind",
+        "onUnbind",
+        "onDestroy",
+    ),
+    "android.content.BroadcastReceiver": ("onReceive",),
+    "android.content.ContentProvider": (
+        "onCreate",
+        "query",
+        "insert",
+        "update",
+        "delete",
+    ),
+    "android.app.Application": ("onCreate", "onTerminate", "attachBaseContext"),
+}
+
+#: handler -> handlers that can run immediately before it, per component
+#: kind ("they can be executed in multiple orders" — Sec. IV-E).  Used by
+#: the on-demand lifecycle search to keep walking towards ``onCreate``.
+LIFECYCLE_PREDECESSORS: dict[str, dict[str, tuple[str, ...]]] = {
+    "android.app.Activity": {
+        "onStart": ("onCreate", "onRestart"),
+        "onRestart": ("onStop",),
+        "onResume": ("onStart", "onPause"),
+        "onPause": ("onResume",),
+        "onStop": ("onPause",),
+        "onDestroy": ("onStop", "onPause"),
+        "onNewIntent": ("onPause",),
+        "onActivityResult": ("onPause",),
+    },
+    "android.app.Service": {
+        "onStartCommand": ("onCreate",),
+        "onStart": ("onCreate",),
+        "onBind": ("onCreate",),
+        "onUnbind": ("onBind",),
+        "onDestroy": ("onCreate",),
+    },
+    "android.content.BroadcastReceiver": {},
+    "android.content.ContentProvider": {
+        "query": ("onCreate",),
+        "insert": ("onCreate",),
+        "update": ("onCreate",),
+        "delete": ("onCreate",),
+    },
+    "android.app.Application": {"onTerminate": ("onCreate",)},
+}
+
+
+# ======================================================================
+# Callback / asynchronous domain knowledge (used by the *baseline*)
+# ======================================================================
+
+#: registration API -> (callback interface, callback method name).
+#: Whole-app tools hardwire these pairs; BackDroid instead discovers the
+#: flow with constructor search + forward object taint (Sec. IV-B).
+CALLBACK_REGISTRATIONS: dict[str, tuple[str, str]] = {
+    "setOnClickListener": ("android.view.View$OnClickListener", "onClick"),
+    "setOnLongClickListener": ("android.view.View$OnLongClickListener", "onLongClick"),
+    "setOnTouchListener": ("android.view.View$OnTouchListener", "onTouch"),
+    "setOnItemClickListener": (
+        "android.widget.AdapterView$OnItemClickListener",
+        "onItemClick",
+    ),
+    "addTextChangedListener": ("android.text.TextWatcher", "onTextChanged"),
+}
+
+#: asynchronous dispatch API (class, method) -> callee method it reaches.
+#: The paper (Sec. IV-B) notes prior work hardwired e.g.
+#: ``Thread.start() -> run()`` but missed ``Executor.execute()``.
+ASYNC_EDGE_MAP: dict[tuple[str, str], str] = {
+    ("java.lang.Thread", "start"): "run",
+    ("android.os.AsyncTask", "execute"): "doInBackground",
+    ("android.os.Handler", "post"): "run",
+    ("android.os.Handler", "postDelayed"): "run",
+    ("java.util.concurrent.Executor", "execute"): "run",
+    ("java.util.concurrent.ExecutorService", "submit"): "run",
+    ("java.util.Timer", "schedule"): "run",
+}
+
+
+# ======================================================================
+# ICC domain knowledge (Sec. IV-D)
+# ======================================================================
+
+#: ICC-launch APIs: method name -> component base class it targets.
+ICC_CALL_APIS: dict[str, str] = {
+    "startActivity": "android.app.Activity",
+    "startActivityForResult": "android.app.Activity",
+    "startService": "android.app.Service",
+    "bindService": "android.app.Service",
+    "stopService": "android.app.Service",
+    "sendBroadcast": "android.content.BroadcastReceiver",
+    "sendOrderedBroadcast": "android.content.BroadcastReceiver",
+}
+
+INTENT_CLASS = "android.content.Intent"
+
+
+# ======================================================================
+# Sink API catalogue (Sec. VI-A)
+# ======================================================================
+
+
+@dataclass(frozen=True)
+class SinkSpec:
+    """One security-sensitive sink API and which parameters to track."""
+
+    signature: MethodSignature
+    tracked_params: tuple[int, ...]
+    rule: str
+    description: str
+
+    @property
+    def key(self) -> str:
+        return self.signature.to_dex()
+
+
+def _sig(cls: str, ret: str, name: str, *params: str) -> MethodSignature:
+    return MethodSignature(cls, name, tuple(params), ret)
+
+
+#: The three sink APIs of the paper's evaluation, plus the "uncommon"
+#: sinks it name-checks in Sec. VI-D (sendTextMessage, ServerSocket,
+#: LocalServerSocket) so other studies can be replayed on this substrate.
+SINK_CATALOGUE: tuple[SinkSpec, ...] = (
+    SinkSpec(
+        _sig("javax.crypto.Cipher", "javax.crypto.Cipher", "getInstance", "java.lang.String"),
+        (0,),
+        "crypto-ecb",
+        "Cipher.getInstance(transformation)",
+    ),
+    SinkSpec(
+        _sig(
+            "javax.crypto.Cipher",
+            "javax.crypto.Cipher",
+            "getInstance",
+            "java.lang.String",
+            "java.lang.String",
+        ),
+        (0,),
+        "crypto-ecb",
+        "Cipher.getInstance(transformation, provider)",
+    ),
+    SinkSpec(
+        _sig(
+            "org.apache.http.conn.ssl.SSLSocketFactory",
+            "void",
+            "setHostnameVerifier",
+            "org.apache.http.conn.ssl.X509HostnameVerifier",
+        ),
+        (0,),
+        "ssl-verifier",
+        "SSLSocketFactory.setHostnameVerifier(verifier)",
+    ),
+    SinkSpec(
+        _sig(
+            "javax.net.ssl.HttpsURLConnection",
+            "void",
+            "setHostnameVerifier",
+            "javax.net.ssl.HostnameVerifier",
+        ),
+        (0,),
+        "ssl-verifier",
+        "HttpsURLConnection.setHostnameVerifier(verifier)",
+    ),
+    SinkSpec(
+        _sig(
+            "javax.net.ssl.HttpsURLConnection",
+            "void",
+            "setDefaultHostnameVerifier",
+            "javax.net.ssl.HostnameVerifier",
+        ),
+        (0,),
+        "ssl-verifier",
+        "HttpsURLConnection.setDefaultHostnameVerifier(verifier)",
+    ),
+    SinkSpec(
+        _sig(
+            "android.telephony.SmsManager",
+            "void",
+            "sendTextMessage",
+            "java.lang.String",
+            "java.lang.String",
+            "java.lang.String",
+            "android.app.PendingIntent",
+            "android.app.PendingIntent",
+        ),
+        (0, 2),
+        "sms-send",
+        "SmsManager.sendTextMessage(dest, sc, text, sent, delivered)",
+    ),
+    SinkSpec(
+        _sig("java.net.ServerSocket", "void", "<init>", "int"),
+        (0,),
+        "open-port",
+        "new ServerSocket(port)",
+    ),
+    SinkSpec(
+        _sig("java.net.ServerSocket", "void", "bind", "java.net.SocketAddress"),
+        (0,),
+        "open-port",
+        "ServerSocket.bind(address)",
+    ),
+    SinkSpec(
+        _sig("android.net.LocalServerSocket", "void", "<init>", "java.lang.String"),
+        (0,),
+        "open-port",
+        "new LocalServerSocket(name)",
+    ),
+)
+
+#: The three sinks used for the paper's 144-app pre-search (Sec. VI-A).
+PAPER_SINK_RULES = ("crypto-ecb", "ssl-verifier")
+
+def sinks_for_rules(rules: tuple[str, ...] = PAPER_SINK_RULES) -> tuple[SinkSpec, ...]:
+    """The sink specs belonging to the given rule families."""
+    return tuple(s for s in SINK_CATALOGUE if s.rule in rules)
+
+
+# ======================================================================
+# Framework class pool
+# ======================================================================
+
+
+def _abstract(cls: ClassBuilder, name: str, params=(), returns: str = "void") -> None:
+    cls.method(name, params=params, returns=returns, abstract=True)
+
+
+def build_framework_pool() -> ClassPool:
+    """Build the bodiless framework/JDK class pool.
+
+    Every class is flagged ``is_framework`` so the disassembler and the
+    searches skip it, exactly as real dexdump output contains only app DEX.
+    """
+    app = AppBuilder()
+
+    # --- java.lang ----------------------------------------------------
+    obj = app.new_class("java.lang.Object", superclass="")
+    obj.dex_class.super_name = None
+    obj.method("<init>", abstract=True)
+    obj.method("toString", returns="java.lang.String", abstract=True)
+    obj.method("hashCode", returns="int", abstract=True)
+    obj.method("equals", params=["java.lang.Object"], returns="boolean", abstract=True)
+
+    runnable = app.new_interface("java.lang.Runnable")
+    _abstract(runnable, "run")
+
+    callable_iface = app.new_interface("java.util.concurrent.Callable")
+    _abstract(callable_iface, "call", returns="java.lang.Object")
+
+    thread = app.new_class("java.lang.Thread", interfaces=["java.lang.Runnable"])
+    thread.method("<init>", abstract=True)
+    thread.method("<init>", params=["java.lang.Runnable"], abstract=True)
+    thread.method("<init>", params=["java.lang.Runnable", "java.lang.String"], abstract=True)
+    _abstract(thread, "start")
+    _abstract(thread, "run")
+    _abstract(thread, "interrupt")
+
+    string = app.new_class("java.lang.String")
+    string.method("valueOf", params=["java.lang.Object"], returns="java.lang.String",
+                  static=True, abstract=True)
+    string.method("valueOf", params=["int"], returns="java.lang.String",
+                  static=True, abstract=True)
+    string.method("format", params=["java.lang.String", "java.lang.Object[]"],
+                  returns="java.lang.String", static=True, abstract=True)
+    _abstract(string, "concat", params=["java.lang.String"], returns="java.lang.String")
+    _abstract(string, "toLowerCase", returns="java.lang.String")
+    _abstract(string, "toUpperCase", returns="java.lang.String")
+    _abstract(string, "trim", returns="java.lang.String")
+    _abstract(string, "substring", params=["int"], returns="java.lang.String")
+    _abstract(string, "length", returns="int")
+    _abstract(string, "equals", params=["java.lang.Object"], returns="boolean")
+
+    sb = app.new_class("java.lang.StringBuilder")
+    sb.method("<init>", abstract=True)
+    sb.method("<init>", params=["java.lang.String"], abstract=True)
+    _abstract(sb, "append", params=["java.lang.String"], returns="java.lang.StringBuilder")
+    _abstract(sb, "append", params=["int"], returns="java.lang.StringBuilder")
+    _abstract(sb, "append", params=["java.lang.Object"], returns="java.lang.StringBuilder")
+    _abstract(sb, "toString", returns="java.lang.String")
+
+    integer = app.new_class("java.lang.Integer")
+    integer.method("parseInt", params=["java.lang.String"], returns="int",
+                   static=True, abstract=True)
+    integer.method("valueOf", params=["int"], returns="java.lang.Integer",
+                   static=True, abstract=True)
+    integer.method("toString", params=["int"], returns="java.lang.String",
+                   static=True, abstract=True)
+
+    klass = app.new_class("java.lang.Class")
+    klass.method("forName", params=["java.lang.String"], returns="java.lang.Class",
+                 static=True, abstract=True)
+    _abstract(klass, "getMethod", params=["java.lang.String", "java.lang.Class[]"],
+              returns="java.lang.reflect.Method")
+    _abstract(klass, "newInstance", returns="java.lang.Object")
+    reflect_method = app.new_class("java.lang.reflect.Method")
+    _abstract(reflect_method, "invoke",
+              params=["java.lang.Object", "java.lang.Object[]"],
+              returns="java.lang.Object")
+
+    system = app.new_class("java.lang.System")
+    system.method("currentTimeMillis", returns="long", static=True, abstract=True)
+    system.method("arraycopy",
+                  params=["java.lang.Object", "int", "java.lang.Object", "int", "int"],
+                  static=True, abstract=True)
+
+    # --- java.util.concurrent ------------------------------------------
+    executor = app.new_interface("java.util.concurrent.Executor")
+    _abstract(executor, "execute", params=["java.lang.Runnable"])
+
+    executor_service = app.new_interface(
+        "java.util.concurrent.ExecutorService", interfaces=["java.util.concurrent.Executor"]
+    )
+    _abstract(executor_service, "submit", params=["java.lang.Runnable"],
+              returns="java.util.concurrent.Future")
+    _abstract(executor_service, "shutdown")
+
+    executors = app.new_class("java.util.concurrent.Executors")
+    executors.method("newFixedThreadPool", params=["int"],
+                     returns="java.util.concurrent.ExecutorService", static=True, abstract=True)
+    executors.method("newSingleThreadExecutor",
+                     returns="java.util.concurrent.ExecutorService", static=True, abstract=True)
+    executors.method("newCachedThreadPool",
+                     returns="java.util.concurrent.ExecutorService", static=True, abstract=True)
+
+    app.new_class("java.util.concurrent.Future")
+    timer = app.new_class("java.util.Timer")
+    timer.method("<init>", abstract=True)
+    _abstract(timer, "schedule", params=["java.util.TimerTask", "long"])
+    timer_task = app.new_class("java.util.TimerTask", interfaces=["java.lang.Runnable"])
+    timer_task.method("<init>", abstract=True)
+    _abstract(timer_task, "run")
+
+    # --- java.net / sockets ---------------------------------------------
+    server_socket = app.new_class("java.net.ServerSocket")
+    server_socket.method("<init>", abstract=True)
+    server_socket.method("<init>", params=["int"], abstract=True)
+    _abstract(server_socket, "bind", params=["java.net.SocketAddress"])
+    _abstract(server_socket, "accept", returns="java.net.Socket")
+    app.new_class("java.net.Socket")
+    app.new_class("java.net.SocketAddress")
+    inet = app.new_class("java.net.InetSocketAddress", superclass="java.net.SocketAddress")
+    inet.method("<init>", params=["java.lang.String", "int"], abstract=True)
+    inet.method("<init>", params=["int"], abstract=True)
+    local_server = app.new_class("android.net.LocalServerSocket")
+    local_server.method("<init>", params=["java.lang.String"], abstract=True)
+
+    # --- crypto / SSL sinks ----------------------------------------------
+    cipher = app.new_class("javax.crypto.Cipher")
+    cipher.method("getInstance", params=["java.lang.String"], returns="javax.crypto.Cipher",
+                  static=True, abstract=True)
+    cipher.method("getInstance", params=["java.lang.String", "java.lang.String"],
+                  returns="javax.crypto.Cipher", static=True, abstract=True)
+    _abstract(cipher, "init", params=["int", "java.security.Key"])
+    _abstract(cipher, "doFinal", params=["byte[]"], returns="byte[]")
+    app.new_class("java.security.Key")
+
+    hostname_verifier = app.new_interface("javax.net.ssl.HostnameVerifier")
+    _abstract(hostname_verifier, "verify",
+              params=["java.lang.String", "javax.net.ssl.SSLSession"], returns="boolean")
+    app.new_class("javax.net.ssl.SSLSession")
+
+    x509_verifier = app.new_interface(
+        "org.apache.http.conn.ssl.X509HostnameVerifier",
+        interfaces=["javax.net.ssl.HostnameVerifier"],
+    )
+    _abstract(x509_verifier, "verify",
+              params=["java.lang.String", "javax.net.ssl.SSLSession"], returns="boolean")
+
+    allow_all = app.new_class(
+        "org.apache.http.conn.ssl.AllowAllHostnameVerifier",
+        interfaces=["org.apache.http.conn.ssl.X509HostnameVerifier"],
+    )
+    allow_all.method("<init>", abstract=True)
+
+    browser_compat = app.new_class(
+        "org.apache.http.conn.ssl.BrowserCompatHostnameVerifier",
+        interfaces=["org.apache.http.conn.ssl.X509HostnameVerifier"],
+    )
+    browser_compat.method("<init>", abstract=True)
+
+    strict = app.new_class(
+        "org.apache.http.conn.ssl.StrictHostnameVerifier",
+        interfaces=["org.apache.http.conn.ssl.X509HostnameVerifier"],
+    )
+    strict.method("<init>", abstract=True)
+
+    ssl_factory = app.new_class("org.apache.http.conn.ssl.SSLSocketFactory")
+    ssl_factory.field("ALLOW_ALL_HOSTNAME_VERIFIER",
+                      "org.apache.http.conn.ssl.X509HostnameVerifier", static=True)
+    ssl_factory.field("BROWSER_COMPATIBLE_HOSTNAME_VERIFIER",
+                      "org.apache.http.conn.ssl.X509HostnameVerifier", static=True)
+    ssl_factory.field("STRICT_HOSTNAME_VERIFIER",
+                      "org.apache.http.conn.ssl.X509HostnameVerifier", static=True)
+    ssl_factory.method("<init>", abstract=True)
+    _abstract(ssl_factory, "setHostnameVerifier",
+              params=["org.apache.http.conn.ssl.X509HostnameVerifier"])
+
+    https_conn = app.new_class("javax.net.ssl.HttpsURLConnection")
+    _abstract(https_conn, "setHostnameVerifier", params=["javax.net.ssl.HostnameVerifier"])
+    https_conn.method("setDefaultHostnameVerifier",
+                      params=["javax.net.ssl.HostnameVerifier"], static=True, abstract=True)
+
+    # --- telephony -------------------------------------------------------
+    sms = app.new_class("android.telephony.SmsManager")
+    sms.method("getDefault", returns="android.telephony.SmsManager",
+               static=True, abstract=True)
+    _abstract(sms, "sendTextMessage",
+              params=["java.lang.String", "java.lang.String", "java.lang.String",
+                      "android.app.PendingIntent", "android.app.PendingIntent"])
+    app.new_class("android.app.PendingIntent")
+
+    # --- android core ------------------------------------------------------
+    context = app.new_class("android.content.Context")
+    _abstract(context, "startActivity", params=["android.content.Intent"])
+    _abstract(context, "startService", params=["android.content.Intent"],
+              returns="android.content.ComponentName")
+    _abstract(context, "stopService", params=["android.content.Intent"], returns="boolean")
+    _abstract(context, "bindService",
+              params=["android.content.Intent", "android.content.ServiceConnection", "int"],
+              returns="boolean")
+    _abstract(context, "sendBroadcast", params=["android.content.Intent"])
+    _abstract(context, "sendOrderedBroadcast",
+              params=["android.content.Intent", "java.lang.String"])
+    _abstract(context, "getApplicationContext", returns="android.content.Context")
+    app.new_class("android.content.ComponentName")
+    app.new_interface("android.content.ServiceConnection")
+
+    wrapper = app.new_class("android.content.ContextWrapper",
+                            superclass="android.content.Context")
+    wrapper.method("<init>", params=["android.content.Context"], abstract=True)
+
+    intent = app.new_class(INTENT_CLASS)
+    intent.method("<init>", abstract=True)
+    intent.method("<init>", params=["java.lang.String"], abstract=True)
+    intent.method("<init>", params=["android.content.Context", "java.lang.Class"],
+                  abstract=True)
+    _abstract(intent, "setAction", params=["java.lang.String"],
+              returns="android.content.Intent")
+    _abstract(intent, "setClass", params=["android.content.Context", "java.lang.Class"],
+              returns="android.content.Intent")
+    _abstract(intent, "setClassName", params=["java.lang.String", "java.lang.String"],
+              returns="android.content.Intent")
+    _abstract(intent, "putExtra", params=["java.lang.String", "java.lang.String"],
+              returns="android.content.Intent")
+    _abstract(intent, "getStringExtra", params=["java.lang.String"],
+              returns="java.lang.String")
+    _abstract(intent, "getAction", returns="java.lang.String")
+    app.new_class("android.os.Bundle")
+
+    activity = app.new_class("android.app.Activity",
+                             superclass="android.content.ContextWrapper")
+    for handler in LIFECYCLE_HANDLERS["android.app.Activity"]:
+        params = ["android.os.Bundle"] if handler == "onCreate" else []
+        if handler == "onNewIntent":
+            params = ["android.content.Intent"]
+        if handler == "onActivityResult":
+            params = ["int", "int", "android.content.Intent"]
+        activity.method(handler, params=params, abstract=True)
+    _abstract(activity, "findViewById", params=["int"], returns="android.view.View")
+    _abstract(activity, "setContentView", params=["int"])
+    _abstract(activity, "getIntent", returns="android.content.Intent")
+
+    service = app.new_class("android.app.Service",
+                            superclass="android.content.ContextWrapper")
+    service.method("onCreate", abstract=True)
+    service.method("onStartCommand",
+                   params=["android.content.Intent", "int", "int"], returns="int",
+                   abstract=True)
+    service.method("onStart", params=["android.content.Intent", "int"], abstract=True)
+    service.method("onBind", params=["android.content.Intent"],
+                   returns="android.os.IBinder", abstract=True)
+    service.method("onUnbind", params=["android.content.Intent"], returns="boolean",
+                   abstract=True)
+    service.method("onDestroy", abstract=True)
+    app.new_class("android.os.IBinder")
+
+    receiver = app.new_class("android.content.BroadcastReceiver")
+    receiver.method("<init>", abstract=True)
+    receiver.method("onReceive",
+                    params=["android.content.Context", "android.content.Intent"],
+                    abstract=True)
+
+    provider = app.new_class("android.content.ContentProvider")
+    provider.method("<init>", abstract=True)
+    provider.method("onCreate", returns="boolean", abstract=True)
+
+    application = app.new_class("android.app.Application",
+                                superclass="android.content.ContextWrapper")
+    application.method("onCreate", abstract=True)
+    application.method("onTerminate", abstract=True)
+
+    # --- android.os async ---------------------------------------------------
+    async_task = app.new_class("android.os.AsyncTask")
+    async_task.method("<init>", abstract=True)
+    _abstract(async_task, "execute", params=["java.lang.Object[]"],
+              returns="android.os.AsyncTask")
+    _abstract(async_task, "doInBackground", params=["java.lang.Object[]"],
+              returns="java.lang.Object")
+    _abstract(async_task, "onPostExecute", params=["java.lang.Object"])
+    _abstract(async_task, "onPreExecute")
+
+    handler_cls = app.new_class("android.os.Handler")
+    handler_cls.method("<init>", abstract=True)
+    _abstract(handler_cls, "post", params=["java.lang.Runnable"], returns="boolean")
+    _abstract(handler_cls, "postDelayed", params=["java.lang.Runnable", "long"],
+              returns="boolean")
+
+    # --- android.view / widgets ----------------------------------------------
+    view = app.new_class("android.view.View")
+    view.method("<init>", params=["android.content.Context"], abstract=True)
+    _abstract(view, "setOnClickListener", params=["android.view.View$OnClickListener"])
+    _abstract(view, "setOnLongClickListener",
+              params=["android.view.View$OnLongClickListener"])
+    _abstract(view, "setOnTouchListener", params=["android.view.View$OnTouchListener"])
+
+    onclick = app.new_interface("android.view.View$OnClickListener")
+    _abstract(onclick, "onClick", params=["android.view.View"])
+    onlongclick = app.new_interface("android.view.View$OnLongClickListener")
+    _abstract(onlongclick, "onLongClick", params=["android.view.View"], returns="boolean")
+    ontouch = app.new_interface("android.view.View$OnTouchListener")
+    _abstract(ontouch, "onTouch",
+              params=["android.view.View", "android.view.MotionEvent"], returns="boolean")
+    app.new_class("android.view.MotionEvent")
+    button = app.new_class("android.widget.Button", superclass="android.view.View")
+    button.method("<init>", params=["android.content.Context"], abstract=True)
+
+    text_utils = app.new_class("android.text.TextUtils")
+    text_utils.method("isEmpty", params=["java.lang.CharSequence"], returns="boolean",
+                      static=True, abstract=True)
+    app.new_class("java.lang.CharSequence")
+
+    log = app.new_class("android.util.Log")
+    for level in ("v", "d", "i", "w", "e"):
+        log.method(level, params=["java.lang.String", "java.lang.String"], returns="int",
+                   static=True, abstract=True)
+
+    pool = app.build()
+    for cls in pool:
+        cls.is_framework = True
+    return pool
+
+
+#: A module-level singleton: the framework never changes between apps.
+_FRAMEWORK_POOL: ClassPool | None = None
+
+
+def framework_pool() -> ClassPool:
+    """The shared framework pool (built once, reused by every Apk)."""
+    global _FRAMEWORK_POOL
+    if _FRAMEWORK_POOL is None:
+        _FRAMEWORK_POOL = build_framework_pool()
+    return _FRAMEWORK_POOL
+
+
+def component_kind_of(pool: ClassPool, class_name: str) -> str | None:
+    """Which component base class (if any) *class_name* descends from."""
+    for base in LIFECYCLE_HANDLERS:
+        if base == class_name or base in pool.superclass_chain(class_name):
+            return base
+    return None
+
+
+def is_lifecycle_handler(pool: ClassPool, sig: MethodSignature) -> bool:
+    """True when *sig* is a lifecycle handler of a component subclass."""
+    base = component_kind_of(pool, sig.class_name)
+    if base is None:
+        return False
+    return sig.name in LIFECYCLE_HANDLERS[base]

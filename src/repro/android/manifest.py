@@ -1,0 +1,121 @@
+"""The ``AndroidManifest.xml`` model.
+
+Entry points of an Android app are the lifecycle handlers of the
+components *registered in the manifest* (Sec. II-A).  BackDroid checks
+registration when deciding whether a backward path has reached a valid
+entry — which is exactly how it avoids the six Amandroid false positives
+whose flows "originate from an Activity component not in manifest"
+(Sec. VI-C).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+class ComponentKind(enum.Enum):
+    """The four Android component kinds."""
+
+    ACTIVITY = "activity"
+    SERVICE = "service"
+    RECEIVER = "receiver"
+    PROVIDER = "provider"
+
+    @property
+    def base_class(self) -> str:
+        return {
+            ComponentKind.ACTIVITY: "android.app.Activity",
+            ComponentKind.SERVICE: "android.app.Service",
+            ComponentKind.RECEIVER: "android.content.BroadcastReceiver",
+            ComponentKind.PROVIDER: "android.content.ContentProvider",
+        }[self]
+
+
+@dataclass(frozen=True)
+class IntentFilter:
+    """One ``<intent-filter>``: the actions a component reacts to."""
+
+    actions: tuple[str, ...] = ()
+    categories: tuple[str, ...] = ()
+
+    def matches_action(self, action: str) -> bool:
+        return action in self.actions
+
+
+@dataclass(frozen=True)
+class Component:
+    """One registered component entry."""
+
+    class_name: str
+    kind: ComponentKind
+    exported: bool = False
+    intent_filters: tuple[IntentFilter, ...] = ()
+
+    @property
+    def is_launcher(self) -> bool:
+        return any(
+            "android.intent.action.MAIN" in f.actions for f in self.intent_filters
+        )
+
+    def handles_action(self, action: str) -> bool:
+        return any(f.matches_action(action) for f in self.intent_filters)
+
+
+@dataclass
+class Manifest:
+    """The parsed manifest: package name plus registered components."""
+
+    package: str
+    components: list[Component] = field(default_factory=list)
+    application_class: Optional[str] = None
+    min_sdk: int = 21
+    target_sdk: int = 28
+
+    def __post_init__(self) -> None:
+        self._by_name = {c.class_name: c for c in self.components}
+
+    # ------------------------------------------------------------------
+    def add(self, component: Component) -> Component:
+        self.components.append(component)
+        self._by_name[component.class_name] = component
+        return component
+
+    def register(
+        self,
+        class_name: str,
+        kind: ComponentKind,
+        exported: bool = False,
+        actions: Iterable[str] = (),
+    ) -> Component:
+        """Register a component, with an optional action intent filter."""
+        actions = tuple(actions)
+        filters = (IntentFilter(actions=actions),) if actions else ()
+        return self.add(Component(class_name, kind, exported, filters))
+
+    # ------------------------------------------------------------------
+    def is_registered(self, class_name: str) -> bool:
+        """Whether a class is a registered component (or the Application)."""
+        return class_name in self._by_name or class_name == self.application_class
+
+    def component(self, class_name: str) -> Optional[Component]:
+        return self._by_name.get(class_name)
+
+    def components_of(self, kind: ComponentKind) -> list[Component]:
+        return [c for c in self.components if c.kind == kind]
+
+    def components_handling(self, action: str) -> list[Component]:
+        """Registered components whose intent filters accept *action*.
+
+        This is the OS-side resolution of an *implicit* ICC call
+        (Sec. IV-D).
+        """
+        return [c for c in self.components if c.handles_action(action)]
+
+    def entry_classes(self) -> set[str]:
+        """All classes that can be entered by the framework."""
+        names = {c.class_name for c in self.components}
+        if self.application_class:
+            names.add(self.application_class)
+        return names

@@ -1,0 +1,49 @@
+"""Whole-app baseline analyzers (the paper's comparators).
+
+* :mod:`repro.baseline.config` — configuration mirroring the tools'
+  documented behaviour: Amandroid's ``liblist.txt`` skipped libraries,
+  its incomplete async/callback edge maps, timeouts, and FlowDroid's
+  call-graph algorithm choice;
+* :mod:`repro.baseline.callgraph` — whole-app, entry-driven call-graph
+  construction (lifecycle-aware CHA with ICC and configured
+  async/callback edges);
+* :mod:`repro.baseline.wholeapp` — the Amandroid-style analyzer:
+  whole-app call graph + whole-app forward constant propagation +
+  sink detection;
+* :mod:`repro.baseline.flowdroid_cg` — the FlowDroid-style call-graph-
+  only generator used for the Fig. 1 experiment.
+
+The weaknesses the paper measures in Sec. VI-C are reproduced as
+explicit, documented behaviours — not accidents: skipped libraries cause
+false negatives, unregistered components cause false positives, missing
+``Executor.execute`` / callback edges cause false negatives, whole-app
+cost causes timeouts, and unresolved procedure references cause
+"occasional errors".
+"""
+
+from repro.baseline.config import (
+    AnalysisError,
+    AnalysisTimeout,
+    AmandroidConfig,
+    Deadline,
+    FlowDroidConfig,
+    LIBLIST,
+)
+from repro.baseline.callgraph import CallGraph, build_whole_app_callgraph
+from repro.baseline.wholeapp import AmandroidStyleAnalyzer, BaselineReport
+from repro.baseline.flowdroid_cg import FlowDroidStyleCallGraphGenerator, CgReport
+
+__all__ = [
+    "AmandroidConfig",
+    "AmandroidStyleAnalyzer",
+    "AnalysisError",
+    "AnalysisTimeout",
+    "BaselineReport",
+    "CallGraph",
+    "CgReport",
+    "Deadline",
+    "FlowDroidConfig",
+    "FlowDroidStyleCallGraphGenerator",
+    "LIBLIST",
+    "build_whole_app_callgraph",
+]

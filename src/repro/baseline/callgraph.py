@@ -1,0 +1,296 @@
+"""Whole-app, entry-driven call-graph construction.
+
+This is the "lifecycle-aware call graph" style of analysis (Sec. II-A):
+start from *all* entry points, traverse *all* reachable code, resolve
+virtual dispatch by class hierarchy analysis, and wire implicit edges
+(async dispatch, callbacks, ICC, static initializers) from hardwired
+domain knowledge.  Everything BackDroid avoids doing — and everything
+that makes whole-app analysis expensive on modern apps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.android.apk import Apk
+from repro.android.framework import (
+    ICC_CALL_APIS,
+    LIFECYCLE_HANDLERS,
+    component_kind_of,
+    is_framework_class,
+)
+from repro.baseline.config import AmandroidConfig, AnalysisError, Deadline
+from repro.dex.hierarchy import ClassPool, DexMethod
+from repro.dex.instructions import (
+    ClassConstant,
+    InvokeKind,
+    Local,
+    StringConstant,
+    referenced_classes,
+)
+from repro.dex.types import MethodSignature
+
+
+@dataclass
+class CallGraph:
+    """The whole-app call graph: adjacency plus bookkeeping."""
+
+    edges: dict[MethodSignature, set[MethodSignature]] = field(default_factory=dict)
+    reachable: set[MethodSignature] = field(default_factory=set)
+    entry_points: set[MethodSignature] = field(default_factory=set)
+    unresolved_references: int = 0
+    skipped_library_classes: set[str] = field(default_factory=set)
+    dropped_implicit_sites: int = 0
+
+    def add_edge(self, caller: MethodSignature, callee: MethodSignature) -> None:
+        self.edges.setdefault(caller, set()).add(callee)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self.edges.values())
+
+    def callees_of(self, method: MethodSignature) -> set[MethodSignature]:
+        return self.edges.get(method, set())
+
+
+def _is_skipped(config: AmandroidConfig, class_name: str) -> bool:
+    return config.skip_liblist and class_name.startswith(tuple(config.liblist))
+
+
+def _entry_methods(apk: Apk, config: AmandroidConfig) -> list[MethodSignature]:
+    """All lifecycle handlers the analyzer treats as entry points.
+
+    With ``treat_unregistered_components_as_entries`` (the Amandroid
+    default behaviour the paper's FP analysis exposes), *every* component
+    subclass counts — manifest registration is not checked.
+    """
+    pool = apk.full_pool
+    entries: list[MethodSignature] = []
+    for cls in apk.classes.application_classes():
+        base = component_kind_of(pool, cls.name)
+        if base is None:
+            continue
+        if not config.treat_unregistered_components_as_entries:
+            if not apk.manifest.is_registered(cls.name):
+                continue
+        for handler_name in LIFECYCLE_HANDLERS[base]:
+            method = cls.find_method(handler_name)
+            if method is not None and method.has_body:
+                entries.append(method.signature())
+    return entries
+
+
+def _cha_targets(
+    pool: ClassPool, expr_method: MethodSignature, kind: InvokeKind
+) -> list[DexMethod]:
+    """Class-hierarchy-analysis dispatch targets of one invocation."""
+    targets: list[DexMethod] = []
+    resolved = pool.resolve_method(expr_method)
+    if kind in (InvokeKind.STATIC, InvokeKind.SPECIAL, InvokeKind.DIRECT):
+        if resolved is not None and resolved.has_body:
+            targets.append(resolved)
+        return targets
+    if resolved is not None and resolved.has_body:
+        targets.append(resolved)
+    sub_signature = expr_method.sub_signature()
+    for subclass in pool.all_subclasses(expr_method.class_name):
+        override = subclass.find_method(expr_method.name, expr_method.param_types)
+        if override is not None and override.has_body:
+            targets.append(override)
+    if not targets and (cls := pool.get(expr_method.class_name)) is not None:
+        if cls.is_interface:
+            for implementer in pool.implementers_of(expr_method.class_name):
+                method = implementer.find_method(expr_method.name, expr_method.param_types)
+                if method is not None and method.has_body:
+                    targets.append(method)
+    return targets
+
+
+def build_whole_app_callgraph(
+    apk: Apk,
+    config: Optional[AmandroidConfig] = None,
+    deadline: Optional[Deadline] = None,
+) -> CallGraph:
+    """Build the whole-app call graph from all entry points."""
+    config = config if config is not None else AmandroidConfig()
+    deadline = deadline if deadline is not None else Deadline(None)
+    pool = apk.full_pool
+    graph = CallGraph()
+    implicit_sites_used = 0
+
+    worklist: list[MethodSignature] = []
+    for entry in _entry_methods(apk, config):
+        graph.entry_points.add(entry)
+        worklist.append(entry)
+
+    while worklist:
+        deadline.check()
+        current = worklist.pop()
+        if current in graph.reachable:
+            continue
+        graph.reachable.add(current)
+        if _is_skipped(config, current.class_name):
+            graph.skipped_library_classes.add(current.class_name)
+            continue  # liblist: do not look inside skipped libraries
+        method = pool.resolve_method(current)
+        if method is None or not method.has_body:
+            continue
+
+        # Static initializers of referenced classes run implicitly.
+        for class_name in set(referenced_classes(method.body)):
+            referenced = pool.get(class_name)
+            if referenced is None:
+                if not is_framework_class(class_name):
+                    graph.unresolved_references += 1
+                continue
+            clinit = referenced.static_initializer()
+            if clinit is not None and clinit.has_body:
+                graph.add_edge(current, clinit.signature())
+                worklist.append(clinit.signature())
+
+        for stmt in method.body:
+            expr = stmt.invoke_expr()
+            if expr is None:
+                continue
+            deadline.check()
+
+            # --- hardwired async edges --------------------------------
+            async_target = _async_edge_target(pool, config, expr.method)
+            if async_target is not None:
+                receiver_type = expr.base.java_type if expr.base else None
+                arg_types = [
+                    arg.java_type for arg in expr.args if isinstance(arg, Local)
+                ]
+                dispatched = _resolve_async_callee(
+                    pool, async_target, receiver_type, arg_types
+                )
+                if dispatched is not None:
+                    if _implicit_budget_ok(config, expr.method, implicit_sites_used):
+                        implicit_sites_used += 1
+                        graph.add_edge(current, dispatched.signature())
+                        worklist.append(dispatched.signature())
+                    else:
+                        graph.dropped_implicit_sites += 1
+
+            # --- hardwired callback edges ------------------------------
+            callback = config.callback_edges.get(expr.method.name)
+            if callback is not None and expr.args:
+                iface, handler_name = callback
+                listener_type = (
+                    expr.args[0].java_type
+                    if isinstance(expr.args[0], Local)
+                    else None
+                )
+                if listener_type is not None and pool.is_subtype_of(
+                    listener_type, iface
+                ):
+                    listener_cls = pool.get(listener_type)
+                    handler = (
+                        listener_cls.find_method(handler_name)
+                        if listener_cls is not None
+                        else None
+                    )
+                    if handler is not None and handler.has_body:
+                        if _implicit_budget_ok(config, expr.method, implicit_sites_used):
+                            implicit_sites_used += 1
+                            graph.add_edge(current, handler.signature())
+                            worklist.append(handler.signature())
+                        else:
+                            graph.dropped_implicit_sites += 1
+
+            # --- ICC edges (explicit Intents in the same method) -------
+            if expr.method.name in ICC_CALL_APIS:
+                for target_cls in _explicit_icc_targets(method):
+                    component = pool.get(target_cls)
+                    if component is None:
+                        continue
+                    base = component_kind_of(pool, target_cls)
+                    if base is None:
+                        continue
+                    for handler_name in LIFECYCLE_HANDLERS[base]:
+                        handler = component.find_method(handler_name)
+                        if handler is not None and handler.has_body:
+                            graph.add_edge(current, handler.signature())
+                            worklist.append(handler.signature())
+
+            # --- plain CHA dispatch ------------------------------------
+            targets = _cha_targets(pool, expr.method, expr.kind)
+            if not targets:
+                target_cls = expr.method.class_name
+                if not is_framework_class(target_cls) and pool.get(target_cls) is None:
+                    graph.unresolved_references += 1
+            for target in targets:
+                signature = target.signature()
+                graph.add_edge(current, signature)
+                worklist.append(signature)
+
+    if graph.unresolved_references > config.unresolved_procedure_tolerance:
+        raise AnalysisError(
+            f"Could not find procedure: {graph.unresolved_references} unresolved "
+            "references during whole-app graph construction"
+        )
+    return graph
+
+
+def _async_edge_target(
+    pool: ClassPool, config: AmandroidConfig, invoked: MethodSignature
+) -> Optional[str]:
+    for (class_name, method_name), target in config.async_edges.items():
+        if invoked.name != method_name:
+            continue
+        if invoked.class_name == class_name or pool.is_subtype_of(
+            invoked.class_name, class_name
+        ):
+            return target
+    return None
+
+
+def _resolve_async_callee(
+    pool: ClassPool,
+    target_name: str,
+    receiver_type: Optional[str],
+    arg_types: list[str],
+) -> Optional[DexMethod]:
+    """Find the app-side method an async dispatch lands in.
+
+    ``thread.start()`` → the receiver class's ``run()``;
+    ``handler.post(r)`` → the Runnable argument class's ``run()``.
+    """
+    candidates = []
+    if receiver_type is not None:
+        candidates.append(receiver_type)
+    candidates.extend(arg_types)
+    for class_name in candidates:
+        cls = pool.get(class_name)
+        if cls is None or cls.is_framework:
+            continue
+        method = cls.find_method(target_name)
+        if method is not None and method.has_body:
+            return method
+    return None
+
+
+def _implicit_budget_ok(
+    config: AmandroidConfig, invoked: MethodSignature, used: int
+) -> bool:
+    """The deterministic "unrobust implicit flow" behaviour.
+
+    ``Thread.start``/``Handler.post`` edges are always wired;
+    AsyncTask and click-listener sites beyond the per-app budget are
+    dropped, standing in for the flaky handling Sec. VI-C observed.
+    """
+    always_robust = invoked.name in ("start", "post", "postDelayed", "schedule")
+    if always_robust:
+        return True
+    return used < config.implicit_flow_site_budget
+
+
+def _explicit_icc_targets(method: DexMethod) -> list[str]:
+    """Component classes named by const-class operands in this method."""
+    return [
+        value.class_name
+        for stmt in method.body
+        for value in stmt.uses()
+        if isinstance(value, ClassConstant)
+    ]

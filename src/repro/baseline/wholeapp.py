@@ -1,0 +1,371 @@
+"""The Amandroid-style whole-app analyzer.
+
+The comparator of Sec. VI: build the whole-app call graph from all entry
+points, run whole-app forward constant propagation over *all* reachable
+code, then look for sink API calls and judge their parameters.  Its cost
+is proportional to the whole app; its blind spots are the configured
+liblist, the incomplete implicit-flow maps, and its entry-point model —
+exactly the Sec. VI-C delta sources.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.android.apk import Apk
+from repro.android.framework import SinkSpec, sinks_for_rules
+from repro.baseline.callgraph import CallGraph, build_whole_app_callgraph
+from repro.baseline.config import (
+    AmandroidConfig,
+    AnalysisError,
+    AnalysisTimeout,
+    Deadline,
+)
+from repro.core.api_models import ApiCall, framework_constant, lookup_model
+from repro.core.detectors import DETECTORS, Finding
+from repro.core.values import (
+    ArrayObjFact,
+    ConstFact,
+    Fact,
+    NewObjFact,
+    UnknownFact,
+    merge_facts,
+)
+from repro.dex.hierarchy import DexMethod
+from repro.dex.instructions import (
+    ArrayRef,
+    AssignStmt,
+    BinopExpr,
+    CastExpr,
+    ClassConstant,
+    DoubleConstant,
+    IdentityStmt,
+    InstanceFieldRef,
+    IntConstant,
+    InvokeExpr,
+    Local,
+    LongConstant,
+    NewArrayExpr,
+    NewExpr,
+    NullConstant,
+    ParameterRef,
+    PhiExpr,
+    ReturnStmt,
+    StaticFieldRef,
+    StringConstant,
+    ThisRef,
+    Value,
+)
+from repro.dex.types import FieldSignature, MethodSignature
+
+
+@dataclass
+class BaselineReport:
+    """The outcome of one whole-app analysis run."""
+
+    package: str
+    findings: list[Finding] = field(default_factory=list)
+    analysis_seconds: float = 0.0
+    timed_out: bool = False
+    error: Optional[str] = None
+    reachable_methods: int = 0
+    cg_edges: int = 0
+    sink_calls_seen: int = 0
+    skipped_library_classes: int = 0
+    dropped_implicit_sites: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.timed_out and self.error is None
+
+    @property
+    def vulnerable(self) -> bool:
+        return bool(self.findings)
+
+    def findings_by_rule(self, rule: str) -> list[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+
+class _WholeAppConstants:
+    """Context-insensitive whole-app constant propagation.
+
+    A fixpoint over *every* reachable method: parameter facts merge over
+    all call sites, field facts live in one global map.  This is the
+    expensive part of whole-app analysis — cost scales with total code,
+    not with the number of sinks.
+    """
+
+    def __init__(self, apk: Apk, graph: CallGraph, config: AmandroidConfig,
+                 deadline: Deadline) -> None:
+        self.pool = apk.full_pool
+        self.graph = graph
+        self.config = config
+        self.deadline = deadline
+        self._locals: dict[tuple[MethodSignature, str], Fact] = {}
+        self._fields: dict[FieldSignature, Fact] = {}
+        self._returns: dict[MethodSignature, Fact] = {}
+        self._param_in: dict[tuple[MethodSignature, int], Fact] = {}
+        self._this_in: dict[MethodSignature, Fact] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        methods = [
+            m
+            for sig in sorted(self.graph.reachable, key=str)
+            if (m := self.pool.resolve_method(sig)) is not None and m.has_body
+        ]
+        for _ in range(self.config.max_passes):
+            self.deadline.check()
+            before = (len(self._locals), hash(frozenset(self._returns.items())),
+                      hash(frozenset(self._fields.items())))
+            for method in methods:
+                self._eval_method(method)
+            after = (len(self._locals), hash(frozenset(self._returns.items())),
+                     hash(frozenset(self._fields.items())))
+            if before == after:
+                break
+
+    # ------------------------------------------------------------------
+    def _eval_method(self, method: DexMethod) -> None:
+        self.deadline.check()
+        sig = method.signature()
+        for stmt in method.body:
+            if isinstance(stmt, IdentityStmt):
+                if isinstance(stmt.ref, ParameterRef):
+                    incoming = self._param_in.get((sig, stmt.ref.index))
+                    if incoming is not None:
+                        self._locals[(sig, stmt.local.name)] = incoming
+                elif isinstance(stmt.ref, ThisRef):
+                    incoming = self._this_in.get(sig)
+                    if incoming is not None:
+                        self._locals[(sig, stmt.local.name)] = incoming
+            elif isinstance(stmt, AssignStmt):
+                self._eval_assign(sig, stmt)
+            elif isinstance(stmt, ReturnStmt) and stmt.value is not None:
+                fact = self._value_fact(sig, stmt.value)
+                previous = self._returns.get(sig)
+                self._returns[sig] = (
+                    fact if previous is None else merge_facts([previous, fact])
+                )
+            else:
+                expr = stmt.invoke_expr()
+                if expr is not None:
+                    self._eval_invoke(sig, expr, assign_to=None)
+
+    def _eval_assign(self, sig: MethodSignature, stmt: AssignStmt) -> None:
+        if isinstance(stmt.rhs, InvokeExpr):
+            fact = self._eval_invoke(sig, stmt.rhs, assign_to=stmt.lhs)
+        else:
+            fact = self._value_fact(sig, stmt.rhs)
+        lhs = stmt.lhs
+        if isinstance(lhs, Local):
+            self._locals[(sig, lhs.name)] = fact
+        elif isinstance(lhs, StaticFieldRef):
+            self._merge_field(lhs.fieldsig, fact)
+        elif isinstance(lhs, InstanceFieldRef):
+            base = self._locals.get((sig, lhs.base.name))
+            if isinstance(base, NewObjFact):
+                self._locals[(sig, lhs.base.name)] = base.with_member(
+                    lhs.fieldsig.name, fact
+                )
+            self._merge_field(lhs.fieldsig, fact)
+
+    def _merge_field(self, fieldsig: FieldSignature, fact: Fact) -> None:
+        previous = self._fields.get(fieldsig)
+        self._fields[fieldsig] = (
+            fact if previous is None else merge_facts([previous, fact])
+        )
+
+    # ------------------------------------------------------------------
+    def _eval_invoke(
+        self, sig: MethodSignature, expr: InvokeExpr, assign_to
+    ) -> Fact:
+        base_fact = (
+            self._locals.get((sig, expr.base.name)) if expr.base is not None else None
+        )
+        arg_facts = [self._value_fact(sig, arg) for arg in expr.args]
+
+        model = lookup_model(expr.method)
+        if model is not None:
+            outcome = model(ApiCall(expr.method, base_fact, arg_facts))
+            if outcome.base_update is not None and expr.base is not None:
+                self._locals[(sig, expr.base.name)] = outcome.base_update
+            return outcome.result if outcome.result is not None else UnknownFact("void")
+
+        if expr.method.is_constructor and expr.base is not None:
+            target = (
+                base_fact
+                if isinstance(base_fact, NewObjFact)
+                else NewObjFact.make(expr.method.class_name)
+            )
+            for position, fact in enumerate(arg_facts):
+                target = target.with_member(f"arg{position}", fact)
+            self._locals[(sig, expr.base.name)] = target
+
+        # Feed parameter facts to every CG-reachable target.
+        returned: list[Fact] = []
+        for callee in self.graph.callees_of(sig):
+            if callee.name != expr.method.name and not expr.method.is_constructor:
+                continue
+            for position, fact in enumerate(arg_facts):
+                key = (callee, position)
+                previous = self._param_in.get(key)
+                self._param_in[key] = (
+                    fact if previous is None else merge_facts([previous, fact])
+                )
+            if base_fact is not None:
+                previous = self._this_in.get(callee)
+                self._this_in[callee] = (
+                    base_fact
+                    if previous is None
+                    else merge_facts([previous, base_fact])
+                )
+            if callee in self._returns:
+                returned.append(self._returns[callee])
+        if returned:
+            return merge_facts(returned)
+        return UnknownFact(f"call {expr.method.name}")
+
+    # ------------------------------------------------------------------
+    def _value_fact(self, sig: MethodSignature, value: Value) -> Fact:
+        if isinstance(value, Local):
+            return self._locals.get((sig, value.name), UnknownFact("local"))
+        if isinstance(value, StringConstant):
+            return ConstFact(value.value)
+        if isinstance(value, (IntConstant, LongConstant, DoubleConstant)):
+            return ConstFact(value.value)
+        if isinstance(value, NullConstant):
+            return ConstFact(None)
+        if isinstance(value, ClassConstant):
+            return ConstFact(f"class {value.class_name}")
+        if isinstance(value, CastExpr):
+            return self._value_fact(sig, value.value)
+        if isinstance(value, PhiExpr):
+            return merge_facts(self._value_fact(sig, v) for v in value.values)
+        if isinstance(value, StaticFieldRef):
+            known = framework_constant(value.fieldsig)
+            if known is not None:
+                return known
+            return self._fields.get(value.fieldsig, UnknownFact("field"))
+        if isinstance(value, InstanceFieldRef):
+            base = self._locals.get((sig, value.base.name))
+            if isinstance(base, NewObjFact):
+                member = base.member(value.fieldsig.name)
+                if member is not None:
+                    return member
+            return self._fields.get(value.fieldsig, UnknownFact("field"))
+        if isinstance(value, ArrayRef):
+            return UnknownFact("array")
+        if isinstance(value, NewExpr):
+            return NewObjFact.make(value.class_name)
+        if isinstance(value, NewArrayExpr):
+            return ArrayObjFact.make(value.element_type)
+        if isinstance(value, BinopExpr):
+            left = self._value_fact(sig, value.left)
+            right = self._value_fact(sig, value.right)
+            lv = next(left.possible_consts(), None)
+            rv = next(right.possible_consts(), None)
+            if isinstance(lv, int) and isinstance(rv, int) and value.op == "+":
+                return ConstFact(lv + rv)
+            return UnknownFact("binop")
+        return UnknownFact(type(value).__name__)
+
+    # ------------------------------------------------------------------
+    def facts_for(self, sig: MethodSignature, values: list[Value]) -> list[Fact]:
+        return [self._value_fact(sig, v) for v in values]
+
+
+class AmandroidStyleAnalyzer:
+    """The whole-app comparator: CG + whole-app dataflow + detection."""
+
+    def __init__(
+        self,
+        config: Optional[AmandroidConfig] = None,
+        sink_rules: tuple[str, ...] = ("crypto-ecb", "ssl-verifier"),
+    ) -> None:
+        self.config = config if config is not None else AmandroidConfig()
+        self.sink_specs: tuple[SinkSpec, ...] = sinks_for_rules(sink_rules)
+
+    # ------------------------------------------------------------------
+    def analyze(self, apk: Apk) -> BaselineReport:
+        report = BaselineReport(package=apk.package)
+        started = time.perf_counter()
+        deadline = Deadline(self.config.timeout_seconds)
+        try:
+            graph = build_whole_app_callgraph(apk, self.config, deadline)
+            report.reachable_methods = len(graph.reachable)
+            report.cg_edges = graph.edge_count
+            report.skipped_library_classes = len(graph.skipped_library_classes)
+            report.dropped_implicit_sites = graph.dropped_implicit_sites
+            propagation = _WholeAppConstants(apk, graph, self.config, deadline)
+            propagation.run()
+            self._detect(apk, graph, propagation, report, deadline)
+        except AnalysisTimeout:
+            report.timed_out = True
+        except AnalysisError as failure:
+            report.error = str(failure)
+        report.analysis_seconds = time.perf_counter() - started
+        return report
+
+    # ------------------------------------------------------------------
+    def _detect(
+        self,
+        apk: Apk,
+        graph: CallGraph,
+        propagation: _WholeAppConstants,
+        report: BaselineReport,
+        deadline: Deadline,
+    ) -> None:
+        pool = apk.full_pool
+        by_key = {
+            (spec.signature.class_name, spec.signature.name,
+             spec.signature.param_types): spec
+            for spec in self.sink_specs
+        }
+        for sig in sorted(graph.reachable, key=str):
+            deadline.check()
+            if sig.class_name.startswith(tuple(self.config.liblist)) and (
+                self.config.skip_liblist
+            ):
+                continue
+            method = pool.resolve_method(sig)
+            if method is None or not method.has_body:
+                continue
+            for index, stmt in enumerate(method.body):
+                expr = stmt.invoke_expr()
+                if expr is None:
+                    continue
+                spec = by_key.get(
+                    (expr.method.class_name, expr.method.name, expr.method.param_types)
+                )
+                if spec is None:
+                    # Hierarchy-aware matching: an invocation written
+                    # against an app subclass of the sink's declaring
+                    # class still resolves to the framework sink (the
+                    # case BackDroid's text-level initial search misses,
+                    # Sec. VI-C).
+                    resolved = pool.resolve_method(expr.method)
+                    if resolved is not None:
+                        spec = by_key.get(
+                            (
+                                resolved.declaring_class,
+                                resolved.name,
+                                resolved.param_types,
+                            )
+                        )
+                if spec is None:
+                    continue
+                report.sink_calls_seen += 1
+                facts = {
+                    position: propagation.facts_for(sig, [expr.args[position]])[0]
+                    for position in spec.tracked_params
+                    if position < len(expr.args)
+                }
+                detector = DETECTORS.get(spec.rule)
+                if detector is None:
+                    continue
+                finding = detector.evaluate(facts, sig, index, pool)
+                if finding is not None:
+                    report.findings.append(finding)

@@ -1,0 +1,159 @@
+"""Command-line front end.
+
+Because this reproduction operates on a synthetic bytecode substrate
+(there is no APK parser — see DESIGN.md), the CLI works on the built-in
+app sources:
+
+* the paper's worked examples (``lgtv``, ``heyzap``, ``palcomp3``);
+* generated benchmark apps (``bench:<index>``).
+
+Commands::
+
+    backdroid analyze lgtv --rules open-port --dump-ssg
+    backdroid analyze bench:7
+    backdroid compare bench:3 --timeout 5
+    backdroid corpus --year 2018 --count 1000
+    backdroid inventory bench:3
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import Optional
+
+from repro.android.apk import Apk
+from repro.baseline import AmandroidConfig, AmandroidStyleAnalyzer
+from repro.core import BackDroid, BackDroidConfig
+from repro.workload.corpus import benchmark_app_spec, sample_year_corpus
+from repro.workload.generator import generate_app
+from repro.workload.paperapps import build_heyzap, build_lg_tv_plus, build_palcomp3
+
+_PAPER_APPS = {
+    "lgtv": build_lg_tv_plus,
+    "heyzap": build_heyzap,
+    "palcomp3": build_palcomp3,
+}
+
+
+def _load_app(name: str) -> Apk:
+    if name in _PAPER_APPS:
+        return _PAPER_APPS[name]()
+    if name.startswith("bench:"):
+        index = int(name.split(":", 1)[1])
+        return generate_app(benchmark_app_spec(index)).apk
+    raise SystemExit(
+        f"unknown app {name!r}: use one of {sorted(_PAPER_APPS)} or bench:<index>"
+    )
+
+
+def _rules(args) -> tuple[str, ...]:
+    return tuple(args.rules.split(",")) if args.rules else ("crypto-ecb", "ssl-verifier")
+
+
+def cmd_analyze(args) -> int:
+    apk = _load_app(args.app)
+    config = BackDroidConfig(
+        sink_rules=_rules(args),
+        check_class_hierarchy_in_initial_search=args.hierarchy_fix,
+        collect_ssg_dumps=args.dump_ssg,
+    )
+    report = BackDroid(config).analyze(apk)
+    print(report.to_text())
+    if args.dump_ssg:
+        for note in report.notes:
+            print()
+            print(note)
+    return 1 if report.vulnerable else 0
+
+
+def cmd_compare(args) -> int:
+    apk = _load_app(args.app)
+    backdroid = BackDroid(BackDroidConfig(sink_rules=_rules(args)))
+    baseline = AmandroidStyleAnalyzer(
+        AmandroidConfig(timeout_seconds=args.timeout), sink_rules=_rules(args)
+    )
+    bd = backdroid.analyze(apk)
+    am = baseline.analyze(apk)
+    print(f"app: {apk.package} ({apk.method_count()} methods)")
+    print(f"BackDroid : {bd.analysis_seconds:8.3f}s  "
+          f"{len(bd.findings)} findings  ({bd.sink_count} sinks analyzed)")
+    status = "TIMEOUT" if am.timed_out else (am.error or "ok")
+    print(f"whole-app : {am.analysis_seconds:8.3f}s  "
+          f"{len(am.findings)} findings  [{status}]")
+    only_bd = {f.method.class_name for f in bd.findings} - {
+        f.method.class_name for f in am.findings
+    }
+    if only_bd:
+        print("flagged only by BackDroid: " + ", ".join(sorted(only_bd)))
+    return 0
+
+
+def cmd_corpus(args) -> int:
+    apps = sample_year_corpus(args.year, count=args.count)
+    sizes = [a.size_mb for a in apps]
+    print(f"year {args.year}: {len(apps)} apps, "
+          f"avg {statistics.fmean(sizes):.1f}MB, "
+          f"median {statistics.median(sizes):.1f}MB")
+    return 0
+
+
+def cmd_inventory(args) -> int:
+    apk = _load_app(args.app)
+    print(f"package : {apk.package}")
+    print(f"size    : {apk.size_mb:.1f}MB (year {apk.year})")
+    print(f"classes : {apk.class_count()}  methods: {apk.method_count()}  "
+          f"code units: {apk.code_units()}")
+    print("components:")
+    for component in apk.manifest.components:
+        print(f"  {component.kind.value:9} {component.class_name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="backdroid",
+        description="Targeted inter-procedural analysis via on-the-fly "
+        "bytecode search (BackDroid reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="run BackDroid on an app")
+    analyze.add_argument("app")
+    analyze.add_argument("--rules", default="",
+                         help="comma-separated rule ids (default: crypto+ssl)")
+    analyze.add_argument("--hierarchy-fix", action="store_true",
+                         help="enable the class-hierarchy initial-search fix")
+    analyze.add_argument("--dump-ssg", action="store_true")
+    analyze.set_defaults(func=cmd_analyze)
+
+    compare = sub.add_parser("compare", help="BackDroid vs whole-app baseline")
+    compare.add_argument("app")
+    compare.add_argument("--rules", default="")
+    compare.add_argument("--timeout", type=float, default=5.0)
+    compare.set_defaults(func=cmd_compare)
+
+    corpus = sub.add_parser("corpus", help="sample a Table-I year corpus")
+    corpus.add_argument("--year", type=int, default=2018)
+    corpus.add_argument("--count", type=int, default=1000)
+    corpus.set_defaults(func=cmd_corpus)
+
+    inventory = sub.add_parser("inventory", help="describe an app")
+    inventory.add_argument("app")
+    inventory.set_defaults(func=cmd_inventory)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

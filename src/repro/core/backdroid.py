@@ -1,0 +1,151 @@
+"""The BackDroid driver: the four-step pipeline of Fig. 2.
+
+1. *Preprocessing*: the :class:`~repro.android.apk.Apk` already carries
+   the IR view and the dexdump plaintext (merged multidex).
+2. *Initial sink search*: locate target sink API calls by text search of
+   the bytecode plaintext.
+3. *Backward slicing*: generate one SSG per sink call, driving the
+   on-the-fly search whenever a caller must be located.
+4. *Forward analysis*: propagate constants and points-to facts over each
+   SSG and hand the resolved sink parameters to the detectors.
+
+Sink-API-call caching (Sec. IV-F) short-circuits sinks hosted by a method
+already proven unreachable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.android.apk import Apk
+from repro.android.framework import SinkSpec, sinks_for_rules
+from repro.core.detectors import DETECTORS
+from repro.core.forward import ForwardPropagation
+from repro.core.report import AnalysisReport, SinkRecord
+from repro.core.slicer import BackwardSlicer, SinkCallSite
+from repro.dex.types import MethodSignature
+from repro.search.basic import locate_call_sites
+from repro.search.caching import SearchCommandCache, SinkReachabilityCache
+from repro.search.engine import CallerResolutionEngine
+from repro.search.loops import LoopDetector
+
+
+@dataclass
+class BackDroidConfig:
+    """Tuning knobs.  BackDroid needs no precision/performance trade-off
+    parameters (Sec. VI-A); these switches exist to reproduce specific
+    paper behaviours and for the ablation benchmarks."""
+
+    #: Which sink rule families to analyze.
+    sink_rules: tuple[str, ...] = ("crypto-ecb", "ssl-verifier")
+    #: Explicit sink list overriding ``sink_rules`` when set.
+    sinks: Optional[tuple[SinkSpec, ...]] = None
+    #: The Sec. VI-C false-negative fix: also search sink signatures
+    #: re-homed onto app classes extending the sink's declaring class
+    #: (off by default, reproducing the paper's two FNs).
+    check_class_hierarchy_in_initial_search: bool = False
+    #: Sec. IV-F enhancements (ablation switches).
+    enable_search_cache: bool = True
+    enable_sink_cache: bool = True
+    #: Backward-walk work bound per sink.
+    max_frames: int = 4000
+    #: Attach full SSG dumps to the report notes.
+    collect_ssg_dumps: bool = False
+
+    def sink_specs(self) -> tuple[SinkSpec, ...]:
+        if self.sinks is not None:
+            return self.sinks
+        return sinks_for_rules(self.sink_rules)
+
+
+class BackDroid:
+    """Targeted, search-driven security vetting of one app at a time."""
+
+    def __init__(self, config: Optional[BackDroidConfig] = None) -> None:
+        self.config = config if config is not None else BackDroidConfig()
+
+    # ------------------------------------------------------------------
+    def analyze(self, apk: Apk) -> AnalysisReport:
+        """Run the full Fig. 2 pipeline on one app."""
+        started = time.perf_counter()
+        cache = SearchCommandCache() if self.config.enable_search_cache else None
+        loops = LoopDetector()
+        engine = CallerResolutionEngine(apk, cache=cache, loops=loops)
+        slicer = BackwardSlicer(apk, engine=engine, max_frames=self.config.max_frames)
+        sink_cache = SinkReachabilityCache()
+        report = AnalysisReport(package=apk.package)
+
+        for site in self.find_sink_call_sites(apk, engine):
+            sink_started = time.perf_counter()
+            record = SinkRecord(site=site, reachable=False)
+            cached_verdict = (
+                sink_cache.lookup(site.method) if self.config.enable_sink_cache else None
+            )
+            if cached_verdict is False:
+                # Sec. IV-F: the hosting method is known-unreachable.
+                record.cached = True
+                record.duration_seconds = time.perf_counter() - sink_started
+                report.records.append(record)
+                continue
+            ssg = slicer.slice_sink(site)
+            record.reachable = ssg.reached_entry
+            record.ssg_size = len(ssg)
+            record.entry_points = tuple(sorted(str(e) for e in ssg.entry_points))
+            if self.config.enable_sink_cache:
+                sink_cache.store(site.method, ssg.reached_entry)
+            if ssg.reached_entry:
+                facts = ForwardPropagation(apk, ssg).run()
+                record.facts_repr = {k: str(v) for k, v in facts.items()}
+                detector = DETECTORS.get(site.spec.rule)
+                if detector is not None:
+                    record.finding = detector.evaluate(
+                        facts, site.method, site.stmt_index, apk.full_pool
+                    )
+            if self.config.collect_ssg_dumps:
+                report.notes.append(ssg.render())
+            record.duration_seconds = time.perf_counter() - sink_started
+            report.records.append(record)
+
+        report.analysis_seconds = time.perf_counter() - started
+        if cache is not None:
+            report.search_cache_rate = cache.stats.rate
+            report.search_cache_lookups = cache.stats.lookups
+        report.sink_cache_rate = sink_cache.stats.rate
+        report.loop_counts = dict(loops.counts)
+        return report
+
+    # ------------------------------------------------------------------
+    def find_sink_call_sites(
+        self, apk: Apk, engine: Optional[CallerResolutionEngine] = None
+    ) -> list[SinkCallSite]:
+        """Step 2 of Fig. 2: the initial sink search over the plaintext."""
+        engine = engine if engine is not None else CallerResolutionEngine(apk)
+        pool = apk.full_pool
+        sites: list[SinkCallSite] = []
+        seen: set[tuple[MethodSignature, int]] = set()
+        for spec in self.config.sink_specs():
+            signatures = [spec.signature]
+            if self.config.check_class_hierarchy_in_initial_search:
+                # The fix for the paper's two FNs: app classes extending
+                # the sink's declaring class may expose the sink API
+                # under their own signature.
+                for cls in pool.application_classes():
+                    if spec.signature.class_name in pool.superclass_chain(cls.name):
+                        if not cls.declares_sub_signature(spec.signature.sub_signature()):
+                            signatures.append(spec.signature.with_class(cls.name))
+            for signature in signatures:
+                for hit in engine.searcher.find_invocations(signature):
+                    if hit.method is None:
+                        continue
+                    for index in locate_call_sites(pool, hit.method, signature):
+                        key = (hit.method, index)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        sites.append(
+                            SinkCallSite(method=hit.method, stmt_index=index, spec=spec)
+                        )
+        sites.sort(key=lambda s: (str(s.method), s.stmt_index))
+        return sites

@@ -1,0 +1,199 @@
+"""Sink-parameter security rules (the Sec. VI evaluation problems).
+
+Two common and serious sink-based problems, exactly as evaluated in the
+paper, plus the additional sink families of Sec. VI-D:
+
+* ``crypto-ecb`` — ``Cipher.getInstance(transformation)`` with the ECB
+  mode, either explicitly (``"AES/ECB/PKCS5Padding"``) or implicitly
+  (bare ``"AES"``/``"DES"`` default to ECB on Android);
+* ``ssl-verifier`` — ``setHostnameVerifier`` with the insecure
+  ``ALLOW_ALL_HOSTNAME_VERIFIER`` (or an allow-all verifier object,
+  including app-defined verifiers whose ``verify`` returns ``true``);
+* ``open-port`` / ``sms-send`` — informational findings used by the
+  extended benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.api_models import ALLOW_ALL_VERIFIER
+from repro.core.values import ConstFact, Fact, MultiFact, NewObjFact
+from repro.dex.hierarchy import ClassPool
+from repro.dex.instructions import IntConstant, ReturnStmt
+from repro.dex.types import MethodSignature
+
+#: Ciphers whose bare names default to ECB mode on Android.
+_ECB_DEFAULT_ALGORITHMS = {"AES", "DES", "DESEDE", "BLOWFISH", "RC2"}
+
+#: Weak algorithms flagged regardless of mode.
+_WEAK_ALGORITHMS = {"DES", "DESEDE", "RC2", "RC4"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One confirmed security finding at a sink call."""
+
+    rule: str
+    method: MethodSignature
+    stmt_index: int
+    value_repr: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.rule}] {self.method.to_soot()}[{self.stmt_index}] "
+            f"value={self.value_repr}: {self.detail}"
+        )
+
+
+class Detector:
+    """Base class: judges the resolved facts of one sink call."""
+
+    rule: str = ""
+
+    def evaluate(
+        self,
+        facts: dict[int, Fact],
+        method: MethodSignature,
+        stmt_index: int,
+        pool: ClassPool,
+    ) -> Optional[Finding]:
+        raise NotImplementedError
+
+
+def _fact_options(fact: Fact) -> list[Fact]:
+    return list(fact.options) if isinstance(fact, MultiFact) else [fact]
+
+
+class CryptoEcbDetector(Detector):
+    """Flags ECB-mode (and weak-algorithm) cipher transformations."""
+
+    rule = "crypto-ecb"
+
+    @staticmethod
+    def is_insecure_transformation(transformation: str) -> bool:
+        text = transformation.strip().upper()
+        if not text:
+            return False
+        parts = text.split("/")
+        algorithm = parts[0]
+        if len(parts) >= 2:
+            return parts[1] == "ECB" or algorithm in _WEAK_ALGORITHMS
+        # Bare algorithm: Android defaults the mode to ECB.
+        return algorithm in _ECB_DEFAULT_ALGORITHMS or algorithm in _WEAK_ALGORITHMS
+
+    def evaluate(self, facts, method, stmt_index, pool):
+        fact = facts.get(0)
+        if fact is None:
+            return None
+        insecure = [
+            s for s in fact.possible_strings() if self.is_insecure_transformation(s)
+        ]
+        if not insecure:
+            return None
+        return Finding(
+            rule=self.rule,
+            method=method,
+            stmt_index=stmt_index,
+            value_repr=str(fact),
+            detail=f"ECB/weak cipher transformation {insecure!r}",
+        )
+
+
+class SslVerifierDetector(Detector):
+    """Flags allow-all hostname verification."""
+
+    rule = "ssl-verifier"
+
+    @staticmethod
+    def _is_allow_all_class(pool: ClassPool, class_name: str) -> bool:
+        if class_name == "org.apache.http.conn.ssl.AllowAllHostnameVerifier":
+            return True
+        cls = pool.get(class_name)
+        if cls is None or cls.is_framework:
+            return False
+        if not pool.is_subtype_of(class_name, "javax.net.ssl.HostnameVerifier"):
+            return False
+        verify = cls.find_method("verify")
+        if verify is None or not verify.has_body:
+            return False
+        # An app verifier that always returns true is allow-all.
+        returns = [s for s in verify.body if isinstance(s, ReturnStmt)]
+        return bool(returns) and all(
+            isinstance(r.value, IntConstant) and r.value.value == 1 for r in returns
+        )
+
+    def evaluate(self, facts, method, stmt_index, pool):
+        fact = facts.get(0)
+        if fact is None:
+            return None
+        for option in _fact_options(fact):
+            if isinstance(option, ConstFact) and option.value == ALLOW_ALL_VERIFIER:
+                return Finding(
+                    rule=self.rule,
+                    method=method,
+                    stmt_index=stmt_index,
+                    value_repr=str(fact),
+                    detail="ALLOW_ALL_HOSTNAME_VERIFIER passed to setHostnameVerifier",
+                )
+            if isinstance(option, NewObjFact) and self._is_allow_all_class(
+                pool, option.class_name
+            ):
+                return Finding(
+                    rule=self.rule,
+                    method=method,
+                    stmt_index=stmt_index,
+                    value_repr=str(fact),
+                    detail=f"allow-all verifier object {option.class_name}",
+                )
+        return None
+
+
+class OpenPortDetector(Detector):
+    """Reports open-port sinks with their resolved addresses (Sec. VI-D)."""
+
+    rule = "open-port"
+
+    def evaluate(self, facts, method, stmt_index, pool):
+        fact = facts.get(0)
+        if fact is None:
+            return None
+        return Finding(
+            rule=self.rule,
+            method=method,
+            stmt_index=stmt_index,
+            value_repr=str(fact),
+            detail="server socket opened (reachable from entry points)",
+        )
+
+
+class SmsSendDetector(Detector):
+    """Reports reachable SMS-send sinks with resolved destinations."""
+
+    rule = "sms-send"
+
+    def evaluate(self, facts, method, stmt_index, pool):
+        if not facts:
+            return None
+        rendered = ", ".join(f"arg{k}={v}" for k, v in sorted(facts.items()))
+        return Finding(
+            rule=self.rule,
+            method=method,
+            stmt_index=stmt_index,
+            value_repr=rendered,
+            detail="sendTextMessage reachable from entry points",
+        )
+
+
+#: rule id -> detector instance.
+DETECTORS: dict[str, Detector] = {
+    detector.rule: detector
+    for detector in (
+        CryptoEcbDetector(),
+        SslVerifierDetector(),
+        OpenPortDetector(),
+        SmsSendDetector(),
+    )
+}

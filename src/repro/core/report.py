@@ -1,0 +1,94 @@
+"""Result types of one BackDroid analysis run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.detectors import Finding
+from repro.core.slicer import SinkCallSite
+from repro.search.loops import LoopKind
+
+
+@dataclass
+class SinkRecord:
+    """The per-sink outcome: slicing verdict, resolved facts, finding."""
+
+    site: SinkCallSite
+    reachable: bool
+    cached: bool = False
+    facts_repr: dict[int, str] = field(default_factory=dict)
+    finding: Optional[Finding] = None
+    ssg_size: int = 0
+    entry_points: tuple[str, ...] = ()
+    duration_seconds: float = 0.0
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one ``BackDroid.analyze`` call produced."""
+
+    package: str
+    records: list[SinkRecord] = field(default_factory=list)
+    analysis_seconds: float = 0.0
+    #: Sec. IV-F statistics.
+    search_cache_rate: float = 0.0
+    search_cache_lookups: int = 0
+    sink_cache_rate: float = 0.0
+    loop_counts: dict[LoopKind, int] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def findings(self) -> list[Finding]:
+        return [r.finding for r in self.records if r.finding is not None]
+
+    @property
+    def vulnerable(self) -> bool:
+        return bool(self.findings)
+
+    @property
+    def sink_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def reachable_sink_count(self) -> int:
+        return sum(1 for r in self.records if r.reachable)
+
+    def findings_by_rule(self, rule: str) -> list[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    @property
+    def detected_any_loop(self) -> bool:
+        return any(self.loop_counts.values())
+
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """A human-readable per-app summary."""
+        lines = [
+            f"BackDroid report for {self.package}",
+            f"  sinks analyzed : {self.sink_count} "
+            f"({self.reachable_sink_count} reachable)",
+            f"  analysis time  : {self.analysis_seconds:.3f}s",
+            f"  search cache   : {self.search_cache_rate:.2%} of "
+            f"{self.search_cache_lookups} commands",
+            f"  sink cache     : {self.sink_cache_rate:.2%}",
+        ]
+        if self.loop_counts:
+            rendered = ", ".join(
+                f"{kind.value}={count}" for kind, count in self.loop_counts.items() if count
+            )
+            lines.append(f"  loops detected : {rendered or 'none'}")
+        for record in self.records:
+            status = "VULNERABLE" if record.finding else (
+                "reachable" if record.reachable else "dead"
+            )
+            lines.append(
+                f"  - {record.site.spec.description} in "
+                f"{record.site.method.to_soot()} [{status}]"
+            )
+            for index, repr_text in sorted(record.facts_repr.items()):
+                lines.append(f"      arg{index} = {repr_text}")
+            if record.finding:
+                lines.append(f"      {record.finding.detail}")
+        return "\n".join(lines)

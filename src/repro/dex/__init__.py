@@ -1,0 +1,102 @@
+"""Bytecode substrate: a DEX-like in-memory bytecode model.
+
+This package plays the role that ``dexdump`` + Soot's Shimple IR play in the
+original BackDroid system:
+
+* :mod:`repro.dex.types` — type descriptors and method/field signatures, with
+  bidirectional translation between the Soot textual format
+  (``<com.a.B: void start(int)>``) and the dexdump textual format
+  (``Lcom/a/B;.start:(I)V``).  BackDroid performs this translation each time
+  it crosses from the *program analysis space* into the *bytecode search
+  space* (Fig. 3, steps 1 and 3 of the paper).
+* :mod:`repro.dex.instructions` — a Shimple-like SSA intermediate
+  representation: the statement and expression taxonomy the paper enumerates
+  in Sec. V (``DefinitionStmt``/``AssignStmt``/``InvokeStmt``/``ReturnStmt``
+  and ``BinopExpr``/``CastExpr``/``InvokeExpr``/``NewExpr``/``NewArrayExpr``/
+  ``PhiExpr``).
+* :mod:`repro.dex.hierarchy` — classes, methods, fields and class-hierarchy
+  queries (sub/super types, interface implementers, virtual dispatch).
+* :mod:`repro.dex.builder` — a fluent DSL for authoring classes and method
+  bodies; used by tests and by the synthetic workload generator.
+* :mod:`repro.dex.disassembler` — a dexdump-style plaintext renderer.  The
+  emitted text is what the on-the-fly bytecode search of
+  :mod:`repro.search` operates on.
+"""
+
+from repro.dex.types import (
+    FieldSignature,
+    MethodSignature,
+    dex_to_java_type,
+    java_to_dex_type,
+)
+from repro.dex.instructions import (
+    ArrayRef,
+    AssignStmt,
+    BinopExpr,
+    CastExpr,
+    ClassConstant,
+    GotoStmt,
+    IdentityStmt,
+    IfStmt,
+    InstanceFieldRef,
+    IntConstant,
+    InvokeExpr,
+    InvokeKind,
+    InvokeStmt,
+    Local,
+    NewArrayExpr,
+    NewExpr,
+    NullConstant,
+    ParameterRef,
+    PhiExpr,
+    ReturnStmt,
+    StaticFieldRef,
+    StringConstant,
+    ThisRef,
+    ThrowStmt,
+)
+from repro.dex.hierarchy import AccessFlags, ClassPool, DexClass, DexField, DexMethod
+from repro.dex.builder import AppBuilder, ClassBuilder, MethodBuilder
+from repro.dex.disassembler import Disassembly, MethodBlock, disassemble
+
+__all__ = [
+    "AccessFlags",
+    "AppBuilder",
+    "ArrayRef",
+    "AssignStmt",
+    "BinopExpr",
+    "CastExpr",
+    "ClassBuilder",
+    "ClassConstant",
+    "ClassPool",
+    "DexClass",
+    "DexField",
+    "DexMethod",
+    "Disassembly",
+    "FieldSignature",
+    "GotoStmt",
+    "IdentityStmt",
+    "IfStmt",
+    "InstanceFieldRef",
+    "IntConstant",
+    "InvokeExpr",
+    "InvokeKind",
+    "InvokeStmt",
+    "Local",
+    "MethodBlock",
+    "MethodBuilder",
+    "MethodSignature",
+    "NewArrayExpr",
+    "NewExpr",
+    "NullConstant",
+    "ParameterRef",
+    "PhiExpr",
+    "ReturnStmt",
+    "StaticFieldRef",
+    "StringConstant",
+    "ThisRef",
+    "ThrowStmt",
+    "dex_to_java_type",
+    "disassemble",
+    "java_to_dex_type",
+]

@@ -1,0 +1,451 @@
+"""A dexdump-style plaintext disassembler.
+
+BackDroid "employs dexdump to disassemble (merged, if multidex is used)
+bytecode to a plaintext" (Sec. III, step 1) and then performs *text search*
+over that plaintext.  This module renders our IR into the same textual
+shapes dexdump produces, so that every search pattern in the paper has a
+real target:
+
+* method invocations: ``invoke-virtual {v0},
+  Lcom/connectsdk/service/netcast/NetcastHttpServer;.start:()V // method@30b9``
+* field accesses: ``iget-object v0, v5,
+  Lcom/connectsdk/service/NetcastTVService$1;.this$0:L...; // field@17b4``
+* explicit-ICC parameters: ``const-class v1, Lcom/lge/app1/fota/HttpServerService;``
+* implicit-ICC parameters: ``const-string v2, "com.app.ACTION_SYNC"``
+
+Each emitted instruction line is mapped back to its originating IR
+statement, which is what lets a text hit be "translated back" into the
+program-analysis space (Fig. 3, steps 2-3).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.dex.hierarchy import ClassPool, DexClass, DexMethod
+from repro.dex.instructions import (
+    ArrayRef,
+    AssignStmt,
+    BinopExpr,
+    CastExpr,
+    ClassConstant,
+    DoubleConstant,
+    GotoStmt,
+    IdentityStmt,
+    IfStmt,
+    InstanceFieldRef,
+    IntConstant,
+    InvokeExpr,
+    InvokeStmt,
+    Local,
+    LongConstant,
+    NewArrayExpr,
+    NewExpr,
+    NopStmt,
+    NullConstant,
+    PhiExpr,
+    ReturnStmt,
+    StaticFieldRef,
+    Stmt,
+    StringConstant,
+    ThrowStmt,
+)
+from repro.dex.types import MethodSignature, java_to_dex_type
+
+_BINOP_OPCODES = {
+    "+": "add-int",
+    "-": "sub-int",
+    "*": "mul-int",
+    "/": "div-int",
+    "%": "rem-int",
+    "&": "and-int",
+    "|": "or-int",
+    "^": "xor-int",
+    "<<": "shl-int",
+    ">>": "shr-int",
+    "==": "cmp-eq",
+    "!=": "cmp-ne",
+    "<": "cmp-lt",
+    ">": "cmp-gt",
+    "<=": "cmp-le",
+    ">=": "cmp-ge",
+}
+
+
+class _InternPool:
+    """Assigns stable hexadecimal ids, mimicking dexdump's ``// method@30b9``."""
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+
+    def id_of(self, key: str) -> int:
+        if key not in self._ids:
+            self._ids[key] = len(self._ids)
+        return self._ids[key]
+
+    def render(self, kind: str, key: str) -> str:
+        return f"// {kind}@{self.id_of(key):04x}"
+
+
+@dataclass
+class InsnLine:
+    """One rendered instruction line, tied back to its IR statement."""
+
+    line_no: int  # absolute line number in the full disassembly text
+    stmt_index: int  # index into the owning method's body
+    text: str
+
+
+@dataclass
+class MethodBlock:
+    """The disassembly section of one method."""
+
+    signature: MethodSignature
+    start_line: int
+    end_line: int  # exclusive
+    insns: list[InsnLine] = field(default_factory=list)
+
+    def stmt_index_for_line(self, line_no: int) -> Optional[int]:
+        for insn in self.insns:
+            if insn.line_no == line_no:
+                return insn.stmt_index
+        return None
+
+
+class Disassembly:
+    """The full dexdump-style plaintext plus its method-block structure."""
+
+    def __init__(self, lines: list[str], blocks: list[MethodBlock]) -> None:
+        self.lines = lines
+        self.blocks = blocks
+        self._block_starts = [b.start_line for b in blocks]
+        self._by_signature = {b.signature: b for b in blocks}
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def block_at_line(self, line_no: int) -> Optional[MethodBlock]:
+        """The method block containing an absolute line number.
+
+        This is step 2 of the basic search (Fig. 3): "identify the
+        corresponding method that contains the invocation found in the
+        bytecode plaintext".
+        """
+        idx = bisect.bisect_right(self._block_starts, line_no) - 1
+        if idx < 0:
+            return None
+        block = self.blocks[idx]
+        if block.start_line <= line_no < block.end_line:
+            return block
+        return None
+
+    def block_of(self, signature: MethodSignature) -> Optional[MethodBlock]:
+        return self._by_signature.get(signature)
+
+
+class _Renderer:
+    """Stateful renderer for one whole class pool."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.blocks: list[MethodBlock] = []
+        self._methods = _InternPool()
+        self._fields = _InternPool()
+        self._types = _InternPool()
+        self._strings = _InternPool()
+        self._addr = 0x10000
+
+    # ------------------------------------------------------------------
+    def _emit(self, text: str) -> int:
+        self.lines.append(text)
+        return len(self.lines) - 1
+
+    def render_pool(self, pool: ClassPool) -> Disassembly:
+        self._emit("Processing merged classes.dex")
+        self._emit("Opened 'classes.dex', DEX version '035'")
+        for index, cls in enumerate(sorted(pool.application_classes(), key=lambda c: c.name)):
+            self._render_class(index, cls)
+        return Disassembly(self.lines, self.blocks)
+
+    # ------------------------------------------------------------------
+    def _render_class(self, index: int, cls: DexClass) -> None:
+        descriptor = java_to_dex_type(cls.name)
+        self._emit(f"Class #{index}            -")
+        self._emit(f"  Class descriptor  : '{descriptor}'")
+        self._emit(f"  Access flags      : {cls.flags.dex_render()}")
+        super_desc = java_to_dex_type(cls.super_name) if cls.super_name else "(none)"
+        self._emit(f"  Superclass        : '{super_desc}'")
+        self._emit("  Interfaces        -")
+        for i, iface in enumerate(cls.interfaces):
+            self._emit(f"    #{i}              : '{java_to_dex_type(iface)}'")
+        self._render_fields(cls)
+        direct, virtual = [], []
+        for method in cls.methods:
+            is_direct = (
+                method.is_static or method.is_private or method.is_constructor
+                or method.is_static_initializer
+            )
+            (direct if is_direct else virtual).append(method)
+        self._emit("  Direct methods    -")
+        for i, method in enumerate(direct):
+            self._render_method(i, cls, method)
+        self._emit("  Virtual methods   -")
+        for i, method in enumerate(virtual):
+            self._render_method(i, cls, method)
+
+    def _render_fields(self, cls: DexClass) -> None:
+        static_fields = [f for f in cls.fields if f.is_static]
+        instance_fields = [f for f in cls.fields if not f.is_static]
+        self._emit("  Static fields     -")
+        for i, dex_field in enumerate(static_fields):
+            self._emit(f"    #{i}              : (in {java_to_dex_type(cls.name)})")
+            self._emit(f"      name          : '{dex_field.name}'")
+            self._emit(f"      type          : '{java_to_dex_type(dex_field.field_type)}'")
+        self._emit("  Instance fields   -")
+        for i, dex_field in enumerate(instance_fields):
+            self._emit(f"    #{i}              : (in {java_to_dex_type(cls.name)})")
+            self._emit(f"      name          : '{dex_field.name}'")
+            self._emit(f"      type          : '{java_to_dex_type(dex_field.field_type)}'")
+
+    # ------------------------------------------------------------------
+    def _render_method(self, index: int, cls: DexClass, method: DexMethod) -> None:
+        sig = method.signature()
+        descriptor = java_to_dex_type(cls.name)
+        start = self._emit(f"    #{index}              : (in {descriptor})")
+        self._emit(f"      name          : '{method.name}'")
+        params = "".join(java_to_dex_type(p) for p in method.param_types)
+        self._emit(f"      type          : '({params}){java_to_dex_type(method.return_type)}'")
+        self._emit(f"      access        : {method.flags.dex_render()}")
+        block = MethodBlock(signature=sig, start_line=start, end_line=start)
+        if method.has_body:
+            self._emit(f"      insns size    : {max(1, len(method.body))} 16-bit code units")
+            dotted = f"{cls.name}.{method.name}".replace("$", ".")
+            self._emit(f"{self._addr:06x}:                                   |[{self._addr:06x}] "
+                       f"{dotted}:({params}){java_to_dex_type(method.return_type)}")
+            self._addr += 0x10
+            self._render_body(method, block)
+        else:
+            self._emit("      code          : (none)")
+        block.end_line = len(self.lines)
+        self.blocks.append(block)
+
+    def _render_body(self, method: DexMethod, block: MethodBlock) -> None:
+        registers = _RegisterMap()
+        offset = 0
+        for stmt_index, stmt in enumerate(method.body):
+            for text in self._render_stmt(stmt, registers):
+                line_no = self._emit(
+                    f"{self._addr:06x}: {'':>24}|{offset:04x}: {text}"
+                )
+                block.insns.append(InsnLine(line_no=line_no, stmt_index=stmt_index, text=text))
+                self._addr += 6
+                offset += 3
+
+    # ------------------------------------------------------------------
+    def _render_stmt(self, stmt: Stmt, registers: "_RegisterMap") -> Iterable[str]:
+        if isinstance(stmt, IdentityStmt):
+            # Dex has no identity statements; parameter registers are
+            # implicit.  Nothing is emitted, exactly as in real dexdump
+            # output — the search never needs them.
+            registers.reg(stmt.local)
+            return []
+        if isinstance(stmt, AssignStmt):
+            return self._render_assign(stmt, registers)
+        if isinstance(stmt, InvokeStmt):
+            return [self._render_invoke(stmt.invoke, registers)]
+        if isinstance(stmt, ReturnStmt):
+            if stmt.value is None:
+                return ["return-void"]
+            if isinstance(stmt.value, Local):
+                suffix = _move_suffix(stmt.value.java_type)
+                return [f"return{suffix} {registers.reg(stmt.value)}"]
+            return ["return-object v0"]
+        if isinstance(stmt, IfStmt):
+            cond = stmt.condition
+            reg = (
+                registers.reg(cond)
+                if isinstance(cond, Local)
+                else registers.any_reg()
+            )
+            return [f"if-nez {reg}, :{stmt.target}"]
+        if isinstance(stmt, GotoStmt):
+            return [f"goto/16 :{stmt.target}"]
+        if isinstance(stmt, ThrowStmt):
+            value = stmt.value
+            reg = registers.reg(value) if isinstance(value, Local) else "v0"
+            return [f"throw {reg}"]
+        if isinstance(stmt, NopStmt):
+            return [f"nop  // :{stmt.label}" if stmt.label else "nop"]
+        return ["nop  // <unmodelled>"]
+
+    def _render_assign(self, stmt: AssignStmt, registers: "_RegisterMap") -> list[str]:
+        lhs, rhs = stmt.lhs, stmt.rhs
+        # --- stores through references ---------------------------------
+        if isinstance(lhs, InstanceFieldRef):
+            src = self._value_reg(rhs, registers)
+            return [
+                f"iput{_field_suffix(lhs.fieldsig.field_type)} {src}, "
+                f"{registers.reg(lhs.base)}, {lhs.fieldsig.to_dex()} "
+                f"{self._fields.render('field', lhs.fieldsig.to_dex())}"
+            ]
+        if isinstance(lhs, StaticFieldRef):
+            src = self._value_reg(rhs, registers)
+            return [
+                f"sput{_field_suffix(lhs.fieldsig.field_type)} {src}, "
+                f"{lhs.fieldsig.to_dex()} "
+                f"{self._fields.render('field', lhs.fieldsig.to_dex())}"
+            ]
+        if isinstance(lhs, ArrayRef):
+            src = self._value_reg(rhs, registers)
+            idx = self._value_reg(lhs.index, registers)
+            return [f"aput-object {src}, {registers.reg(lhs.base)}, {idx}"]
+
+        # --- loads into a local -----------------------------------------
+        assert isinstance(lhs, Local)
+        dst = registers.reg(lhs)
+        if isinstance(rhs, NewExpr):
+            descriptor = java_to_dex_type(rhs.class_name)
+            return [f"new-instance {dst}, {descriptor} {self._types.render('type', descriptor)}"]
+        if isinstance(rhs, StringConstant):
+            return [
+                f'const-string {dst}, "{rhs.value}" '
+                f"{self._strings.render('string', rhs.value)}"
+            ]
+        if isinstance(rhs, IntConstant):
+            return [f"const/16 {dst}, #int {rhs.value} // #{rhs.value:x}"]
+        if isinstance(rhs, LongConstant):
+            return [f"const-wide/32 {dst}, #long {rhs.value}"]
+        if isinstance(rhs, DoubleConstant):
+            return [f"const-wide/high16 {dst}, #double {rhs.value}"]
+        if isinstance(rhs, NullConstant):
+            return [f"const/4 {dst}, #int 0 // #0"]
+        if isinstance(rhs, ClassConstant):
+            descriptor = java_to_dex_type(rhs.class_name)
+            return [f"const-class {dst}, {descriptor} {self._types.render('type', descriptor)}"]
+        if isinstance(rhs, InstanceFieldRef):
+            return [
+                f"iget{_field_suffix(rhs.fieldsig.field_type)} {dst}, "
+                f"{registers.reg(rhs.base)}, {rhs.fieldsig.to_dex()} "
+                f"{self._fields.render('field', rhs.fieldsig.to_dex())}"
+            ]
+        if isinstance(rhs, StaticFieldRef):
+            return [
+                f"sget{_field_suffix(rhs.fieldsig.field_type)} {dst}, "
+                f"{rhs.fieldsig.to_dex()} "
+                f"{self._fields.render('field', rhs.fieldsig.to_dex())}"
+            ]
+        if isinstance(rhs, ArrayRef):
+            idx = self._value_reg(rhs.index, registers)
+            return [f"aget-object {dst}, {registers.reg(rhs.base)}, {idx}"]
+        if isinstance(rhs, InvokeExpr):
+            move = "move-result-object" if _is_reference(rhs.method.return_type) else "move-result"
+            return [self._render_invoke(rhs, registers), f"{move} {dst}"]
+        if isinstance(rhs, BinopExpr):
+            opcode = _BINOP_OPCODES.get(rhs.op, "binop")
+            left = self._value_reg(rhs.left, registers)
+            right = self._value_reg(rhs.right, registers)
+            return [f"{opcode} {dst}, {left}, {right}"]
+        if isinstance(rhs, CastExpr):
+            descriptor = java_to_dex_type(rhs.to_type)
+            src = self._value_reg(rhs.value, registers)
+            return [
+                f"move-object {dst}, {src}",
+                f"check-cast {dst}, {descriptor} {self._types.render('type', descriptor)}",
+            ]
+        if isinstance(rhs, NewArrayExpr):
+            size = self._value_reg(rhs.size, registers)
+            descriptor = java_to_dex_type(rhs.element_type + "[]")
+            return [f"new-array {dst}, {size}, {descriptor} {self._types.render('type', descriptor)}"]
+        if isinstance(rhs, PhiExpr):
+            # Phi nodes are an SSA artefact with no dex encoding; render the
+            # merge as moves so the text stays plausible.
+            sources = [self._value_reg(v, registers) for v in rhs.values]
+            return [f"move-object {dst}, {src}" for src in sources[:1]]
+        if isinstance(rhs, Local):
+            suffix = _move_suffix(rhs.java_type)
+            return [f"move{suffix} {dst}, {registers.reg(rhs)}"]
+        return ["nop  // <unmodelled-assign>"]
+
+    def _render_invoke(self, expr: InvokeExpr, registers: "_RegisterMap") -> str:
+        regs: list[str] = []
+        if expr.base is not None:
+            regs.append(registers.reg(expr.base))
+        for arg in expr.args:
+            regs.append(self._value_reg(arg, registers))
+        dex_sig = expr.method.to_dex()
+        return (
+            f"{expr.kind.dex_opcode} {{{', '.join(regs)}}}, {dex_sig} "
+            f"{self._methods.render('method', dex_sig)}"
+        )
+
+    def _value_reg(self, value, registers: "_RegisterMap") -> str:
+        """Materialise a value operand as a register name.
+
+        Constants folded into invoke operands get a synthetic register; the
+        searches only care about the signature part of the line.
+        """
+        if isinstance(value, Local):
+            return registers.reg(value)
+        return registers.scratch()
+
+
+class _RegisterMap:
+    """Assigns ``vN`` register names to locals, per method."""
+
+    def __init__(self) -> None:
+        self._map: dict[str, str] = {}
+        self._next = 0
+
+    def reg(self, local: Local) -> str:
+        if local.name not in self._map:
+            self._map[local.name] = f"v{self._next}"
+            self._next += 1
+        return self._map[local.name]
+
+    def scratch(self) -> str:
+        name = f"v{self._next}"
+        self._next += 1
+        return name
+
+    def any_reg(self) -> str:
+        return next(iter(self._map.values()), "v0")
+
+
+def _is_reference(java_type: str) -> bool:
+    return java_type.endswith("[]") or "." in java_type or java_type in {
+        "java", "Object"
+    }
+
+
+def _field_suffix(java_type: str) -> str:
+    if _is_reference(java_type):
+        return "-object"
+    if java_type in ("long", "double"):
+        return "-wide"
+    if java_type == "boolean":
+        return "-boolean"
+    return ""
+
+
+def _move_suffix(java_type: str) -> str:
+    if _is_reference(java_type):
+        return "-object"
+    if java_type in ("long", "double"):
+        return "-wide"
+    return ""
+
+
+def disassemble(pool: ClassPool) -> Disassembly:
+    """Disassemble a (merged) class pool into dexdump-style plaintext.
+
+    Multidex apps should merge their pools first (``ClassPool.merge``);
+    this mirrors BackDroid's preprocessing step, which merges multidex
+    bytecode before dumping.
+    """
+    return _Renderer().render_pool(pool)

@@ -1,0 +1,511 @@
+"""A Shimple-like SSA intermediate representation.
+
+BackDroid "leverage[s] Soot's Shimple IR (an IR in the Static Single
+Assignment form)" (Sec. II-A).  This module defines the statement and
+expression taxonomy that the paper's Sec. V enumerates as the complete set
+its analyses must handle:
+
+* statements: ``DefinitionStmt`` (with subclass ``AssignStmt``),
+  ``InvokeStmt`` and ``ReturnStmt`` — plus control-flow statements
+  (``IfStmt``/``GotoStmt``) so realistic method bodies with branches and
+  loops can be expressed;
+* expressions: ``BinopExpr``, ``CastExpr``, ``InvokeExpr``, ``NewExpr``,
+  ``NewArrayExpr`` and ``PhiExpr``.
+
+Every statement knows its *defs* and *uses*, which is all the backward
+slicer and the forward propagation need.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.dex.types import FieldSignature, MethodSignature
+
+
+# ======================================================================
+# Values
+# ======================================================================
+
+
+class Value:
+    """Base class for everything that can appear inside a statement."""
+
+    def used_locals(self) -> Iterator["Local"]:
+        """Yield every :class:`Local` read when evaluating this value."""
+        return iter(())
+
+
+@dataclass(frozen=True)
+class Local(Value):
+    """An SSA register, e.g. ``$r13`` or ``i0``."""
+
+    name: str
+    java_type: str = "java.lang.Object"
+
+    def used_locals(self) -> Iterator["Local"]:
+        yield self
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# ----------------------------------------------------------------------
+# Constants
+# ----------------------------------------------------------------------
+
+
+class Constant(Value):
+    """Base class for compile-time constants."""
+
+
+@dataclass(frozen=True)
+class IntConstant(Constant):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class LongConstant(Constant):
+    value: int
+
+    def __str__(self) -> str:
+        return f"{self.value}L"
+
+
+@dataclass(frozen=True)
+class DoubleConstant(Constant):
+    value: float
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class StringConstant(Constant):
+    value: str
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class NullConstant(Constant):
+    def __str__(self) -> str:
+        return "null"
+
+
+@dataclass(frozen=True)
+class ClassConstant(Constant):
+    """A ``const-class`` literal, e.g. ``HttpServerService.class``.
+
+    These are the explicit-ICC parameters the two-time ICC search
+    (Sec. IV-D) greps for.
+    """
+
+    class_name: str
+
+    def __str__(self) -> str:
+        return f"class \"{self.class_name}\""
+
+
+# ----------------------------------------------------------------------
+# References
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ThisRef(Value):
+    """``@this: com.a.B`` — the receiver pseudo-parameter."""
+
+    java_type: str
+
+    def __str__(self) -> str:
+        return f"@this: {self.java_type}"
+
+
+@dataclass(frozen=True)
+class ParameterRef(Value):
+    """``@parameterN: T`` — a formal parameter pseudo-value."""
+
+    index: int
+    java_type: str
+
+    def __str__(self) -> str:
+        return f"@parameter{self.index}: {self.java_type}"
+
+
+@dataclass(frozen=True)
+class InstanceFieldRef(Value):
+    """``base.<com.a.B: int f>`` — an instance field access."""
+
+    base: Local
+    fieldsig: FieldSignature
+
+    def used_locals(self) -> Iterator[Local]:
+        yield self.base
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.fieldsig.to_soot()}"
+
+
+@dataclass(frozen=True)
+class StaticFieldRef(Value):
+    """``<com.a.B: int f>`` — a static field access."""
+
+    fieldsig: FieldSignature
+
+    def __str__(self) -> str:
+        return self.fieldsig.to_soot()
+
+
+@dataclass(frozen=True)
+class ArrayRef(Value):
+    """``base[index]`` — an array element access."""
+
+    base: Local
+    index: Value
+
+    def used_locals(self) -> Iterator[Local]:
+        yield self.base
+        yield from self.index.used_locals()
+
+    def __str__(self) -> str:
+        return f"{self.base}[{self.index}]"
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+class Expr(Value):
+    """Base class for right-hand-side expressions."""
+
+
+@dataclass(frozen=True)
+class BinopExpr(Expr):
+    """An arithmetic/logic/comparison binary expression."""
+
+    op: str
+    left: Value
+    right: Value
+
+    def used_locals(self) -> Iterator[Local]:
+        yield from self.left.used_locals()
+        yield from self.right.used_locals()
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class CastExpr(Expr):
+    """``(T) value`` — a checked cast."""
+
+    to_type: str
+    value: Value
+
+    def used_locals(self) -> Iterator[Local]:
+        yield from self.value.used_locals()
+
+    def __str__(self) -> str:
+        return f"({self.to_type}) {self.value}"
+
+
+class InvokeKind(enum.Enum):
+    """The five Dalvik invocation kinds."""
+
+    VIRTUAL = "virtual"
+    SPECIAL = "special"
+    STATIC = "static"
+    INTERFACE = "interface"
+    DIRECT = "direct"
+
+    @property
+    def soot_keyword(self) -> str:
+        return f"{self.value}invoke"
+
+    @property
+    def dex_opcode(self) -> str:
+        return f"invoke-{self.value}"
+
+
+@dataclass(frozen=True)
+class InvokeExpr(Expr):
+    """A method invocation expression.
+
+    ``base`` is ``None`` for static invokes.  Rendered in Soot style as
+    ``virtualinvoke $r13.<com.a.B: void start()>()``.
+    """
+
+    kind: InvokeKind
+    method: MethodSignature
+    base: Optional[Local] = None
+    args: tuple[Value, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def used_locals(self) -> Iterator[Local]:
+        if self.base is not None:
+            yield self.base
+        for arg in self.args:
+            yield from arg.used_locals()
+
+    def __str__(self) -> str:
+        rendered_args = ", ".join(str(a) for a in self.args)
+        if self.base is None:
+            return f"staticinvoke {self.method.to_soot()}({rendered_args})"
+        return f"{self.kind.soot_keyword} {self.base}.{self.method.to_soot()}({rendered_args})"
+
+
+@dataclass(frozen=True)
+class NewExpr(Expr):
+    """``new com.a.B`` — object allocation (constructor runs separately)."""
+
+    class_name: str
+
+    def __str__(self) -> str:
+        return f"new {self.class_name}"
+
+
+@dataclass(frozen=True)
+class NewArrayExpr(Expr):
+    """``new T[size]`` — array allocation."""
+
+    element_type: str
+    size: Value
+
+    def used_locals(self) -> Iterator[Local]:
+        yield from self.size.used_locals()
+
+    def __str__(self) -> str:
+        return f"new {self.element_type}[{self.size}]"
+
+
+@dataclass(frozen=True)
+class PhiExpr(Expr):
+    """``Phi(v1, v2, ...)`` — an SSA merge of control-flow-dependent values."""
+
+    values: tuple[Value, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+
+    def used_locals(self) -> Iterator[Local]:
+        for value in self.values:
+            yield from value.used_locals()
+
+    def __str__(self) -> str:
+        return "Phi(" + ", ".join(str(v) for v in self.values) + ")"
+
+
+#: Anything assignable on the left-hand side of an AssignStmt.
+LValue = Union[Local, InstanceFieldRef, StaticFieldRef, ArrayRef]
+
+
+# ======================================================================
+# Statements
+# ======================================================================
+
+
+@dataclass
+class Stmt:
+    """Base class for IR statements.
+
+    ``label`` marks a statement as a branch target (``IfStmt``/``GotoStmt``
+    refer to labels by name).
+    """
+
+    label: Optional[str] = field(default=None, kw_only=True)
+
+    def defs(self) -> list[LValue]:
+        """L-values written by this statement."""
+        return []
+
+    def uses(self) -> list[Value]:
+        """Top-level values read by this statement."""
+        return []
+
+    def used_locals(self) -> set[Local]:
+        """Every local read anywhere inside this statement."""
+        found: set[Local] = set()
+        for value in self.uses():
+            found.update(value.used_locals())
+        return found
+
+    def invoke_expr(self) -> Optional[InvokeExpr]:
+        """The embedded :class:`InvokeExpr`, if this statement has one."""
+        return None
+
+
+class DefinitionStmt(Stmt):
+    """Common base of :class:`IdentityStmt` and :class:`AssignStmt`.
+
+    This mirrors Soot's ``DefinitionStmt``, which the paper lists as one of
+    the three statement kinds its forward taint propagation tracks.
+    """
+
+
+@dataclass
+class IdentityStmt(DefinitionStmt):
+    """``r0 := @this: com.a.B`` or ``r1 := @parameter0: int``."""
+
+    local: Local = None  # type: ignore[assignment]
+    ref: Union[ThisRef, ParameterRef] = None  # type: ignore[assignment]
+
+    def defs(self) -> list[LValue]:
+        return [self.local]
+
+    def uses(self) -> list[Value]:
+        return [self.ref]
+
+    def __str__(self) -> str:
+        return f"{self.local} := {self.ref}"
+
+
+@dataclass
+class AssignStmt(DefinitionStmt):
+    """``lhs = rhs`` — the workhorse definition statement."""
+
+    lhs: LValue = None  # type: ignore[assignment]
+    rhs: Value = None  # type: ignore[assignment]
+
+    def defs(self) -> list[LValue]:
+        return [self.lhs]
+
+    def uses(self) -> list[Value]:
+        used: list[Value] = [self.rhs]
+        # Writing through a field/array reference *reads* the base object.
+        if isinstance(self.lhs, (InstanceFieldRef, ArrayRef)):
+            used.append(self.lhs.base)
+        return used
+
+    def invoke_expr(self) -> Optional[InvokeExpr]:
+        return self.rhs if isinstance(self.rhs, InvokeExpr) else None
+
+    def __str__(self) -> str:
+        return f"{self.lhs} = {self.rhs}"
+
+
+@dataclass
+class InvokeStmt(Stmt):
+    """A bare invocation whose result (if any) is discarded."""
+
+    invoke: InvokeExpr = None  # type: ignore[assignment]
+
+    def uses(self) -> list[Value]:
+        return [self.invoke]
+
+    def invoke_expr(self) -> Optional[InvokeExpr]:
+        return self.invoke
+
+    def __str__(self) -> str:
+        return str(self.invoke)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    """``return`` or ``return value``."""
+
+    value: Optional[Value] = None
+
+    def uses(self) -> list[Value]:
+        return [] if self.value is None else [self.value]
+
+    def __str__(self) -> str:
+        return "return" if self.value is None else f"return {self.value}"
+
+
+@dataclass
+class IfStmt(Stmt):
+    """``if cond goto target`` — conditional branch to a label."""
+
+    condition: Value = None  # type: ignore[assignment]
+    target: str = ""
+
+    def uses(self) -> list[Value]:
+        return [self.condition]
+
+    def __str__(self) -> str:
+        return f"if {self.condition} goto {self.target}"
+
+
+@dataclass
+class GotoStmt(Stmt):
+    """``goto target`` — unconditional branch to a label."""
+
+    target: str = ""
+
+    def __str__(self) -> str:
+        return f"goto {self.target}"
+
+
+@dataclass
+class ThrowStmt(Stmt):
+    """``throw value`` — abrupt termination."""
+
+    value: Value = None  # type: ignore[assignment]
+
+    def uses(self) -> list[Value]:
+        return [] if self.value is None else [self.value]
+
+    def __str__(self) -> str:
+        return f"throw {self.value}"
+
+
+@dataclass
+class NopStmt(Stmt):
+    """A no-op; useful as a pure label carrier."""
+
+    def __str__(self) -> str:
+        return "nop"
+
+
+# ======================================================================
+# Body-level helpers
+# ======================================================================
+
+
+def invoked_signatures(body: Iterable[Stmt]) -> Iterator[MethodSignature]:
+    """Yield the signature of every method invoked anywhere in *body*."""
+    for stmt in body:
+        expr = stmt.invoke_expr()
+        if expr is not None:
+            yield expr.method
+
+
+def accessed_fields(body: Iterable[Stmt]) -> Iterator[FieldSignature]:
+    """Yield the signature of every field read or written in *body*."""
+    for stmt in body:
+        for value in list(stmt.uses()) + list(stmt.defs()):
+            if isinstance(value, (InstanceFieldRef, StaticFieldRef)):
+                yield value.fieldsig
+
+
+def referenced_classes(body: Iterable[Stmt]) -> Iterator[str]:
+    """Yield every class named by the statements of *body*.
+
+    This is the "class use" relation that the recursive static-initializer
+    search (Sec. IV-C) explores: a class is *used* by another when the
+    latter's bytecode mentions it via ``new-instance``, ``const-class``, a
+    field access or a method invocation.
+    """
+    for stmt in body:
+        expr = stmt.invoke_expr()
+        if expr is not None:
+            yield expr.method.class_name
+        for value in list(stmt.uses()) + list(stmt.defs()):
+            if isinstance(value, NewExpr):
+                yield value.class_name
+            elif isinstance(value, ClassConstant):
+                yield value.class_name
+            elif isinstance(value, (InstanceFieldRef, StaticFieldRef)):
+                yield value.fieldsig.class_name
+            elif isinstance(value, CastExpr):
+                yield value.to_type.rstrip("[]")

@@ -1,0 +1,49 @@
+"""On-the-fly bytecode search (the paper's key novelty, Sec. IV).
+
+BackDroid locates caller methods *just in time* by searching the
+disassembled bytecode plaintext, instead of consulting a whole-app call
+graph.  The package mirrors the paper's structure:
+
+* :mod:`repro.search.index` — the raw text-search engine over the
+  dexdump plaintext, with command-level caching (Sec. IV-F);
+* :mod:`repro.search.basic` — the signature-based search for static /
+  private / constructor callees, including child-class signatures
+  (Sec. IV-A);
+* :mod:`repro.search.advanced` — constructor search + forward object
+  taint analysis for super classes, interfaces, callbacks and
+  asynchronous flows (Sec. IV-B);
+* :mod:`repro.search.clinit` — the recursive reachability search for
+  static initializers (Sec. IV-C);
+* :mod:`repro.search.icc` — the two-time ICC search (Sec. IV-D);
+* :mod:`repro.search.lifecycle` — the on-demand lifecycle-handler search
+  (Sec. IV-E);
+* :mod:`repro.search.caching` / :mod:`repro.search.loops` — the
+  implementation enhancements of Sec. IV-F;
+* :mod:`repro.search.engine` — the orchestrator the backward slicer calls
+  whenever "a caller needs to be located".
+"""
+
+from repro.search.common import CallChainLink, CallSite, ResolvedCaller, ResolutionResult
+from repro.search.index import BytecodeSearcher, SearchHit
+from repro.search.caching import SearchCommandCache, SinkReachabilityCache
+from repro.search.loops import LoopDetector, LoopKind
+from repro.search.engine import CallerResolutionEngine
+
+# NOTE: repro.search.reflection is intentionally NOT imported here — it
+# builds on repro.core (slicer + forward propagation), so importing it at
+# package level would be circular.  Use
+# ``from repro.search.reflection import ReflectionResolver`` directly.
+
+__all__ = [
+    "BytecodeSearcher",
+    "CallChainLink",
+    "CallSite",
+    "CallerResolutionEngine",
+    "LoopDetector",
+    "LoopKind",
+    "ResolutionResult",
+    "ResolvedCaller",
+    "SearchCommandCache",
+    "SearchHit",
+    "SinkReachabilityCache",
+]

@@ -1,0 +1,409 @@
+"""Advanced search with forward object taint analysis (Sec. IV-B).
+
+The basic signature search fails for callee methods reached through Java
+polymorphism (super classes, interfaces), callbacks and asynchronous
+flows: the bytecode at the caller site carries a *different* signature
+(the super class's, the interface's, or a framework API like
+``Executor.execute``), so searching the callee's own signature hits
+nothing.
+
+The paper's insight: "instead of directly searching for caller methods,
+we first search the callee class's object constructor(s) that can be
+accurately located via the signature based search.  Right from those
+object constructors, we then perform forward object taint analysis until
+we detect the caller methods with the tainted object propagated into."
+
+Only three statement kinds propagate the object (the paper tracks
+exactly these): ``DefinitionStmt``, ``InvokeStmt`` and ``ReturnStmt``.
+
+The *ending method* is recognised without any hardwired flow map (unlike
+EdgeMiner-style prior work): the interface/super class type of the callee
+class is the indicator — the analysis stops at a framework API call whose
+tainted parameter (or receiver) is declared with a type the callee class
+is a subtype of.  The whole call chain from the constructor to the ending
+method is maintained and returned, so later backward searches follow the
+one flow that actually carries the object (Sec. IV-B, "Maintaining and
+returning a call chain").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.android.framework import is_framework_class
+from repro.dex.hierarchy import ClassPool, DexMethod
+from repro.dex.instructions import (
+    AssignStmt,
+    CastExpr,
+    IdentityStmt,
+    InstanceFieldRef,
+    InvokeExpr,
+    Local,
+    NewExpr,
+    ParameterRef,
+    PhiExpr,
+    ReturnStmt,
+    StaticFieldRef,
+    Stmt,
+    ThisRef,
+)
+from repro.dex.types import FieldSignature, MethodSignature
+from repro.search.basic import basic_search
+from repro.search.common import CallChainLink, ResolvedCaller
+from repro.search.index import BytecodeSearcher
+from repro.search.loops import LoopDetector
+
+
+def needs_advanced_search(pool: ClassPool, callee: MethodSignature) -> bool:
+    """Whether the callee requires the advanced (constructor) search.
+
+    True for virtual/interface methods that override or implement a
+    declaration elsewhere in the hierarchy — super classes, interfaces,
+    callbacks, asynchronous framework classes.  Signature methods and
+    methods declared nowhere else stay with the basic search.
+    """
+    method = pool.resolve_method(callee)
+    if method is not None and method.is_signature_method():
+        return False
+    sub_signature = callee.sub_signature()
+    if pool.interface_declaring(callee.class_name, sub_signature) is not None:
+        return True
+    if pool.super_declaring(callee.class_name, sub_signature) is not None:
+        return True
+    return False
+
+
+@dataclass
+class _Ending:
+    """One discovered ending: the chain from constructor to ending API."""
+
+    chain: tuple[CallChainLink, ...]
+
+
+@dataclass
+class ForwardObjectTaint:
+    """Forward object taint analysis from one constructor site."""
+
+    searcher: BytecodeSearcher
+    pool: ClassPool
+    callee: MethodSignature
+    loops: LoopDetector
+    max_depth: int = 24
+    endings: list[_Ending] = field(default_factory=list)
+    _visited_fields: set[FieldSignature] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    def run(self, start_method: MethodSignature, start_index: int, obj: Local) -> None:
+        """Propagate *obj* forward from just after *start_index*.
+
+        When the object is *returned* by the starting method (factory
+        shapes), the propagation continues in the factory's callers,
+        located — true to the on-the-fly paradigm — by another bytecode
+        search.
+        """
+        returns_tainted = self._propagate(
+            method_sig=start_method,
+            from_index=start_index + 1,
+            tainted={obj.name},
+            chain_prefix=(),
+            path=(start_method,),
+        )
+        if not returns_tainted:
+            return
+        from repro.search.basic import basic_search as _basic_search
+
+        for site in _basic_search(self.searcher, self.pool, start_method):
+            if self.loops.check_forward((start_method,), site.caller):
+                continue
+            caller = self.pool.resolve_method(site.caller)
+            if caller is None or site.stmt_index >= len(caller.body):
+                continue
+            call_stmt = caller.body[site.stmt_index]
+            if not isinstance(call_stmt, AssignStmt) or not isinstance(
+                call_stmt.lhs, Local
+            ):
+                continue
+            self._propagate(
+                method_sig=site.caller,
+                from_index=site.stmt_index + 1,
+                tainted={call_stmt.lhs.name},
+                chain_prefix=(CallChainLink(start_method, start_index),),
+                path=(start_method, site.caller),
+            )
+
+    # ------------------------------------------------------------------
+    def _propagate(
+        self,
+        method_sig: MethodSignature,
+        from_index: int,
+        tainted: set[str],
+        chain_prefix: tuple[CallChainLink, ...],
+        path: tuple[MethodSignature, ...],
+    ) -> bool:
+        """Walk *method_sig*'s body forward; True if the return is tainted.
+
+        ``chain_prefix`` holds the finished frames of *previous* methods;
+        this method contributes its own frame (with the statement index
+        of the forwarding site) whenever the object steps onward.
+        """
+        if len(path) > self.max_depth:
+            return False
+        method = self.pool.resolve_method(method_sig)
+        if method is None or not method.has_body:
+            return False
+        tainted = set(tainted)
+        returns_tainted = False
+        inner_chain: tuple[MethodSignature, ...] = ()
+        for index in range(from_index, len(method.body)):
+            stmt = method.body[index]
+            if isinstance(stmt, IdentityStmt):
+                continue
+            if isinstance(stmt, ReturnStmt):
+                if isinstance(stmt.value, Local) and stmt.value.name in tainted:
+                    returns_tainted = True
+                continue
+            expr = stmt.invoke_expr()
+            if expr is not None:
+                inner_chain = self._handle_invoke(
+                    stmt, expr, index, method, tainted, chain_prefix, path, inner_chain
+                )
+            if isinstance(stmt, AssignStmt):
+                self._handle_assign(stmt, index, method, tainted, chain_prefix, path)
+        return returns_tainted
+
+    # ------------------------------------------------------------------
+    def _handle_assign(
+        self,
+        stmt: AssignStmt,
+        index: int,
+        method: DexMethod,
+        tainted: set[str],
+        chain_prefix: tuple[CallChainLink, ...],
+        path: tuple[MethodSignature, ...],
+    ) -> None:
+        rhs_tainted = self._rhs_tainted(stmt.rhs, tainted)
+        lhs = stmt.lhs
+        if rhs_tainted:
+            if isinstance(lhs, Local):
+                tainted.add(lhs.name)
+            elif isinstance(lhs, (InstanceFieldRef, StaticFieldRef)):
+                # The object escapes into a field: bridge the taint to
+                # every load of that field found by bytecode search.
+                self._bridge_field(lhs.fieldsig, chain_prefix, path, method, index)
+        elif isinstance(lhs, Local) and lhs.name in tainted:
+            # Strong update: the register is overwritten with an
+            # untainted value.
+            tainted.discard(lhs.name)
+
+    def _rhs_tainted(self, rhs, tainted: set[str]) -> bool:
+        if isinstance(rhs, Local):
+            return rhs.name in tainted
+        if isinstance(rhs, CastExpr):
+            return self._rhs_tainted(rhs.value, tainted)
+        if isinstance(rhs, PhiExpr):
+            return any(self._rhs_tainted(v, tainted) for v in rhs.values)
+        return False
+
+    def _bridge_field(
+        self,
+        fieldsig: FieldSignature,
+        chain_prefix: tuple[CallChainLink, ...],
+        path: tuple[MethodSignature, ...],
+        method: DexMethod,
+        index: int,
+    ) -> None:
+        if fieldsig in self._visited_fields:
+            return
+        self._visited_fields.add(fieldsig)
+        store_link = CallChainLink(method.signature(), index)
+        for hit in self.searcher.find_field_accesses(fieldsig):
+            if hit.method is None or hit.stmt_index is None:
+                continue
+            if "iget" not in hit.line and "sget" not in hit.line:
+                continue
+            if self.loops.check_forward(path, hit.method):
+                continue
+            target = self.pool.resolve_method(hit.method)
+            if target is None or hit.stmt_index >= len(target.body):
+                continue
+            load = target.body[hit.stmt_index]
+            if not isinstance(load, AssignStmt) or not isinstance(load.lhs, Local):
+                continue
+            self._propagate(
+                method_sig=hit.method,
+                from_index=hit.stmt_index + 1,
+                tainted={load.lhs.name},
+                chain_prefix=chain_prefix + (store_link,),
+                path=path + (hit.method,),
+            )
+
+    # ------------------------------------------------------------------
+    def _handle_invoke(
+        self,
+        stmt: Stmt,
+        expr: InvokeExpr,
+        index: int,
+        method: DexMethod,
+        tainted: set[str],
+        chain_prefix: tuple[CallChainLink, ...],
+        path: tuple[MethodSignature, ...],
+        inner_chain: tuple[MethodSignature, ...],
+    ) -> tuple[MethodSignature, ...]:
+        base_tainted = expr.base is not None and expr.base.name in tainted
+        tainted_arg_positions = [
+            i
+            for i, arg in enumerate(expr.args)
+            if isinstance(arg, Local) and arg.name in tainted
+        ]
+        if not base_tainted and not tainted_arg_positions:
+            return inner_chain
+
+        here = CallChainLink(method.signature(), index)
+        if self._is_ending(expr, base_tainted, tainted_arg_positions):
+            self.endings.append(_Ending(chain=chain_prefix + (here,)))
+            return inner_chain
+
+        # Not an ending: step into an application-level target carrying
+        # the taint (wrapper chains like Util.runInBackground in Fig. 4).
+        target = self.pool.resolve_method(expr.method)
+        if target is None or not target.has_body:
+            return inner_chain
+        if is_framework_class(target.declaring_class):
+            return inner_chain
+        target_sig = target.signature()
+        if self.loops.check_inner_forward(inner_chain, target_sig):
+            return inner_chain
+        if self.loops.check_forward(path, target_sig):
+            return inner_chain
+        callee_taint = self._entry_taint(target, base_tainted, tainted_arg_positions)
+        if not callee_taint:
+            return inner_chain
+        returns_tainted = self._propagate(
+            method_sig=target_sig,
+            from_index=0,
+            tainted=callee_taint,
+            chain_prefix=chain_prefix + (here,),
+            path=path + (target_sig,),
+        )
+        if returns_tainted and isinstance(stmt, AssignStmt) and isinstance(stmt.lhs, Local):
+            tainted.add(stmt.lhs.name)
+        return inner_chain + (target_sig,)
+
+    def _entry_taint(
+        self, target: DexMethod, base_tainted: bool, tainted_args: list[int]
+    ) -> set[str]:
+        """Map caller-side taint onto the target's identity locals."""
+        names: set[str] = set()
+        for stmt in target.body:
+            if not isinstance(stmt, IdentityStmt):
+                continue
+            if isinstance(stmt.ref, ThisRef) and base_tainted:
+                names.add(stmt.local.name)
+            if isinstance(stmt.ref, ParameterRef) and stmt.ref.index in tainted_args:
+                names.add(stmt.local.name)
+        return names
+
+    # ------------------------------------------------------------------
+    def _is_ending(
+        self, expr: InvokeExpr, base_tainted: bool, tainted_args: list[int]
+    ) -> bool:
+        """The Sec. IV-B ending-method determination.
+
+        Without any pre-defined flow map, an invocation ends the forward
+        analysis when:
+
+        * it dispatches the callee's own sub-signature on the tainted
+          object through a supertype (the super-class case), or
+        * it is a framework API and a tainted argument's declared type is
+          a supertype of the callee class (``Executor.execute(Runnable)``,
+          ``View.setOnClickListener(OnClickListener)``,
+          ``Thread.<init>(Runnable)``), or
+        * it is a framework API on the tainted receiver declared by a
+          framework supertype of the callee class
+          (``AsyncTask.execute()``, ``Thread.start()``).
+        """
+        callee_cls = self.callee.class_name
+        # Super-class dispatch of the very method we are resolving.
+        if base_tainted and expr.method.sub_signature() == self.callee.sub_signature():
+            if self.pool.is_subtype_of(callee_cls, expr.method.class_name):
+                return True
+        declaring = expr.method.class_name
+        declaring_is_framework = is_framework_class(declaring) or (
+            (cls := self.pool.get(declaring)) is not None and cls.is_framework
+        )
+        if not declaring_is_framework:
+            return False
+        for position in tainted_args:
+            if position >= len(expr.method.param_types):
+                continue
+            declared = expr.method.param_types[position]
+            if self.pool.is_subtype_of(callee_cls, declared):
+                return True
+        if base_tainted and self.pool.is_subtype_of(callee_cls, declaring):
+            return True
+        return False
+
+
+def find_allocation_site(method: DexMethod, ctor_index: int, obj: Local) -> int:
+    """The ``new`` statement for the object constructed at *ctor_index*."""
+    for index in range(ctor_index - 1, -1, -1):
+        stmt = method.body[index]
+        if (
+            isinstance(stmt, AssignStmt)
+            and isinstance(stmt.lhs, Local)
+            and stmt.lhs.name == obj.name
+            and isinstance(stmt.rhs, NewExpr)
+        ):
+            return index
+    return ctor_index
+
+
+def advanced_search(
+    searcher: BytecodeSearcher,
+    pool: ClassPool,
+    callee: MethodSignature,
+    loops: Optional[LoopDetector] = None,
+) -> list[ResolvedCaller]:
+    """Run the full advanced search for one callee method.
+
+    Returns one :class:`ResolvedCaller` per (constructor site, ending)
+    pair, each carrying the maintained call chain.
+    """
+    loops = loops if loops is not None else LoopDetector()
+    callee_class = pool.get(callee.class_name)
+    if callee_class is None:
+        return []
+    constructors = callee_class.constructors()
+    resolved: list[ResolvedCaller] = []
+    seen: set[tuple[MethodSignature, int, tuple[CallChainLink, ...]]] = set()
+    for ctor in constructors:
+        ctor_sig = ctor.signature()
+        for site in basic_search(searcher, pool, ctor_sig):
+            caller_method = pool.resolve_method(site.caller)
+            if caller_method is None:
+                continue
+            ctor_stmt = caller_method.body[site.stmt_index]
+            expr = ctor_stmt.invoke_expr()
+            if expr is None or expr.base is None:
+                continue
+            analysis = ForwardObjectTaint(
+                searcher=searcher, pool=pool, callee=callee, loops=loops
+            )
+            analysis.run(site.caller, site.stmt_index, expr.base)
+            allocation = find_allocation_site(caller_method, site.stmt_index, expr.base)
+            for ending in analysis.endings:
+                key = (site.caller, allocation, ending.chain)
+                if key in seen:
+                    continue
+                seen.add(key)
+                resolved.append(
+                    ResolvedCaller(
+                        method=site.caller,
+                        stmt_index=allocation,
+                        kind="constructor",
+                        chain=ending.chain,
+                        object_local=expr.base,
+                    )
+                )
+    return resolved

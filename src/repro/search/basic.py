@@ -1,0 +1,89 @@
+"""The basic signature-based search (Sec. IV-A).
+
+Handles *signature methods* — static methods, private methods and
+constructors — whose invocations always carry the callee's own (or a
+child class's) signature in the bytecode text.  The five steps of Fig. 3:
+
+1. translate the callee signature from Soot format to dexdump format;
+2. search the entire bytecode plaintext for invocations;
+3. identify the containing (caller) method of each hit and translate its
+   signature back to Soot format;
+4. locate the actual call site inside the caller's body with a quick
+   forward scan in the program-analysis space;
+5. hand the caller/callee edge to the SSG.
+
+Child classes (Sec. IV-A, "Searching over a child class"): when a
+subclass does *not* override the callee method, an invocation may be
+written against the child's signature, so one more search signature is
+added per non-overriding child.  Overriding children are excluded — their
+signature would match the *overriding* method's callers instead.
+"""
+
+from __future__ import annotations
+
+from repro.dex.hierarchy import ClassPool
+from repro.dex.types import MethodSignature
+from repro.search.common import CallSite
+from repro.search.index import BytecodeSearcher
+
+
+def build_search_signatures(
+    pool: ClassPool, callee: MethodSignature
+) -> list[MethodSignature]:
+    """The callee's signature plus one per non-overriding child class."""
+    signatures = [callee]
+    sub_signature = callee.sub_signature()
+    for child in pool.all_subclasses(callee.class_name):
+        if child.is_framework:
+            continue
+        if not child.declares_sub_signature(sub_signature):
+            signatures.append(callee.with_class(child.name))
+    return signatures
+
+
+def locate_call_sites(
+    pool: ClassPool,
+    caller: MethodSignature,
+    searched: MethodSignature,
+) -> list[int]:
+    """Step 4: forward-scan the caller body for the searched invocation."""
+    method = pool.resolve_method(caller)
+    if method is None:
+        return []
+    sites = []
+    for index, stmt in enumerate(method.body):
+        expr = stmt.invoke_expr()
+        if expr is None:
+            continue
+        if expr.method == searched:
+            sites.append(index)
+    return sites
+
+
+def basic_search(
+    searcher: BytecodeSearcher,
+    pool: ClassPool,
+    callee: MethodSignature,
+) -> list[CallSite]:
+    """Run the full basic search, returning every located call site."""
+    call_sites: list[CallSite] = []
+    seen: set[tuple[MethodSignature, int]] = set()
+    for search_sig in build_search_signatures(pool, callee):
+        for hit in searcher.find_invocations(search_sig):
+            if hit.method is None:
+                continue
+            if hit.method == callee:
+                continue  # recursion: the callee invoking itself
+            for site_index in locate_call_sites(pool, hit.method, search_sig):
+                key = (hit.method, site_index)
+                if key in seen:
+                    continue
+                seen.add(key)
+                call_sites.append(
+                    CallSite(
+                        caller=hit.method,
+                        stmt_index=site_index,
+                        matched_signature=search_sig,
+                    )
+                )
+    return call_sites

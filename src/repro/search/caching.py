@@ -1,0 +1,104 @@
+"""Search caching and sink-API-call caching (Sec. IV-F).
+
+Two distinct caches, with the statistics the paper reports:
+
+* :class:`SearchCommandCache` — "cache different search commands and
+  their corresponding results", at several granularities (invoked-class
+  search, caller-method search, field search, raw commands).  The paper
+  measures an average per-app command cache rate of 23.39% (min 2.97%,
+  max 88.95%).
+* :class:`SinkReachabilityCache` — "cache each sink API's callee method
+  signature and its reachability", so multiple sink calls hosted by one
+  unreachable method are analyzed once.  The paper measures an average
+  per-app sink cache rate of 13.86% (max 68.18%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.dex.types import MethodSignature
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters with the paper's "cache rate" definition."""
+
+    lookups: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+    @property
+    def rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def record(self, hit: bool) -> None:
+        self.lookups += 1
+        if hit:
+            self.hits += 1
+
+
+class SearchCommandCache:
+    """Caches raw search commands and their results.
+
+    Keys are the literal search command strings (e.g. the escaped regex a
+    signature search runs), which matches the paper's "caching of various
+    raw search commands"; higher-level granularities (invoked-class,
+    caller-method, field searches) key through the same store with a
+    kind prefix.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[str, Any] = {}
+        self.stats = CacheStats()
+        self.stats_by_kind: dict[str, CacheStats] = {}
+
+    def get_or_run(self, kind: str, command: str, run: Callable[[], Any]) -> Any:
+        """Return the cached result for (kind, command), running once."""
+        key = f"{kind}:{command}"
+        by_kind = self.stats_by_kind.setdefault(kind, CacheStats())
+        if key in self._store:
+            self.stats.record(hit=True)
+            by_kind.record(hit=True)
+            return self._store[key]
+        self.stats.record(hit=False)
+        by_kind.record(hit=False)
+        result = run()
+        self._store[key] = result
+        return result
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+class SinkReachabilityCache:
+    """Caches, per containing method, whether its sink calls are reachable.
+
+    "If one sink API call is located in a method that has been analyzed
+    and is not reachable, we then do not analyze this sink API call any
+    more." (Sec. IV-F)
+    """
+
+    def __init__(self) -> None:
+        self._reachable: dict[MethodSignature, bool] = {}
+        self.stats = CacheStats()
+
+    def lookup(self, containing_method: MethodSignature) -> Optional[bool]:
+        """The cached verdict, recording a hit/miss either way."""
+        verdict = self._reachable.get(containing_method)
+        self.stats.record(hit=verdict is not None)
+        return verdict
+
+    def store(self, containing_method: MethodSignature, reachable: bool) -> None:
+        self._reachable[containing_method] = reachable
+
+    def __len__(self) -> int:
+        return len(self._reachable)

@@ -1,0 +1,106 @@
+"""The recursive static-initializer search (Sec. IV-C).
+
+``<clinit>`` methods are never explicitly invoked by app bytecode — the
+VM runs them when the class is loaded — so searching their signature
+"would hit nothing".  The paper's mechanism: determine only the
+*control-flow reachability* of the initializer (``<clinit>`` takes no
+parameters, so there is no dataflow to track either way):
+
+1. search the bytecode for the set of classes C = {c1..cn} that *use*
+   the initializer's class;
+2. if any ci is an entry component registered in the manifest, the
+   initializer is reachable;
+3. otherwise recurse on each ci, until no new class is found.
+
+The Heyzap example of the paper: ``APIClient`` is used by ``AdModel``,
+which is used by the entry class ``HeyzapInterstitialActivity`` —
+reachable after two recursive steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.android.manifest import Manifest
+from repro.dex.hierarchy import ClassPool
+from repro.search.index import BytecodeSearcher
+
+
+@dataclass
+class ClinitSearchResult:
+    """The verdict for one static initializer."""
+
+    class_name: str
+    reachable: bool
+    #: A witness chain of classes from the initializer's class to the
+    #: entry class (when reachable), e.g.
+    #: ``("com.heyzap.internal.APIClient", "com.heyzap.house.model.AdModel",
+    #:    "com.heyzap.sdk.ads.HeyzapInterstitialActivity")``.
+    chain: tuple[str, ...] = ()
+    #: Every class visited by the recursive search.
+    visited: tuple[str, ...] = ()
+
+
+def _is_entry_class(
+    pool: ClassPool, manifest: Manifest, class_name: str
+) -> bool:
+    """Registered directly, or a superclass of it is registered.
+
+    Registration is checked on the class and its superclass chain, since
+    a manifest may register a base component while the initializer's
+    user is a subclass of it.
+    """
+    if manifest.is_registered(class_name):
+        return True
+    return any(
+        manifest.is_registered(super_name)
+        for super_name in pool.superclass_chain(class_name)
+    )
+
+
+def clinit_reachability_search(
+    searcher: BytecodeSearcher,
+    pool: ClassPool,
+    manifest: Manifest,
+    class_name: str,
+    max_classes: int = 4096,
+) -> ClinitSearchResult:
+    """Run the recursive class-use search for ``<clinit>`` of *class_name*.
+
+    Breadth-first so the witness chain is a shortest use-chain.  The
+    search is purely textual: each step asks the bytecode plaintext which
+    classes mention the current class (``new-instance``, ``const-class``,
+    field access or invocation all surface its descriptor).
+    """
+    parents: dict[str, Optional[str]] = {class_name: None}
+    frontier = [class_name]
+    visited_order: list[str] = []
+
+    while frontier and len(parents) <= max_classes:
+        current = frontier.pop(0)
+        visited_order.append(current)
+        if _is_entry_class(pool, manifest, current):
+            chain: list[str] = []
+            node: Optional[str] = current
+            while node is not None:
+                chain.append(node)
+                node = parents[node]
+            return ClinitSearchResult(
+                class_name=class_name,
+                reachable=True,
+                chain=tuple(reversed(chain)),
+                visited=tuple(visited_order),
+            )
+        users = searcher.classes_mentioning(current)
+        users |= searcher.subclass_header_mentions(current)
+        for user in sorted(users):
+            if user not in parents:
+                parents[user] = current
+                frontier.append(user)
+
+    return ClinitSearchResult(
+        class_name=class_name,
+        reachable=False,
+        visited=tuple(visited_order),
+    )

@@ -1,0 +1,88 @@
+"""Shared result types of the caller-resolution searches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dex.instructions import Local
+from repro.dex.types import MethodSignature
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A located call site: *caller method* + statement index within it.
+
+    This is the result of the basic search's step 4 (Fig. 3): after the
+    text hit is translated back into the program-analysis space, a "quick
+    forward analysis" pinpoints the actual invoke statement.
+    """
+
+    caller: MethodSignature
+    stmt_index: int
+    #: The search signature that produced this hit (the callee's own
+    #: signature, or a child-class re-homing of it — Sec. IV-A).
+    matched_signature: Optional[MethodSignature] = None
+
+
+@dataclass(frozen=True)
+class CallChainLink:
+    """One frame of an advanced-search call chain (Sec. IV-B).
+
+    The chain is ordered from the constructor-containing method towards
+    the ending method; ``site_index`` is the statement that forwards the
+    tainted object in that frame.
+    """
+
+    method: MethodSignature
+    site_index: int
+
+
+@dataclass(frozen=True)
+class ResolvedCaller:
+    """One resolved caller of a callee method.
+
+    ``kind`` records which search mechanism produced it:
+
+    * ``"direct"`` — basic signature search; backward analysis continues
+      at ``stmt_index`` inside ``method``.
+    * ``"constructor"`` — advanced search; ``method`` contains the callee
+      class's constructor at ``stmt_index``, ``object_local`` holds the
+      allocated object and ``chain`` the maintained call chain up to the
+      ending method.
+    * ``"icc"`` — two-time ICC search; ``method`` contains the matched
+      ICC call.
+    * ``"lifecycle"`` — lifecycle-handler domain knowledge.
+    """
+
+    method: MethodSignature
+    stmt_index: int
+    kind: str
+    chain: tuple[CallChainLink, ...] = ()
+    object_local: Optional[Local] = None
+
+
+@dataclass
+class ResolutionResult:
+    """The outcome of resolving the callers of one callee method."""
+
+    callee: MethodSignature
+    callers: list[ResolvedCaller] = field(default_factory=list)
+    #: True when the callee itself is a valid entry point (a lifecycle
+    #: handler of a manifest-registered component).
+    is_entry: bool = False
+    #: For ``<clinit>`` callees: the verdict of the recursive
+    #: reachability search, plus the witness chain of classes.
+    clinit_reachable: Optional[bool] = None
+    clinit_chain: tuple[str, ...] = ()
+    #: Diagnostics (which mechanisms ran, loop aborts, ...).
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def is_dead_end(self) -> bool:
+        """No callers and not an entry: the path cannot reach an entry."""
+        if self.is_entry:
+            return False
+        if self.clinit_reachable is not None:
+            return not self.clinit_reachable
+        return not self.callers

@@ -1,0 +1,115 @@
+"""The caller-resolution orchestrator.
+
+This is the single entry point the backward slicer calls whenever "a
+caller method needs to be identified" (Fig. 2, step 2).  It dispatches to
+the right search mechanism:
+
+========================  =================================================
+callee shape              mechanism
+========================  =================================================
+lifecycle handler         entry check + lifecycle/ICC searches (Sec. IV-D/E)
+``<clinit>``              recursive reachability search (Sec. IV-C)
+static/private/<init>     basic signature search (Sec. IV-A)
+interface/super override  advanced constructor search (Sec. IV-B)
+anything else             basic search, advanced as fallback
+========================  =================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.android.apk import Apk
+from repro.dex.types import MethodSignature
+from repro.search.advanced import advanced_search, needs_advanced_search
+from repro.search.basic import basic_search
+from repro.search.caching import SearchCommandCache
+from repro.search.clinit import clinit_reachability_search
+from repro.search.common import ResolutionResult, ResolvedCaller
+from repro.search.icc import icc_search
+from repro.search.index import BytecodeSearcher
+from repro.search.lifecycle import (
+    is_entry_handler,
+    lifecycle_base_of,
+    lifecycle_predecessor_handlers,
+)
+from repro.search.loops import LoopDetector
+
+
+class CallerResolutionEngine:
+    """Resolves callers of callee methods for one app, with caching."""
+
+    def __init__(
+        self,
+        apk: Apk,
+        cache: Optional[SearchCommandCache] = None,
+        loops: Optional[LoopDetector] = None,
+    ) -> None:
+        self.apk = apk
+        self.pool = apk.full_pool
+        self.manifest = apk.manifest
+        self.cache = cache if cache is not None else SearchCommandCache()
+        self.loops = loops if loops is not None else LoopDetector()
+        self.searcher = BytecodeSearcher(apk.disassembly, cache=self.cache)
+
+    # ------------------------------------------------------------------
+    def resolve(self, callee: MethodSignature) -> ResolutionResult:
+        """Locate the callers of *callee* with on-the-fly bytecode search."""
+        result = ResolutionResult(callee=callee)
+
+        # --- static initializers: reachability only (Sec. IV-C) --------
+        if callee.is_static_initializer:
+            verdict = clinit_reachability_search(
+                self.searcher, self.pool, self.manifest, callee.class_name
+            )
+            result.clinit_reachable = verdict.reachable
+            result.clinit_chain = verdict.chain
+            result.notes.append("clinit-recursive-search")
+            return result
+
+        # --- lifecycle handlers: entry check first (Sec. IV-E) ---------
+        if lifecycle_base_of(self.pool, callee) is not None:
+            result.is_entry = is_entry_handler(self.pool, self.manifest, callee)
+            result.notes.append(
+                "lifecycle-entry" if result.is_entry else "lifecycle-unregistered"
+            )
+            for predecessor in lifecycle_predecessor_handlers(self.pool, callee):
+                result.callers.append(
+                    ResolvedCaller(method=predecessor, stmt_index=0, kind="lifecycle")
+                )
+            if result.is_entry:
+                for site in icc_search(
+                    self.searcher, self.pool, self.manifest, callee.class_name
+                ):
+                    result.callers.append(
+                        ResolvedCaller(
+                            method=site.caller,
+                            stmt_index=site.stmt_index,
+                            kind="icc",
+                        )
+                    )
+            return result
+
+        # --- ordinary methods: basic and/or advanced search ------------
+        method = self.pool.resolve_method(callee)
+        run_advanced = needs_advanced_search(self.pool, callee)
+        run_basic = method is None or method.is_signature_method() or not run_advanced
+        if run_basic:
+            for site in basic_search(self.searcher, self.pool, callee):
+                result.callers.append(
+                    ResolvedCaller(
+                        method=site.caller, stmt_index=site.stmt_index, kind="direct"
+                    )
+                )
+            result.notes.append("basic-search")
+        if run_advanced or (not result.callers and self._has_constructors(callee)):
+            result.callers.extend(
+                advanced_search(self.searcher, self.pool, callee, loops=self.loops)
+            )
+            result.notes.append("advanced-search")
+        return result
+
+    # ------------------------------------------------------------------
+    def _has_constructors(self, callee: MethodSignature) -> bool:
+        cls = self.pool.get(callee.class_name)
+        return cls is not None and not cls.is_framework and bool(cls.constructors())

@@ -1,0 +1,195 @@
+"""The raw text-search engine over the dexdump plaintext.
+
+This is the "bytecode search space" half of Fig. 3: given a search
+signature (already translated to dexdump format), find every line of the
+disassembled plaintext that mentions it, and map each hit back to the
+containing method so the program-analysis space can take over.
+
+All searches run through a :class:`~repro.search.caching.SearchCommandCache`
+— repeated commands (common when similar paths are explored across
+different sinks) are served from cache, reproducing the Sec. IV-F
+"search caching" enhancement.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dex.disassembler import Disassembly
+from repro.dex.types import FieldSignature, MethodSignature, java_to_dex_type
+from repro.search.caching import SearchCommandCache
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One text hit: absolute line plus its program-space location."""
+
+    line_no: int
+    line: str
+    #: The method whose disassembly block contains the hit (None when the
+    #: hit is outside any method body, e.g. in a class header).
+    method: Optional[MethodSignature]
+    #: The IR statement index the hit line renders, if known.
+    stmt_index: Optional[int]
+
+
+class BytecodeSearcher:
+    """Searches one app's disassembled plaintext, with command caching."""
+
+    def __init__(self, disassembly: Disassembly, cache: Optional[SearchCommandCache] = None):
+        self.disassembly = disassembly
+        self.cache = cache if cache is not None else SearchCommandCache()
+        # One joined text + cumulative line offsets: literal searches run
+        # as fast substring scans instead of per-line regex loops.
+        self._text = "\n".join(disassembly.lines)
+        self._line_offsets = [0]
+        for line in disassembly.lines:
+            self._line_offsets.append(self._line_offsets[-1] + len(line) + 1)
+
+    # ------------------------------------------------------------------
+    # Core primitives
+    # ------------------------------------------------------------------
+    def _line_of_offset(self, offset: int) -> int:
+        return bisect.bisect_right(self._line_offsets, offset) - 1
+
+    def _hit(self, line_no: int) -> SearchHit:
+        block = self.disassembly.block_at_line(line_no)
+        stmt_index = block.stmt_index_for_line(line_no) if block else None
+        return SearchHit(
+            line_no=line_no,
+            line=self.disassembly.lines[line_no],
+            method=block.signature if block else None,
+            stmt_index=stmt_index,
+        )
+
+    def search_literal(self, needle: str, kind: str = "raw") -> list[SearchHit]:
+        """All hits of a literal substring (cached by command)."""
+
+        def run() -> list[SearchHit]:
+            hits: list[SearchHit] = []
+            start = 0
+            while True:
+                offset = self._text.find(needle, start)
+                if offset < 0:
+                    break
+                line_no = self._line_of_offset(offset)
+                hits.append(self._hit(line_no))
+                # Continue after the end of this line: one hit per line.
+                start = self._line_offsets[line_no + 1]
+            return hits
+
+        return self.cache.get_or_run(kind, needle, run)
+
+    def search_pattern(self, pattern: str, kind: str = "raw-regex") -> list[SearchHit]:
+        """All hits of a regular expression (cached by command)."""
+
+        def run() -> list[SearchHit]:
+            compiled = re.compile(pattern)
+            hits: list[SearchHit] = []
+            last_line = -1
+            for match in compiled.finditer(self._text):
+                line_no = self._line_of_offset(match.start())
+                if line_no != last_line:
+                    hits.append(self._hit(line_no))
+                    last_line = line_no
+            return hits
+
+        return self.cache.get_or_run(kind, pattern, run)
+
+    # ------------------------------------------------------------------
+    # Signature-level searches
+    # ------------------------------------------------------------------
+    def find_invocations(self, callee: MethodSignature) -> list[SearchHit]:
+        """Invocation sites of a method signature (Fig. 3, step 1).
+
+        The needle is the full dexdump signature; only ``invoke-*`` lines
+        qualify (the same signature also appears in its own method
+        header, which must not count as a call site).
+        """
+        needle = callee.to_dex()
+        hits = self.search_literal(needle, kind="caller-method")
+        return [h for h in hits if "invoke-" in h.line]
+
+    def find_field_accesses(
+        self, fieldsig: FieldSignature, writes_only: bool = False
+    ) -> list[SearchHit]:
+        """Field access sites (the slicer's static-field search, Sec. V-A)."""
+        needle = fieldsig.to_dex()
+        hits = self.search_literal(needle, kind="field")
+        accesses = [
+            h
+            for h in hits
+            if any(op in h.line for op in ("iget", "iput", "sget", "sput"))
+        ]
+        if writes_only:
+            accesses = [h for h in accesses if "iput" in h.line or "sput" in h.line]
+        return accesses
+
+    def find_const_class(self, class_name: str) -> list[SearchHit]:
+        """``const-class`` mentions of a class (explicit-ICC parameters)."""
+        needle = f"const-class"
+        descriptor = java_to_dex_type(class_name)
+        hits = self.search_literal(descriptor, kind="invoked-class")
+        return [h for h in hits if needle in h.line]
+
+    def find_const_string(self, value: str) -> list[SearchHit]:
+        """``const-string`` mentions of a literal (implicit-ICC actions)."""
+        needle = f'const-string'
+        hits = self.search_literal(f'"{value}"', kind="raw")
+        return [h for h in hits if needle in h.line]
+
+    def find_invocations_by_name(
+        self, method_name: str, param_blob: Optional[str] = None
+    ) -> list[SearchHit]:
+        """Invocations matched by method name regardless of receiver class.
+
+        Used by the two-time ICC search, where the receiver of e.g.
+        ``startService`` can be any ``Context`` subclass.  ``param_blob``
+        optionally pins the dex parameter descriptor blob.
+        """
+        params = re.escape(param_blob) if param_blob is not None else "[^)]*"
+        pattern = rf"invoke-[a-z]+ \{{[^}}]*\}}, L[^;]+;\.{re.escape(method_name)}:\({params}\)"
+        return self.search_pattern(pattern, kind="caller-method")
+
+    def classes_mentioning(self, class_name: str) -> set[str]:
+        """Names of classes whose bytecode text mentions *class_name*.
+
+        One recursive step of the static-initializer search (Sec. IV-C):
+        "BackDroid first launches a search to find out a set of classes
+        that invoke the SI class."
+        """
+        descriptor = java_to_dex_type(class_name)
+        hits = self.search_literal(descriptor, kind="invoked-class")
+        users: set[str] = set()
+        for hit in hits:
+            if hit.method is None:
+                continue
+            if hit.method.class_name == class_name:
+                continue
+            # Class-header lines (superclass/interface declarations) have
+            # no method; instruction-level mentions land here.
+            users.add(hit.method.class_name)
+        return users
+
+    def subclass_header_mentions(self, class_name: str) -> set[str]:
+        """Classes whose *header* (superclass/interfaces) names the class."""
+        descriptor = f"'{java_to_dex_type(class_name)}'"
+        hits = self.search_literal(descriptor, kind="invoked-class")
+        users: set[str] = set()
+        current_class: Optional[str] = None
+        for hit in hits:
+            if "Superclass" in hit.line or ": '" in hit.line:
+                # Walk back to the nearest class-descriptor line.
+                for line_no in range(hit.line_no, -1, -1):
+                    line = self.disassembly.lines[line_no]
+                    if "Class descriptor" in line:
+                        match = re.search(r"'L([^;]+);'", line)
+                        if match:
+                            current_class = match.group(1).replace("/", ".")
+                        break
+                if current_class and current_class != class_name:
+                    users.add(current_class)
+        return users

@@ -1,0 +1,80 @@
+"""The on-demand lifecycle-handler search (Sec. IV-E).
+
+Lifecycle handlers (``onCreate``, ``onStart``, ``onResume``, ...) are
+invoked by the framework in component-specific orders.  The paper's
+strategy: "first determine whether the dataflow tracking finishes when
+reaching at a lifecycle handler.  If it does, we have no need to launch
+further search ... Otherwise, we conduct a special search that leverages
+existing domain knowledge to further track other lifecycle handlers that
+invoke the callee handler."
+
+Here that means: a handler of a *manifest-registered* component is an
+entry point; when dataflow is still unresolved at a handler, its
+domain-knowledge predecessors (e.g. ``onCreate`` before ``onStart``)
+declared by the same class are offered as further backward targets.
+"""
+
+from __future__ import annotations
+
+from repro.android.framework import (
+    LIFECYCLE_HANDLERS,
+    LIFECYCLE_PREDECESSORS,
+    component_kind_of,
+)
+from repro.android.manifest import Manifest
+from repro.dex.hierarchy import ClassPool
+from repro.dex.types import MethodSignature
+
+
+def lifecycle_base_of(pool: ClassPool, sig: MethodSignature) -> str | None:
+    """The component base class whose lifecycle *sig* belongs to."""
+    base = component_kind_of(pool, sig.class_name)
+    if base is None:
+        return None
+    if sig.name not in LIFECYCLE_HANDLERS[base]:
+        return None
+    return base
+
+
+def is_entry_handler(pool: ClassPool, manifest: Manifest, sig: MethodSignature) -> bool:
+    """A lifecycle handler of a registered component is a valid entry.
+
+    Unregistered components are dead code to the framework — this is
+    exactly the check Amandroid misses, producing the six false positives
+    of Sec. VI-C (flows from Activities "not in manifest").
+    """
+    if lifecycle_base_of(pool, sig) is None:
+        return False
+    if manifest.is_registered(sig.class_name):
+        return True
+    # A subclass may be registered while the handler lives in a base
+    # class of the app's own hierarchy.
+    for sub in pool.all_subclasses(sig.class_name):
+        if manifest.is_registered(sub.name):
+            return True
+    return False
+
+
+def lifecycle_predecessor_handlers(
+    pool: ClassPool, sig: MethodSignature
+) -> list[MethodSignature]:
+    """Domain-knowledge predecessors of a handler, declared by the class.
+
+    E.g. for ``onResume`` of an Activity, returns the class's own
+    ``onStart`` / ``onPause`` implementations (if declared) so the
+    backward slicer can keep tracking an unresolved dataflow across
+    handler boundaries.
+    """
+    base = lifecycle_base_of(pool, sig)
+    if base is None:
+        return []
+    predecessor_names = LIFECYCLE_PREDECESSORS.get(base, {}).get(sig.name, ())
+    cls = pool.get(sig.class_name)
+    if cls is None:
+        return []
+    found: list[MethodSignature] = []
+    for name in predecessor_names:
+        method = cls.find_method(name)
+        if method is not None and method.has_body:
+            found.append(method.signature())
+    return found

@@ -1,0 +1,49 @@
+"""Synthetic workloads: the stand-in for the paper's Google-Play datasets.
+
+* :mod:`repro.workload.paperapps` — hand-authored miniatures of the three
+  real apps the paper uses as running examples (LG TV Plus for Figs. 3-4,
+  Heyzap for Sec. IV-C, PalcoMP3 for Fig. 6);
+* :mod:`repro.workload.patterns` — the code-shape templates the paper's
+  search mechanisms exist for (async flows, callbacks, ICC, static
+  initializers, skipped libraries, dead code, ...), each with ground
+  truth attached;
+* :mod:`repro.workload.generator` — the seeded app synthesizer;
+* :mod:`repro.workload.corpus` — Table-I-style year corpora and the
+  144-app benchmark set.
+"""
+
+from repro.workload.corpus import (
+    TABLE1_APP_SIZES,
+    CorpusApp,
+    benchmark_app_spec,
+    benchmark_corpus,
+    sample_year_corpus,
+    year_size_distribution,
+)
+from repro.workload.generator import AppSpec, GeneratedApp, generate_app
+from repro.workload.paperapps import build_heyzap, build_lg_tv_plus, build_palcomp3
+from repro.workload.patterns import (
+    PATTERN_BUILDERS,
+    GroundTruth,
+    PatternContext,
+    PatternSpec,
+)
+
+__all__ = [
+    "AppSpec",
+    "CorpusApp",
+    "GeneratedApp",
+    "GroundTruth",
+    "PATTERN_BUILDERS",
+    "PatternContext",
+    "PatternSpec",
+    "TABLE1_APP_SIZES",
+    "benchmark_app_spec",
+    "benchmark_corpus",
+    "build_heyzap",
+    "build_lg_tv_plus",
+    "build_palcomp3",
+    "generate_app",
+    "sample_year_corpus",
+    "year_size_distribution",
+]

@@ -1,0 +1,172 @@
+"""The seeded synthetic-app generator.
+
+Generates deterministic, self-consistent apps: a manifest, a set of
+pattern instances (each with ground truth), and *filler code* that stands
+in for the app's bulk.  Filler is reachable from the launcher activity
+and fans out through virtual dispatch over a common base class — so a
+whole-app analyzer must traverse and dispatch through all of it (cost
+grows with app size), while BackDroid's targeted analysis never visits it
+(cost grows with sink count).  This is exactly the asymmetry Sec. VI-B
+and VI-D measure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.android.apk import Apk
+from repro.android.manifest import ComponentKind, Manifest
+from repro.dex.builder import AppBuilder
+from repro.workload.patterns import (
+    PATTERN_BUILDERS,
+    GroundTruth,
+    PatternContext,
+    PatternSpec,
+)
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """A deterministic recipe for one synthetic app."""
+
+    package: str
+    seed: int = 0
+    patterns: tuple[PatternSpec, ...] = ()
+    filler_classes: int = 10
+    methods_per_filler: int = 6
+    year: int = 2018
+    size_mb: float = 0.0
+    installs: int = 1_000_000
+
+
+@dataclass
+class GeneratedApp:
+    """A generated app plus its ground-truth labels."""
+
+    apk: Apk
+    spec: AppSpec
+    truths: list[GroundTruth] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def truly_vulnerable(self) -> bool:
+        return any(t.truly_vulnerable for t in self.truths)
+
+    @property
+    def has_hazard(self) -> bool:
+        return any(t.pattern == "hazard_dangling" for t in self.truths)
+
+    def expected_backdroid_vulnerable(self) -> bool:
+        return any(t.expect_backdroid for t in self.truths)
+
+    def expected_amandroid_vulnerable(self) -> bool:
+        """Mechanism-level expectation, ignoring timeouts.
+
+        An injected hazard makes the whole baseline run fail, masking
+        every detection in the app.
+        """
+        if self.has_hazard:
+            return False
+        return any(t.expect_amandroid for t in self.truths)
+
+    def sink_call_count(self) -> int:
+        """Pattern instances that planted a sink call."""
+        return sum(1 for t in self.truths if t.rule is not None)
+
+
+def _build_filler(
+    app: AppBuilder, manifest: Manifest, package: str, spec: AppSpec,
+    rng: random.Random,
+) -> None:
+    """Reachable bulk code with CHA-hostile virtual dispatch.
+
+    ``FillerK`` classes extend one shared ``BaseTask`` and override
+    ``step()``; the launcher walks the chain through base-typed calls, so
+    a class-hierarchy analysis resolves each dispatch against *every*
+    filler subclass.
+    """
+    if spec.filler_classes <= 0:
+        return
+    base_name = f"{package}.gen.BaseTask"
+    base = app.new_class(base_name)
+    base.default_constructor()
+    base_step = base.method("step", params=["int"], returns="int")
+    base_step.this()
+    p = base_step.param(0)
+    base_step.return_value(p)
+
+    class_names = [f"{package}.gen.Filler{index}" for index in range(spec.filler_classes)]
+    for index, name in enumerate(class_names):
+        filler = app.new_class(name, superclass=base_name)
+        filler.default_constructor()
+        step = filler.method("step", params=["int"], returns="int")
+        step.this()
+        arg = step.param(0)
+        value = step.binop("+", arg, rng.randint(1, 99))
+        step.return_value(value)
+        for m_index in range(spec.methods_per_filler):
+            method = filler.method(f"work{m_index}", params=["int"], returns="int",
+                                   static=True)
+            arg = method.param(0)
+            acc = method.binop("*", arg, rng.randint(2, 9))
+            acc = method.binop("+", acc, rng.randint(1, 999))
+            if m_index + 1 < spec.methods_per_filler:
+                nxt = method.invoke_static(name, f"work{m_index + 1}", args=[acc],
+                                           params=["int"], returns="int")
+                method.return_value(nxt)
+            else:
+                # Cross-class dispatch through the base type.
+                obj = method.new_init(
+                    class_names[(index + 1) % len(class_names)]
+                )
+                up = method.cast(base_name, obj)
+                out = method.invoke_virtual(up, base_name, "step", args=[acc],
+                                            params=["int"], returns="int")
+                method.return_value(out)
+
+    launcher_name = f"{package}.gen.LauncherActivity"
+    launcher = app.new_class(launcher_name, superclass="android.app.Activity")
+    launcher.default_constructor()
+    on_create = launcher.method("onCreate", params=["android.os.Bundle"])
+    on_create.this()
+    on_create.param(0)
+    seed_value = on_create.const_int(rng.randint(1, 1000))
+    for name in class_names:
+        on_create.invoke_static(name, "work0", args=[seed_value],
+                                params=["int"], returns="int")
+    on_create.return_void()
+    manifest.register(
+        launcher_name, ComponentKind.ACTIVITY, exported=True,
+        actions=["android.intent.action.MAIN"],
+    )
+
+
+def generate_app(spec: AppSpec) -> GeneratedApp:
+    """Generate one app deterministically from its spec."""
+    rng = random.Random(spec.seed)
+    app = AppBuilder()
+    manifest = Manifest(package=spec.package)
+    context = PatternContext(rng=rng)
+    truths: list[GroundTruth] = []
+
+    for index, pattern in enumerate(spec.patterns):
+        builder = PATTERN_BUILDERS[pattern.name]
+        namespace = f"{spec.package}.p{index}"
+        truths.append(builder(app, manifest, namespace, context, pattern.insecure))
+
+    _build_filler(app, manifest, spec.package, spec, rng)
+
+    apk = Apk(
+        package=spec.package,
+        classes=app.build(),
+        manifest=manifest,
+        size_mb=spec.size_mb,
+        year=spec.year,
+        installs=spec.installs,
+    )
+    if apk.size_mb <= 0:
+        # Rough DEX-size model: ~3 KB per IR statement keeps generated
+        # apps in the paper's MB range.
+        apk.size_mb = round(apk.code_units() * 0.003, 1)
+    return GeneratedApp(apk=apk, spec=spec, truths=truths)

@@ -1,0 +1,388 @@
+"""Hand-authored miniatures of the paper's three running-example apps.
+
+These replicate, statement for statement where it matters, the code
+shapes the paper illustrates:
+
+* :func:`build_lg_tv_plus` — the LG TV Plus app of Figs. 3 and 4: a
+  private sink-hosting method found by the basic search, reached through
+  the ``NetcastTVService$1`` Runnable dispatched via
+  ``Util.runInBackground`` → ``Executor.execute`` (the advanced search's
+  flagship case), plus the explicit-ICC ``HttpServerService`` example of
+  Sec. IV-D.
+* :func:`build_heyzap` — the Heyzap ad library of Sec. IV-C: a
+  ``setHostnameVerifier`` sink whose backtracking crosses
+  ``APIClient.<clinit>``, reachable only through the recursive class-use
+  chain ``APIClient ← AdModel ← HeyzapInterstitialActivity``.
+* :func:`build_palcomp3` — the PalcoMP3 app of Fig. 6: the full SSG
+  shape with instance fields (``hostname``/``myPort``), a constructor
+  chain, a child-class invocation of a super-class method, and an
+  off-path static initializer supplying ``PORT = 8089``.
+"""
+
+from __future__ import annotations
+
+from repro.android.apk import Apk
+from repro.android.manifest import ComponentKind, Manifest
+from repro.dex.builder import AppBuilder
+
+
+def build_lg_tv_plus() -> Apk:
+    """The LG TV Plus miniature (Figs. 3-4 + the Sec. IV-D ICC example)."""
+    app = AppBuilder()
+
+    # --- NetcastHttpServer: the sink-hosting target method -------------
+    server = app.new_class("com.connectsdk.service.netcast.NetcastHttpServer")
+    server.default_constructor()
+    start = server.method("start", private=True)
+    this = start.this()
+    port = start.const_int(8080)
+    start.new_init("java.net.ServerSocket", args=[port], ctor_params=["int"])
+    start.return_void()
+
+    # --- NetcastTVService + its anonymous Runnable ---------------------
+    service = app.new_class("com.connectsdk.service.NetcastTVService")
+    service.field("httpServer", "com.connectsdk.service.netcast.NetcastHttpServer")
+    service.default_constructor()
+    connect = service.method("connect")
+    c_this = connect.this()
+    runner_obj = connect.new_init(
+        "com.connectsdk.service.NetcastTVService$1",
+        args=[c_this],
+        ctor_params=["com.connectsdk.service.NetcastTVService"],
+    )
+    connect.invoke_static(
+        "com.connectsdk.core.Util",
+        "runInBackground",
+        args=[runner_obj],
+        params=["java.lang.Runnable"],
+    )
+    connect.return_void()
+
+    runner = app.new_class(
+        "com.connectsdk.service.NetcastTVService$1",
+        interfaces=["java.lang.Runnable"],
+    )
+    runner.field("this$0", "com.connectsdk.service.NetcastTVService")
+    r_ctor = runner.constructor(params=["com.connectsdk.service.NetcastTVService"])
+    r_this = r_ctor.this()
+    r_outer = r_ctor.param(0)
+    r_ctor.put_field(
+        r_this,
+        "com.connectsdk.service.NetcastTVService$1",
+        "this$0",
+        "com.connectsdk.service.NetcastTVService",
+        r_outer,
+    )
+    r_ctor.return_void()
+    run = runner.method("run")
+    run_this = run.this()
+    outer = run.get_field(
+        run_this,
+        "com.connectsdk.service.NetcastTVService$1",
+        "this$0",
+        "com.connectsdk.service.NetcastTVService",
+    )
+    srv = run.new_init("com.connectsdk.service.netcast.NetcastHttpServer")
+    run.put_field(
+        outer,
+        "com.connectsdk.service.NetcastTVService",
+        "httpServer",
+        "com.connectsdk.service.netcast.NetcastHttpServer",
+        srv,
+    )
+    srv2 = run.get_field(
+        outer,
+        "com.connectsdk.service.NetcastTVService",
+        "httpServer",
+        "com.connectsdk.service.netcast.NetcastHttpServer",
+    )
+    run.invoke_virtual(
+        srv2, "com.connectsdk.service.netcast.NetcastHttpServer", "start"
+    )
+    run.return_void()
+
+    # --- Util: the wrapper chain of Fig. 4 ------------------------------
+    util = app.new_class("com.connectsdk.core.Util")
+    util.field("executor", "java.util.concurrent.Executor", static=True)
+    clinit = util.static_initializer()
+    pool_local = clinit.invoke_static(
+        "java.util.concurrent.Executors",
+        "newCachedThreadPool",
+        returns="java.util.concurrent.ExecutorService",
+    )
+    clinit.put_static(
+        "com.connectsdk.core.Util", "executor", "java.util.concurrent.Executor",
+        pool_local,
+    )
+    clinit.return_void()
+    rib1 = util.method("runInBackground", params=["java.lang.Runnable"], static=True)
+    rib1_r0 = rib1.param(0)
+    rib1.invoke_static(
+        "com.connectsdk.core.Util",
+        "runInBackground",
+        args=[rib1_r0, 0],
+        params=["java.lang.Runnable", "boolean"],
+    )
+    rib1.return_void()
+    rib2 = util.method(
+        "runInBackground", params=["java.lang.Runnable", "boolean"], static=True
+    )
+    rib2_r0 = rib2.param(0)
+    rib2.param(1)
+    executor_local = rib2.get_static(
+        "com.connectsdk.core.Util", "executor", "java.util.concurrent.Executor"
+    )
+    rib2.invoke_interface(
+        executor_local,
+        "java.util.concurrent.Executor",
+        "execute",
+        args=[rib2_r0],
+        params=["java.lang.Runnable"],
+    )
+    rib2.return_void()
+
+    # --- explicit-ICC service (Sec. IV-D example) ----------------------
+    fota = app.new_class(
+        "com.lge.app1.fota.HttpServerService", superclass="android.app.Service"
+    )
+    fota.default_constructor()
+    f_on_create = fota.method("onCreate")
+    f_this = f_on_create.this()
+    f_port = f_on_create.const_int(5299)
+    f_on_create.new_init("java.net.ServerSocket", args=[f_port], ctor_params=["int"])
+    f_on_create.return_void()
+
+    # --- the entry Activity ------------------------------------------------
+    main = app.new_class("com.lge.app1.MainActivity", superclass="android.app.Activity")
+    main.default_constructor()
+    on_create = main.method("onCreate", params=["android.os.Bundle"])
+    m_this = on_create.this()
+    on_create.param(0)
+    tv = on_create.new_init("com.connectsdk.service.NetcastTVService")
+    on_create.invoke_virtual(tv, "com.connectsdk.service.NetcastTVService", "connect")
+    klass = on_create.const_class("com.lge.app1.fota.HttpServerService")
+    intent = on_create.new_init(
+        "android.content.Intent",
+        args=[m_this, klass],
+        ctor_params=["android.content.Context", "java.lang.Class"],
+    )
+    on_create.invoke_virtual(
+        m_this,
+        "android.content.Context",
+        "startService",
+        args=[intent],
+        params=["android.content.Intent"],
+        returns="android.content.ComponentName",
+    )
+    on_create.return_void()
+
+    manifest = Manifest(package="com.lge.app1")
+    manifest.register(
+        "com.lge.app1.MainActivity",
+        ComponentKind.ACTIVITY,
+        exported=True,
+        actions=["android.intent.action.MAIN"],
+    )
+    manifest.register("com.lge.app1.fota.HttpServerService", ComponentKind.SERVICE)
+
+    return Apk(package="com.lge.app1", classes=app.build(), manifest=manifest,
+               size_mb=74.2, year=2018, installs=10_000_000)
+
+
+def build_heyzap() -> Apk:
+    """The Heyzap miniature (Sec. IV-C static-initializer example)."""
+    app = AppBuilder()
+
+    # --- MySSLSocketFactory hosts the SSL sink ---------------------------
+    factory = app.new_class(
+        "com.heyzap.http.MySSLSocketFactory",
+        superclass="org.apache.http.conn.ssl.SSLSocketFactory",
+    )
+    ctor = factory.constructor()
+    f_this = ctor.this()
+    verifier = ctor.get_static(
+        "org.apache.http.conn.ssl.SSLSocketFactory",
+        "ALLOW_ALL_HOSTNAME_VERIFIER",
+        "org.apache.http.conn.ssl.X509HostnameVerifier",
+    )
+    ctor.invoke_virtual(
+        f_this,
+        "org.apache.http.conn.ssl.SSLSocketFactory",
+        "setHostnameVerifier",
+        args=[verifier],
+        params=["org.apache.http.conn.ssl.X509HostnameVerifier"],
+    )
+    ctor.return_void()
+
+    # --- APIClient's <clinit> constructs the factory ----------------------
+    api_client = app.new_class("com.heyzap.internal.APIClient")
+    api_client.field("sslFactory", "com.heyzap.http.MySSLSocketFactory", static=True)
+    clinit = api_client.static_initializer()
+    built = clinit.new_init("com.heyzap.http.MySSLSocketFactory")
+    clinit.put_static(
+        "com.heyzap.internal.APIClient", "sslFactory",
+        "com.heyzap.http.MySSLSocketFactory", built,
+    )
+    clinit.return_void()
+    get = api_client.method("get", params=["java.lang.String"], static=True)
+    get.param(0)
+    get.return_void()
+
+    # --- AdModel uses APIClient -------------------------------------------
+    ad_model = app.new_class("com.heyzap.house.model.AdModel")
+    ad_model.default_constructor()
+    load = ad_model.method("load")
+    load.this()
+    url = load.const_string("https://ads.heyzap.com/fetch")
+    load.invoke_static(
+        "com.heyzap.internal.APIClient", "get", args=[url],
+        params=["java.lang.String"],
+    )
+    load.return_void()
+
+    # --- the entry Activity uses AdModel ------------------------------------
+    interstitial = app.new_class(
+        "com.heyzap.sdk.ads.HeyzapInterstitialActivity",
+        superclass="android.app.Activity",
+    )
+    interstitial.default_constructor()
+    on_create = interstitial.method("onCreate", params=["android.os.Bundle"])
+    on_create.this()
+    on_create.param(0)
+    model = on_create.new_init("com.heyzap.house.model.AdModel")
+    on_create.invoke_virtual(model, "com.heyzap.house.model.AdModel", "load")
+    on_create.return_void()
+
+    manifest = Manifest(package="com.heyzap.demo")
+    manifest.register(
+        "com.heyzap.sdk.ads.HeyzapInterstitialActivity",
+        ComponentKind.ACTIVITY,
+        exported=True,
+    )
+
+    return Apk(package="com.heyzap.demo", classes=app.build(), manifest=manifest,
+               size_mb=22.4, year=2017)
+
+
+def build_palcomp3() -> Apk:
+    """The PalcoMP3 miniature: the exact SSG shape of Fig. 6."""
+    app = AppBuilder()
+
+    # --- NanoHTTPD -------------------------------------------------------
+    nano = app.new_class("com.studiosol.util.NanoHTTPD")
+    nano.field("hostname", "java.lang.String")
+    nano.field("myPort", "int")
+
+    ctor2 = nano.constructor(params=["java.lang.String", "int"])
+    n_this = ctor2.this()
+    n_host = ctor2.param(0)
+    n_port = ctor2.param(1)
+    ctor2.invoke_special(n_this, "java.lang.Object", "<init>")
+    ctor2.put_field(n_this, "com.studiosol.util.NanoHTTPD", "hostname",
+                    "java.lang.String", n_host)
+    ctor2.put_field(n_this, "com.studiosol.util.NanoHTTPD", "myPort", "int", n_port)
+    ctor2.return_void()
+
+    ctor1 = nano.constructor(params=["int"])
+    c1_this = ctor1.this()
+    c1_port = ctor1.param(0)
+    ctor1.invoke_special(
+        c1_this,
+        "com.studiosol.util.NanoHTTPD",
+        "<init>",
+        args=[None, c1_port],
+        params=["java.lang.String", "int"],
+    )
+    ctor1.return_void()
+
+    start = nano.method("start")
+    s_this = start.this()
+    address = start.new("java.net.InetSocketAddress")
+    hostname = start.get_field(s_this, "com.studiosol.util.NanoHTTPD", "hostname",
+                               "java.lang.String")
+    my_port = start.get_field(s_this, "com.studiosol.util.NanoHTTPD", "myPort", "int")
+    start.invoke_special(
+        address,
+        "java.net.InetSocketAddress",
+        "<init>",
+        args=[hostname, my_port],
+        params=["java.lang.String", "int"],
+    )
+    socket = start.new_init("java.net.ServerSocket")
+    start.invoke_virtual(
+        socket,
+        "java.net.ServerSocket",
+        "bind",
+        args=[address],
+        params=["java.net.SocketAddress"],
+    )
+    start.return_void()
+
+    # --- MP3LocalServer: child class + off-path <clinit> --------------------
+    mp3 = app.new_class(
+        "com.studiosol.palcomp3.MP3LocalServer", superclass="com.studiosol.util.NanoHTTPD"
+    )
+    mp3.field("PORT", "int", static=True)
+    clinit = mp3.static_initializer()
+    clinit.put_static("com.studiosol.palcomp3.MP3LocalServer", "PORT", "int", 8089)
+    clinit.return_void()
+    m_ctor = mp3.constructor()
+    m_this = m_ctor.this()
+    m_port = m_ctor.get_static("com.studiosol.palcomp3.MP3LocalServer", "PORT", "int")
+    m_ctor.invoke_special(
+        m_this, "com.studiosol.util.NanoHTTPD", "<init>", args=[m_port], params=["int"]
+    )
+    m_ctor.return_void()
+
+    # --- SmartCacheMgr --------------------------------------------------------
+    mgr = app.new_class("com.studiosol.palcomp3.SmartCacheMgr")
+    mgr.field("mServer", "com.studiosol.palcomp3.MP3LocalServer")
+    mgr.default_constructor()
+    init_srv = mgr.method("initLocalServer", params=["android.content.Context"])
+    g_this = init_srv.this()
+    init_srv.param(0)
+    new_server = init_srv.new_init("com.studiosol.palcomp3.MP3LocalServer")
+    init_srv.put_field(
+        g_this, "com.studiosol.palcomp3.SmartCacheMgr", "mServer",
+        "com.studiosol.palcomp3.MP3LocalServer", new_server,
+    )
+    init_srv.return_void()
+
+    # --- the entry Activity ------------------------------------------------------
+    act = app.new_class(
+        "com.studiosol.palcomp3.Activities.PalcoMP3Act",
+        superclass="android.app.Activity",
+    )
+    act.default_constructor()
+    on_create = act.method("onCreate", params=["android.os.Bundle"])
+    a_this = on_create.this()
+    on_create.param(0)
+    cache = on_create.new_init("com.studiosol.palcomp3.SmartCacheMgr")
+    on_create.invoke_virtual(
+        cache,
+        "com.studiosol.palcomp3.SmartCacheMgr",
+        "initLocalServer",
+        args=[a_this],
+        params=["android.content.Context"],
+    )
+    server = on_create.get_field(
+        cache, "com.studiosol.palcomp3.SmartCacheMgr", "mServer",
+        "com.studiosol.palcomp3.MP3LocalServer",
+    )
+    # A child-class invocation of the super-class method (Sec. IV-A's
+    # "searching over a child class").
+    on_create.invoke_virtual(
+        server, "com.studiosol.palcomp3.MP3LocalServer", "start"
+    )
+    on_create.return_void()
+
+    manifest = Manifest(package="com.studiosol.palcomp3")
+    manifest.register(
+        "com.studiosol.palcomp3.Activities.PalcoMP3Act",
+        ComponentKind.ACTIVITY,
+        exported=True,
+        actions=["android.intent.action.MAIN"],
+    )
+
+    return Apk(package="com.studiosol.palcomp3", classes=app.build(),
+               manifest=manifest, size_mb=18.6, year=2018)

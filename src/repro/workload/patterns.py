@@ -1,0 +1,930 @@
+"""Code-shape templates with ground truth.
+
+Each pattern builds one self-contained cluster of classes inside a
+generated app, exercising one of the code shapes the paper's search
+mechanisms exist for.  Every builder returns a :class:`GroundTruth`
+recording:
+
+* whether the shape is *truly* vulnerable (insecure sink parameter AND
+  reachable from a registered entry point), and
+* which tool is mechanically expected to detect it (ignoring timeouts
+  and injected analyzer errors, which are app-level effects):
+
+========================  ==========  ============  =======================
+pattern                   BackDroid   Amandroid     paper evidence
+========================  ==========  ============  =======================
+direct_entry              yes         yes           baseline agreement
+wrapper_chain             yes         yes           Sec. IV-A
+string_built              yes         yes           Sec. V-B API models
+field_config              yes         yes           Sec. V-A static tracks
+super_poly                yes         yes           Sec. IV-B super classes
+child_invocation          yes         yes           Sec. IV-A child search
+clinit_path               yes         yes           Sec. IV-C
+icc_explicit              yes         yes           Sec. IV-D
+icc_implicit              yes         yes           Sec. IV-D (path only)
+async_executor            yes         no            "failed to connect ...
+                                                    Executor.execute"
+async_asynctask           yes         budgeted      "unrobust handling"
+callback_onclick          yes         budgeted      "unrobust handling"
+library_skipped           yes         no            liblist.txt
+unregistered_component    no (TN)     yes (FP)      six Amandroid FPs
+hierarchy_wrapped_sink    no (FN)     yes           BackDroid's two FNs
+dead_code                 no (TN)     no (TN)       reachability check
+========================  ==========  ============  =======================
+
+Secure variants (``insecure=False``) use GCM / STRICT parameters and are
+never truly vulnerable — they exercise detector precision.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.android.manifest import ComponentKind, Manifest
+from repro.dex.builder import AppBuilder, ClassBuilder, MethodBuilder
+
+ECB_TRANSFORMATION = "AES/ECB/PKCS5Padding"
+GCM_TRANSFORMATION = "AES/GCM/NoPadding"
+
+_SSL_FACTORY = "org.apache.http.conn.ssl.SSLSocketFactory"
+_X509 = "org.apache.http.conn.ssl.X509HostnameVerifier"
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """The label attached to one built pattern instance."""
+
+    pattern: str
+    rule: Optional[str]
+    sink_class: str
+    truly_vulnerable: bool
+    expect_backdroid: bool
+    expect_amandroid: bool
+    notes: str = ""
+
+
+@dataclass
+class PatternContext:
+    """Per-app state shared by pattern builders."""
+
+    rng: random.Random
+    #: Amandroid's implicit-flow site budget (AsyncTask/onClick sites
+    #: beyond it are dropped by the baseline).
+    amandroid_implicit_budget: int = 4
+    implicit_sites_used: int = 0
+
+    def take_implicit_site(self) -> bool:
+        """True when the baseline still wires this AsyncTask/onClick site."""
+        self.implicit_sites_used += 1
+        return self.implicit_sites_used <= self.amandroid_implicit_budget
+
+
+PatternBuilder = Callable[
+    [AppBuilder, Manifest, str, PatternContext, bool], GroundTruth
+]
+
+
+# ======================================================================
+# Shared helpers
+# ======================================================================
+
+
+def _register_activity(
+    app: AppBuilder, manifest: Manifest, name: str, register: bool = True
+) -> ClassBuilder:
+    activity = app.new_class(name, superclass="android.app.Activity")
+    activity.default_constructor()
+    if register:
+        manifest.register(name, ComponentKind.ACTIVITY, exported=True)
+    return activity
+
+
+def _emit_cipher_sink(m: MethodBuilder, transformation: str) -> None:
+    t = m.const_string(transformation)
+    m.invoke_static(
+        "javax.crypto.Cipher",
+        "getInstance",
+        args=[t],
+        params=["java.lang.String"],
+        returns="javax.crypto.Cipher",
+    )
+
+
+def _emit_ssl_sink(m: MethodBuilder, factory_local, insecure: bool) -> None:
+    constant = "ALLOW_ALL_HOSTNAME_VERIFIER" if insecure else "STRICT_HOSTNAME_VERIFIER"
+    verifier = m.get_static(_SSL_FACTORY, constant, _X509)
+    m.invoke_virtual(
+        factory_local,
+        _SSL_FACTORY,
+        "setHostnameVerifier",
+        args=[verifier],
+        params=[_X509],
+    )
+
+
+def _transformation(insecure: bool) -> str:
+    return ECB_TRANSFORMATION if insecure else GCM_TRANSFORMATION
+
+
+# ======================================================================
+# Patterns detected by both tools
+# ======================================================================
+
+
+def build_direct_entry(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """Sink directly inside a registered Activity's onCreate."""
+    name = f"{ns}.DirectActivity"
+    activity = _register_activity(app, manifest, name)
+    on_create = activity.method("onCreate", params=["android.os.Bundle"])
+    on_create.this()
+    on_create.param(0)
+    _emit_cipher_sink(on_create, _transformation(insecure))
+    on_create.return_void()
+    return GroundTruth(
+        pattern="direct_entry",
+        rule="crypto-ecb",
+        sink_class=name,
+        truly_vulnerable=insecure,
+        expect_backdroid=insecure,
+        expect_amandroid=insecure,
+    )
+
+
+def build_wrapper_chain(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """Sink at the end of a static/private wrapper chain (depth 2-4)."""
+    depth = ctx.rng.randint(2, 4)
+    helper_name = f"{ns}.CryptoHelper"
+    helper = app.new_class(helper_name)
+    for level in range(depth):
+        is_last = level == depth - 1
+        m = helper.method(f"step{level}", params=["java.lang.String"],
+                          static=True, private=(level > 0))
+        arg = m.param(0)
+        if is_last:
+            m.invoke_static(
+                "javax.crypto.Cipher", "getInstance", args=[arg],
+                params=["java.lang.String"], returns="javax.crypto.Cipher",
+            )
+        else:
+            m.invoke_static(helper_name, f"step{level + 1}", args=[arg],
+                            params=["java.lang.String"])
+        m.return_void()
+    name = f"{ns}.ChainActivity"
+    activity = _register_activity(app, manifest, name)
+    on_create = activity.method("onCreate", params=["android.os.Bundle"])
+    on_create.this()
+    on_create.param(0)
+    t = on_create.const_string(_transformation(insecure))
+    on_create.invoke_static(helper_name, "step0", args=[t],
+                            params=["java.lang.String"])
+    on_create.return_void()
+    return GroundTruth(
+        pattern="wrapper_chain",
+        rule="crypto-ecb",
+        sink_class=helper_name,
+        truly_vulnerable=insecure,
+        expect_backdroid=insecure,
+        expect_amandroid=insecure,
+        notes=f"depth={depth}",
+    )
+
+
+def build_string_built(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """Transformation assembled with StringBuilder.append chains."""
+    name = f"{ns}.BuilderActivity"
+    activity = _register_activity(app, manifest, name)
+    on_create = activity.method("onCreate", params=["android.os.Bundle"])
+    on_create.this()
+    on_create.param(0)
+    sb = on_create.new_init("java.lang.StringBuilder", args=["AES"],
+                            ctor_params=["java.lang.String"])
+    suffix = "/ECB/PKCS5Padding" if insecure else "/GCM/NoPadding"
+    sb2 = on_create.invoke_virtual(
+        sb, "java.lang.StringBuilder", "append", args=[suffix],
+        params=["java.lang.String"], returns="java.lang.StringBuilder",
+    )
+    text = on_create.invoke_virtual(
+        sb2, "java.lang.StringBuilder", "toString", returns="java.lang.String"
+    )
+    on_create.invoke_static(
+        "javax.crypto.Cipher", "getInstance", args=[text],
+        params=["java.lang.String"], returns="javax.crypto.Cipher",
+    )
+    on_create.return_void()
+    return GroundTruth(
+        pattern="string_built",
+        rule="crypto-ecb",
+        sink_class=name,
+        truly_vulnerable=insecure,
+        expect_backdroid=insecure,
+        expect_amandroid=insecure,
+    )
+
+
+def build_field_config(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """Transformation kept in a static field initialised by <clinit>."""
+    config_name = f"{ns}.CipherConfig"
+    config = app.new_class(config_name)
+    config.field("TRANSFORMATION", "java.lang.String", static=True)
+    clinit = config.static_initializer()
+    clinit.put_static(config_name, "TRANSFORMATION", "java.lang.String",
+                      _transformation(insecure))
+    clinit.return_void()
+    name = f"{ns}.FieldActivity"
+    activity = _register_activity(app, manifest, name)
+    on_create = activity.method("onCreate", params=["android.os.Bundle"])
+    on_create.this()
+    on_create.param(0)
+    t = on_create.get_static(config_name, "TRANSFORMATION", "java.lang.String")
+    on_create.invoke_static(
+        "javax.crypto.Cipher", "getInstance", args=[t],
+        params=["java.lang.String"], returns="javax.crypto.Cipher",
+    )
+    on_create.return_void()
+    return GroundTruth(
+        pattern="field_config",
+        rule="crypto-ecb",
+        sink_class=name,
+        truly_vulnerable=insecure,
+        expect_backdroid=insecure,
+        expect_amandroid=insecure,
+    )
+
+
+def build_super_poly(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """Sink in an overriding method dispatched through the super type."""
+    super_name = f"{ns}.BaseWorker"
+    base = app.new_class(super_name)
+    base.default_constructor()
+    bw = base.method("work")
+    bw.this()
+    bw.return_void()
+    impl_name = f"{ns}.CipherWorker"
+    impl = app.new_class(impl_name, superclass=super_name)
+    impl.default_constructor()
+    iw = impl.method("work")
+    iw.this()
+    _emit_cipher_sink(iw, _transformation(insecure))
+    iw.return_void()
+    name = f"{ns}.PolyActivity"
+    activity = _register_activity(app, manifest, name)
+    on_create = activity.method("onCreate", params=["android.os.Bundle"])
+    on_create.this()
+    on_create.param(0)
+    worker = on_create.new_init(impl_name)
+    up = on_create.cast(super_name, worker)
+    on_create.invoke_virtual(up, super_name, "work")
+    on_create.return_void()
+    return GroundTruth(
+        pattern="super_poly",
+        rule="crypto-ecb",
+        sink_class=impl_name,
+        truly_vulnerable=insecure,
+        expect_backdroid=insecure,
+        expect_amandroid=insecure,
+    )
+
+
+def build_child_invocation(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """Parent method (hosting the sink) invoked via a child signature."""
+    parent_name = f"{ns}.CryptoBase"
+    parent = app.new_class(parent_name)
+    parent.default_constructor()
+    pm = parent.method("encrypt", params=["java.lang.String"])
+    pm.this()
+    arg = pm.param(0)
+    pm.invoke_static(
+        "javax.crypto.Cipher", "getInstance", args=[arg],
+        params=["java.lang.String"], returns="javax.crypto.Cipher",
+    )
+    pm.return_void()
+    child_name = f"{ns}.CryptoChild"
+    child = app.new_class(child_name, superclass=parent_name)
+    child.default_constructor()
+    name = f"{ns}.ChildActivity"
+    activity = _register_activity(app, manifest, name)
+    on_create = activity.method("onCreate", params=["android.os.Bundle"])
+    on_create.this()
+    on_create.param(0)
+    obj = on_create.new_init(child_name)
+    t = on_create.const_string(_transformation(insecure))
+    on_create.invoke_virtual(obj, child_name, "encrypt", args=[t],
+                             params=["java.lang.String"])
+    on_create.return_void()
+    return GroundTruth(
+        pattern="child_invocation",
+        rule="crypto-ecb",
+        sink_class=parent_name,
+        truly_vulnerable=insecure,
+        expect_backdroid=insecure,
+        expect_amandroid=insecure,
+    )
+
+
+def build_clinit_path(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """Sink reached from a static initializer (the Heyzap shape)."""
+    factory_name = f"{ns}.TlsFactory"
+    factory = app.new_class(factory_name, superclass=_SSL_FACTORY)
+    ctor = factory.constructor()
+    f_this = ctor.this()
+    _emit_ssl_sink(ctor, f_this, insecure)
+    ctor.return_void()
+    client_name = f"{ns}.ApiClient"
+    client = app.new_class(client_name)
+    client.field("factory", factory_name, static=True)
+    clinit = client.static_initializer()
+    built = clinit.new_init(factory_name)
+    clinit.put_static(client_name, "factory", factory_name, built)
+    clinit.return_void()
+    fetch = client.method("fetch", static=True)
+    fetch.return_void()
+    # The middle hop of the paper's use-chain (AdModel between the
+    # initializer's class and the entry Activity).
+    model_name = f"{ns}.AdModel"
+    model = app.new_class(model_name)
+    model.default_constructor()
+    load = model.method("load")
+    load.this()
+    load.invoke_static(client_name, "fetch")
+    load.return_void()
+    name = f"{ns}.ClinitActivity"
+    activity = _register_activity(app, manifest, name)
+    on_create = activity.method("onCreate", params=["android.os.Bundle"])
+    on_create.this()
+    on_create.param(0)
+    ad_model = on_create.new_init(model_name)
+    on_create.invoke_virtual(ad_model, model_name, "load")
+    on_create.return_void()
+    return GroundTruth(
+        pattern="clinit_path",
+        rule="ssl-verifier",
+        sink_class=factory_name,
+        truly_vulnerable=insecure,
+        expect_backdroid=insecure,
+        expect_amandroid=insecure,
+    )
+
+
+def build_icc_explicit(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """Sink inside a Service started with an explicit Intent."""
+    service_name = f"{ns}.SyncService"
+    service = app.new_class(service_name, superclass="android.app.Service")
+    service.default_constructor()
+    on_create = service.method("onCreate")
+    on_create.this()
+    _emit_cipher_sink(on_create, _transformation(insecure))
+    on_create.return_void()
+    manifest.register(service_name, ComponentKind.SERVICE)
+    name = f"{ns}.IccActivity"
+    activity = _register_activity(app, manifest, name)
+    oc = activity.method("onCreate", params=["android.os.Bundle"])
+    a_this = oc.this()
+    oc.param(0)
+    klass = oc.const_class(service_name)
+    intent = oc.new_init(
+        "android.content.Intent", args=[a_this, klass],
+        ctor_params=["android.content.Context", "java.lang.Class"],
+    )
+    oc.invoke_virtual(
+        a_this, "android.content.Context", "startService", args=[intent],
+        params=["android.content.Intent"], returns="android.content.ComponentName",
+    )
+    oc.return_void()
+    return GroundTruth(
+        pattern="icc_explicit",
+        rule="crypto-ecb",
+        sink_class=service_name,
+        truly_vulnerable=insecure,
+        expect_backdroid=insecure,
+        expect_amandroid=insecure,
+    )
+
+
+# ======================================================================
+# Patterns only BackDroid detects
+# ======================================================================
+
+
+def build_icc_implicit(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """Sink inside a Receiver addressed by an implicit Intent action."""
+    action = f"{ns}.ACTION_SYNC"
+    receiver_name = f"{ns}.SyncReceiver"
+    receiver = app.new_class(
+        receiver_name, superclass="android.content.BroadcastReceiver"
+    )
+    receiver.default_constructor()
+    on_receive = receiver.method(
+        "onReceive", params=["android.content.Context", "android.content.Intent"]
+    )
+    on_receive.this()
+    on_receive.param(0)
+    on_receive.param(1)
+    _emit_cipher_sink(on_receive, _transformation(insecure))
+    on_receive.return_void()
+    manifest.register(receiver_name, ComponentKind.RECEIVER, actions=[action])
+    name = f"{ns}.BroadcastActivity"
+    activity = _register_activity(app, manifest, name)
+    oc = activity.method("onCreate", params=["android.os.Bundle"])
+    a_this = oc.this()
+    oc.param(0)
+    act = oc.const_string(action)
+    intent = oc.new_init("android.content.Intent", args=[act],
+                         ctor_params=["java.lang.String"])
+    oc.invoke_virtual(a_this, "android.content.Context", "sendBroadcast",
+                      args=[intent], params=["android.content.Intent"])
+    oc.return_void()
+    # The registered receiver is itself an entry point, so whole-app
+    # analysis reaches the sink without needing the implicit ICC edge;
+    # the pattern differentially exercises BackDroid's two-time search
+    # (the *path* through sendBroadcast), not the detection verdict.
+    return GroundTruth(
+        pattern="icc_implicit",
+        rule="crypto-ecb",
+        sink_class=receiver_name,
+        truly_vulnerable=insecure,
+        expect_backdroid=insecure,
+        expect_amandroid=insecure,
+        notes="implicit ICC path; receiver is also a registered entry",
+    )
+
+
+def build_async_executor(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """The Fig. 4 shape: Runnable dispatched through Executor.execute."""
+    worker_name = f"{ns}.CipherRunnable"
+    worker = app.new_class(worker_name, interfaces=["java.lang.Runnable"])
+    worker.default_constructor()
+    run = worker.method("run")
+    run.this()
+    _emit_cipher_sink(run, _transformation(insecure))
+    run.return_void()
+    util_name = f"{ns}.BgUtil"
+    util = app.new_class(util_name)
+    util.field("executor", "java.util.concurrent.Executor", static=True)
+    clinit = util.static_initializer()
+    pool_local = clinit.invoke_static(
+        "java.util.concurrent.Executors", "newCachedThreadPool",
+        returns="java.util.concurrent.ExecutorService",
+    )
+    clinit.put_static(util_name, "executor", "java.util.concurrent.Executor",
+                      pool_local)
+    clinit.return_void()
+    rib = util.method("runInBackground", params=["java.lang.Runnable"], static=True)
+    r0 = rib.param(0)
+    ex = rib.get_static(util_name, "executor", "java.util.concurrent.Executor")
+    rib.invoke_interface(ex, "java.util.concurrent.Executor", "execute",
+                         args=[r0], params=["java.lang.Runnable"])
+    rib.return_void()
+    name = f"{ns}.ExecutorActivity"
+    activity = _register_activity(app, manifest, name)
+    oc = activity.method("onCreate", params=["android.os.Bundle"])
+    oc.this()
+    oc.param(0)
+    w = oc.new_init(worker_name)
+    oc.invoke_static(util_name, "runInBackground", args=[w],
+                     params=["java.lang.Runnable"])
+    oc.return_void()
+    return GroundTruth(
+        pattern="async_executor",
+        rule="crypto-ecb",
+        sink_class=worker_name,
+        truly_vulnerable=insecure,
+        expect_backdroid=insecure,
+        expect_amandroid=False,
+        notes="Executor.execute missing from baseline edge map",
+    )
+
+
+def build_async_asynctask(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """AsyncTask.execute -> doInBackground (baseline handles budgeted)."""
+    task_name = f"{ns}.FetchTask"
+    task = app.new_class(task_name, superclass="android.os.AsyncTask")
+    task.default_constructor()
+    dib = task.method("doInBackground", params=["java.lang.Object[]"],
+                      returns="java.lang.Object")
+    dib.this()
+    dib.param(0)
+    _emit_cipher_sink(dib, _transformation(insecure))
+    dib.return_value(None)
+    name = f"{ns}.TaskActivity"
+    activity = _register_activity(app, manifest, name)
+    oc = activity.method("onCreate", params=["android.os.Bundle"])
+    oc.this()
+    oc.param(0)
+    t = oc.new_init(task_name)
+    oc.invoke_virtual(
+        t, "android.os.AsyncTask", "execute",
+        args=[oc.const_null("java.lang.Object[]")],
+        params=["java.lang.Object[]"], returns="android.os.AsyncTask",
+    )
+    oc.return_void()
+    robust = ctx.take_implicit_site()
+    return GroundTruth(
+        pattern="async_asynctask",
+        rule="crypto-ecb",
+        sink_class=task_name,
+        truly_vulnerable=insecure,
+        expect_backdroid=insecure,
+        expect_amandroid=insecure and robust,
+        notes="within baseline implicit budget" if robust else
+        "beyond baseline implicit budget (unrobust handling)",
+    )
+
+
+def build_callback_onclick(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """setOnClickListener -> onClick (baseline handles budgeted)."""
+    listener_name = f"{ns}.SendListener"
+    listener = app.new_class(
+        listener_name, interfaces=["android.view.View$OnClickListener"]
+    )
+    listener.default_constructor()
+    on_click = listener.method("onClick", params=["android.view.View"])
+    on_click.this()
+    on_click.param(0)
+    _emit_cipher_sink(on_click, _transformation(insecure))
+    on_click.return_void()
+    name = f"{ns}.ClickActivity"
+    activity = _register_activity(app, manifest, name)
+    oc = activity.method("onCreate", params=["android.os.Bundle"])
+    a_this = oc.this()
+    oc.param(0)
+    view = oc.invoke_virtual(
+        a_this, "android.app.Activity", "findViewById",
+        args=[oc.const_int(ctx.rng.randint(1, 1 << 16))],
+        params=["int"], returns="android.view.View",
+    )
+    lst = oc.new_init(listener_name)
+    oc.invoke_virtual(view, "android.view.View", "setOnClickListener",
+                      args=[lst], params=["android.view.View$OnClickListener"])
+    oc.return_void()
+    robust = ctx.take_implicit_site()
+    return GroundTruth(
+        pattern="callback_onclick",
+        rule="crypto-ecb",
+        sink_class=listener_name,
+        truly_vulnerable=insecure,
+        expect_backdroid=insecure,
+        expect_amandroid=insecure and robust,
+        notes="within baseline implicit budget" if robust else
+        "beyond baseline implicit budget (unrobust handling)",
+    )
+
+
+_LIBRARY_PACKAGES = ("com.facebook.crypto", "com.amazon.identity.frc.helper",
+                     "com.tencent.smtt.utils")
+
+
+def build_library_skipped(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """Sink inside a liblist package (baseline skips its analysis)."""
+    package = ctx.rng.choice(_LIBRARY_PACKAGES)
+    suffix = ns.rsplit(".", 1)[-1]
+    helper_name = f"{package}.EncryptionHelper_{suffix}"
+    helper = app.new_class(helper_name)
+    enc = helper.method("protect", params=["java.lang.String"], static=True)
+    arg = enc.param(0)
+    enc.invoke_static(
+        "javax.crypto.Cipher", "getInstance", args=[arg],
+        params=["java.lang.String"], returns="javax.crypto.Cipher",
+    )
+    enc.return_void()
+    name = f"{ns}.LibUserActivity"
+    activity = _register_activity(app, manifest, name)
+    oc = activity.method("onCreate", params=["android.os.Bundle"])
+    oc.this()
+    oc.param(0)
+    t = oc.const_string(_transformation(insecure))
+    oc.invoke_static(helper_name, "protect", args=[t], params=["java.lang.String"])
+    oc.return_void()
+    return GroundTruth(
+        pattern="library_skipped",
+        rule="crypto-ecb",
+        sink_class=helper_name,
+        truly_vulnerable=insecure,
+        expect_backdroid=insecure,
+        expect_amandroid=False,
+        notes=f"sink in skipped library {package}",
+    )
+
+
+# ======================================================================
+# Patterns where the tools err
+# ======================================================================
+
+
+def build_unregistered_component(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """Sink flow from an Activity missing from the manifest.
+
+    Dead to the framework; Amandroid still treats it as an entry (the
+    six FPs of Sec. VI-C), BackDroid checks the manifest.
+    """
+    name = f"{ns}.OrphanActivation"
+    activity = _register_activity(app, manifest, name, register=False)
+    oc = activity.method("onCreate", params=["android.os.Bundle"])
+    oc.this()
+    oc.param(0)
+    _emit_cipher_sink(oc, _transformation(insecure))
+    oc.return_void()
+    return GroundTruth(
+        pattern="unregistered_component",
+        rule="crypto-ecb",
+        sink_class=name,
+        truly_vulnerable=False,
+        expect_backdroid=False,
+        expect_amandroid=insecure,
+        notes="component not in manifest: baseline FP",
+    )
+
+
+def build_hierarchy_wrapped_sink(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """Sink invoked via an app subclass of the sink's declaring class.
+
+    The ``com.gta.nslm2`` shape behind BackDroid's two FNs: the
+    invocation signature names the app class, so the initial sink search
+    misses it unless ``check_class_hierarchy_in_initial_search`` is on.
+    """
+    factory_name = f"{ns}.DefaultSSLSocketFactory"
+    factory = app.new_class(factory_name, superclass=_SSL_FACTORY)
+    ctor = factory.constructor()
+    f_this = ctor.this()
+    constant = "ALLOW_ALL_HOSTNAME_VERIFIER" if insecure else "STRICT_HOSTNAME_VERIFIER"
+    verifier = ctor.get_static(_SSL_FACTORY, constant, _X509)
+    # The crucial detail: the invocation is written against the app
+    # class's own signature, not the framework class's.
+    ctor.invoke_virtual(f_this, factory_name, "setHostnameVerifier",
+                        args=[verifier], params=[_X509])
+    ctor.return_void()
+    name = f"{ns}.WrappedActivity"
+    activity = _register_activity(app, manifest, name)
+    oc = activity.method("onCreate", params=["android.os.Bundle"])
+    oc.this()
+    oc.param(0)
+    oc.new_init(factory_name)
+    oc.return_void()
+    return GroundTruth(
+        pattern="hierarchy_wrapped_sink",
+        rule="ssl-verifier",
+        sink_class=factory_name,
+        truly_vulnerable=insecure,
+        expect_backdroid=False,
+        expect_amandroid=insecure,
+        notes="sink wrapped by app class hierarchy: BackDroid FN",
+    )
+
+
+def build_dead_code(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """Several sinks in one method no entry point ever reaches.
+
+    Multiple sink calls share the host method, exercising the Sec. IV-F
+    sink-API-call cache: after the first call proves the method
+    unreachable, the rest are served from cache.
+    """
+    name = f"{ns}.DeadStore"
+    dead = app.new_class(name)
+    m = dead.method("neverCalled", static=True)
+    for _ in range(ctx.rng.randint(2, 4)):
+        _emit_cipher_sink(m, _transformation(insecure))
+    m.return_void()
+    return GroundTruth(
+        pattern="dead_code",
+        rule="crypto-ecb",
+        sink_class=name,
+        truly_vulnerable=False,
+        expect_backdroid=False,
+        expect_amandroid=False,
+        notes="unreachable sinks: both tools must stay silent",
+    )
+
+
+def build_recursive_chain(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """A sink behind mutually recursive helpers (dead-loop detection).
+
+    Backtracking from the sink revisits a method already on the path —
+    the CrossBackward loop of Sec. IV-F, which the paper found in 60% of
+    apps and names the most common loop type.
+    """
+    name = f"{ns}.RetryHelper"
+    helper = app.new_class(name)
+    ping = helper.method("ping", params=["java.lang.String"], static=True)
+    p_arg = ping.param(0)
+    ping.invoke_static(name, "pong", args=[p_arg], params=["java.lang.String"])
+    ping.return_void()
+    pong = helper.method("pong", params=["java.lang.String"], static=True)
+    q_arg = pong.param(0)
+    pong.invoke_static(
+        "javax.crypto.Cipher", "getInstance", args=[q_arg],
+        params=["java.lang.String"], returns="javax.crypto.Cipher",
+    )
+    pong.invoke_static(name, "ping", args=[q_arg], params=["java.lang.String"])
+    pong.return_void()
+    host = f"{ns}.RecursiveActivity"
+    activity = _register_activity(app, manifest, host)
+    oc = activity.method("onCreate", params=["android.os.Bundle"])
+    oc.this()
+    oc.param(0)
+    t = oc.const_string(_transformation(insecure))
+    oc.invoke_static(name, "ping", args=[t], params=["java.lang.String"])
+    oc.return_void()
+    return GroundTruth(
+        pattern="recursive_chain",
+        rule="crypto-ecb",
+        sink_class=name,
+        truly_vulnerable=insecure,
+        expect_backdroid=insecure,
+        expect_amandroid=insecure,
+        notes="mutual recursion on the backtracking path",
+    )
+
+
+def build_multi_sink_branch(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """Two sink calls in one reachable method (if/else branches).
+
+    The second call's host method is already cached by the sink-API-call
+    cache (Sec. IV-F).
+    """
+    name = f"{ns}.BranchActivity"
+    activity = _register_activity(app, manifest, name)
+    oc = activity.method("onCreate", params=["android.os.Bundle"])
+    oc.this()
+    oc.param(0)
+    first = oc.const_string(_transformation(insecure))
+    oc.invoke_static(
+        "javax.crypto.Cipher", "getInstance", args=[first],
+        params=["java.lang.String"], returns="javax.crypto.Cipher",
+    )
+    second = oc.const_string(GCM_TRANSFORMATION)
+    oc.invoke_static(
+        "javax.crypto.Cipher", "getInstance", args=[second],
+        params=["java.lang.String"], returns="javax.crypto.Cipher",
+    )
+    oc.return_void()
+    return GroundTruth(
+        pattern="multi_sink_branch",
+        rule="crypto-ecb",
+        sink_class=name,
+        truly_vulnerable=insecure,
+        expect_backdroid=insecure,
+        expect_amandroid=insecure,
+        notes="two sink calls share the host method",
+    )
+
+
+def build_icc_extra_dataflow(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """Sink parameter carried across ICC as an Intent extra.
+
+    The sender packs the cipher transformation with ``putExtra``; the
+    receiving Service unpacks it with ``getStringExtra`` before reaching
+    the sink.  BackDroid's ICC search plus the Intent API models resolve
+    the value end to end; the whole-app baseline reaches the sink (the
+    service is a registered entry) but cannot resolve the extra, so it
+    stays silent.
+    """
+    service_name = f"{ns}.ExtraService"
+    service = app.new_class(service_name, superclass="android.app.Service")
+    service.default_constructor()
+    osc = service.method(
+        "onStartCommand",
+        params=["android.content.Intent", "int", "int"],
+        returns="int",
+    )
+    osc.this()
+    intent = osc.param(0)
+    osc.param(1)
+    osc.param(2)
+    key = osc.const_string("mode")
+    mode = osc.invoke_virtual(
+        intent, "android.content.Intent", "getStringExtra",
+        args=[key], params=["java.lang.String"], returns="java.lang.String",
+    )
+    osc.invoke_static(
+        "javax.crypto.Cipher", "getInstance", args=[mode],
+        params=["java.lang.String"], returns="javax.crypto.Cipher",
+    )
+    osc.return_value(0)
+    manifest.register(service_name, ComponentKind.SERVICE)
+
+    name = f"{ns}.ExtraSenderActivity"
+    activity = _register_activity(app, manifest, name)
+    oc = activity.method("onCreate", params=["android.os.Bundle"])
+    a_this = oc.this()
+    oc.param(0)
+    klass = oc.const_class(service_name)
+    built = oc.new_init(
+        "android.content.Intent", args=[a_this, klass],
+        ctor_params=["android.content.Context", "java.lang.Class"],
+    )
+    oc.invoke_virtual(
+        built, "android.content.Intent", "putExtra",
+        args=["mode", _transformation(insecure)],
+        params=["java.lang.String", "java.lang.String"],
+        returns="android.content.Intent",
+    )
+    oc.invoke_virtual(
+        a_this, "android.content.Context", "startService", args=[built],
+        params=["android.content.Intent"],
+        returns="android.content.ComponentName",
+    )
+    oc.return_void()
+    return GroundTruth(
+        pattern="icc_extra_dataflow",
+        rule="crypto-ecb",
+        sink_class=service_name,
+        truly_vulnerable=insecure,
+        expect_backdroid=insecure,
+        expect_amandroid=False,
+        notes="sink value carried as an Intent extra across ICC",
+    )
+
+
+def build_provider_entry(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """Sink behind a ContentProvider's query() entry point.
+
+    Exercises the fourth component kind: providers are entered by the
+    framework through ``onCreate``/``query``/``insert``/... (Sec. II-A).
+    """
+    name = f"{ns}.CacheProvider"
+    provider = app.new_class(name, superclass="android.content.ContentProvider")
+    provider.default_constructor()
+    on_create = provider.method("onCreate", returns="boolean")
+    on_create.this()
+    on_create.return_value(True)
+    query = provider.method("query", params=["java.lang.String"],
+                            returns="java.lang.Object")
+    query.this()
+    query.param(0)
+    _emit_cipher_sink(query, _transformation(insecure))
+    query.return_value(None)
+    manifest.register(name, ComponentKind.PROVIDER)
+    return GroundTruth(
+        pattern="provider_entry",
+        rule="crypto-ecb",
+        sink_class=name,
+        truly_vulnerable=insecure,
+        expect_backdroid=insecure,
+        expect_amandroid=insecure,
+    )
+
+
+def build_hazard_dangling(app, manifest, ns, ctx, insecure) -> GroundTruth:
+    """Dangling references that trip the baseline's resolution errors.
+
+    Reachable methods invoke signatures that resolve nowhere, standing in
+    for the obfuscated/malformed code behind Amandroid's occasional
+    "Could not find procedure" failures.
+    """
+    name = f"{ns}.ObfuscatedGlue"
+    glue = app.new_class(name)
+    m = glue.method("dispatch", static=True)
+    for index in range(4):
+        m.invoke_static(f"{ns}.missing.Stub{index}", "call")
+    m.return_void()
+    host = f"{ns}.GlueActivity"
+    activity = _register_activity(app, manifest, host)
+    oc = activity.method("onCreate", params=["android.os.Bundle"])
+    oc.this()
+    oc.param(0)
+    oc.invoke_static(name, "dispatch")
+    oc.return_void()
+    return GroundTruth(
+        pattern="hazard_dangling",
+        rule=None,
+        sink_class="",
+        truly_vulnerable=False,
+        expect_backdroid=False,
+        expect_amandroid=False,
+        notes="injects unresolved procedure references (baseline error)",
+    )
+
+
+#: name -> builder.
+PATTERN_BUILDERS: dict[str, PatternBuilder] = {
+    "direct_entry": build_direct_entry,
+    "wrapper_chain": build_wrapper_chain,
+    "string_built": build_string_built,
+    "field_config": build_field_config,
+    "super_poly": build_super_poly,
+    "child_invocation": build_child_invocation,
+    "clinit_path": build_clinit_path,
+    "icc_explicit": build_icc_explicit,
+    "icc_implicit": build_icc_implicit,
+    "async_executor": build_async_executor,
+    "async_asynctask": build_async_asynctask,
+    "callback_onclick": build_callback_onclick,
+    "library_skipped": build_library_skipped,
+    "unregistered_component": build_unregistered_component,
+    "hierarchy_wrapped_sink": build_hierarchy_wrapped_sink,
+    "dead_code": build_dead_code,
+    "recursive_chain": build_recursive_chain,
+    "multi_sink_branch": build_multi_sink_branch,
+    "provider_entry": build_provider_entry,
+    "icc_extra_dataflow": build_icc_extra_dataflow,
+    "hazard_dangling": build_hazard_dangling,
+}
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """One pattern instantiation request (used by app specs)."""
+
+    name: str
+    insecure: bool = True

@@ -1,0 +1,139 @@
+"""Unit tests for the framework model."""
+
+from repro.android.framework import (
+    ASYNC_EDGE_MAP,
+    CALLBACK_REGISTRATIONS,
+    ICC_CALL_APIS,
+    LIFECYCLE_HANDLERS,
+    LIFECYCLE_PREDECESSORS,
+    SINK_CATALOGUE,
+    component_kind_of,
+    framework_pool,
+    is_framework_class,
+    is_lifecycle_handler,
+    sinks_for_rules,
+)
+from repro.dex.builder import AppBuilder
+from repro.dex.types import MethodSignature
+
+
+class TestFrameworkPool:
+    def test_singleton_identity(self):
+        assert framework_pool() is framework_pool()
+
+    def test_all_classes_flagged_framework(self):
+        assert all(c.is_framework for c in framework_pool())
+
+    def test_runnable_declares_run(self):
+        pool = framework_pool()
+        runnable = pool.get("java.lang.Runnable")
+        assert runnable.is_interface
+        assert runnable.declares_sub_signature("void run()")
+
+    def test_executor_declares_execute(self):
+        pool = framework_pool()
+        executor = pool.get("java.util.concurrent.Executor")
+        assert executor.declares_sub_signature("void execute(java.lang.Runnable)")
+
+    def test_activity_extends_context(self):
+        pool = framework_pool()
+        chain = pool.superclass_chain("android.app.Activity")
+        assert "android.content.Context" in chain
+
+    def test_x509_verifier_extends_hostname_verifier(self):
+        pool = framework_pool()
+        assert pool.is_subtype_of(
+            "org.apache.http.conn.ssl.AllowAllHostnameVerifier",
+            "javax.net.ssl.HostnameVerifier",
+        )
+
+    def test_allow_all_verifier_field_exists(self):
+        pool = framework_pool()
+        factory = pool.get("org.apache.http.conn.ssl.SSLSocketFactory")
+        field = factory.find_field("ALLOW_ALL_HOSTNAME_VERIFIER")
+        assert field is not None and field.is_static
+
+
+class TestFrameworkPredicates:
+    def test_is_framework_class(self):
+        assert is_framework_class("android.app.Activity")
+        assert is_framework_class("java.lang.Thread")
+        assert is_framework_class("javax.crypto.Cipher")
+        assert not is_framework_class("com.example.Main")
+        assert not is_framework_class("com.facebook.ads.Loader")
+
+    def test_component_kind_of_app_subclass(self):
+        app = AppBuilder()
+        app.new_class("com.example.Main", superclass="android.app.Activity")
+        pool = app.build()
+        pool.merge(framework_pool())
+        assert component_kind_of(pool, "com.example.Main") == "android.app.Activity"
+        assert component_kind_of(pool, "java.lang.String") is None
+
+    def test_is_lifecycle_handler(self):
+        app = AppBuilder()
+        main = app.new_class("com.example.Main", superclass="android.app.Activity")
+        m = main.method("onCreate", params=["android.os.Bundle"])
+        m.return_void()
+        pool = app.build()
+        pool.merge(framework_pool())
+        sig = MethodSignature(
+            "com.example.Main", "onCreate", ("android.os.Bundle",), "void"
+        )
+        assert is_lifecycle_handler(pool, sig)
+        other = MethodSignature("com.example.Main", "helper", (), "void")
+        assert not is_lifecycle_handler(pool, other)
+
+
+class TestDomainKnowledge:
+    def test_lifecycle_tables_consistent(self):
+        for base, predecessors in LIFECYCLE_PREDECESSORS.items():
+            handlers = set(LIFECYCLE_HANDLERS[base])
+            for handler, preds in predecessors.items():
+                assert handler in handlers
+                assert set(preds) <= handlers
+
+    def test_activity_oncreate_is_root(self):
+        preds = LIFECYCLE_PREDECESSORS["android.app.Activity"]
+        assert "onCreate" not in preds  # nothing precedes onCreate
+
+    def test_async_edge_map_has_paper_examples(self):
+        assert ASYNC_EDGE_MAP[("java.lang.Thread", "start")] == "run"
+        assert ASYNC_EDGE_MAP[("android.os.AsyncTask", "execute")] == "doInBackground"
+        assert ASYNC_EDGE_MAP[("java.util.concurrent.Executor", "execute")] == "run"
+
+    def test_callback_registrations(self):
+        iface, method = CALLBACK_REGISTRATIONS["setOnClickListener"]
+        assert iface == "android.view.View$OnClickListener"
+        assert method == "onClick"
+
+    def test_icc_apis_cover_all_component_kinds(self):
+        targets = set(ICC_CALL_APIS.values())
+        assert "android.app.Activity" in targets
+        assert "android.app.Service" in targets
+        assert "android.content.BroadcastReceiver" in targets
+
+
+class TestSinkCatalogue:
+    def test_paper_sinks_present(self):
+        keys = {s.signature.to_dex() for s in SINK_CATALOGUE}
+        assert "Ljavax/crypto/Cipher;.getInstance:(Ljava/lang/String;)Ljavax/crypto/Cipher;" in keys
+        assert (
+            "Lorg/apache/http/conn/ssl/SSLSocketFactory;.setHostnameVerifier:"
+            "(Lorg/apache/http/conn/ssl/X509HostnameVerifier;)V"
+        ) in keys
+
+    def test_sinks_for_rules_filters(self):
+        crypto = sinks_for_rules(("crypto-ecb",))
+        assert all(s.rule == "crypto-ecb" for s in crypto)
+        assert len(crypto) == 2
+
+    def test_tracked_params_valid(self):
+        for sink in SINK_CATALOGUE:
+            for index in sink.tracked_params:
+                assert 0 <= index < len(sink.signature.param_types)
+
+    def test_sink_methods_resolve_in_framework_pool(self):
+        pool = framework_pool()
+        for sink in SINK_CATALOGUE:
+            assert pool.resolve_method(sink.signature) is not None, sink.key

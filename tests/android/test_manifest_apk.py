@@ -1,0 +1,111 @@
+"""Unit tests for the manifest model and the Apk container."""
+
+from repro.android.apk import Apk
+from repro.android.manifest import Component, ComponentKind, IntentFilter, Manifest
+from repro.dex.builder import AppBuilder
+
+
+def _manifest() -> Manifest:
+    manifest = Manifest(package="com.lge.app1")
+    manifest.register(
+        "com.lge.app1.MainActivity",
+        ComponentKind.ACTIVITY,
+        exported=True,
+        actions=["android.intent.action.MAIN"],
+    )
+    manifest.register("com.lge.app1.fota.HttpServerService", ComponentKind.SERVICE)
+    manifest.register(
+        "com.lge.app1.SyncReceiver",
+        ComponentKind.RECEIVER,
+        actions=["com.lge.app1.ACTION_SYNC"],
+    )
+    return manifest
+
+
+class TestManifest:
+    def test_registration_lookup(self):
+        manifest = _manifest()
+        assert manifest.is_registered("com.lge.app1.MainActivity")
+        assert manifest.is_registered("com.lge.app1.fota.HttpServerService")
+        # The unregistered-Activity shape behind Amandroid's false
+        # positives (Sec. VI-C).
+        assert not manifest.is_registered("jp.kemco.activation.TstoreActivation")
+
+    def test_application_class_counts_as_registered(self):
+        manifest = Manifest(package="com.a", application_class="com.a.App")
+        assert manifest.is_registered("com.a.App")
+
+    def test_launcher_detection(self):
+        manifest = _manifest()
+        assert manifest.component("com.lge.app1.MainActivity").is_launcher
+        assert not manifest.component("com.lge.app1.SyncReceiver").is_launcher
+
+    def test_components_of_kind(self):
+        manifest = _manifest()
+        services = manifest.components_of(ComponentKind.SERVICE)
+        assert [c.class_name for c in services] == [
+            "com.lge.app1.fota.HttpServerService"
+        ]
+
+    def test_implicit_icc_resolution(self):
+        manifest = _manifest()
+        receivers = manifest.components_handling("com.lge.app1.ACTION_SYNC")
+        assert [c.class_name for c in receivers] == ["com.lge.app1.SyncReceiver"]
+        assert manifest.components_handling("unknown.ACTION") == []
+
+    def test_entry_classes(self):
+        manifest = _manifest()
+        assert manifest.entry_classes() == {
+            "com.lge.app1.MainActivity",
+            "com.lge.app1.fota.HttpServerService",
+            "com.lge.app1.SyncReceiver",
+        }
+
+    def test_component_kind_base_classes(self):
+        assert ComponentKind.ACTIVITY.base_class == "android.app.Activity"
+        assert ComponentKind.PROVIDER.base_class == "android.content.ContentProvider"
+
+    def test_intent_filter_matching(self):
+        f = IntentFilter(actions=("a.b.ACTION_X",))
+        assert f.matches_action("a.b.ACTION_X")
+        assert not f.matches_action("a.b.ACTION_Y")
+
+
+class TestApk:
+    def _apk(self) -> Apk:
+        app = AppBuilder()
+        main = app.new_class("com.example.Main", superclass="android.app.Activity")
+        m = main.method("onCreate", params=["android.os.Bundle"])
+        m.this()
+        m.return_void()
+        return Apk(package="com.example", classes=app.build(), size_mb=41.5)
+
+    def test_full_pool_contains_app_and_framework(self):
+        apk = self._apk()
+        assert apk.full_pool.get("com.example.Main") is not None
+        assert apk.full_pool.get("android.app.Activity") is not None
+
+    def test_full_pool_hierarchy_crosses_boundary(self):
+        apk = self._apk()
+        assert apk.full_pool.is_subtype_of("com.example.Main", "android.content.Context")
+
+    def test_disassembly_contains_only_app_classes(self):
+        apk = self._apk()
+        text = apk.disassembly.text
+        assert "Lcom/example/Main;" in text
+        assert "Landroid/app/Activity;'" not in text.replace(
+            "Superclass        : 'Landroid/app/Activity;'", ""
+        )
+
+    def test_caches_are_reused_and_invalidated(self):
+        apk = self._apk()
+        first = apk.disassembly
+        assert apk.disassembly is first
+        apk.invalidate_caches()
+        assert apk.disassembly is not first
+
+    def test_counters(self):
+        apk = self._apk()
+        assert apk.class_count() == 1
+        assert apk.method_count() == 1
+        assert apk.code_units() >= 2

@@ -1,0 +1,165 @@
+"""Unit tests for the whole-app call-graph builder."""
+
+import pytest
+
+from repro.android.apk import Apk
+from repro.android.manifest import ComponentKind, Manifest
+from repro.baseline.callgraph import build_whole_app_callgraph
+from repro.baseline.config import AmandroidConfig, AnalysisError, AnalysisTimeout, Deadline
+from repro.dex.builder import AppBuilder
+from repro.dex.types import MethodSignature
+from repro.workload.paperapps import build_lg_tv_plus
+
+
+def _simple_apk(register=True):
+    app = AppBuilder()
+    helper = app.new_class("com.a.Helper")
+    hm = helper.method("help", static=True)
+    hm.return_void()
+    main = app.new_class("com.a.Main", superclass="android.app.Activity")
+    main.default_constructor()
+    oc = main.method("onCreate", params=["android.os.Bundle"])
+    oc.this()
+    oc.param(0)
+    oc.invoke_static("com.a.Helper", "help")
+    oc.return_void()
+    manifest = Manifest("com.a")
+    if register:
+        manifest.register("com.a.Main", ComponentKind.ACTIVITY)
+    return Apk(package="com.a", classes=app.build(), manifest=manifest)
+
+
+class TestEntryPoints:
+    def test_registered_component_is_entry(self):
+        graph = build_whole_app_callgraph(_simple_apk())
+        entry = MethodSignature("com.a.Main", "onCreate", ("android.os.Bundle",), "void")
+        assert entry in graph.entry_points
+        helper = MethodSignature("com.a.Helper", "help", (), "void")
+        assert helper in graph.reachable
+
+    def test_unregistered_component_still_entry_by_default(self):
+        # The Amandroid behaviour behind its false positives.
+        graph = build_whole_app_callgraph(_simple_apk(register=False))
+        assert graph.entry_points
+
+    def test_unregistered_component_excluded_when_configured(self):
+        config = AmandroidConfig(treat_unregistered_components_as_entries=False)
+        graph = build_whole_app_callgraph(_simple_apk(register=False), config)
+        assert not graph.entry_points
+        assert not graph.reachable
+
+
+class TestEdgeWiring:
+    def test_thread_start_edge_wired(self):
+        app = AppBuilder()
+        worker = app.new_class("com.a.W", superclass="java.lang.Thread")
+        worker.default_constructor()
+        run = worker.method("run")
+        run.this()
+        run.return_void()
+        main = app.new_class("com.a.Main", superclass="android.app.Activity")
+        oc = main.method("onCreate", params=["android.os.Bundle"])
+        oc.this()
+        oc.param(0)
+        w = oc.new_init("com.a.W")
+        oc.invoke_virtual(w, "java.lang.Thread", "start")
+        oc.return_void()
+        manifest = Manifest("com.a")
+        manifest.register("com.a.Main", ComponentKind.ACTIVITY)
+        apk = Apk(package="com.a", classes=app.build(), manifest=manifest)
+        graph = build_whole_app_callgraph(apk)
+        assert MethodSignature("com.a.W", "run", (), "void") in graph.reachable
+
+    def test_executor_execute_edge_missing_by_design(self):
+        # Sec. VI-C: Amandroid "failed to connect the flow from
+        # AsyncTask.execute ... and Executor.execute" — the default edge
+        # map omits Executor.execute, so the Fig. 4 run() is unreached.
+        apk = build_lg_tv_plus()
+        graph = build_whole_app_callgraph(apk)
+        run = MethodSignature(
+            "com.connectsdk.service.NetcastTVService$1", "run", (), "void"
+        )
+        assert run not in graph.reachable
+
+    def test_explicit_icc_edge_wired(self):
+        apk = build_lg_tv_plus()
+        graph = build_whole_app_callgraph(apk)
+        service_on_create = MethodSignature(
+            "com.lge.app1.fota.HttpServerService", "onCreate", (), "void"
+        )
+        assert service_on_create in graph.reachable
+
+    def test_clinit_edges_wired(self):
+        apk = build_lg_tv_plus()
+        graph = build_whole_app_callgraph(apk)
+        clinit = MethodSignature("com.connectsdk.core.Util", "<clinit>", (), "void")
+        assert clinit in graph.reachable
+
+
+class TestLiblistSkipping:
+    def test_library_methods_not_traversed(self):
+        app = AppBuilder()
+        lib = app.new_class("com.facebook.crypto.Helper")
+        lm = lib.method("protect", static=True)
+        lm.invoke_static(
+            "javax.crypto.Cipher", "getInstance",
+            args=[lm.const_string("AES/ECB/PKCS5Padding")],
+            params=["java.lang.String"], returns="javax.crypto.Cipher",
+        )
+        lm.return_void()
+        main = app.new_class("com.a.Main", superclass="android.app.Activity")
+        oc = main.method("onCreate", params=["android.os.Bundle"])
+        oc.this()
+        oc.param(0)
+        oc.invoke_static("com.facebook.crypto.Helper", "protect")
+        oc.return_void()
+        manifest = Manifest("com.a")
+        manifest.register("com.a.Main", ComponentKind.ACTIVITY)
+        apk = Apk(package="com.a", classes=app.build(), manifest=manifest)
+        graph = build_whole_app_callgraph(apk)
+        assert "com.facebook.crypto.Helper" in graph.skipped_library_classes
+
+    def test_liblist_can_be_disabled(self):
+        config = AmandroidConfig(skip_liblist=False)
+        app = AppBuilder()
+        lib = app.new_class("com.facebook.crypto.Helper")
+        lm = lib.method("protect", static=True)
+        lm.return_void()
+        main = app.new_class("com.a.Main", superclass="android.app.Activity")
+        oc = main.method("onCreate", params=["android.os.Bundle"])
+        oc.this()
+        oc.param(0)
+        oc.invoke_static("com.facebook.crypto.Helper", "protect")
+        oc.return_void()
+        manifest = Manifest("com.a")
+        manifest.register("com.a.Main", ComponentKind.ACTIVITY)
+        apk = Apk(package="com.a", classes=app.build(), manifest=manifest)
+        graph = build_whole_app_callgraph(apk, config)
+        assert not graph.skipped_library_classes
+
+
+class TestFailureModes:
+    def test_unresolved_procedures_raise_analysis_error(self):
+        app = AppBuilder()
+        glue = app.new_class("com.a.Glue")
+        m = glue.method("dispatch", static=True)
+        for i in range(5):
+            m.invoke_static(f"com.missing.Stub{i}", "call")
+        m.return_void()
+        main = app.new_class("com.a.Main", superclass="android.app.Activity")
+        oc = main.method("onCreate", params=["android.os.Bundle"])
+        oc.this()
+        oc.param(0)
+        oc.invoke_static("com.a.Glue", "dispatch")
+        oc.return_void()
+        manifest = Manifest("com.a")
+        manifest.register("com.a.Main", ComponentKind.ACTIVITY)
+        apk = Apk(package="com.a", classes=app.build(), manifest=manifest)
+        with pytest.raises(AnalysisError, match="Could not find procedure"):
+            build_whole_app_callgraph(apk)
+
+    def test_deadline_raises_timeout(self):
+        apk = build_lg_tv_plus()
+        deadline = Deadline(timeout_seconds=0.0)
+        with pytest.raises(AnalysisTimeout):
+            build_whole_app_callgraph(apk, deadline=deadline)

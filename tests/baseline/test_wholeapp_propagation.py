@@ -1,0 +1,91 @@
+"""Unit tests for the whole-app constant propagation's semantics."""
+
+from repro.baseline.callgraph import build_whole_app_callgraph
+from repro.baseline.config import AmandroidConfig, Deadline
+from repro.baseline.wholeapp import _WholeAppConstants
+from repro.android.apk import Apk
+from repro.android.manifest import ComponentKind, Manifest
+from repro.core.values import ConstFact
+from repro.dex.builder import AppBuilder
+from repro.dex.instructions import Local
+from repro.dex.types import FieldSignature, MethodSignature
+
+
+def _propagated(build_body):
+    """Build an app, run whole-app propagation, return the instance."""
+    app = AppBuilder()
+    manifest = Manifest("com.w")
+    main = app.new_class("com.w.Main", superclass="android.app.Activity")
+    main.default_constructor()
+    oc = main.method("onCreate", params=["android.os.Bundle"])
+    oc.this()
+    oc.param(0)
+    build_body(oc, app)
+    oc.return_void()
+    manifest.register("com.w.Main", ComponentKind.ACTIVITY)
+    apk = Apk(package="com.w", classes=app.build(), manifest=manifest)
+    config = AmandroidConfig(timeout_seconds=None)
+    graph = build_whole_app_callgraph(apk, config)
+    propagation = _WholeAppConstants(apk, graph, config, Deadline(None))
+    propagation.run()
+    return propagation
+
+
+class TestWholeAppConstants:
+    def test_param_facts_flow_into_callees(self):
+        def body(oc, app):
+            helper = app.new_class("com.w.H")
+            m = helper.method("use", params=["java.lang.String"], static=True)
+            m.param(0)
+            m.return_void()
+            t = oc.const_string("AES/ECB/PKCS5Padding")
+            oc.invoke_static("com.w.H", "use", args=[t],
+                             params=["java.lang.String"])
+
+        propagation = _propagated(body)
+        sig = MethodSignature("com.w.H", "use", ("java.lang.String",), "void")
+        fact = propagation._param_in[(sig, 0)]
+        assert fact == ConstFact("AES/ECB/PKCS5Padding")
+
+    def test_multiple_callers_merge_param_facts(self):
+        def body(oc, app):
+            helper = app.new_class("com.w.H")
+            m = helper.method("use", params=["java.lang.String"], static=True)
+            m.param(0)
+            m.return_void()
+            for value in ("AES", "DES"):
+                t = oc.const_string(value)
+                oc.invoke_static("com.w.H", "use", args=[t],
+                                 params=["java.lang.String"])
+
+        propagation = _propagated(body)
+        sig = MethodSignature("com.w.H", "use", ("java.lang.String",), "void")
+        fact = propagation._param_in[(sig, 0)]
+        assert set(fact.possible_consts()) == {"AES", "DES"}
+
+    def test_return_facts_flow_back(self):
+        def body(oc, app):
+            helper = app.new_class("com.w.H")
+            m = helper.method("mode", returns="java.lang.String", static=True)
+            v = m.const_string("DES")
+            m.return_value(v)
+            got = oc.invoke_static("com.w.H", "mode", returns="java.lang.String")
+            # keep the local alive for inspection
+            oc.move(got)
+
+        propagation = _propagated(body)
+        sig = MethodSignature("com.w.H", "mode", (), "java.lang.String")
+        assert propagation._returns[sig] == ConstFact("DES")
+
+    def test_global_field_map_shared(self):
+        def body(oc, app):
+            conf = app.new_class("com.w.Conf")
+            conf.field("MODE", "java.lang.String", static=True)
+            clinit = conf.static_initializer()
+            clinit.put_static("com.w.Conf", "MODE", "java.lang.String", "AES")
+            clinit.return_void()
+            oc.get_static("com.w.Conf", "MODE", "java.lang.String")
+
+        propagation = _propagated(body)
+        field = FieldSignature("com.w.Conf", "MODE", "java.lang.String")
+        assert propagation._fields[field] == ConstFact("AES")

@@ -1,0 +1,147 @@
+"""Unit tests for the modeled Java/Android API semantics."""
+
+from repro.core.api_models import (
+    ALLOW_ALL_VERIFIER,
+    ApiCall,
+    framework_constant,
+    lookup_model,
+)
+from repro.core.values import ConstFact, NewObjFact, UnknownFact
+from repro.dex.types import FieldSignature, MethodSignature
+
+
+def _call(cls, name, base=None, args=(), params=None):
+    sig = MethodSignature(
+        cls, name,
+        tuple(params or ["java.lang.Object"] * len(args)),
+        "java.lang.Object",
+    )
+    model = lookup_model(sig)
+    assert model is not None, f"no model for {sig}"
+    return model(ApiCall(sig, base_fact=base, arg_facts=list(args)))
+
+
+class TestStringBuilderModel:
+    def test_init_empty(self):
+        outcome = _call("java.lang.StringBuilder", "<init>")
+        assert isinstance(outcome.base_update, NewObjFact)
+
+    def test_init_seeded_append_tostring(self):
+        seeded = _call(
+            "java.lang.StringBuilder", "<init>", args=[ConstFact("AES")]
+        ).base_update
+        appended = _call(
+            "java.lang.StringBuilder", "append",
+            base=seeded, args=[ConstFact("/ECB/PKCS5Padding")],
+        )
+        final = _call("java.lang.StringBuilder", "toString",
+                      base=appended.base_update)
+        assert final.result == ConstFact("AES/ECB/PKCS5Padding")
+
+    def test_append_int(self):
+        seeded = _call("java.lang.StringBuilder", "<init>",
+                       args=[ConstFact("port:")]).base_update
+        appended = _call("java.lang.StringBuilder", "append",
+                         base=seeded, args=[ConstFact(8089)])
+        final = _call("java.lang.StringBuilder", "toString",
+                      base=appended.base_update)
+        assert final.result == ConstFact("port:8089")
+
+    def test_append_unknown_degrades(self):
+        seeded = _call("java.lang.StringBuilder", "<init>",
+                       args=[ConstFact("AES")]).base_update
+        appended = _call("java.lang.StringBuilder", "append",
+                         base=seeded, args=[UnknownFact("user input")])
+        final = _call("java.lang.StringBuilder", "toString",
+                      base=appended.base_update)
+        assert isinstance(final.result, UnknownFact)
+
+
+class TestStringAndIntegerModels:
+    def test_value_of(self):
+        assert _call("java.lang.String", "valueOf",
+                     args=[ConstFact(7)]).result == ConstFact("7")
+
+    def test_concat(self):
+        outcome = _call("java.lang.String", "concat",
+                        base=ConstFact("AES/"), args=[ConstFact("ECB")])
+        assert outcome.result == ConstFact("AES/ECB")
+
+    def test_case_transforms(self):
+        assert _call("java.lang.String", "toUpperCase",
+                     base=ConstFact("aes")).result == ConstFact("AES")
+        assert _call("java.lang.String", "toLowerCase",
+                     base=ConstFact("AES")).result == ConstFact("aes")
+        assert _call("java.lang.String", "trim",
+                     base=ConstFact(" x ")).result == ConstFact("x")
+
+    def test_format_passthrough_without_specifiers(self):
+        assert _call("java.lang.String", "format",
+                     args=[ConstFact("AES/GCM/NoPadding")]).result == ConstFact(
+            "AES/GCM/NoPadding"
+        )
+
+    def test_format_with_specifiers_unknown(self):
+        outcome = _call("java.lang.String", "format", args=[ConstFact("%s/ECB")])
+        assert isinstance(outcome.result, UnknownFact)
+
+    def test_parse_int(self):
+        assert _call("java.lang.Integer", "parseInt",
+                     args=[ConstFact("8089")]).result == ConstFact(8089)
+
+    def test_parse_int_garbage(self):
+        outcome = _call("java.lang.Integer", "parseInt", args=[ConstFact("x")])
+        assert isinstance(outcome.result, UnknownFact)
+
+    def test_integer_to_string(self):
+        assert _call("java.lang.Integer", "toString",
+                     args=[ConstFact(42)]).result == ConstFact("42")
+
+    def test_substring_one_arg(self):
+        assert _call("java.lang.String", "substring",
+                     base=ConstFact("AES/ECB"),
+                     args=[ConstFact(4)]).result == ConstFact("ECB")
+
+    def test_substring_two_args(self):
+        assert _call("java.lang.String", "substring",
+                     base=ConstFact("AES/ECB"),
+                     args=[ConstFact(0), ConstFact(3)]).result == ConstFact("AES")
+
+    def test_substring_out_of_bounds_unknown(self):
+        outcome = _call("java.lang.String", "substring",
+                        base=ConstFact("AES"), args=[ConstFact(9)])
+        assert isinstance(outcome.result, UnknownFact)
+
+    def test_replace(self):
+        assert _call(
+            "java.lang.String", "replace",
+            base=ConstFact("AES/GCM/NoPadding"),
+            args=[ConstFact("GCM"), ConstFact("ECB")],
+        ).result == ConstFact("AES/ECB/NoPadding")
+
+    def test_text_utils_is_empty(self):
+        assert _call("android.text.TextUtils", "isEmpty",
+                     args=[ConstFact("")]).result == ConstFact(True)
+        assert _call("android.text.TextUtils", "isEmpty",
+                     args=[ConstFact("x")]).result == ConstFact(False)
+        assert _call("android.text.TextUtils", "isEmpty",
+                     args=[ConstFact(None)]).result == ConstFact(True)
+
+
+class TestFrameworkConstants:
+    def test_allow_all_constant(self):
+        sig = FieldSignature(
+            "org.apache.http.conn.ssl.SSLSocketFactory",
+            "ALLOW_ALL_HOSTNAME_VERIFIER",
+            "org.apache.http.conn.ssl.X509HostnameVerifier",
+        )
+        assert framework_constant(sig) == ConstFact(ALLOW_ALL_VERIFIER)
+
+    def test_unknown_field_is_none(self):
+        sig = FieldSignature("com.a.B", "f", "int")
+        assert framework_constant(sig) is None
+
+    def test_executor_factory_model(self):
+        outcome = _call("java.util.concurrent.Executors", "newCachedThreadPool")
+        assert isinstance(outcome.result, NewObjFact)
+        assert "ExecutorService" in outcome.result.class_name

@@ -1,0 +1,53 @@
+"""Unit tests for driver configuration and sink-site discovery."""
+
+from repro.android.framework import sinks_for_rules
+from repro.core import BackDroid, BackDroidConfig
+from repro.workload.paperapps import build_lg_tv_plus, build_palcomp3
+
+
+class TestConfig:
+    def test_default_rules_are_the_papers(self):
+        config = BackDroidConfig()
+        rules = {spec.rule for spec in config.sink_specs()}
+        assert rules == {"crypto-ecb", "ssl-verifier"}
+
+    def test_explicit_sink_list_overrides_rules(self):
+        explicit = sinks_for_rules(("open-port",))
+        config = BackDroidConfig(sink_rules=("crypto-ecb",), sinks=explicit)
+        assert config.sink_specs() == explicit
+
+    def test_rule_selection(self):
+        config = BackDroidConfig(sink_rules=("open-port",))
+        assert all(s.rule == "open-port" for s in config.sink_specs())
+
+
+class TestSinkSiteDiscovery:
+    def test_sites_sorted_and_unique(self):
+        apk = build_lg_tv_plus()
+        driver = BackDroid(BackDroidConfig(sink_rules=("open-port",)))
+        sites = driver.find_sink_call_sites(apk)
+        keys = [(str(s.method), s.stmt_index) for s in sites]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))
+
+    def test_no_sites_for_unused_rules(self):
+        apk = build_lg_tv_plus()
+        driver = BackDroid(BackDroidConfig(sink_rules=("sms-send",)))
+        assert driver.find_sink_call_sites(apk) == []
+
+    def test_multiple_rule_families_combined(self):
+        apk = build_palcomp3()
+        driver = BackDroid(BackDroidConfig(sink_rules=("open-port", "crypto-ecb")))
+        sites = driver.find_sink_call_sites(apk)
+        assert {s.spec.rule for s in sites} == {"open-port"}
+        # Only bind() qualifies: the app constructs the socket with the
+        # no-argument constructor, which is not in the sink catalogue.
+        names = {s.spec.signature.name for s in sites}
+        assert names == {"bind"}
+
+    def test_report_contains_one_record_per_site(self):
+        apk = build_palcomp3()
+        driver = BackDroid(BackDroidConfig(sink_rules=("open-port",)))
+        sites = driver.find_sink_call_sites(apk)
+        report = driver.analyze(apk)
+        assert report.sink_count == len(sites)

@@ -1,0 +1,129 @@
+"""Unit tests for the sink-parameter security rules."""
+
+from repro.core.api_models import ALLOW_ALL_VERIFIER, STRICT_VERIFIER
+from repro.core.detectors import (
+    CryptoEcbDetector,
+    DETECTORS,
+    OpenPortDetector,
+    SslVerifierDetector,
+)
+from repro.core.values import ConstFact, MultiFact, NewObjFact, UnknownFact
+from repro.dex.builder import AppBuilder
+from repro.dex.types import MethodSignature
+
+_SINK = MethodSignature("com.a.B", "m", (), "void")
+
+
+def _crypto(fact):
+    return CryptoEcbDetector().evaluate({0: fact}, _SINK, 0, AppBuilder().build())
+
+
+def _ssl(fact, pool=None):
+    pool = pool if pool is not None else AppBuilder().build()
+    return SslVerifierDetector().evaluate({0: fact}, _SINK, 0, pool)
+
+
+class TestCryptoRule:
+    def test_explicit_ecb_flagged(self):
+        assert _crypto(ConstFact("AES/ECB/PKCS5Padding")) is not None
+
+    def test_bare_algorithm_defaults_to_ecb(self):
+        assert _crypto(ConstFact("AES")) is not None
+        assert _crypto(ConstFact("DES")) is not None
+
+    def test_weak_algorithm_flagged_even_with_cbc(self):
+        assert _crypto(ConstFact("DES/CBC/PKCS5Padding")) is not None
+
+    def test_gcm_not_flagged(self):
+        assert _crypto(ConstFact("AES/GCM/NoPadding")) is None
+        assert _crypto(ConstFact("AES/CBC/PKCS5Padding")) is None
+
+    def test_case_insensitive(self):
+        assert _crypto(ConstFact("aes/ecb/pkcs5padding")) is not None
+
+    def test_multifact_any_option_flags(self):
+        fact = MultiFact((ConstFact("AES/GCM/NoPadding"),
+                          ConstFact("AES/ECB/PKCS5Padding")))
+        finding = _crypto(fact)
+        assert finding is not None
+        assert "ECB" in finding.value_repr
+
+    def test_unknown_not_flagged(self):
+        assert _crypto(UnknownFact("unresolved")) is None
+
+    def test_missing_param_not_flagged(self):
+        detector = CryptoEcbDetector()
+        assert detector.evaluate({}, _SINK, 0, AppBuilder().build()) is None
+
+    def test_transformation_predicate_directly(self):
+        is_bad = CryptoEcbDetector.is_insecure_transformation
+        assert is_bad("AES/ECB/NoPadding")
+        assert is_bad("Blowfish")
+        assert not is_bad("RSA/NONE/OAEPPadding")
+        assert not is_bad("")
+
+
+class TestSslRule:
+    def test_allow_all_constant_flagged(self):
+        assert _ssl(ConstFact(ALLOW_ALL_VERIFIER)) is not None
+
+    def test_strict_constant_not_flagged(self):
+        assert _ssl(ConstFact(STRICT_VERIFIER)) is None
+
+    def test_allow_all_object_flagged(self):
+        fact = NewObjFact.make("org.apache.http.conn.ssl.AllowAllHostnameVerifier")
+        assert _ssl(fact) is not None
+
+    def test_app_verifier_returning_true_flagged(self):
+        app = AppBuilder()
+        verifier = app.new_class(
+            "com.a.TrustAll", interfaces=["javax.net.ssl.HostnameVerifier"]
+        )
+        m = verifier.method(
+            "verify", params=["java.lang.String", "javax.net.ssl.SSLSession"],
+            returns="boolean",
+        )
+        m.return_value(True)
+        pool = app.build()
+        from repro.android.framework import framework_pool
+
+        pool.merge(framework_pool())
+        assert _ssl(NewObjFact.make("com.a.TrustAll"), pool) is not None
+
+    def test_app_verifier_with_real_check_not_flagged(self):
+        app = AppBuilder()
+        verifier = app.new_class(
+            "com.a.Careful", interfaces=["javax.net.ssl.HostnameVerifier"]
+        )
+        m = verifier.method(
+            "verify", params=["java.lang.String", "javax.net.ssl.SSLSession"],
+            returns="boolean",
+        )
+        host = m.param(0)
+        check = m.invoke_virtual(host, "java.lang.String", "equals",
+                                 args=["api.example.com"],
+                                 params=["java.lang.Object"], returns="boolean")
+        m.return_value(check)
+        pool = app.build()
+        from repro.android.framework import framework_pool
+
+        pool.merge(framework_pool())
+        assert _ssl(NewObjFact.make("com.a.Careful"), pool) is None
+
+
+class TestRegistryAndInfoRules:
+    def test_all_rules_registered(self):
+        assert set(DETECTORS) >= {"crypto-ecb", "ssl-verifier", "open-port",
+                                  "sms-send"}
+
+    def test_open_port_reports_value(self):
+        finding = OpenPortDetector().evaluate(
+            {0: ConstFact(8089)}, _SINK, 0, AppBuilder().build()
+        )
+        assert finding is not None
+        assert "8089" in finding.value_repr
+
+    def test_finding_render(self):
+        finding = _crypto(ConstFact("DES"))
+        text = str(finding)
+        assert "crypto-ecb" in text and "com.a.B" in text

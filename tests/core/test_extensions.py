@@ -1,0 +1,148 @@
+"""Tests for the implemented future-work extensions.
+
+* per-app SSG (Sec. V-A / VI-D evolution);
+* reflection resolution (Sec. VII plan).
+"""
+
+from repro.android.apk import Apk
+from repro.android.manifest import ComponentKind, Manifest
+from repro.core import BackDroid, BackDroidConfig
+from repro.core.per_app import build_per_app_ssg
+from repro.dex.builder import AppBuilder
+from repro.dex.types import MethodSignature
+from repro.search.reflection import ReflectionResolver
+from repro.workload.generator import AppSpec, generate_app
+from repro.workload.patterns import PatternSpec
+
+
+class TestPerAppSSG:
+    def _apk_with_shared_paths(self):
+        """Two sinks sharing most of their backtracking path."""
+        app = AppBuilder()
+        manifest = Manifest("com.pa")
+        helper = app.new_class("com.pa.H")
+        m = helper.method("work", params=["java.lang.String"], static=True)
+        arg = m.param(0)
+        m.invoke_static(
+            "javax.crypto.Cipher", "getInstance", args=[arg],
+            params=["java.lang.String"], returns="javax.crypto.Cipher",
+        )
+        m.invoke_static(
+            "javax.crypto.Cipher", "getInstance", args=[arg],
+            params=["java.lang.String"], returns="javax.crypto.Cipher",
+        )
+        m.return_void()
+        main = app.new_class("com.pa.Main", superclass="android.app.Activity")
+        main.default_constructor()
+        oc = main.method("onCreate", params=["android.os.Bundle"])
+        oc.this()
+        oc.param(0)
+        t = oc.const_string("AES/ECB/PKCS5Padding")
+        oc.invoke_static("com.pa.H", "work", args=[t], params=["java.lang.String"])
+        oc.return_void()
+        manifest.register("com.pa.Main", ComponentKind.ACTIVITY)
+        return Apk(package="com.pa", classes=app.build(), manifest=manifest)
+
+    def test_merge_shares_overlapping_paths(self):
+        apk = self._apk_with_shared_paths()
+        driver = BackDroid(BackDroidConfig(sink_rules=("crypto-ecb",)))
+        sites = driver.find_sink_call_sites(apk)
+        assert len(sites) == 2
+        merged = build_per_app_ssg(apk, sites)
+        assert len(merged.slices) == 2
+        # The two slices share the wrapper path, so the merged graph is
+        # strictly smaller than the sum of the slices.
+        assert merged.unit_count < merged.summed_slice_units
+        assert merged.sharing_ratio < 1.0
+
+    def test_partial_graph_stays_partial(self):
+        generated = generate_app(
+            AppSpec(package="com.pa2", seed=4,
+                    patterns=(PatternSpec("direct_entry", insecure=True),),
+                    filler_classes=40)
+        )
+        apk = generated.apk
+        driver = BackDroid(BackDroidConfig(sink_rules=("crypto-ecb",)))
+        merged = build_per_app_ssg(apk, driver.find_sink_call_sites(apk))
+        # The merged graph must not contain the bulk filler code: that is
+        # the whole advantage over whole-app graphs.
+        assert merged.coverage_fraction(apk) < 0.2
+        assert merged.entry_points
+
+    def test_slice_for_lookup(self):
+        apk = self._apk_with_shared_paths()
+        driver = BackDroid(BackDroidConfig(sink_rules=("crypto-ecb",)))
+        sites = driver.find_sink_call_sites(apk)
+        merged = build_per_app_ssg(apk, sites)
+        assert merged.slice_for(sites[0]) is not None
+        assert merged.slice_for(sites[0]).reached_entry
+
+
+class TestReflectionResolution:
+    def _reflective_apk(self):
+        app = AppBuilder()
+        manifest = Manifest("com.rf")
+        target = app.new_class("com.rf.CryptoHelper")
+        tm = target.method("encrypt", params=["java.lang.String"], static=True)
+        tm.param(0)
+        tm.return_void()
+        main = app.new_class("com.rf.Main", superclass="android.app.Activity")
+        main.default_constructor()
+        oc = main.method("onCreate", params=["android.os.Bundle"])
+        oc.this()
+        oc.param(0)
+        name = oc.const_string("com.rf.CryptoHelper")
+        cls = oc.invoke_static(
+            "java.lang.Class", "forName", args=[name],
+            params=["java.lang.String"], returns="java.lang.Class",
+        )
+        method_name = oc.const_string("encrypt")
+        oc.invoke_virtual(
+            cls, "java.lang.Class", "getMethod",
+            args=[method_name, oc.const_null("java.lang.Class[]")],
+            params=["java.lang.String", "java.lang.Class[]"],
+            returns="java.lang.reflect.Method",
+        )
+        oc.return_void()
+        manifest.register("com.rf.Main", ComponentKind.ACTIVITY)
+        return Apk(package="com.rf", classes=app.build(), manifest=manifest)
+
+    def test_forname_string_resolved_to_edge(self):
+        apk = self._reflective_apk()
+        resolver = ReflectionResolver(apk)
+        edges = resolver.resolve_all()
+        assert len(edges) == 1
+        edge = edges[0]
+        assert edge.target_class == "com.rf.CryptoHelper"
+        assert edge.target_method == "encrypt"
+        assert edge.caller.class_name == "com.rf.Main"
+
+    def test_caller_edges_for_target_method(self):
+        apk = self._reflective_apk()
+        resolver = ReflectionResolver(apk)
+        callee = MethodSignature(
+            "com.rf.CryptoHelper", "encrypt", ("java.lang.String",), "void"
+        )
+        callers = resolver.caller_edges_for(callee)
+        assert len(callers) == 1
+        assert callers[0].kind == "reflection"
+
+    def test_unresolvable_class_name_yields_no_edge(self):
+        app = AppBuilder()
+        manifest = Manifest("com.rf")
+        main = app.new_class("com.rf.Main", superclass="android.app.Activity")
+        main.default_constructor()
+        oc = main.method("onCreate", params=["android.os.Bundle"])
+        oc.this()
+        oc.param(0)
+        dynamic = oc.invoke_static(
+            "com.rf.Remote", "fetchClassName", returns="java.lang.String"
+        )
+        oc.invoke_static(
+            "java.lang.Class", "forName", args=[dynamic],
+            params=["java.lang.String"], returns="java.lang.Class",
+        )
+        oc.return_void()
+        manifest.register("com.rf.Main", ComponentKind.ACTIVITY)
+        apk = Apk(package="com.rf", classes=app.build(), manifest=manifest)
+        assert ReflectionResolver(apk).resolve_all() == []

@@ -1,0 +1,144 @@
+"""Focused unit tests for the forward propagation machinery."""
+
+from repro.android.apk import Apk
+from repro.android.manifest import ComponentKind, Manifest
+from repro.core import BackDroid, BackDroidConfig
+from repro.core.forward import ForwardPropagation
+from repro.core.slicer import BackwardSlicer
+from repro.core.values import ConstFact, MultiFact
+from repro.dex.builder import AppBuilder
+
+
+def _analyze_single(app_builder_fn, rules=("crypto-ecb",)):
+    apk = app_builder_fn()
+    driver = BackDroid(BackDroidConfig(sink_rules=rules))
+    sites = driver.find_sink_call_sites(apk)
+    assert len(sites) == 1
+    slicer = BackwardSlicer(apk)
+    ssg = slicer.slice_sink(sites[0])
+    return apk, ssg, ForwardPropagation(apk, ssg).run()
+
+
+def _entry_app(body_fn):
+    """An Activity whose onCreate body is produced by *body_fn*."""
+
+    def build():
+        app = AppBuilder()
+        main = app.new_class("com.f.Main", superclass="android.app.Activity")
+        main.default_constructor()
+        oc = main.method("onCreate", params=["android.os.Bundle"])
+        oc.this()
+        oc.param(0)
+        body_fn(oc, app)
+        oc.return_void()
+        manifest = Manifest("com.f")
+        manifest.register("com.f.Main", ComponentKind.ACTIVITY)
+        return Apk(package="com.f", classes=app.build(), manifest=manifest)
+
+    return build
+
+
+def _sink(oc, value_local):
+    oc.invoke_static(
+        "javax.crypto.Cipher", "getInstance", args=[value_local],
+        params=["java.lang.String"], returns="javax.crypto.Cipher",
+    )
+
+
+class TestConstantPropagation:
+    def test_direct_constant(self):
+        def body(oc, app):
+            t = oc.const_string("AES/GCM/NoPadding")
+            _sink(oc, t)
+
+        _, _, facts = _analyze_single(_entry_app(body))
+        assert facts[0] == ConstFact("AES/GCM/NoPadding")
+
+    def test_copy_chain(self):
+        def body(oc, app):
+            t = oc.const_string("DES")
+            a = oc.move(t)
+            b = oc.move(a)
+            _sink(oc, b)
+
+        _, _, facts = _analyze_single(_entry_app(body))
+        assert facts[0] == ConstFact("DES")
+
+    def test_phi_merges_branch_values(self):
+        def body(oc, app):
+            flag = oc.const_int(1)
+            oc.if_goto(flag, "ECB")
+            a = oc.const_string("AES/GCM/NoPadding")
+            oc.goto("DONE")
+            oc.label("ECB")
+            b = oc.const_string("AES/ECB/PKCS5Padding")
+            oc.label("DONE")
+            merged = oc.phi([a, b], result_type="java.lang.String")
+            _sink(oc, merged)
+
+        _, _, facts = _analyze_single(_entry_app(body))
+        assert isinstance(facts[0], MultiFact)
+        assert set(facts[0].possible_consts()) == {
+            "AES/GCM/NoPadding", "AES/ECB/PKCS5Padding",
+        }
+
+    def test_arithmetic_mimicked(self):
+        def body(oc, app):
+            base = oc.const_int(8000)
+            offset = oc.const_int(89)
+            port = oc.binop("+", base, offset)
+            text = oc.invoke_static(
+                "java.lang.Integer", "toString", args=[port], params=["int"],
+                returns="java.lang.String",
+            )
+            _sink(oc, text)
+
+        _, _, facts = _analyze_single(_entry_app(body))
+        assert facts[0] == ConstFact("8089")
+
+    def test_contained_method_return_value(self):
+        def body(oc, app):
+            helper = app.new_class("com.f.Conf")
+            get = helper.method("mode", returns="java.lang.String", static=True)
+            value = get.const_string("AES/ECB/PKCS5Padding")
+            get.return_value(value)
+            t = oc.invoke_static("com.f.Conf", "mode", returns="java.lang.String")
+            _sink(oc, t)
+
+        _, _, facts = _analyze_single(_entry_app(body))
+        assert facts[0] == ConstFact("AES/ECB/PKCS5Padding")
+
+    def test_instance_field_round_trip(self):
+        def body(oc, app):
+            holder = app.new_class("com.f.Holder")
+            holder.field("mode", "java.lang.String")
+            holder.default_constructor()
+            obj = oc.new_init("com.f.Holder")
+            oc.put_field(obj, "com.f.Holder", "mode", "java.lang.String",
+                         "AES/ECB/PKCS5Padding")
+            loaded = oc.get_field(obj, "com.f.Holder", "mode", "java.lang.String")
+            _sink(oc, loaded)
+
+        _, _, facts = _analyze_single(_entry_app(body))
+        assert facts[0] == ConstFact("AES/ECB/PKCS5Padding")
+
+    def test_array_element_round_trip(self):
+        def body(oc, app):
+            arr = oc.new_array("java.lang.String", 2)
+            oc.array_put(arr, 0, "AES/GCM/NoPadding")
+            oc.array_put(arr, 1, "DES")
+            loaded = oc.array_get(arr, 1, element_type="java.lang.String")
+            _sink(oc, loaded)
+
+        _, _, facts = _analyze_single(_entry_app(body))
+        assert facts[0] == ConstFact("DES")
+
+    def test_unresolved_value_reported_as_unknown(self):
+        def body(oc, app):
+            ext = oc.invoke_static(
+                "com.other.Missing", "mystery", returns="java.lang.String"
+            )
+            _sink(oc, ext)
+
+        _, _, facts = _analyze_single(_entry_app(body))
+        assert not facts[0].is_resolved()

@@ -1,0 +1,83 @@
+"""Dedicated tests for Intent-extra dataflow across ICC.
+
+An extension beyond the paper's per-sink evaluation: the transformation
+string travels ``putExtra("mode", v)`` → ``startService`` →
+``onStartCommand(intent, ...)`` → ``getStringExtra("mode")`` → sink.
+"""
+
+from repro.core import BackDroid, BackDroidConfig
+from repro.core.api_models import ApiCall, lookup_model
+from repro.core.values import ConstFact, NewObjFact, UnknownFact
+from repro.dex.types import MethodSignature
+from repro.workload.generator import AppSpec, generate_app
+from repro.workload.patterns import PatternSpec
+
+
+def _analyze(insecure: bool):
+    spec = AppSpec(
+        package="com.ie", seed=9,
+        patterns=(PatternSpec("icc_extra_dataflow", insecure=insecure),),
+        filler_classes=2,
+    )
+    generated = generate_app(spec)
+    return BackDroid(BackDroidConfig(sink_rules=("crypto-ecb",))).analyze(
+        generated.apk
+    )
+
+
+class TestEndToEnd:
+    def test_insecure_extra_resolved_and_flagged(self):
+        report = _analyze(insecure=True)
+        assert report.sink_count == 1
+        record = report.records[0]
+        assert record.reachable
+        assert record.facts_repr[0] == '"AES/ECB/PKCS5Padding"'
+        assert report.vulnerable
+
+    def test_secure_extra_resolved_and_clean(self):
+        report = _analyze(insecure=False)
+        record = report.records[0]
+        assert record.facts_repr[0] == '"AES/GCM/NoPadding"'
+        assert not report.vulnerable
+
+
+class TestIntentModels:
+    def _model(self, name):
+        sig = MethodSignature("android.content.Intent", name,
+                              ("java.lang.String",), "java.lang.Object")
+        model = lookup_model(sig)
+        assert model is not None
+        return model, sig
+
+    def test_put_then_get_extra(self):
+        put, put_sig = self._model("putExtra")
+        outcome = put(ApiCall(put_sig,
+                              base_fact=NewObjFact.make("android.content.Intent"),
+                              arg_facts=[ConstFact("mode"), ConstFact("DES")]))
+        get, get_sig = self._model("getStringExtra")
+        got = get(ApiCall(get_sig, base_fact=outcome.base_update,
+                          arg_facts=[ConstFact("mode")]))
+        assert got.result == ConstFact("DES")
+
+    def test_get_missing_extra_unknown(self):
+        get, get_sig = self._model("getStringExtra")
+        got = get(ApiCall(get_sig,
+                          base_fact=NewObjFact.make("android.content.Intent"),
+                          arg_facts=[ConstFact("absent")]))
+        assert isinstance(got.result, UnknownFact)
+
+    def test_set_then_get_action(self):
+        set_, set_sig = self._model("setAction")
+        outcome = set_(ApiCall(set_sig,
+                               base_fact=NewObjFact.make("android.content.Intent"),
+                               arg_facts=[ConstFact("com.ie.ACTION_GO")]))
+        get, get_sig = self._model("getAction")
+        got = get(ApiCall(get_sig, base_fact=outcome.base_update, arg_facts=[]))
+        assert got.result == ConstFact("com.ie.ACTION_GO")
+
+    def test_put_extra_on_unknown_base_starts_fresh(self):
+        put, put_sig = self._model("putExtra")
+        outcome = put(ApiCall(put_sig, base_fact=UnknownFact("?"),
+                              arg_facts=[ConstFact("k"), ConstFact("v")]))
+        assert isinstance(outcome.base_update, NewObjFact)
+        assert outcome.base_update.member("extra:k") == ConstFact("v")

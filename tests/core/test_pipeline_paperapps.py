@@ -1,0 +1,151 @@
+"""Integration tests: the full pipeline on the paper's example apps.
+
+These replicate the paper's three worked examples end to end:
+
+* Fig. 3/4 (LG TV Plus): sink behind a private method, reached through
+  the Runnable/Executor advanced-search chain, plus the explicit-ICC
+  service;
+* Sec. IV-C (Heyzap): SSL sink whose path crosses ``APIClient.<clinit>``;
+* Fig. 6 (PalcoMP3): the full SSG with an off-path static initializer,
+  recovering ``new InetSocketAddress(null, 8089)`` at the bind sink.
+"""
+
+import pytest
+
+from repro.core.backdroid import BackDroid, BackDroidConfig
+from repro.core.forward import ForwardPropagation
+from repro.core.slicer import BackwardSlicer
+from repro.core.values import ConstFact, NewObjFact
+from repro.dex.types import FieldSignature, MethodSignature
+
+
+def _open_port_config():
+    return BackDroidConfig(sink_rules=("open-port",))
+
+
+class TestLgTvPlusPipeline:
+    def test_sink_sites_found(self, lg_tv_plus):
+        driver = BackDroid(_open_port_config())
+        sites = driver.find_sink_call_sites(lg_tv_plus)
+        hosts = {s.method.class_name for s in sites}
+        assert "com.connectsdk.service.netcast.NetcastHttpServer" in hosts
+        assert "com.lge.app1.fota.HttpServerService" in hosts
+
+    def test_async_chain_sink_is_reachable(self, lg_tv_plus):
+        driver = BackDroid(_open_port_config())
+        report = driver.analyze(lg_tv_plus)
+        by_class = {
+            r.site.method.class_name: r for r in report.records
+        }
+        record = by_class["com.connectsdk.service.netcast.NetcastHttpServer"]
+        assert record.reachable
+        assert any("MainActivity" in e for e in record.entry_points)
+
+    def test_icc_service_sink_is_reachable(self, lg_tv_plus):
+        driver = BackDroid(_open_port_config())
+        report = driver.analyze(lg_tv_plus)
+        by_class = {r.site.method.class_name: r for r in report.records}
+        record = by_class["com.lge.app1.fota.HttpServerService"]
+        assert record.reachable
+
+    def test_port_value_resolved(self, lg_tv_plus):
+        driver = BackDroid(_open_port_config())
+        report = driver.analyze(lg_tv_plus)
+        by_class = {r.site.method.class_name: r for r in report.records}
+        record = by_class["com.connectsdk.service.netcast.NetcastHttpServer"]
+        assert record.facts_repr.get(0) == "8080"
+
+
+class TestHeyzapPipeline:
+    def test_ssl_sink_detected_through_clinit(self, heyzap):
+        driver = BackDroid(BackDroidConfig(sink_rules=("ssl-verifier",)))
+        report = driver.analyze(heyzap)
+        assert report.sink_count == 1
+        record = report.records[0]
+        assert record.reachable
+        assert record.finding is not None
+        assert record.finding.rule == "ssl-verifier"
+        assert "ALLOW_ALL" in record.finding.detail
+
+    def test_clinit_note_recorded(self, heyzap):
+        driver = BackDroid(BackDroidConfig(sink_rules=("ssl-verifier",)))
+        engine_report = driver.analyze(heyzap)
+        assert engine_report.records[0].entry_points  # reached via clinit chain
+
+
+class TestPalcomp3Pipeline:
+    @pytest.fixture(scope="class")
+    def ssg(self, palcomp3):
+        driver = BackDroid(_open_port_config())
+        sites = driver.find_sink_call_sites(palcomp3)
+        bind_sites = [s for s in sites if s.spec.signature.name == "bind"]
+        assert len(bind_sites) == 1
+        slicer = BackwardSlicer(palcomp3)
+        return slicer.slice_sink(bind_sites[0])
+
+    def test_ssg_reaches_entry(self, ssg):
+        assert ssg.reached_entry
+        assert any("PalcoMP3Act" in str(e) for e in ssg.entry_points)
+
+    def test_ssg_contains_fig6_methods(self, ssg):
+        methods = {f"{m.class_name}.{m.name}" for m in ssg.methods()}
+        assert "com.studiosol.util.NanoHTTPD.start" in methods
+        assert "com.studiosol.util.NanoHTTPD.<init>" in methods
+        assert "com.studiosol.palcomp3.MP3LocalServer.<init>" in methods
+        assert "com.studiosol.palcomp3.SmartCacheMgr.initLocalServer" in methods
+        assert "com.studiosol.palcomp3.Activities.PalcoMP3Act.onCreate" in methods
+
+    def test_static_track_for_port(self, ssg):
+        port = FieldSignature("com.studiosol.palcomp3.MP3LocalServer", "PORT", "int")
+        assert port in ssg.static_tracks
+        track = ssg.static_tracks[port]
+        assert any("8089" in str(unit.stmt) for unit in track)
+
+    def test_taint_map_is_hierarchical(self, ssg):
+        # Per-method taint sets exist for the tracked methods.
+        start = MethodSignature("com.studiosol.util.NanoHTTPD", "start", (), "void")
+        assert start in ssg.taint_map
+        assert ssg.taint_map[start]
+
+    def test_forward_recovers_inet_socket_address(self, palcomp3, ssg):
+        facts = ForwardPropagation(palcomp3, ssg).run()
+        fact = facts[0]
+        assert isinstance(fact, NewObjFact)
+        assert fact.class_name == "java.net.InetSocketAddress"
+        assert fact.member("arg0") == ConstFact(None)  # hostname = null
+        assert fact.member("arg1") == ConstFact(8089)  # PORT from <clinit>
+
+    def test_render_mentions_static_track(self, ssg):
+        text = ssg.render()
+        assert "static track" in text
+        assert "8089" in text
+
+
+class TestSinkCaching:
+    def test_unreachable_host_method_cached(self):
+        """Two sinks in one dead method: the second is served from cache."""
+        from repro.android.apk import Apk
+        from repro.android.manifest import Manifest
+        from repro.dex.builder import AppBuilder
+
+        app = AppBuilder()
+        dead = app.new_class("com.a.Dead")
+        m = dead.method("never", static=True)
+        t1 = m.const_string("AES/ECB/PKCS5Padding")
+        m.invoke_static(
+            "javax.crypto.Cipher", "getInstance", args=[t1],
+            params=["java.lang.String"], returns="javax.crypto.Cipher",
+        )
+        t2 = m.const_string("DES")
+        m.invoke_static(
+            "javax.crypto.Cipher", "getInstance", args=[t2],
+            params=["java.lang.String"], returns="javax.crypto.Cipher",
+        )
+        m.return_void()
+        apk = Apk(package="com.a", classes=app.build(), manifest=Manifest("com.a"))
+        report = BackDroid(BackDroidConfig(sink_rules=("crypto-ecb",))).analyze(apk)
+        assert report.sink_count == 2
+        assert not any(r.reachable for r in report.records)
+        assert any(r.cached for r in report.records)
+        assert report.sink_cache_rate > 0.0
+        assert not report.findings  # dead code: no false positive

@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) for the full analysis pipeline."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BackDroid, BackDroidConfig
+from repro.core.detectors import CryptoEcbDetector
+from repro.core.slicer import BackwardSlicer
+from repro.dex.builder import AppBuilder
+from repro.android.apk import Apk
+from repro.android.manifest import ComponentKind, Manifest
+from repro.workload.generator import AppSpec, generate_app
+from repro.workload.patterns import PATTERN_BUILDERS, PatternSpec
+
+_PATTERNS = sorted(
+    name for name in PATTERN_BUILDERS if name != "hazard_dangling"
+)
+
+_pattern_lists = st.lists(
+    st.tuples(st.sampled_from(_PATTERNS), st.booleans()),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestPipelineProperties:
+    @given(_pattern_lists, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_verdict_matches_ground_truth(self, pattern_list, seed):
+        """For arbitrary pattern mixes, BackDroid's app-level verdict
+        equals the disjunction of the per-pattern expectations."""
+        spec = AppSpec(
+            package="com.prop",
+            seed=seed,
+            patterns=tuple(PatternSpec(n, insecure=i) for n, i in pattern_list),
+            filler_classes=2,
+        )
+        generated = generate_app(spec)
+        report = BackDroid().analyze(generated.apk)
+        assert report.vulnerable == generated.expected_backdroid_vulnerable()
+
+    @given(_pattern_lists, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_analysis_is_deterministic(self, pattern_list, seed):
+        spec = AppSpec(
+            package="com.prop",
+            seed=seed,
+            patterns=tuple(PatternSpec(n, insecure=i) for n, i in pattern_list),
+            filler_classes=2,
+        )
+        first = BackDroid().analyze(generate_app(spec).apk)
+        second = BackDroid().analyze(generate_app(spec).apk)
+        assert [str(f) for f in first.findings] == [str(f) for f in second.findings]
+        assert first.sink_count == second.sink_count
+
+    @given(_pattern_lists, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_ssg_well_formed(self, pattern_list, seed):
+        """Every SSG's units point at real statements; entry bookkeeping
+        is internally consistent."""
+        spec = AppSpec(
+            package="com.prop",
+            seed=seed,
+            patterns=tuple(PatternSpec(n, insecure=i) for n, i in pattern_list),
+            filler_classes=2,
+        )
+        generated = generate_app(spec)
+        apk = generated.apk
+        driver = BackDroid()
+        slicer = BackwardSlicer(apk)
+        pool = apk.full_pool
+        for site in driver.find_sink_call_sites(apk):
+            ssg = slicer.slice_sink(site)
+            for unit in ssg.units():
+                method = pool.resolve_method(unit.method)
+                assert method is not None
+                assert 0 <= unit.stmt_index < len(method.body)
+                assert method.body[unit.stmt_index] is unit.stmt
+            if ssg.reached_entry:
+                assert ssg.entry_points
+            for tracked_method in ssg.taint_map:
+                assert pool.resolve_method(tracked_method) is not None
+
+
+_SUFFIXES = ["/ECB/PKCS5Padding", "/GCM/NoPadding", "/CBC/PKCS5Padding", "X", ""]
+_TRANSFORMS = ["upper", "lower", "none"]
+
+
+class TestStringSemanticsSoundness:
+    @given(
+        st.sampled_from(["AES", "DES", "RSA", "aes"]),
+        st.lists(st.sampled_from(_SUFFIXES), max_size=3),
+        st.sampled_from(_TRANSFORMS),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_forward_value_matches_python_semantics(self, base, suffixes, transform):
+        """Build a random StringBuilder chain feeding the cipher sink;
+        the recovered value (and hence the verdict) must match what the
+        same Java code would really compute."""
+        expected = base + "".join(suffixes)
+        if transform == "upper":
+            expected = expected.upper()
+        elif transform == "lower":
+            expected = expected.lower()
+
+        app = AppBuilder()
+        main = app.new_class("com.s.Main", superclass="android.app.Activity")
+        main.default_constructor()
+        oc = main.method("onCreate", params=["android.os.Bundle"])
+        oc.this()
+        oc.param(0)
+        sb = oc.new_init("java.lang.StringBuilder", args=[base],
+                         ctor_params=["java.lang.String"])
+        current = sb
+        for suffix in suffixes:
+            current = oc.invoke_virtual(
+                current, "java.lang.StringBuilder", "append", args=[suffix],
+                params=["java.lang.String"], returns="java.lang.StringBuilder",
+            )
+        text = oc.invoke_virtual(current, "java.lang.StringBuilder", "toString",
+                                 returns="java.lang.String")
+        if transform == "upper":
+            text = oc.invoke_virtual(text, "java.lang.String", "toUpperCase",
+                                     returns="java.lang.String")
+        elif transform == "lower":
+            text = oc.invoke_virtual(text, "java.lang.String", "toLowerCase",
+                                     returns="java.lang.String")
+        oc.invoke_static(
+            "javax.crypto.Cipher", "getInstance", args=[text],
+            params=["java.lang.String"], returns="javax.crypto.Cipher",
+        )
+        oc.return_void()
+        manifest = Manifest("com.s")
+        manifest.register("com.s.Main", ComponentKind.ACTIVITY)
+        apk = Apk(package="com.s", classes=app.build(), manifest=manifest)
+
+        report = BackDroid(BackDroidConfig(sink_rules=("crypto-ecb",))).analyze(apk)
+        assert report.sink_count == 1
+        record = report.records[0]
+        assert record.reachable
+        assert record.facts_repr[0] == f'"{expected}"'
+        should_flag = CryptoEcbDetector.is_insecure_transformation(expected)
+        assert report.vulnerable == should_flag

@@ -1,0 +1,115 @@
+"""Unit tests for the SSG structure and the analysis report."""
+
+from repro.android.framework import sinks_for_rules
+from repro.core.report import AnalysisReport, SinkRecord
+from repro.core.slicer import SinkCallSite
+from repro.core.ssg import SSG, CallBinding
+from repro.dex.instructions import AssignStmt, Local, StringConstant
+from repro.dex.types import FieldSignature, MethodSignature
+from repro.search.loops import LoopKind
+
+_SPEC = sinks_for_rules(("crypto-ecb",))[0]
+_M1 = MethodSignature("com.a.A", "one", (), "void")
+_M2 = MethodSignature("com.a.B", "two", (), "void")
+
+
+def _stmt(name="x", value="v"):
+    return AssignStmt(lhs=Local(name, "java.lang.String"), rhs=StringConstant(value))
+
+
+class TestSSG:
+    def test_add_unit_interned_per_location(self):
+        ssg = SSG(_M1, 0, _SPEC)
+        first = ssg.add_unit(_M1, 3, _stmt())
+        second = ssg.add_unit(_M1, 3, _stmt())
+        assert first is second
+        assert len(ssg) == 1
+
+    def test_flow_edges_and_tails(self):
+        ssg = SSG(_M1, 0, _SPEC)
+        producer = ssg.add_unit(_M2, 1, _stmt("a"))
+        consumer = ssg.add_unit(_M1, 0, _stmt("b"))
+        ssg.add_flow_edge(producer, consumer)
+        assert ssg.tail_units() == [producer]
+        assert ssg.successors(producer) == [consumer]
+
+    def test_self_edge_ignored(self):
+        ssg = SSG(_M1, 0, _SPEC)
+        unit = ssg.add_unit(_M1, 0, _stmt())
+        ssg.add_flow_edge(unit, unit)
+        assert ssg.tail_units() == [unit]
+
+    def test_hierarchical_taint_map(self):
+        ssg = SSG(_M1, 0, _SPEC)
+        ssg.taint_local(_M1, "r0")
+        ssg.taint_local(_M1, "r3")
+        ssg.taint_local(_M2, "r0")
+        assert ssg.taint_map[_M1] == {"r0", "r3"}
+        assert ssg.taint_map[_M2] == {"r0"}
+        field = FieldSignature("com.a.A", "PORT", "int")
+        ssg.taint_field(field)
+        assert field in ssg.field_taints
+
+    def test_bindings_into(self):
+        ssg = SSG(_M1, 0, _SPEC)
+        ssg.add_binding(CallBinding(_M2, 4, _M1, kind="param"))
+        ssg.add_binding(CallBinding(_M2, 5, _M2, kind="return"))
+        assert len(ssg.bindings_into(_M1)) == 1
+
+    def test_units_of_sorted_by_index(self):
+        ssg = SSG(_M1, 0, _SPEC)
+        ssg.add_unit(_M1, 5, _stmt("c"))
+        ssg.add_unit(_M1, 1, _stmt("a"))
+        ssg.add_unit(_M1, 3, _stmt("b"))
+        assert [u.stmt_index for u in ssg.units_of(_M1)] == [1, 3, 5]
+
+    def test_render_contains_structure(self):
+        ssg = SSG(_M1, 0, _SPEC)
+        ssg.add_unit(_M1, 0, _stmt())
+        ssg.reached_entry = True
+        ssg.entry_points.add(_M2)
+        text = ssg.render()
+        assert "reached entry: True" in text
+        assert _M1.to_soot() in text
+
+
+class TestAnalysisReport:
+    def _record(self, reachable=True, finding=None):
+        return SinkRecord(
+            site=SinkCallSite(method=_M1, stmt_index=0, spec=_SPEC),
+            reachable=reachable,
+            finding=finding,
+            facts_repr={0: '"AES"'},
+        )
+
+    def test_counters(self):
+        report = AnalysisReport(package="com.a")
+        report.records.append(self._record(reachable=True))
+        report.records.append(self._record(reachable=False))
+        assert report.sink_count == 2
+        assert report.reachable_sink_count == 1
+        assert not report.vulnerable
+
+    def test_findings_by_rule(self):
+        from repro.core.detectors import Finding
+
+        finding = Finding(rule="crypto-ecb", method=_M1, stmt_index=0,
+                          value_repr='"AES"', detail="ECB")
+        report = AnalysisReport(package="com.a")
+        report.records.append(self._record(finding=finding))
+        assert report.vulnerable
+        assert len(report.findings_by_rule("crypto-ecb")) == 1
+        assert report.findings_by_rule("ssl-verifier") == []
+
+    def test_loop_bookkeeping(self):
+        report = AnalysisReport(package="com.a")
+        report.loop_counts = {LoopKind.CROSS_BACKWARD: 2}
+        assert report.detected_any_loop
+
+    def test_to_text_renders_everything(self):
+        report = AnalysisReport(package="com.a", analysis_seconds=1.25)
+        report.records.append(self._record())
+        text = report.to_text()
+        assert "com.a" in text
+        assert "1.250s" in text
+        assert '"AES"' in text

@@ -1,0 +1,97 @@
+"""Unit tests for dataflow facts."""
+
+from repro.core.values import (
+    ArrayObjFact,
+    ConstFact,
+    ExprFact,
+    MultiFact,
+    NewObjFact,
+    UnknownFact,
+    merge_facts,
+)
+
+
+class TestConstFact:
+    def test_possible_consts(self):
+        assert list(ConstFact("AES/ECB").possible_consts()) == ["AES/ECB"]
+        assert list(ConstFact(8089).possible_consts()) == [8089]
+        assert list(ConstFact(None).possible_consts()) == [None]
+
+    def test_possible_strings_filters(self):
+        assert ConstFact("x").possible_strings() == ["x"]
+        assert ConstFact(3).possible_strings() == []
+
+    def test_is_resolved(self):
+        assert ConstFact("x").is_resolved()
+        assert not UnknownFact("?").is_resolved()
+
+    def test_render(self):
+        assert str(ConstFact("AES")) == '"AES"'
+        assert str(ConstFact(None)) == "null"
+        assert str(ConstFact(8089)) == "8089"
+
+
+class TestNewObjFact:
+    def test_member_roundtrip(self):
+        obj = NewObjFact.make("java.net.InetSocketAddress")
+        obj = obj.with_member("arg0", ConstFact(None))
+        obj = obj.with_member("arg1", ConstFact(8089))
+        assert obj.member("arg1") == ConstFact(8089)
+        assert obj.member("missing") is None
+
+    def test_member_update_replaces(self):
+        obj = NewObjFact.make("com.a.B", {"f": ConstFact(1)})
+        updated = obj.with_member("f", ConstFact(2))
+        assert updated.member("f") == ConstFact(2)
+        assert obj.member("f") == ConstFact(1)  # immutability
+
+    def test_hashable(self):
+        a = NewObjFact.make("com.a.B", {"x": ConstFact(1)})
+        b = NewObjFact.make("com.a.B", {"x": ConstFact(1)})
+        assert a == b and len({a, b}) == 1
+
+    def test_render(self):
+        obj = NewObjFact.make("com.a.B", {"p": ConstFact(8089)})
+        assert "new com.a.B" in str(obj) and "8089" in str(obj)
+
+
+class TestArrayObjFact:
+    def test_element_roundtrip(self):
+        arr = ArrayObjFact.make("int").with_element(0, ConstFact(7))
+        assert arr.element(0) == ConstFact(7)
+        assert arr.element(1) is None
+
+    def test_render(self):
+        arr = ArrayObjFact.make("java.lang.String", {0: ConstFact("a")})
+        assert "[0]=" in str(arr)
+
+
+class TestMergeFacts:
+    def test_single_passthrough(self):
+        fact = ConstFact("x")
+        assert merge_facts([fact]) is fact
+
+    def test_dedup(self):
+        merged = merge_facts([ConstFact("x"), ConstFact("x")])
+        assert merged == ConstFact("x")
+
+    def test_multi(self):
+        merged = merge_facts([ConstFact("a"), ConstFact("b")])
+        assert isinstance(merged, MultiFact)
+        assert set(merged.possible_consts()) == {"a", "b"}
+
+    def test_flattens_nested(self):
+        inner = merge_facts([ConstFact("a"), ConstFact("b")])
+        merged = merge_facts([inner, ConstFact("c")])
+        assert isinstance(merged, MultiFact)
+        assert len(merged.options) == 3
+
+    def test_width_bound(self):
+        wide = merge_facts([ConstFact(i) for i in range(64)])
+        assert isinstance(wide, UnknownFact)
+
+    def test_empty_merge_is_unknown(self):
+        assert isinstance(merge_facts([]), UnknownFact)
+
+    def test_expr_fact_render(self):
+        assert str(ExprFact("a + b")) == "a + b"

@@ -1,0 +1,176 @@
+"""Unit tests for the class/method builder DSL."""
+
+from repro.dex.builder import AppBuilder
+from repro.dex.instructions import (
+    AssignStmt,
+    ClassConstant,
+    IdentityStmt,
+    InstanceFieldRef,
+    IntConstant,
+    InvokeExpr,
+    InvokeKind,
+    InvokeStmt,
+    NewExpr,
+    ReturnStmt,
+    StaticFieldRef,
+    StringConstant,
+)
+from repro.dex.types import MethodSignature
+
+
+class TestMethodBuilder:
+    def test_this_and_param_emit_identity_stmts(self):
+        app = AppBuilder()
+        cls = app.new_class("com.a.B")
+        m = cls.method("go", params=["int", "java.lang.String"])
+        this = m.this()
+        p0 = m.param(0)
+        p1 = m.param(1)
+        m.return_void()
+        body = cls.dex_class.find_method("go").body
+        assert isinstance(body[0], IdentityStmt) and body[0].local == this
+        assert p0.java_type == "int"
+        assert p1.java_type == "java.lang.String"
+        assert isinstance(body[-1], ReturnStmt)
+
+    def test_new_init_emits_new_then_ctor_invoke(self):
+        app = AppBuilder()
+        cls = app.new_class("com.a.B")
+        m = cls.method("go")
+        obj = m.new_init("com.a.Worker", args=["cfg"])
+        m.return_void()
+        body = cls.dex_class.find_method("go").body
+        assert isinstance(body[0].rhs, NewExpr)
+        ctor_invoke = body[1].invoke_expr()
+        assert ctor_invoke.kind == InvokeKind.SPECIAL
+        assert ctor_invoke.method == MethodSignature(
+            "com.a.Worker", "<init>", ("java.lang.String",), "void"
+        )
+        assert ctor_invoke.base == obj
+
+    def test_invoke_with_return_assigns_fresh_local(self):
+        app = AppBuilder()
+        cls = app.new_class("com.a.B")
+        m = cls.method("go")
+        obj = m.new_init("java.lang.StringBuilder")
+        result = m.invoke_virtual(
+            obj, "java.lang.StringBuilder", "toString", returns="java.lang.String"
+        )
+        m.return_value(result)
+        assert result is not None
+        assert result.java_type == "java.lang.String"
+
+    def test_void_invoke_emits_invoke_stmt(self):
+        app = AppBuilder()
+        cls = app.new_class("com.a.B")
+        m = cls.method("go")
+        obj = m.new_init("com.a.Server")
+        out = m.invoke_virtual(obj, "com.a.Server", "start")
+        assert out is None
+        body = cls.dex_class.find_method("go").body
+        assert isinstance(body[-1], InvokeStmt)
+
+    def test_static_invoke_signature(self):
+        app = AppBuilder()
+        cls = app.new_class("com.a.B")
+        m = cls.method("go")
+        m.invoke_static(
+            "com.connectsdk.core.Util",
+            "runInBackground",
+            args=[m.const_null("java.lang.Runnable")],
+            params=["java.lang.Runnable"],
+        )
+        body = cls.dex_class.find_method("go").body
+        expr = body[-1].invoke_expr()
+        assert expr.kind == InvokeKind.STATIC
+        assert expr.base is None
+        assert expr.method.param_types == ("java.lang.Runnable",)
+
+    def test_literal_lifting(self):
+        app = AppBuilder()
+        cls = app.new_class("com.a.B")
+        m = cls.method("go")
+        m.invoke_static("com.a.C", "f", args=["text", 7, None],
+                        params=["java.lang.String", "int", "java.lang.Object"])
+        expr = cls.dex_class.find_method("go").body[-1].invoke_expr()
+        assert isinstance(expr.args[0], StringConstant)
+        assert isinstance(expr.args[1], IntConstant)
+
+    def test_field_helpers(self):
+        app = AppBuilder()
+        cls = app.new_class("com.a.B")
+        m = cls.method("go")
+        this = m.this()
+        m.put_field(this, "com.a.B", "port", "int", 8089)
+        got = m.get_field(this, "com.a.B", "port", "int")
+        m.put_static("com.a.Conf", "PORT", "int", got)
+        loaded = m.get_static("com.a.Conf", "PORT", "int")
+        m.return_value(loaded)
+        body = cls.dex_class.find_method("go").body
+        stores = [s for s in body if isinstance(s, AssignStmt)
+                  and isinstance(s.lhs, (InstanceFieldRef, StaticFieldRef))]
+        assert len(stores) == 2
+
+    def test_const_class_for_icc(self):
+        app = AppBuilder()
+        cls = app.new_class("com.a.B")
+        m = cls.method("go")
+        k = m.const_class("com.lge.app1.fota.HttpServerService")
+        body = cls.dex_class.find_method("go").body
+        assert isinstance(body[0].rhs, ClassConstant)
+        assert k.java_type == "java.lang.Class"
+
+    def test_control_flow_helpers(self):
+        app = AppBuilder()
+        cls = app.new_class("com.a.B")
+        m = cls.method("go", params=["boolean"])
+        cond = m.param(0)
+        m.if_goto(cond, "THEN")
+        a = m.const_string("AES/GCM/NoPadding")
+        m.goto("END")
+        m.label("THEN")
+        b = m.const_string("AES/ECB/PKCS5Padding")
+        m.label("END")
+        merged = m.phi([a, b], result_type="java.lang.String")
+        m.return_value(merged)
+        body = cls.dex_class.find_method("go").body
+        labels = [s.label for s in body if s.label]
+        assert labels == ["THEN", "END"]
+
+
+class TestClassBuilder:
+    def test_default_constructor(self):
+        app = AppBuilder()
+        cls = app.new_class("com.a.B")
+        cls.default_constructor()
+        ctor = cls.dex_class.find_method("<init>")
+        assert ctor.is_constructor
+        expr = ctor.body[1].invoke_expr()
+        assert expr.method.class_name == "java.lang.Object"
+
+    def test_interface_flags(self):
+        app = AppBuilder()
+        iface = app.new_interface("com.a.I")
+        iface.method("work", abstract=True)
+        built = iface.build()
+        assert built.is_interface
+        assert built.find_method("work").is_abstract
+
+    def test_private_strips_public(self):
+        app = AppBuilder()
+        cls = app.new_class("com.a.B")
+        m = cls.method("secret", private=True)
+        m.return_void()
+        method = cls.dex_class.find_method("secret")
+        assert method.is_private and not method.flags & (
+            method.flags.__class__.PUBLIC
+        )
+
+    def test_static_initializer_flags(self):
+        app = AppBuilder()
+        cls = app.new_class("com.a.B")
+        cl = cls.static_initializer()
+        cl.put_static("com.a.B", "PORT", "int", 8089)
+        cl.return_void()
+        clinit = cls.dex_class.static_initializer()
+        assert clinit is not None and clinit.is_static

@@ -1,0 +1,135 @@
+"""Unit tests for the dexdump-style disassembler."""
+
+import re
+
+from repro.dex.builder import AppBuilder
+from repro.dex.disassembler import disassemble
+from repro.dex.types import MethodSignature
+
+
+def _fig3_app():
+    """A miniature of the paper's Fig. 3 running example (LG TV Plus)."""
+    app = AppBuilder()
+
+    server = app.new_class("com.connectsdk.service.netcast.NetcastHttpServer")
+    server.default_constructor()
+    start = server.method("start")
+    start.this()
+    start.return_void()
+
+    service = app.new_class("com.connectsdk.service.NetcastTVService")
+    service.field("httpServer", "com.connectsdk.service.netcast.NetcastHttpServer")
+    service.default_constructor()
+
+    runner = app.new_class(
+        "com.connectsdk.service.NetcastTVService$1",
+        interfaces=["java.lang.Runnable"],
+    )
+    runner.field("this$0", "com.connectsdk.service.NetcastTVService")
+    run = runner.method("run")
+    this = run.this()
+    outer = run.get_field(
+        this, "com.connectsdk.service.NetcastTVService$1", "this$0",
+        "com.connectsdk.service.NetcastTVService",
+    )
+    srv = run.get_field(
+        outer, "com.connectsdk.service.NetcastTVService", "httpServer",
+        "com.connectsdk.service.netcast.NetcastHttpServer",
+    )
+    run.invoke_virtual(srv, "com.connectsdk.service.netcast.NetcastHttpServer", "start")
+    run.return_void()
+
+    return app.build()
+
+
+class TestDisassemblyText:
+    def test_invoke_line_matches_dexdump_shape(self):
+        text = disassemble(_fig3_app()).text
+        # The exact search target of Fig. 3, bottom.
+        assert re.search(
+            r"invoke-virtual \{v\d+\}, "
+            r"Lcom/connectsdk/service/netcast/NetcastHttpServer;\.start:\(\)V "
+            r"// method@[0-9a-f]{4}",
+            text,
+        )
+
+    def test_iget_line_matches_dexdump_shape(self):
+        text = disassemble(_fig3_app()).text
+        assert re.search(
+            r"iget-object v\d+, v\d+, "
+            r"Lcom/connectsdk/service/NetcastTVService;\.httpServer:"
+            r"Lcom/connectsdk/service/netcast/NetcastHttpServer; // field@[0-9a-f]{4}",
+            text,
+        )
+
+    def test_class_headers_present(self):
+        text = disassemble(_fig3_app()).text
+        assert "Class descriptor  : 'Lcom/connectsdk/service/NetcastTVService$1;'" in text
+        assert "Interfaces        -" in text
+        assert "'Ljava/lang/Runnable;'" in text
+
+    def test_method_header_fields(self):
+        text = disassemble(_fig3_app()).text
+        assert "name          : 'run'" in text
+        assert "type          : '()V'" in text
+
+    def test_identity_stmts_not_rendered(self):
+        # dexdump output has no identity statements; parameter registers
+        # are implicit.
+        text = disassemble(_fig3_app()).text
+        assert "@this" not in text
+        assert "@parameter" not in text
+
+
+class TestDisassemblyStructure:
+    def test_block_lookup_by_signature(self):
+        disassembly = disassemble(_fig3_app())
+        sig = MethodSignature(
+            "com.connectsdk.service.NetcastTVService$1", "run", (), "void"
+        )
+        block = disassembly.block_of(sig)
+        assert block is not None
+        assert block.start_line < block.end_line
+        assert len(block.insns) >= 3  # two igets, invoke, return
+
+    def test_block_at_line_maps_hits_to_methods(self):
+        disassembly = disassemble(_fig3_app())
+        target = "Lcom/connectsdk/service/netcast/NetcastHttpServer;.start:()V"
+        hits = [
+            i for i, line in enumerate(disassembly.lines)
+            if target in line and "invoke" in line
+        ]
+        assert hits, "expected at least one invoke of the target"
+        block = disassembly.block_at_line(hits[0])
+        assert block.signature.class_name == "com.connectsdk.service.NetcastTVService$1"
+        assert block.signature.name == "run"
+
+    def test_insn_lines_map_back_to_stmt_indices(self):
+        disassembly = disassemble(_fig3_app())
+        sig = MethodSignature(
+            "com.connectsdk.service.NetcastTVService$1", "run", (), "void"
+        )
+        block = disassembly.block_of(sig)
+        indices = [insn.stmt_index for insn in block.insns]
+        # Statement indices are monotonically non-decreasing.
+        assert indices == sorted(indices)
+
+    def test_every_app_method_has_a_block(self):
+        pool = _fig3_app()
+        disassembly = disassemble(pool)
+        app_methods = {
+            m.signature() for c in pool.application_classes() for m in c.methods
+        }
+        block_sigs = {b.signature for b in disassembly.blocks}
+        assert app_methods == block_sigs
+
+    def test_const_string_and_const_class_searchable(self):
+        app = AppBuilder()
+        cls = app.new_class("com.lge.app1.MediaShare")
+        m = cls.method("launch")
+        m.const_class("com.lge.app1.fota.HttpServerService")
+        m.const_string("com.lge.app1.ACTION_SYNC")
+        m.return_void()
+        text = disassemble(app.build()).text
+        assert "const-class v0, Lcom/lge/app1/fota/HttpServerService;" in text
+        assert 'const-string v1, "com.lge.app1.ACTION_SYNC"' in text

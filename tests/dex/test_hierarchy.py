@@ -1,0 +1,189 @@
+"""Unit tests for the class model and hierarchy queries."""
+
+from repro.dex.builder import AppBuilder
+from repro.dex.hierarchy import AccessFlags, ClassPool, DexClass, DexField, DexMethod
+from repro.dex.types import FieldSignature, MethodSignature
+
+
+def _sample_pool() -> ClassPool:
+    """A small hierarchy: interface + super/child classes.
+
+    ``SuperServer <- NetcastHttpServer <- ChildServer`` with interface
+    ``Startable`` declaring ``void start()`` — the shapes that drive the
+    basic/advanced search decisions of Sec. IV-A/B.
+    """
+    app = AppBuilder()
+
+    startable = app.new_interface("com.x.Startable")
+    startable.method("start", abstract=True)
+
+    super_server = app.new_class("com.x.SuperServer", interfaces=["com.x.Startable"])
+    sm = super_server.method("start")
+    sm.return_void()
+
+    server = app.new_class(
+        "com.connectsdk.service.netcast.NetcastHttpServer",
+        superclass="com.x.SuperServer",
+    )
+    m = server.method("start")
+    m.return_void()
+    p = server.method("helper", private=True)
+    p.return_void()
+    st = server.method("stat", static=True)
+    st.return_void()
+    ctor = server.constructor()
+    ctor.return_void()
+
+    child = app.new_class(
+        "com.x.ChildServer",
+        superclass="com.connectsdk.service.netcast.NetcastHttpServer",
+    )
+    other = child.method("other")
+    other.return_void()
+
+    overriding = app.new_class(
+        "com.x.OverridingChild",
+        superclass="com.connectsdk.service.netcast.NetcastHttpServer",
+    )
+    om = overriding.method("start")
+    om.return_void()
+
+    return app.build()
+
+
+class TestAccessFlags:
+    def test_render_contains_names(self):
+        rendered = (AccessFlags.PUBLIC | AccessFlags.STATIC).dex_render()
+        assert "PUBLIC" in rendered and "STATIC" in rendered
+        assert rendered.startswith("0x")
+
+
+class TestDexMethod:
+    def test_signature_methods(self):
+        pool = _sample_pool()
+        server = pool.get("com.connectsdk.service.netcast.NetcastHttpServer")
+        assert not server.find_method("start").is_signature_method()
+        assert server.find_method("helper").is_signature_method()
+        assert server.find_method("stat").is_signature_method()
+        assert server.find_method("<init>").is_signature_method()
+
+    def test_clinit_is_not_basic_signature_method(self):
+        # <clinit> is static, but needs the special recursive search
+        # (Sec. IV-C), never the basic one.
+        cls = DexClass(name="com.a.B")
+        clinit = cls.add_method(
+            DexMethod(name="<clinit>", flags=AccessFlags.STATIC)
+        )
+        assert clinit.is_static_initializer
+        assert not clinit.is_signature_method()
+
+    def test_signature_construction(self):
+        method = DexMethod(
+            name="run", param_types=(), return_type="void",
+            declaring_class="com.a.B",
+        )
+        assert method.signature() == MethodSignature("com.a.B", "run", (), "void")
+
+
+class TestHierarchyQueries:
+    def test_superclass_chain(self):
+        pool = _sample_pool()
+        chain = pool.superclass_chain("com.x.ChildServer")
+        assert chain[0] == "com.connectsdk.service.netcast.NetcastHttpServer"
+        assert chain[1] == "com.x.SuperServer"
+        assert chain[-1] == "java.lang.Object"
+
+    def test_all_subclasses(self):
+        pool = _sample_pool()
+        subs = {c.name for c in pool.all_subclasses(
+            "com.connectsdk.service.netcast.NetcastHttpServer")}
+        assert subs == {"com.x.ChildServer", "com.x.OverridingChild"}
+
+    def test_is_subtype_of_class_and_interface(self):
+        pool = _sample_pool()
+        assert pool.is_subtype_of("com.x.ChildServer", "com.x.SuperServer")
+        assert pool.is_subtype_of("com.x.ChildServer", "com.x.Startable")
+        assert not pool.is_subtype_of("com.x.SuperServer", "com.x.ChildServer")
+
+    def test_overrides_in_children_drives_search_signatures(self):
+        # Sec. IV-A: a non-overloading child adds one more search
+        # signature; an overloading child must not.
+        pool = _sample_pool()
+        sig = MethodSignature(
+            "com.connectsdk.service.netcast.NetcastHttpServer", "start", (), "void"
+        )
+        overrides = pool.overrides_in_children(sig)
+        assert overrides["com.x.ChildServer"] is False
+        assert overrides["com.x.OverridingChild"] is True
+
+    def test_interface_declaring(self):
+        pool = _sample_pool()
+        iface = pool.interface_declaring("com.x.SuperServer", "void start()")
+        assert iface == "com.x.Startable"
+        assert pool.interface_declaring("com.x.SuperServer", "void nope()") is None
+
+    def test_super_declaring(self):
+        pool = _sample_pool()
+        found = pool.super_declaring(
+            "com.connectsdk.service.netcast.NetcastHttpServer", "void start()"
+        )
+        assert found == "com.x.SuperServer"
+
+    def test_resolve_method_walks_supers(self):
+        pool = _sample_pool()
+        # ChildServer does not declare start(); resolution walks up.
+        resolved = pool.resolve_method(
+            MethodSignature("com.x.ChildServer", "start", (), "void")
+        )
+        assert resolved is not None
+        assert resolved.declaring_class == (
+            "com.connectsdk.service.netcast.NetcastHttpServer"
+        )
+
+    def test_resolve_field_walks_supers(self):
+        app = AppBuilder()
+        base = app.new_class("com.a.Base")
+        base.field("PORT", "int", static=True)
+        child = app.new_class("com.a.Child", superclass="com.a.Base")
+        pool = app.build()
+        resolved = pool.resolve_field(FieldSignature("com.a.Child", "PORT", "int"))
+        assert resolved is not None
+        assert resolved.declaring_class == "com.a.Base"
+
+    def test_implementers_of(self):
+        pool = _sample_pool()
+        impls = {c.name for c in pool.implementers_of("com.x.Startable")}
+        # Subclasses inherit the interface through SuperServer.
+        assert "com.x.SuperServer" in impls
+        assert "com.connectsdk.service.netcast.NetcastHttpServer" in impls
+        assert "com.x.ChildServer" in impls
+
+
+class TestClassPoolBasics:
+    def test_duplicate_add_raises(self):
+        pool = ClassPool([DexClass(name="com.a.B")])
+        try:
+            pool.add(DexClass(name="com.a.B"))
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError on duplicate class")
+
+    def test_merge_multidex(self):
+        first = ClassPool([DexClass(name="com.a.A")])
+        second = ClassPool([DexClass(name="com.a.B")])
+        first.merge(second)
+        assert "com.a.B" in first and len(first) == 2
+
+    def test_classes_using(self):
+        pool = _sample_pool()
+        # NetcastHttpServer's methods do not mention ChildServer.
+        assert pool.classes_using("com.x.ChildServer") == []
+
+    def test_method_count_counts_app_methods_only(self):
+        pool = _sample_pool()
+        framework = DexClass(name="android.app.Fake", is_framework=True)
+        framework.add_method(DexMethod(name="x"))
+        pool.add(framework)
+        count_before = sum(len(c.methods) for c in pool.application_classes())
+        assert pool.method_count() == count_before

@@ -1,0 +1,99 @@
+"""Property-based tests for class-hierarchy invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dex.builder import AppBuilder
+from repro.dex.types import MethodSignature
+
+
+@st.composite
+def hierarchies(draw):
+    """A random single-inheritance forest over N classes.
+
+    ``parents[i]`` is the superclass index of class i (or None for
+    roots); only earlier classes can be parents, so the forest is
+    well-founded by construction.
+    """
+    n = draw(st.integers(min_value=2, max_value=10))
+    parents = [None]
+    for index in range(1, n):
+        parent = draw(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=index - 1))
+        )
+        parents.append(parent)
+    overriders = draw(st.sets(st.integers(min_value=0, max_value=n - 1)))
+    return parents, overriders
+
+
+def _build(parents, overriders):
+    app = AppBuilder()
+    for index, parent in enumerate(parents):
+        superclass = f"com.h.C{parent}" if parent is not None else "java.lang.Object"
+        cls = app.new_class(f"com.h.C{index}", superclass=superclass)
+        if index in overriders or parent is None:
+            m = cls.method("act")
+            m.return_void()
+    return app.build()
+
+
+class TestHierarchyInvariants:
+    @given(hierarchies())
+    @settings(max_examples=50, deadline=None)
+    def test_subtype_is_reflexive_and_transitive(self, case):
+        parents, overriders = case
+        pool = _build(parents, overriders)
+        names = [f"com.h.C{i}" for i in range(len(parents))]
+        for name in names:
+            assert pool.is_subtype_of(name, name)
+        for index, parent in enumerate(parents):
+            if parent is None:
+                continue
+            # direct edge
+            assert pool.is_subtype_of(names[index], names[parent])
+            # transitivity up the chain
+            for ancestor in pool.superclass_chain(names[parent]):
+                if ancestor.startswith("com.h."):
+                    assert pool.is_subtype_of(names[index], ancestor)
+
+    @given(hierarchies())
+    @settings(max_examples=50, deadline=None)
+    def test_subclasses_inverse_of_superclass_chain(self, case):
+        parents, overriders = case
+        pool = _build(parents, overriders)
+        names = [f"com.h.C{i}" for i in range(len(parents))]
+        for name in names:
+            for sub in pool.all_subclasses(name):
+                assert name in pool.superclass_chain(sub.name)
+
+    @given(hierarchies())
+    @settings(max_examples=50, deadline=None)
+    def test_resolution_finds_nearest_declaring_ancestor(self, case):
+        parents, overriders = case
+        pool = _build(parents, overriders)
+        names = [f"com.h.C{i}" for i in range(len(parents))]
+        for index in range(len(parents)):
+            sig = MethodSignature(names[index], "act", (), "void")
+            resolved = pool.resolve_method(sig)
+            # Every class has a root ancestor declaring act().
+            assert resolved is not None
+            # The resolved declarer must be the class itself or a
+            # superclass, and no class strictly between them declares it.
+            chain = pool.superclass_chain(names[index], include_self=True)
+            declarer_pos = chain.index(resolved.declaring_class)
+            for between in chain[:declarer_pos]:
+                cls = pool.get(between)
+                assert cls is None or cls.find_method("act") is None
+
+    @given(hierarchies())
+    @settings(max_examples=50, deadline=None)
+    def test_override_map_consistent_with_declarations(self, case):
+        parents, overriders = case
+        pool = _build(parents, overriders)
+        names = [f"com.h.C{i}" for i in range(len(parents))]
+        roots = [i for i, p in enumerate(parents) if p is None]
+        for root in roots:
+            sig = MethodSignature(names[root], "act", (), "void")
+            for child_name, overrides in pool.overrides_in_children(sig).items():
+                child = pool.get(child_name)
+                assert overrides == (child.find_method("act") is not None)

@@ -1,0 +1,186 @@
+"""Unit tests for the Shimple-like IR statements and expressions."""
+
+from repro.dex.instructions import (
+    ArrayRef,
+    AssignStmt,
+    BinopExpr,
+    CastExpr,
+    ClassConstant,
+    GotoStmt,
+    IdentityStmt,
+    IfStmt,
+    InstanceFieldRef,
+    IntConstant,
+    InvokeExpr,
+    InvokeKind,
+    InvokeStmt,
+    Local,
+    NewArrayExpr,
+    NewExpr,
+    NullConstant,
+    ParameterRef,
+    PhiExpr,
+    ReturnStmt,
+    StaticFieldRef,
+    StringConstant,
+    ThisRef,
+    accessed_fields,
+    invoked_signatures,
+    referenced_classes,
+)
+from repro.dex.types import FieldSignature, MethodSignature
+
+
+def _local(name="r0", java_type="java.lang.Object"):
+    return Local(name, java_type)
+
+
+class TestValues:
+    def test_local_uses_itself(self):
+        local = _local()
+        assert list(local.used_locals()) == [local]
+
+    def test_constants_use_nothing(self):
+        for const in (IntConstant(1), StringConstant("x"), NullConstant(),
+                      ClassConstant("com.a.B")):
+            assert list(const.used_locals()) == []
+
+    def test_instance_field_ref_uses_base(self):
+        base = _local("r1")
+        ref = InstanceFieldRef(base, FieldSignature("com.a.B", "f", "int"))
+        assert list(ref.used_locals()) == [base]
+
+    def test_static_field_ref_uses_nothing(self):
+        ref = StaticFieldRef(FieldSignature("com.a.B", "f", "int"))
+        assert list(ref.used_locals()) == []
+
+    def test_array_ref_uses_base_and_index(self):
+        base, idx = _local("arr"), _local("i", "int")
+        ref = ArrayRef(base, idx)
+        assert set(ref.used_locals()) == {base, idx}
+
+    def test_binop_uses_both_sides(self):
+        left, right = _local("a", "int"), _local("b", "int")
+        assert set(BinopExpr("+", left, right).used_locals()) == {left, right}
+
+    def test_invoke_expr_uses_base_and_args(self):
+        base, arg = _local("obj"), _local("arg")
+        expr = InvokeExpr(
+            InvokeKind.VIRTUAL,
+            MethodSignature("com.a.B", "m", ("java.lang.Object",), "void"),
+            base=base,
+            args=(arg,),
+        )
+        assert set(expr.used_locals()) == {base, arg}
+
+    def test_static_invoke_has_no_base(self):
+        expr = InvokeExpr(
+            InvokeKind.STATIC, MethodSignature("com.a.B", "m", (), "void")
+        )
+        assert expr.base is None
+        assert "staticinvoke" in str(expr)
+
+    def test_phi_uses_all_incoming(self):
+        a, b = _local("a"), _local("b")
+        assert set(PhiExpr((a, b)).used_locals()) == {a, b}
+
+    def test_invoke_expr_soot_rendering(self):
+        # Matches the call-site statement shown in Fig. 3.
+        expr = InvokeExpr(
+            InvokeKind.VIRTUAL,
+            MethodSignature(
+                "com.connectsdk.service.netcast.NetcastHttpServer", "start", (), "void"
+            ),
+            base=_local("$r13"),
+        )
+        assert str(expr) == (
+            "virtualinvoke $r13.<com.connectsdk.service.netcast."
+            "NetcastHttpServer: void start()>()"
+        )
+
+
+class TestStatements:
+    def test_identity_stmt(self):
+        local = _local("r0", "com.a.B")
+        stmt = IdentityStmt(local=local, ref=ThisRef("com.a.B"))
+        assert stmt.defs() == [local]
+        assert str(stmt) == "r0 := @this: com.a.B"
+
+    def test_identity_param(self):
+        local = _local("r1", "int")
+        stmt = IdentityStmt(local=local, ref=ParameterRef(0, "int"))
+        assert str(stmt) == "r1 := @parameter0: int"
+
+    def test_assign_defs_and_uses(self):
+        lhs, rhs = _local("x", "int"), _local("y", "int")
+        stmt = AssignStmt(lhs=lhs, rhs=rhs)
+        assert stmt.defs() == [lhs]
+        assert stmt.used_locals() == {rhs}
+
+    def test_field_store_reads_base(self):
+        base, val = _local("obj"), _local("v")
+        ref = InstanceFieldRef(base, FieldSignature("com.a.B", "f", "int"))
+        stmt = AssignStmt(lhs=ref, rhs=val)
+        assert stmt.used_locals() == {base, val}
+        assert stmt.defs() == [ref]
+
+    def test_invoke_stmt_exposes_invoke_expr(self):
+        expr = InvokeExpr(InvokeKind.STATIC, MethodSignature("com.a.B", "m", (), "void"))
+        stmt = InvokeStmt(invoke=expr)
+        assert stmt.invoke_expr() is expr
+
+    def test_assign_from_invoke_exposes_invoke_expr(self):
+        expr = InvokeExpr(
+            InvokeKind.STATIC, MethodSignature("com.a.B", "m", (), "int")
+        )
+        stmt = AssignStmt(lhs=_local("x", "int"), rhs=expr)
+        assert stmt.invoke_expr() is expr
+
+    def test_plain_assign_has_no_invoke_expr(self):
+        stmt = AssignStmt(lhs=_local("x"), rhs=IntConstant(3))
+        assert stmt.invoke_expr() is None
+
+    def test_return_variants(self):
+        assert ReturnStmt().uses() == []
+        value = _local("v")
+        assert ReturnStmt(value=value).uses() == [value]
+        assert str(ReturnStmt()) == "return"
+
+    def test_branches(self):
+        cond = _local("c", "boolean")
+        assert IfStmt(condition=cond, target="L1").uses() == [cond]
+        assert GotoStmt(target="L2").uses() == []
+
+    def test_label_carrier(self):
+        stmt = GotoStmt(target="L1", label="HEAD")
+        assert stmt.label == "HEAD"
+
+
+class TestBodyHelpers:
+    def _body(self):
+        sig = MethodSignature("com.a.Helper", "help", (), "void")
+        field = FieldSignature("com.a.Conf", "PORT", "int")
+        return [
+            AssignStmt(lhs=_local("x"), rhs=NewExpr("com.a.Obj")),
+            AssignStmt(lhs=_local("p", "int"), rhs=StaticFieldRef(field)),
+            AssignStmt(lhs=_local("k"), rhs=ClassConstant("com.a.Target")),
+            AssignStmt(lhs=_local("c"), rhs=CastExpr("com.a.Shape", _local("x"))),
+            InvokeStmt(invoke=InvokeExpr(InvokeKind.STATIC, sig)),
+            AssignStmt(lhs=_local("arr"), rhs=NewArrayExpr("int", IntConstant(4))),
+            ReturnStmt(),
+        ]
+
+    def test_invoked_signatures(self):
+        sigs = list(invoked_signatures(self._body()))
+        assert sigs == [MethodSignature("com.a.Helper", "help", (), "void")]
+
+    def test_accessed_fields(self):
+        fields = list(accessed_fields(self._body()))
+        assert fields == [FieldSignature("com.a.Conf", "PORT", "int")]
+
+    def test_referenced_classes_covers_all_mention_kinds(self):
+        classes = set(referenced_classes(self._body()))
+        # new-instance, static field class, const-class, cast and invoke
+        # declaring class are all "class uses" for the clinit search.
+        assert {"com.a.Obj", "com.a.Conf", "com.a.Target", "com.a.Shape",
+                "com.a.Helper"} <= classes

@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the dex substrate.
+
+Two core invariants of the reproduction:
+
+1. signature format translation is a bijection between the Soot and
+   dexdump universes (otherwise searches would silently miss callers);
+2. the disassembler and the IR agree — every invocation present in the IR
+   appears in the plaintext with its exact dexdump signature (otherwise
+   the on-the-fly search would be unsound).
+"""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dex.builder import AppBuilder
+from repro.dex.disassembler import disassemble
+from repro.dex.types import (
+    FieldSignature,
+    MethodSignature,
+    dex_to_java_type,
+    java_to_dex_type,
+)
+
+_LETTERS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+_IDENT = st.builds(
+    lambda head, tail: head + tail,
+    st.sampled_from(_LETTERS),
+    st.text(alphabet=_LETTERS + "0123456789_", max_size=8),
+)
+_PRIMS = st.sampled_from(
+    ["void", "boolean", "byte", "short", "char", "int", "long", "float", "double"]
+)
+
+
+@st.composite
+def class_names(draw):
+    parts = draw(st.lists(_IDENT, min_size=1, max_size=4))
+    name = ".".join(parts)
+    if draw(st.booleans()):
+        name += "$" + str(draw(st.integers(min_value=1, max_value=9)))
+    return name
+
+
+@st.composite
+def java_types(draw, allow_void=False):
+    base = draw(st.one_of(_PRIMS if allow_void else _PRIMS.filter(lambda t: t != "void"),
+                          class_names()))
+    depth = draw(st.integers(min_value=0, max_value=2))
+    return base + "[]" * depth
+
+
+@st.composite
+def method_signatures(draw):
+    return MethodSignature(
+        class_name=draw(class_names()),
+        name=draw(_IDENT),
+        param_types=tuple(draw(st.lists(java_types(), max_size=4))),
+        return_type=draw(st.one_of(st.just("void"), java_types())),
+    )
+
+
+@st.composite
+def field_signatures(draw):
+    return FieldSignature(
+        class_name=draw(class_names()),
+        name=draw(_IDENT),
+        field_type=draw(java_types()),
+    )
+
+
+class TestTypeRoundTrips:
+    @given(java_types(allow_void=True))
+    def test_type_translation_roundtrip(self, java_type):
+        assert dex_to_java_type(java_to_dex_type(java_type)) == java_type
+
+    @given(method_signatures())
+    def test_method_soot_roundtrip(self, sig):
+        assert MethodSignature.parse_soot(sig.to_soot()) == sig
+
+    @given(method_signatures())
+    def test_method_dex_roundtrip(self, sig):
+        assert MethodSignature.parse_dex(sig.to_dex()) == sig
+
+    @given(field_signatures())
+    def test_field_roundtrips(self, sig):
+        assert FieldSignature.parse_soot(sig.to_soot()) == sig
+        assert FieldSignature.parse_dex(sig.to_dex()) == sig
+
+    @given(method_signatures(), class_names())
+    def test_with_class_preserves_sub_signature(self, sig, other):
+        assert sig.with_class(other).sub_signature() == sig.sub_signature()
+
+
+class TestDisassemblerSearchConsistency:
+    @given(
+        st.lists(
+            st.tuples(class_names(), _IDENT, st.lists(java_types(), max_size=2)),
+            min_size=1,
+            max_size=6,
+            unique_by=lambda t: (t[0], t[1]),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_ir_invoke_is_searchable_in_plaintext(self, callees):
+        """Soundness anchor: IR invokes always surface in the dump text."""
+        app = AppBuilder()
+        caller = app.new_class("com.gen.Caller")
+        m = caller.method("go")
+        expected = []
+        for cls_name, method_name, params in callees:
+            if cls_name == "com.gen.Caller":
+                continue
+            sig = MethodSignature(cls_name, method_name, tuple(params), "void")
+            args = [m.const_null(p) for p in params]
+            m.invoke_static(sig, args=args)
+            expected.append(sig)
+        m.return_void()
+        text = disassemble(app.build()).text
+        for sig in expected:
+            pattern = re.escape(sig.to_dex())
+            assert re.search(pattern, text), sig.to_dex()
+
+    @given(st.lists(field_signatures(), min_size=1, max_size=5,
+                    unique_by=lambda f: (f.class_name, f.name)))
+    @settings(max_examples=40, deadline=None)
+    def test_every_static_field_access_is_searchable(self, fields):
+        app = AppBuilder()
+        cls = app.new_class("com.gen.FieldUser")
+        m = cls.method("go")
+        kept = []
+        for f in fields:
+            if f.class_name == "com.gen.FieldUser":
+                continue
+            m.get_static(f.class_name, f.name, f.field_type)
+            kept.append(f)
+        m.return_void()
+        text = disassemble(app.build()).text
+        for f in kept:
+            assert re.search(re.escape(f.to_dex()), text), f.to_dex()

@@ -1,0 +1,173 @@
+"""Unit tests for type descriptors and signature format translation."""
+
+import pytest
+
+from repro.dex.types import (
+    FieldSignature,
+    MethodSignature,
+    SignatureError,
+    dex_to_java_type,
+    java_to_dex_type,
+    split_dex_params,
+)
+
+
+class TestTypeTranslation:
+    def test_primitives_to_dex(self):
+        assert java_to_dex_type("void") == "V"
+        assert java_to_dex_type("boolean") == "Z"
+        assert java_to_dex_type("byte") == "B"
+        assert java_to_dex_type("short") == "S"
+        assert java_to_dex_type("char") == "C"
+        assert java_to_dex_type("int") == "I"
+        assert java_to_dex_type("long") == "J"
+        assert java_to_dex_type("float") == "F"
+        assert java_to_dex_type("double") == "D"
+
+    def test_class_type_to_dex(self):
+        assert java_to_dex_type("java.lang.String") == "Ljava/lang/String;"
+
+    def test_inner_class_keeps_dollar(self):
+        assert (
+            java_to_dex_type("com.connectsdk.service.NetcastTVService$1")
+            == "Lcom/connectsdk/service/NetcastTVService$1;"
+        )
+
+    def test_array_types(self):
+        assert java_to_dex_type("int[]") == "[I"
+        assert java_to_dex_type("java.lang.String[][]") == "[[Ljava/lang/String;"
+
+    def test_dex_to_java_roundtrip(self):
+        for java_type in ("void", "int", "java.lang.String", "int[]", "com.a.B$C[][]"):
+            assert dex_to_java_type(java_to_dex_type(java_type)) == java_type
+
+    def test_bad_descriptor_raises(self):
+        with pytest.raises(SignatureError):
+            dex_to_java_type("Q")
+        with pytest.raises(SignatureError):
+            dex_to_java_type("")
+
+    def test_empty_type_raises(self):
+        with pytest.raises(SignatureError):
+            java_to_dex_type("")
+
+
+class TestSplitDexParams:
+    def test_empty(self):
+        assert split_dex_params("") == ()
+
+    def test_mixed(self):
+        assert split_dex_params("Ljava/lang/String;I[J") == (
+            "Ljava/lang/String;",
+            "I",
+            "[J",
+        )
+
+    def test_array_of_objects(self):
+        assert split_dex_params("[Ljava/lang/Object;Z") == ("[Ljava/lang/Object;", "Z")
+
+    def test_unterminated_class_raises(self):
+        with pytest.raises(SignatureError):
+            split_dex_params("Ljava/lang/String")
+
+    def test_dangling_array_raises(self):
+        with pytest.raises(SignatureError):
+            split_dex_params("[")
+
+
+class TestMethodSignature:
+    def test_paper_example_to_dex(self):
+        # The exact translation of Fig. 3, step 1.
+        sig = MethodSignature(
+            "com.connectsdk.service.netcast.NetcastHttpServer", "start", (), "void"
+        )
+        assert sig.to_soot() == (
+            "<com.connectsdk.service.netcast.NetcastHttpServer: void start()>"
+        )
+        assert sig.to_dex() == (
+            "Lcom/connectsdk/service/netcast/NetcastHttpServer;.start:()V"
+        )
+
+    def test_params_rendering(self):
+        sig = MethodSignature(
+            "com.connectsdk.core.Util",
+            "runInBackground",
+            ("java.lang.Runnable", "boolean"),
+            "void",
+        )
+        assert sig.to_dex() == "Lcom/connectsdk/core/Util;.runInBackground:(Ljava/lang/Runnable;Z)V"
+        assert sig.sub_signature() == "void runInBackground(java.lang.Runnable,boolean)"
+        assert sig.dex_sub_signature() == "runInBackground:(Ljava/lang/Runnable;Z)V"
+
+    def test_parse_soot_roundtrip(self):
+        text = "<com.a.B: java.lang.String f(int,java.lang.Object[])>"
+        sig = MethodSignature.parse_soot(text)
+        assert sig.class_name == "com.a.B"
+        assert sig.name == "f"
+        assert sig.param_types == ("int", "java.lang.Object[]")
+        assert sig.return_type == "java.lang.String"
+        assert sig.to_soot() == text
+
+    def test_parse_dex_roundtrip(self):
+        text = "Lcom/a/B;.f:(I[Ljava/lang/Object;)Ljava/lang/String;"
+        sig = MethodSignature.parse_dex(text)
+        assert sig.to_dex() == text
+        assert sig.param_types == ("int", "java.lang.Object[]")
+
+    def test_cross_format_equivalence(self):
+        soot = MethodSignature.parse_soot("<com.a.B: void go(long)>")
+        dex = MethodSignature.parse_dex("Lcom/a/B;.go:(J)V")
+        assert soot == dex
+
+    def test_with_class_rehoming(self):
+        # Child-class search signature construction (Sec. IV-A).
+        sig = MethodSignature("com.a.Server", "start", (), "void")
+        child = sig.with_class("com.a.ChildServer")
+        assert child.to_dex() == "Lcom/a/ChildServer;.start:()V"
+        assert child.sub_signature() == sig.sub_signature()
+
+    def test_constructor_and_clinit_predicates(self):
+        init = MethodSignature("com.a.B", "<init>", (), "void")
+        clinit = MethodSignature("com.a.B", "<clinit>", (), "void")
+        plain = MethodSignature("com.a.B", "run", (), "void")
+        assert init.is_constructor and not init.is_static_initializer
+        assert clinit.is_static_initializer and not clinit.is_constructor
+        assert not plain.is_constructor and not plain.is_static_initializer
+
+    def test_parse_bad_soot_raises(self):
+        with pytest.raises(SignatureError):
+            MethodSignature.parse_soot("not a signature")
+
+    def test_parse_bad_dex_raises(self):
+        with pytest.raises(SignatureError):
+            MethodSignature.parse_dex("com.a.B.f()")
+
+    def test_hashable_and_ordered(self):
+        a = MethodSignature("com.a.A", "m", (), "void")
+        b = MethodSignature("com.a.B", "m", (), "void")
+        assert len({a, b, a}) == 2
+        assert sorted([b, a])[0] == a
+
+
+class TestFieldSignature:
+    def test_paper_example(self):
+        # The myPort field of Fig. 6.
+        sig = FieldSignature("com.studiosol.util.NanoHTTPD", "myPort", "int")
+        assert sig.to_soot() == "<com.studiosol.util.NanoHTTPD: int myPort>"
+        assert sig.to_dex() == "Lcom/studiosol/util/NanoHTTPD;.myPort:I"
+
+    def test_parse_soot(self):
+        sig = FieldSignature.parse_soot("<com.a.B: java.lang.String name>")
+        assert sig.field_type == "java.lang.String"
+        assert sig.name == "name"
+
+    def test_parse_dex(self):
+        sig = FieldSignature.parse_dex("Lcom/a/B;.httpServer:Lcom/a/Server;")
+        assert sig.class_name == "com.a.B"
+        assert sig.name == "httpServer"
+        assert sig.field_type == "com.a.Server"
+
+    def test_roundtrips(self):
+        sig = FieldSignature("com.a.B", "flags", "boolean[]")
+        assert FieldSignature.parse_soot(sig.to_soot()) == sig
+        assert FieldSignature.parse_dex(sig.to_dex()) == sig

@@ -1,0 +1,20 @@
+"""Shared fixtures: the paper's three running-example apps."""
+
+import pytest
+
+from repro.workload.paperapps import build_heyzap, build_lg_tv_plus, build_palcomp3
+
+
+@pytest.fixture(scope="module")
+def lg_tv_plus():
+    return build_lg_tv_plus()
+
+
+@pytest.fixture(scope="module")
+def heyzap():
+    return build_heyzap()
+
+
+@pytest.fixture(scope="module")
+def palcomp3():
+    return build_palcomp3()

@@ -1,0 +1,313 @@
+"""Unit tests for the advanced search (Sec. IV-B)."""
+
+from repro.android.apk import Apk
+from repro.dex.builder import AppBuilder
+from repro.dex.types import MethodSignature
+from repro.search.advanced import advanced_search, needs_advanced_search
+from repro.search.index import BytecodeSearcher
+from repro.search.loops import LoopDetector, LoopKind
+
+
+def _parts(apk):
+    return BytecodeSearcher(apk.disassembly), apk.full_pool
+
+
+class TestNeedsAdvancedSearch:
+    def test_interface_method_needs_advanced(self, lg_tv_plus):
+        _, pool = _parts(lg_tv_plus)
+        run = MethodSignature(
+            "com.connectsdk.service.NetcastTVService$1", "run", (), "void"
+        )
+        assert needs_advanced_search(pool, run)
+
+    def test_private_method_does_not(self, lg_tv_plus):
+        _, pool = _parts(lg_tv_plus)
+        start = MethodSignature(
+            "com.connectsdk.service.netcast.NetcastHttpServer", "start", (), "void"
+        )
+        assert not needs_advanced_search(pool, start)
+
+    def test_plain_public_method_does_not(self, lg_tv_plus):
+        _, pool = _parts(lg_tv_plus)
+        connect = MethodSignature(
+            "com.connectsdk.service.NetcastTVService", "connect", (), "void"
+        )
+        assert not needs_advanced_search(pool, connect)
+
+
+class TestFig4RunnableChain:
+    """The paper's flagship advanced-search example, end to end."""
+
+    def test_uncovers_caller_chain_of_run(self, lg_tv_plus):
+        searcher, pool = _parts(lg_tv_plus)
+        run = MethodSignature(
+            "com.connectsdk.service.NetcastTVService$1", "run", (), "void"
+        )
+        resolved = advanced_search(searcher, pool, run)
+        assert len(resolved) == 1
+        caller = resolved[0]
+        # Step 1: constructor located in NetcastTVService.connect().
+        assert caller.method == MethodSignature(
+            "com.connectsdk.service.NetcastTVService", "connect", (), "void"
+        )
+        assert caller.kind == "constructor"
+        assert caller.object_local is not None
+
+    def test_chain_spans_wrapper_methods_to_executor(self, lg_tv_plus):
+        searcher, pool = _parts(lg_tv_plus)
+        run = MethodSignature(
+            "com.connectsdk.service.NetcastTVService$1", "run", (), "void"
+        )
+        resolved = advanced_search(searcher, pool, run)
+        chain_methods = [link.method for link in resolved[0].chain]
+        # connect -> runInBackground(R) -> runInBackground(R, boolean),
+        # ending at the Executor.execute(r0) call site.
+        assert chain_methods[0].name == "connect"
+        assert chain_methods[1].name == "runInBackground"
+        assert len(chain_methods[1].param_types) == 1
+        assert chain_methods[2].name == "runInBackground"
+        assert len(chain_methods[2].param_types) == 2
+        # The last link is the ending method's call site.
+        ending = resolved[0].chain[-1]
+        body = pool.resolve_method(ending.method).body
+        expr = body[ending.site_index].invoke_expr()
+        assert expr.method.class_name == "java.util.concurrent.Executor"
+        assert expr.method.name == "execute"
+
+
+class TestEndingDetermination:
+    def test_super_class_dispatch(self):
+        """SuperServer server = new NetcastHttpServer(); server.start();"""
+        app = AppBuilder()
+        sup = app.new_class("com.x.SuperServer")
+        sup.default_constructor()
+        sm = sup.method("start")
+        sm.return_void()
+        sub = app.new_class("com.x.HttpServer", superclass="com.x.SuperServer")
+        sub.default_constructor()
+        sb = sub.method("start")
+        sb.return_void()
+        user = app.new_class("com.x.User")
+        go = user.method("go")
+        obj = go.new_init("com.x.HttpServer")
+        up = go.cast("com.x.SuperServer", obj)
+        go.invoke_virtual(up, "com.x.SuperServer", "start")
+        go.return_void()
+        apk = Apk(package="com.x", classes=app.build())
+        searcher, pool = _parts(apk)
+        callee = MethodSignature("com.x.HttpServer", "start", (), "void")
+        assert needs_advanced_search(pool, callee)
+        resolved = advanced_search(searcher, pool, callee)
+        assert len(resolved) == 1
+        assert resolved[0].method.class_name == "com.x.User"
+
+    def test_asynctask_receiver_ending(self):
+        """task.execute() resolves through the framework supertype."""
+        app = AppBuilder()
+        task = app.new_class("com.x.FetchTask", superclass="android.os.AsyncTask")
+        task.default_constructor()
+        dib = task.method(
+            "doInBackground", params=["java.lang.Object[]"],
+            returns="java.lang.Object",
+        )
+        dib.this()
+        dib.param(0)
+        dib.return_value(None)
+        user = app.new_class("com.x.Screen", superclass="android.app.Activity")
+        go = user.method("onCreate", params=["android.os.Bundle"])
+        go.this()
+        go.param(0)
+        obj = go.new_init("com.x.FetchTask")
+        go.invoke_virtual(
+            obj, "android.os.AsyncTask", "execute",
+            args=[go.const_null("java.lang.Object[]")],
+            params=["java.lang.Object[]"],
+            returns="android.os.AsyncTask",
+        )
+        go.return_void()
+        apk = Apk(package="com.x", classes=app.build())
+        searcher, pool = _parts(apk)
+        callee = MethodSignature(
+            "com.x.FetchTask", "doInBackground", ("java.lang.Object[]",),
+            "java.lang.Object",
+        )
+        assert needs_advanced_search(pool, callee)
+        resolved = advanced_search(searcher, pool, callee)
+        assert len(resolved) == 1
+        assert resolved[0].method.name == "onCreate"
+
+    def test_onclick_listener_arg_ending(self):
+        app = AppBuilder()
+        listener = app.new_class(
+            "com.x.SendListener", interfaces=["android.view.View$OnClickListener"]
+        )
+        listener.default_constructor()
+        oc = listener.method("onClick", params=["android.view.View"])
+        oc.this()
+        oc.param(0)
+        oc.return_void()
+        screen = app.new_class("com.x.Main", superclass="android.app.Activity")
+        go = screen.method("onCreate", params=["android.os.Bundle"])
+        this = go.this()
+        go.param(0)
+        view = go.invoke_virtual(
+            this, "android.app.Activity", "findViewById",
+            args=[go.const_int(7)], params=["int"], returns="android.view.View",
+        )
+        lst = go.new_init("com.x.SendListener")
+        go.invoke_virtual(
+            view, "android.view.View", "setOnClickListener",
+            args=[lst], params=["android.view.View$OnClickListener"],
+        )
+        go.return_void()
+        apk = Apk(package="com.x", classes=app.build())
+        searcher, pool = _parts(apk)
+        callee = MethodSignature(
+            "com.x.SendListener", "onClick", ("android.view.View",), "void"
+        )
+        resolved = advanced_search(searcher, pool, callee)
+        assert len(resolved) == 1
+        ending = resolved[0].chain[-1]
+        body = pool.resolve_method(ending.method).body
+        assert body[ending.site_index].invoke_expr().method.name == (
+            "setOnClickListener"
+        )
+
+    def test_thread_constructor_arg_ending(self):
+        app = AppBuilder()
+        worker = app.new_class("com.x.Worker", interfaces=["java.lang.Runnable"])
+        worker.default_constructor()
+        run = worker.method("run")
+        run.this()
+        run.return_void()
+        user = app.new_class("com.x.Boss")
+        go = user.method("go")
+        w = go.new_init("com.x.Worker")
+        t = go.new_init("java.lang.Thread", args=[w],
+                        ctor_params=["java.lang.Runnable"])
+        go.invoke_virtual(t, "java.lang.Thread", "start")
+        go.return_void()
+        apk = Apk(package="com.x", classes=app.build())
+        searcher, pool = _parts(apk)
+        callee = MethodSignature("com.x.Worker", "run", (), "void")
+        resolved = advanced_search(searcher, pool, callee)
+        assert len(resolved) >= 1
+        assert all(r.method.name == "go" for r in resolved)
+
+
+class TestTaintMechanics:
+    def test_strong_update_kills_taint(self):
+        app = AppBuilder()
+        worker = app.new_class("com.x.W", interfaces=["java.lang.Runnable"])
+        worker.default_constructor()
+        r = worker.method("run")
+        r.this()
+        r.return_void()
+        user = app.new_class("com.x.U")
+        go = user.method("go")
+        w = go.new_init("com.x.W")
+        alias = go.move(w)
+        # Overwrite the alias before it escapes: no ending via alias.
+        go.assign("java.lang.Object", None)
+        go.return_void()
+        apk = Apk(package="com.x", classes=app.build())
+        searcher, pool = _parts(apk)
+        callee = MethodSignature("com.x.W", "run", (), "void")
+        assert advanced_search(searcher, pool, callee) == []
+
+    def test_field_bridge_propagates_across_methods(self, lg_tv_plus):
+        """In Fig. 3, run() stores the server into a field then reloads it.
+
+        The advanced search of start()'s own class is not needed there
+        (basic search applies), but the same app exercises the field
+        bridge when resolving run() — already covered by the Fig. 4
+        test.  Here we check the bridge directly on a two-method shape.
+        """
+        app = AppBuilder()
+        worker = app.new_class("com.x.W", interfaces=["java.lang.Runnable"])
+        worker.default_constructor()
+        r = worker.method("run")
+        r.this()
+        r.return_void()
+        holder = app.new_class("com.x.Holder")
+        holder.field("w", "com.x.W", static=True)
+        setm = holder.method("set", static=True)
+        w = setm.new_init("com.x.W")
+        setm.put_static("com.x.Holder", "w", "com.x.W", w)
+        setm.return_void()
+        runm = holder.method("dispatch", static=True)
+        loaded = runm.get_static("com.x.Holder", "w", "com.x.W")
+        ex = runm.get_static("com.x.Holder", "ex", "java.util.concurrent.Executor")
+        runm.invoke_interface(
+            ex, "java.util.concurrent.Executor", "execute",
+            args=[loaded], params=["java.lang.Runnable"],
+        )
+        runm.return_void()
+        apk = Apk(package="com.x", classes=app.build())
+        searcher, pool = _parts(apk)
+        callee = MethodSignature("com.x.W", "run", (), "void")
+        resolved = advanced_search(searcher, pool, callee)
+        assert len(resolved) == 1
+        assert resolved[0].method.name == "set"
+        chain_methods = [link.method.name for link in resolved[0].chain]
+        assert chain_methods[-1] == "dispatch"
+
+    def test_return_value_taint_flows_to_caller(self):
+        app = AppBuilder()
+        worker = app.new_class("com.x.W", interfaces=["java.lang.Runnable"])
+        worker.default_constructor()
+        r = worker.method("run")
+        r.this()
+        r.return_void()
+        fac = app.new_class("com.x.Factory")
+        make = fac.method("make", returns="com.x.W", static=True)
+        obj = make.new_init("com.x.W")
+        make.return_value(obj)
+        user = app.new_class("com.x.U")
+        go = user.method("go", static=True)
+        got = go.invoke_static("com.x.Factory", "make", returns="com.x.W")
+        ex = go.get_static("com.x.U", "ex", "java.util.concurrent.Executor")
+        go.invoke_interface(
+            ex, "java.util.concurrent.Executor", "execute",
+            args=[got], params=["java.lang.Runnable"],
+        )
+        go.return_void()
+        apk = Apk(package="com.x", classes=app.build())
+        searcher, pool = _parts(apk)
+        callee = MethodSignature("com.x.W", "run", (), "void")
+        resolved = advanced_search(searcher, pool, callee)
+        # The constructor lives in Factory.make; the chain must reach
+        # U.go where the returned object is dispatched.
+        assert len(resolved) >= 1
+        assert resolved[0].method.name == "make"
+
+
+class TestForwardLoopDetection:
+    def test_mutual_recursion_detected_as_cross_forward(self):
+        app = AppBuilder()
+        worker = app.new_class("com.x.W", interfaces=["java.lang.Runnable"])
+        worker.default_constructor()
+        r = worker.method("run")
+        r.this()
+        r.return_void()
+        ping = app.new_class("com.x.Ping")
+        pm = ping.method("ping", params=["com.x.W"], static=True)
+        arg = pm.param(0)
+        pm.invoke_static("com.x.Pong", "pong", args=[arg], params=["com.x.W"])
+        pm.return_void()
+        pong = app.new_class("com.x.Pong")
+        gm = pong.method("pong", params=["com.x.W"], static=True)
+        arg2 = gm.param(0)
+        gm.invoke_static("com.x.Ping", "ping", args=[arg2], params=["com.x.W"])
+        gm.return_void()
+        user = app.new_class("com.x.U")
+        go = user.method("go", static=True)
+        w = go.new_init("com.x.W")
+        go.invoke_static("com.x.Ping", "ping", args=[w], params=["com.x.W"])
+        go.return_void()
+        apk = Apk(package="com.x", classes=app.build())
+        searcher, pool = _parts(apk)
+        loops = LoopDetector()
+        callee = MethodSignature("com.x.W", "run", (), "void")
+        advanced_search(searcher, pool, callee, loops=loops)
+        assert loops.counts[LoopKind.CROSS_FORWARD] >= 1

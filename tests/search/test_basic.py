@@ -1,0 +1,137 @@
+"""Unit tests for the basic signature-based search (Sec. IV-A)."""
+
+from repro.dex.builder import AppBuilder
+from repro.android.apk import Apk
+from repro.dex.types import MethodSignature
+from repro.search.basic import basic_search, build_search_signatures
+from repro.search.index import BytecodeSearcher
+
+
+def _engine_parts(apk):
+    return BytecodeSearcher(apk.disassembly), apk.full_pool
+
+
+class TestPaperRunningExample:
+    def test_fig3_private_method_search(self, lg_tv_plus):
+        """The exact Fig. 3 flow: private start() found in $1.run()."""
+        searcher, pool = _engine_parts(lg_tv_plus)
+        callee = MethodSignature(
+            "com.connectsdk.service.netcast.NetcastHttpServer", "start", (), "void"
+        )
+        sites = basic_search(searcher, pool, callee)
+        assert len(sites) == 1
+        site = sites[0]
+        assert site.caller == MethodSignature(
+            "com.connectsdk.service.NetcastTVService$1", "run", (), "void"
+        )
+        # Step 4: the call site is the actual invoke statement.
+        caller_body = pool.resolve_method(site.caller).body
+        expr = caller_body[site.stmt_index].invoke_expr()
+        assert expr is not None and expr.method == callee
+
+    def test_constructor_search(self, lg_tv_plus):
+        searcher, pool = _engine_parts(lg_tv_plus)
+        ctor = MethodSignature(
+            "com.connectsdk.service.NetcastTVService$1",
+            "<init>",
+            ("com.connectsdk.service.NetcastTVService",),
+            "void",
+        )
+        sites = basic_search(searcher, pool, ctor)
+        assert len(sites) == 1
+        assert sites[0].caller.name == "connect"
+
+    def test_static_method_search(self, lg_tv_plus):
+        searcher, pool = _engine_parts(lg_tv_plus)
+        callee = MethodSignature(
+            "com.connectsdk.core.Util",
+            "runInBackground",
+            ("java.lang.Runnable", "boolean"),
+            "void",
+        )
+        sites = basic_search(searcher, pool, callee)
+        assert len(sites) == 1
+        assert sites[0].caller == MethodSignature(
+            "com.connectsdk.core.Util",
+            "runInBackground",
+            ("java.lang.Runnable",),
+            "void",
+        )
+
+
+class TestChildClassSignatures:
+    def _child_app(self, overriding: bool):
+        app = AppBuilder()
+        parent = app.new_class("com.x.Server")
+        parent.default_constructor()
+        start = parent.method("start")
+        start.return_void()
+        child = app.new_class("com.x.ChildServer", superclass="com.x.Server")
+        child.default_constructor()
+        if overriding:
+            om = child.method("start")
+            om.return_void()
+        user = app.new_class("com.x.User")
+        go = user.method("go")
+        obj = go.new_init("com.x.ChildServer")
+        # The developer invokes through the child's signature.
+        go.invoke_virtual(obj, "com.x.ChildServer", "start")
+        go.return_void()
+        return Apk(package="com.x", classes=app.build())
+
+    def test_non_overriding_child_adds_search_signature(self):
+        apk = self._child_app(overriding=False)
+        searcher, pool = _engine_parts(apk)
+        callee = MethodSignature("com.x.Server", "start", (), "void")
+        signatures = build_search_signatures(pool, callee)
+        assert MethodSignature("com.x.ChildServer", "start", (), "void") in signatures
+        sites = basic_search(searcher, pool, callee)
+        assert [s.caller.class_name for s in sites] == ["com.x.User"]
+        assert sites[0].matched_signature.class_name == "com.x.ChildServer"
+
+    def test_overriding_child_is_excluded(self):
+        apk = self._child_app(overriding=True)
+        searcher, pool = _engine_parts(apk)
+        callee = MethodSignature("com.x.Server", "start", (), "void")
+        signatures = build_search_signatures(pool, callee)
+        # Only the original signature: the child search signature would
+        # correspond to the overriding child method instead.
+        assert signatures == [callee]
+        assert basic_search(searcher, pool, callee) == []
+
+    def test_overridden_child_callee_still_found(self):
+        apk = self._child_app(overriding=True)
+        searcher, pool = _engine_parts(apk)
+        child_callee = MethodSignature("com.x.ChildServer", "start", (), "void")
+        sites = basic_search(searcher, pool, child_callee)
+        assert [s.caller.class_name for s in sites] == ["com.x.User"]
+
+
+class TestRecursionAndDedup:
+    def test_self_recursion_is_not_a_caller(self):
+        app = AppBuilder()
+        cls = app.new_class("com.x.Rec")
+        m = cls.method("spin", static=True)
+        m.invoke_static("com.x.Rec", "spin")
+        m.return_void()
+        apk = Apk(package="com.x", classes=app.build())
+        searcher, pool = _engine_parts(apk)
+        callee = MethodSignature("com.x.Rec", "spin", (), "void")
+        assert basic_search(searcher, pool, callee) == []
+
+    def test_two_sites_in_one_caller_both_reported(self):
+        app = AppBuilder()
+        helper = app.new_class("com.x.H")
+        hm = helper.method("help", static=True)
+        hm.return_void()
+        user = app.new_class("com.x.U")
+        um = user.method("go")
+        um.invoke_static("com.x.H", "help")
+        um.invoke_static("com.x.H", "help")
+        um.return_void()
+        apk = Apk(package="com.x", classes=app.build())
+        searcher, pool = _engine_parts(apk)
+        callee = MethodSignature("com.x.H", "help", (), "void")
+        sites = basic_search(searcher, pool, callee)
+        assert len(sites) == 2
+        assert len({s.stmt_index for s in sites}) == 2

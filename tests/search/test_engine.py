@@ -1,0 +1,121 @@
+"""Unit tests for the caller-resolution orchestrator."""
+
+from repro.android.apk import Apk
+from repro.android.manifest import Manifest
+from repro.dex.builder import AppBuilder
+from repro.dex.types import MethodSignature
+from repro.search.caching import SearchCommandCache, SinkReachabilityCache
+from repro.search.engine import CallerResolutionEngine
+from repro.search.loops import LoopDetector, LoopKind
+
+
+class TestDispatch:
+    def test_private_method_uses_basic_search(self, lg_tv_plus):
+        engine = CallerResolutionEngine(lg_tv_plus)
+        result = engine.resolve(
+            MethodSignature(
+                "com.connectsdk.service.netcast.NetcastHttpServer", "start", (), "void"
+            )
+        )
+        assert "basic-search" in result.notes
+        assert len(result.callers) == 1
+        assert result.callers[0].kind == "direct"
+
+    def test_interface_method_uses_advanced_search(self, lg_tv_plus):
+        engine = CallerResolutionEngine(lg_tv_plus)
+        result = engine.resolve(
+            MethodSignature(
+                "com.connectsdk.service.NetcastTVService$1", "run", (), "void"
+            )
+        )
+        assert "advanced-search" in result.notes
+        assert result.callers[0].kind == "constructor"
+
+    def test_clinit_uses_recursive_search(self, heyzap):
+        engine = CallerResolutionEngine(heyzap)
+        result = engine.resolve(
+            MethodSignature("com.heyzap.internal.APIClient", "<clinit>", (), "void")
+        )
+        assert result.clinit_reachable is True
+        assert not result.is_dead_end
+
+    def test_lifecycle_handler_of_registered_component_is_entry(self, lg_tv_plus):
+        engine = CallerResolutionEngine(lg_tv_plus)
+        result = engine.resolve(
+            MethodSignature(
+                "com.lge.app1.MainActivity", "onCreate",
+                ("android.os.Bundle",), "void",
+            )
+        )
+        assert result.is_entry
+        assert not result.is_dead_end
+
+    def test_service_entry_also_resolves_icc_caller(self, lg_tv_plus):
+        engine = CallerResolutionEngine(lg_tv_plus)
+        result = engine.resolve(
+            MethodSignature("com.lge.app1.fota.HttpServerService", "onCreate", (), "void")
+        )
+        assert result.is_entry
+        icc_callers = [c for c in result.callers if c.kind == "icc"]
+        assert len(icc_callers) == 1
+        assert icc_callers[0].method.class_name == "com.lge.app1.MainActivity"
+
+    def test_dead_method_is_dead_end(self):
+        app = AppBuilder()
+        cls = app.new_class("com.a.Dead")
+        m = cls.method("never", static=True)
+        m.return_void()
+        apk = Apk(package="com.a", classes=app.build(), manifest=Manifest("com.a"))
+        engine = CallerResolutionEngine(apk)
+        result = engine.resolve(MethodSignature("com.a.Dead", "never", (), "void"))
+        assert result.is_dead_end
+
+
+class TestLoopAndCacheStats:
+    def test_shared_cache_across_resolutions(self, lg_tv_plus):
+        cache = SearchCommandCache()
+        engine = CallerResolutionEngine(lg_tv_plus, cache=cache)
+        sig = MethodSignature(
+            "com.connectsdk.service.netcast.NetcastHttpServer", "start", (), "void"
+        )
+        engine.resolve(sig)
+        lookups_first = cache.stats.lookups
+        engine.resolve(sig)
+        assert cache.stats.hits > 0
+        assert cache.stats.lookups > lookups_first
+
+    def test_loop_detector_shared(self, lg_tv_plus):
+        loops = LoopDetector()
+        engine = CallerResolutionEngine(lg_tv_plus, loops=loops)
+        engine.resolve(
+            MethodSignature(
+                "com.connectsdk.service.NetcastTVService$1", "run", (), "void"
+            )
+        )
+        assert engine.loops is loops
+
+
+class TestSinkReachabilityCache:
+    def test_lookup_and_store(self):
+        cache = SinkReachabilityCache()
+        sig = MethodSignature("com.a.B", "m", (), "void")
+        assert cache.lookup(sig) is None
+        cache.store(sig, False)
+        assert cache.lookup(sig) is False
+        assert cache.stats.lookups == 2
+        assert cache.stats.hits == 1
+        assert 0.0 < cache.stats.rate <= 0.5
+
+
+class TestLoopDetectorUnit:
+    def test_counters_and_most_common(self):
+        loops = LoopDetector()
+        a = MethodSignature("com.a.A", "a", (), "void")
+        b = MethodSignature("com.a.B", "b", (), "void")
+        assert not loops.check_backward((a,), b)
+        assert loops.check_backward((a, b), a)
+        assert loops.check_inner_backward((a,), a)
+        assert loops.check_forward((a,), a)
+        assert not loops.detected_any or loops.total == 3
+        assert loops.counts[LoopKind.CROSS_BACKWARD] == 1
+        assert loops.most_common() in set(LoopKind)

@@ -1,0 +1,111 @@
+"""Unit tests for the raw bytecode-text search engine."""
+
+from repro.dex.types import FieldSignature, MethodSignature
+from repro.search.caching import SearchCommandCache
+from repro.search.index import BytecodeSearcher
+
+
+def _searcher(apk, cache=None):
+    return BytecodeSearcher(apk.disassembly, cache=cache)
+
+
+class TestLiteralSearch:
+    def test_find_invocations_of_private_method(self, lg_tv_plus):
+        searcher = _searcher(lg_tv_plus)
+        callee = MethodSignature(
+            "com.connectsdk.service.netcast.NetcastHttpServer", "start", (), "void"
+        )
+        hits = searcher.find_invocations(callee)
+        assert len(hits) == 1
+        assert hits[0].method == MethodSignature(
+            "com.connectsdk.service.NetcastTVService$1", "run", (), "void"
+        )
+
+    def test_method_header_does_not_count_as_invocation(self, lg_tv_plus):
+        searcher = _searcher(lg_tv_plus)
+        callee = MethodSignature(
+            "com.connectsdk.service.NetcastTVService", "connect", (), "void"
+        )
+        hits = searcher.find_invocations(callee)
+        assert all("invoke-" in h.line for h in hits)
+        # connect() is invoked exactly once, from MainActivity.onCreate.
+        assert len(hits) == 1
+        assert hits[0].method.class_name == "com.lge.app1.MainActivity"
+
+    def test_no_hits_for_unknown_signature(self, lg_tv_plus):
+        searcher = _searcher(lg_tv_plus)
+        ghost = MethodSignature("com.nowhere.Ghost", "boo", (), "void")
+        assert searcher.find_invocations(ghost) == []
+
+    def test_hit_carries_stmt_index(self, lg_tv_plus):
+        searcher = _searcher(lg_tv_plus)
+        callee = MethodSignature(
+            "com.connectsdk.service.netcast.NetcastHttpServer", "start", (), "void"
+        )
+        hit = searcher.find_invocations(callee)[0]
+        assert hit.stmt_index is not None and hit.stmt_index >= 0
+
+
+class TestFieldSearch:
+    def test_find_field_accesses(self, palcomp3):
+        searcher = _searcher(palcomp3)
+        port = FieldSignature("com.studiosol.palcomp3.MP3LocalServer", "PORT", "int")
+        accesses = searcher.find_field_accesses(port)
+        kinds = {("sput" in h.line, "sget" in h.line) for h in accesses}
+        assert (True, False) in kinds  # the <clinit> write
+        assert (False, True) in kinds  # the <init> read
+
+    def test_writes_only_filter(self, palcomp3):
+        searcher = _searcher(palcomp3)
+        port = FieldSignature("com.studiosol.palcomp3.MP3LocalServer", "PORT", "int")
+        writes = searcher.find_field_accesses(port, writes_only=True)
+        assert len(writes) == 1
+        assert writes[0].method.name == "<clinit>"
+
+
+class TestIccPrimitives:
+    def test_find_const_class(self, lg_tv_plus):
+        searcher = _searcher(lg_tv_plus)
+        hits = searcher.find_const_class("com.lge.app1.fota.HttpServerService")
+        assert len(hits) == 1
+        assert hits[0].method.class_name == "com.lge.app1.MainActivity"
+
+    def test_find_invocations_by_name(self, lg_tv_plus):
+        searcher = _searcher(lg_tv_plus)
+        hits = searcher.find_invocations_by_name("startService")
+        assert len(hits) == 1
+        assert hits[0].method.name == "onCreate"
+
+
+class TestClassMentions:
+    def test_classes_mentioning(self, heyzap):
+        searcher = _searcher(heyzap)
+        users = searcher.classes_mentioning("com.heyzap.internal.APIClient")
+        assert users == {"com.heyzap.house.model.AdModel"}
+
+    def test_mention_chain_to_entry(self, heyzap):
+        searcher = _searcher(heyzap)
+        users = searcher.classes_mentioning("com.heyzap.house.model.AdModel")
+        assert "com.heyzap.sdk.ads.HeyzapInterstitialActivity" in users
+
+
+class TestCommandCaching:
+    def test_repeated_commands_hit_cache(self, lg_tv_plus):
+        cache = SearchCommandCache()
+        searcher = _searcher(lg_tv_plus, cache=cache)
+        callee = MethodSignature(
+            "com.connectsdk.service.netcast.NetcastHttpServer", "start", (), "void"
+        )
+        first = searcher.find_invocations(callee)
+        assert cache.stats.hits == 0
+        second = searcher.find_invocations(callee)
+        assert second == first
+        assert cache.stats.hits == 1
+        assert 0.0 < cache.stats.rate < 1.0
+
+    def test_cache_rates_by_kind(self, lg_tv_plus):
+        cache = SearchCommandCache()
+        searcher = _searcher(lg_tv_plus, cache=cache)
+        searcher.find_const_class("com.lge.app1.fota.HttpServerService")
+        searcher.find_const_class("com.lge.app1.fota.HttpServerService")
+        assert cache.stats_by_kind["invoked-class"].hits == 1

@@ -1,0 +1,92 @@
+"""Property-based tests for the search layer.
+
+The central soundness property of on-the-fly bytecode search: for any app
+expressible in the IR, the callers located by search must equal the
+callers present in the IR (ground truth by direct scanning).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.android.apk import Apk
+from repro.dex.builder import AppBuilder
+from repro.dex.types import MethodSignature
+from repro.search.basic import basic_search
+from repro.search.index import BytecodeSearcher
+
+
+@st.composite
+def call_graphs(draw):
+    """A random acyclic static-call structure: adjacency lists."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    edges = []
+    for callee in range(1, n):
+        callers = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=callee - 1),
+                min_size=0,
+                max_size=3,
+                unique=True,
+            )
+        )
+        edges.append((callee, callers))
+    return n, edges
+
+
+def _build_app(n, edges):
+    app = AppBuilder()
+    classes = []
+    for index in range(n):
+        cls = app.new_class(f"com.g.C{index}")
+        classes.append(cls)
+        method = cls.method("m", static=True)
+        method.return_void()
+    # Rewrite bodies: caller index -> invokes callee.
+    for callee, callers in edges:
+        for caller in callers:
+            body = classes[caller].dex_class.find_method("m")
+            builder_app = body  # DexMethod
+            # Insert the invoke before the trailing return.
+            from repro.dex.instructions import InvokeExpr, InvokeKind, InvokeStmt
+
+            invoke = InvokeStmt(
+                invoke=InvokeExpr(
+                    InvokeKind.STATIC,
+                    MethodSignature(f"com.g.C{callee}", "m", (), "void"),
+                )
+            )
+            builder_app.body.insert(len(builder_app.body) - 1, invoke)
+    return Apk(package="com.g", classes=app.build())
+
+
+class TestSearchSoundnessAndCompleteness:
+    @given(call_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_basic_search_equals_ir_ground_truth(self, graph):
+        """search(callee) == {methods that textually invoke callee}."""
+        n, edges = graph
+        apk = _build_app(n, edges)
+        searcher = BytecodeSearcher(apk.disassembly)
+        pool = apk.full_pool
+        truth: dict[int, set[str]] = {callee: set() for callee in range(n)}
+        for callee, callers in edges:
+            truth[callee] = {f"com.g.C{c}" for c in callers}
+        for callee in range(n):
+            sig = MethodSignature(f"com.g.C{callee}", "m", (), "void")
+            found = {site.caller.class_name for site in basic_search(searcher, pool, sig)}
+            assert found == truth.get(callee, set()), (
+                f"callee C{callee}: search={found}, truth={truth.get(callee)}"
+            )
+
+    @given(call_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_search_results_cacheable_and_stable(self, graph):
+        n, edges = graph
+        apk = _build_app(n, edges)
+        searcher = BytecodeSearcher(apk.disassembly)
+        pool = apk.full_pool
+        for callee in range(n):
+            sig = MethodSignature(f"com.g.C{callee}", "m", (), "void")
+            first = basic_search(searcher, pool, sig)
+            second = basic_search(searcher, pool, sig)
+            assert first == second

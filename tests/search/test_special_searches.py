@@ -1,0 +1,186 @@
+"""Unit tests for the clinit, ICC and lifecycle searches (Sec. IV-C/D/E)."""
+
+from repro.android.apk import Apk
+from repro.android.manifest import ComponentKind, Manifest
+from repro.dex.builder import AppBuilder
+from repro.dex.types import MethodSignature
+from repro.search.clinit import clinit_reachability_search
+from repro.search.icc import icc_search
+from repro.search.index import BytecodeSearcher
+from repro.search.lifecycle import (
+    is_entry_handler,
+    lifecycle_base_of,
+    lifecycle_predecessor_handlers,
+)
+
+
+def _parts(apk):
+    return BytecodeSearcher(apk.disassembly), apk.full_pool
+
+
+class TestClinitSearch:
+    def test_heyzap_chain_reaches_entry(self, heyzap):
+        """The paper's example: APIClient <- AdModel <- Interstitial."""
+        searcher, pool = _parts(heyzap)
+        result = clinit_reachability_search(
+            searcher, pool, heyzap.manifest, "com.heyzap.internal.APIClient"
+        )
+        assert result.reachable
+        assert result.chain == (
+            "com.heyzap.internal.APIClient",
+            "com.heyzap.house.model.AdModel",
+            "com.heyzap.sdk.ads.HeyzapInterstitialActivity",
+        )
+
+    def test_unused_class_clinit_unreachable(self, heyzap):
+        app_classes = AppBuilder()
+        orphan = app_classes.new_class("com.orphan.Config")
+        clinit = orphan.static_initializer()
+        clinit.put_static("com.orphan.Config", "KEY", "int", 1)
+        clinit.return_void()
+        pool = app_classes.build()
+        for cls in heyzap.classes:
+            pool.add(cls)
+        apk = Apk(package="com.heyzap.demo", classes=pool, manifest=heyzap.manifest)
+        searcher = BytecodeSearcher(apk.disassembly)
+        result = clinit_reachability_search(
+            searcher, apk.full_pool, apk.manifest, "com.orphan.Config"
+        )
+        assert not result.reachable
+        assert result.chain == ()
+
+    def test_entry_class_itself_is_reachable(self, heyzap):
+        searcher, pool = _parts(heyzap)
+        result = clinit_reachability_search(
+            searcher, pool, heyzap.manifest,
+            "com.heyzap.sdk.ads.HeyzapInterstitialActivity",
+        )
+        assert result.reachable
+        assert len(result.chain) == 1
+
+
+class TestIccSearch:
+    def test_explicit_icc_two_time_merge(self, lg_tv_plus):
+        """The Sec. IV-D example: const-class + startService in onCreate."""
+        searcher, pool = _parts(lg_tv_plus)
+        sites = icc_search(
+            searcher, pool, lg_tv_plus.manifest, "com.lge.app1.fota.HttpServerService"
+        )
+        assert len(sites) == 1
+        site = sites[0]
+        assert site.caller.name == "onCreate"
+        assert site.icc_api == "startService"
+        assert site.match_kind == "explicit"
+
+    def test_implicit_icc_action_match(self):
+        app = AppBuilder()
+        sender = app.new_class("com.a.Main", superclass="android.app.Activity")
+        go = sender.method("onCreate", params=["android.os.Bundle"])
+        this = go.this()
+        go.param(0)
+        action = go.const_string("com.a.ACTION_SYNC")
+        intent = go.new_init("android.content.Intent", args=[action],
+                             ctor_params=["java.lang.String"])
+        go.invoke_virtual(this, "android.content.Context", "sendBroadcast",
+                          args=[intent], params=["android.content.Intent"])
+        go.return_void()
+        receiver = app.new_class("com.a.SyncReceiver",
+                                 superclass="android.content.BroadcastReceiver")
+        receiver.default_constructor()
+        recv = receiver.method(
+            "onReceive",
+            params=["android.content.Context", "android.content.Intent"],
+        )
+        recv.return_void()
+        manifest = Manifest(package="com.a")
+        manifest.register("com.a.Main", ComponentKind.ACTIVITY)
+        manifest.register("com.a.SyncReceiver", ComponentKind.RECEIVER,
+                          actions=["com.a.ACTION_SYNC"])
+        apk = Apk(package="com.a", classes=app.build(), manifest=manifest)
+        searcher, pool = _parts(apk)
+        sites = icc_search(searcher, pool, manifest, "com.a.SyncReceiver")
+        assert len(sites) == 1
+        assert sites[0].match_kind == "implicit"
+        assert sites[0].icc_api == "sendBroadcast"
+
+    def test_call_without_matching_parameter_is_not_merged(self):
+        # An ICC call in one method and the const-class in another must
+        # not merge (the two-time search requires both in one method).
+        app = AppBuilder()
+        a = app.new_class("com.a.A", superclass="android.app.Activity")
+        m1 = a.method("caller")
+        this = m1.this()
+        nul = m1.const_null("android.content.Intent")
+        m1.invoke_virtual(this, "android.content.Context", "startService",
+                          args=[nul], params=["android.content.Intent"],
+                          returns="android.content.ComponentName")
+        m1.return_void()
+        m2 = a.method("mentioner")
+        m2.const_class("com.a.TargetService")
+        m2.return_void()
+        svc = app.new_class("com.a.TargetService", superclass="android.app.Service")
+        sm = svc.method("onCreate")
+        sm.return_void()
+        manifest = Manifest(package="com.a")
+        manifest.register("com.a.TargetService", ComponentKind.SERVICE)
+        apk = Apk(package="com.a", classes=app.build(), manifest=manifest)
+        searcher, pool = _parts(apk)
+        assert icc_search(searcher, pool, manifest, "com.a.TargetService") == []
+
+
+class TestLifecycleSearch:
+    def test_registered_handler_is_entry(self, lg_tv_plus):
+        _, pool = _parts(lg_tv_plus)
+        sig = MethodSignature(
+            "com.lge.app1.MainActivity", "onCreate", ("android.os.Bundle",), "void"
+        )
+        assert lifecycle_base_of(pool, sig) == "android.app.Activity"
+        assert is_entry_handler(pool, lg_tv_plus.manifest, sig)
+
+    def test_unregistered_component_handler_is_not_entry(self):
+        # The shape behind Amandroid's false positives: a component class
+        # that never appears in the manifest.
+        app = AppBuilder()
+        ghost = app.new_class(
+            "jp.kemco.activation.TstoreActivation", superclass="android.app.Activity"
+        )
+        m = ghost.method("onCreate", params=["android.os.Bundle"])
+        m.return_void()
+        apk = Apk(package="com.a", classes=app.build(),
+                  manifest=Manifest(package="com.a"))
+        _, pool = _parts(apk)
+        sig = MethodSignature(
+            "jp.kemco.activation.TstoreActivation", "onCreate",
+            ("android.os.Bundle",), "void",
+        )
+        assert lifecycle_base_of(pool, sig) == "android.app.Activity"
+        assert not is_entry_handler(pool, apk.manifest, sig)
+
+    def test_predecessor_handlers_on_demand(self):
+        app = AppBuilder()
+        act = app.new_class("com.a.Main", superclass="android.app.Activity")
+        oc = act.method("onCreate", params=["android.os.Bundle"])
+        oc.return_void()
+        os_ = act.method("onStart")
+        os_.return_void()
+        orr = act.method("onResume")
+        orr.return_void()
+        manifest = Manifest(package="com.a")
+        manifest.register("com.a.Main", ComponentKind.ACTIVITY)
+        apk = Apk(package="com.a", classes=app.build(), manifest=manifest)
+        _, pool = _parts(apk)
+        on_resume = MethodSignature("com.a.Main", "onResume", (), "void")
+        predecessors = lifecycle_predecessor_handlers(pool, on_resume)
+        # onStart is declared; onPause is not -> only onStart returned.
+        assert [p.name for p in predecessors] == ["onStart"]
+        on_start = MethodSignature("com.a.Main", "onStart", (), "void")
+        assert [p.name for p in lifecycle_predecessor_handlers(pool, on_start)] == [
+            "onCreate"
+        ]
+
+    def test_non_lifecycle_method_has_no_base(self, lg_tv_plus):
+        _, pool = _parts(lg_tv_plus)
+        sig = MethodSignature(
+            "com.connectsdk.service.NetcastTVService", "connect", (), "void"
+        )
+        assert lifecycle_base_of(pool, sig) is None

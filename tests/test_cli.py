@@ -1,0 +1,48 @@
+"""Unit tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyze:
+    def test_analyze_heyzap_vulnerable_exit_code(self, capsys):
+        code = main(["analyze", "heyzap", "--rules", "ssl-verifier"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VULNERABLE" in out
+
+    def test_analyze_palcomp3_open_port(self, capsys):
+        code = main(["analyze", "palcomp3", "--rules", "open-port", "--dump-ssg"])
+        out = capsys.readouterr().out
+        assert "8089" in out
+        assert "static track" in out
+
+    def test_analyze_with_hierarchy_fix_flag(self, capsys):
+        code = main(["analyze", "lgtv", "--hierarchy-fix"])
+        assert code == 0  # no crypto/ssl findings in the LG miniature
+
+    def test_unknown_app_errors(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "nonexistent"])
+
+
+class TestOtherCommands:
+    def test_compare(self, capsys):
+        code = main(["compare", "heyzap", "--timeout", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "BackDroid" in out and "whole-app" in out
+
+    def test_corpus(self, capsys):
+        code = main(["corpus", "--year", "2016", "--count", "500"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "year 2016" in out
+
+    def test_inventory_bench_app(self, capsys):
+        code = main(["inventory", "bench:0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "com.bench.app000" in out
+        assert "components:" in out

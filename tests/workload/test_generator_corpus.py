@@ -1,0 +1,107 @@
+"""Unit tests for the app generator and the corpora."""
+
+import statistics
+
+import pytest
+
+from repro.workload.corpus import (
+    TABLE1_APP_SIZES,
+    benchmark_app_spec,
+    benchmark_corpus,
+    sample_year_corpus,
+    year_size_distribution,
+)
+from repro.workload.generator import AppSpec, generate_app
+from repro.workload.patterns import PatternSpec
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        spec = AppSpec(package="com.d", seed=42,
+                       patterns=(PatternSpec("direct_entry"),), filler_classes=3)
+        first = generate_app(spec)
+        second = generate_app(spec)
+        assert first.apk.class_count() == second.apk.class_count()
+        assert first.apk.disassembly.text == second.apk.disassembly.text
+        assert first.truths == second.truths
+
+    def test_different_seeds_differ(self):
+        a = generate_app(AppSpec(package="com.d", seed=1, filler_classes=3))
+        b = generate_app(AppSpec(package="com.d", seed=2, filler_classes=3))
+        assert a.apk.disassembly.text != b.apk.disassembly.text
+
+    def test_filler_reachable_from_launcher(self):
+        spec = AppSpec(package="com.d", seed=1, filler_classes=4)
+        generated = generate_app(spec)
+        manifest = generated.apk.manifest
+        assert manifest.is_registered("com.d.gen.LauncherActivity")
+        from repro.baseline.callgraph import build_whole_app_callgraph
+
+        graph = build_whole_app_callgraph(generated.apk)
+        filler_methods = [
+            m for m in graph.reachable if m.class_name.startswith("com.d.gen.Filler")
+        ]
+        assert len(filler_methods) >= spec.filler_classes
+
+    def test_size_mb_derived_when_unset(self):
+        generated = generate_app(AppSpec(package="com.d", seed=1, filler_classes=5))
+        assert generated.apk.size_mb > 0
+
+    def test_ground_truth_helpers(self):
+        spec = AppSpec(
+            package="com.d", seed=1,
+            patterns=(
+                PatternSpec("direct_entry", insecure=True),
+                PatternSpec("hazard_dangling"),
+            ),
+            filler_classes=2,
+        )
+        generated = generate_app(spec)
+        assert generated.truly_vulnerable
+        assert generated.has_hazard
+        assert generated.expected_backdroid_vulnerable()
+        # Hazard masks every baseline detection.
+        assert not generated.expected_amandroid_vulnerable()
+        assert generated.sink_call_count() == 1
+
+
+class TestYearCorpora:
+    @pytest.mark.parametrize("year", sorted(TABLE1_APP_SIZES))
+    def test_sampled_sizes_match_table1(self, year):
+        """Sampled mean/median within 12% of the paper's Table I."""
+        apps = sample_year_corpus(year, count=4000, seed=3)
+        sizes = [a.size_mb for a in apps]
+        average, median, _ = TABLE1_APP_SIZES[year]
+        assert statistics.median(sizes) == pytest.approx(median, rel=0.12)
+        assert statistics.fmean(sizes) == pytest.approx(average, rel=0.12)
+
+    def test_installs_at_least_one_million(self):
+        apps = sample_year_corpus(2018, count=100)
+        assert all(a.installs >= 1_000_000 for a in apps)
+
+    def test_distribution_params_monotone_growth(self):
+        mu_2014, _ = year_size_distribution(2014)
+        mu_2018, _ = year_size_distribution(2018)
+        assert mu_2018 > mu_2014
+
+
+class TestBenchmarkCorpus:
+    def test_specs_deterministic(self):
+        assert benchmark_app_spec(7) == benchmark_app_spec(7)
+
+    def test_every_app_has_a_sink(self):
+        corpus = benchmark_corpus(count=12, scale=0.1)
+        assert all(g.sink_call_count() >= 1 for g in corpus)
+
+    def test_scale_shrinks_bulk(self):
+        small = benchmark_app_spec(0, scale=0.1)
+        large = benchmark_app_spec(0, scale=1.0)
+        assert small.filler_classes <= large.filler_classes
+        assert small.patterns == large.patterns
+
+    def test_sizes_follow_2018_distribution(self):
+        specs = [benchmark_app_spec(i) for i in range(144)]
+        sizes = sorted(s.size_mb for s in specs)
+        median = statistics.median(sizes)
+        # Paper: 41.5MB average / 36.2MB median for the 144 apps.
+        assert 25 <= median <= 55

@@ -1,0 +1,68 @@
+"""Sanity tests for the paper example apps themselves."""
+
+from repro.workload.paperapps import build_heyzap, build_lg_tv_plus, build_palcomp3
+
+
+class TestLgTvPlus:
+    def test_shape(self):
+        apk = build_lg_tv_plus()
+        names = set(apk.classes.class_names())
+        assert "com.connectsdk.service.NetcastTVService$1" in names
+        assert "com.connectsdk.core.Util" in names
+        assert apk.manifest.is_registered("com.lge.app1.MainActivity")
+        assert apk.manifest.is_registered("com.lge.app1.fota.HttpServerService")
+
+    def test_runner_implements_runnable(self):
+        apk = build_lg_tv_plus()
+        pool = apk.full_pool
+        assert "java.lang.Runnable" in pool.all_interfaces_of(
+            "com.connectsdk.service.NetcastTVService$1"
+        )
+
+    def test_metadata_matches_paper_story(self):
+        apk = build_lg_tv_plus()
+        assert apk.installs >= 10_000_000  # "over 10 million installs"
+        assert apk.year == 2018
+
+
+class TestHeyzap:
+    def test_clinit_present(self):
+        apk = build_heyzap()
+        client = apk.classes.get("com.heyzap.internal.APIClient")
+        assert client.static_initializer() is not None
+
+    def test_factory_extends_framework_class(self):
+        apk = build_heyzap()
+        pool = apk.full_pool
+        assert pool.is_subtype_of(
+            "com.heyzap.http.MySSLSocketFactory",
+            "org.apache.http.conn.ssl.SSLSocketFactory",
+        )
+
+    def test_only_interstitial_registered(self):
+        apk = build_heyzap()
+        assert apk.manifest.entry_classes() == {
+            "com.heyzap.sdk.ads.HeyzapInterstitialActivity"
+        }
+
+
+class TestPalcomp3:
+    def test_constructor_chain_shape(self):
+        apk = build_palcomp3()
+        nano = apk.classes.get("com.studiosol.util.NanoHTTPD")
+        assert len(nano.constructors()) == 2
+        mp3 = apk.classes.get("com.studiosol.palcomp3.MP3LocalServer")
+        assert mp3.super_name == "com.studiosol.util.NanoHTTPD"
+        assert mp3.static_initializer() is not None
+
+    def test_child_does_not_override_start(self):
+        apk = build_palcomp3()
+        pool = apk.full_pool
+        mp3 = pool.get("com.studiosol.palcomp3.MP3LocalServer")
+        assert not mp3.declares_sub_signature("void start()")
+
+    def test_all_apps_disassemble(self):
+        for builder in (build_lg_tv_plus, build_heyzap, build_palcomp3):
+            apk = builder()
+            assert len(apk.disassembly.lines) > 50
+            assert apk.disassembly.blocks

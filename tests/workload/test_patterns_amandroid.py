@@ -1,0 +1,63 @@
+"""Pattern-level ground-truth tests against the whole-app baseline.
+
+The mirror of ``test_patterns_backdroid.py``: every pattern's
+``expect_amandroid`` label must match the baseline's actual verdict —
+including its documented misses (liblist, Executor.execute) and its
+false positive (unregistered components).
+"""
+
+import pytest
+
+from repro.baseline import AmandroidConfig, AmandroidStyleAnalyzer
+from repro.workload.generator import AppSpec, generate_app
+from repro.workload.patterns import PATTERN_BUILDERS, PatternSpec
+
+_DETECTION_PATTERNS = sorted(
+    name for name in PATTERN_BUILDERS if name != "hazard_dangling"
+)
+
+
+def _analyze(pattern: str, insecure: bool):
+    spec = AppSpec(
+        package="com.gta",
+        seed=31,
+        patterns=(PatternSpec(pattern, insecure=insecure),),
+        filler_classes=2,
+    )
+    generated = generate_app(spec)
+    analyzer = AmandroidStyleAnalyzer(AmandroidConfig(timeout_seconds=None))
+    return generated, analyzer.analyze(generated.apk)
+
+
+class TestGroundTruthAgreement:
+    @pytest.mark.parametrize("pattern", _DETECTION_PATTERNS)
+    def test_insecure_variant_matches_expectation(self, pattern):
+        generated, report = _analyze(pattern, insecure=True)
+        expected = generated.truths[0].expect_amandroid
+        assert report.succeeded
+        assert report.vulnerable == expected, (
+            f"{pattern}: expected vulnerable={expected}, "
+            f"got {[str(f) for f in report.findings]}"
+        )
+
+    @pytest.mark.parametrize("pattern", _DETECTION_PATTERNS)
+    def test_secure_variant_never_flagged(self, pattern):
+        _, report = _analyze(pattern, insecure=False)
+        assert report.succeeded and not report.vulnerable
+
+    def test_hazard_masks_everything(self):
+        spec = AppSpec(
+            package="com.gta", seed=33,
+            patterns=(
+                PatternSpec("hazard_dangling"),
+                PatternSpec("direct_entry", insecure=True),
+            ),
+            filler_classes=2,
+        )
+        generated = generate_app(spec)
+        report = AmandroidStyleAnalyzer(
+            AmandroidConfig(timeout_seconds=None)
+        ).analyze(generated.apk)
+        assert report.error is not None
+        assert not report.vulnerable
+        assert not generated.expected_amandroid_vulnerable()

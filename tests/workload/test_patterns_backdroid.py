@@ -1,0 +1,67 @@
+"""Pattern-level ground-truth tests against BackDroid itself.
+
+For every pattern template, BackDroid's verdict must match the
+``expect_backdroid`` label — including the deliberate FN
+(hierarchy_wrapped_sink) and the TNs (dead code, unregistered
+components, secure variants).
+"""
+
+import pytest
+
+from repro.core import BackDroid, BackDroidConfig
+from repro.workload.generator import AppSpec, generate_app
+from repro.workload.patterns import PATTERN_BUILDERS, PatternSpec
+
+_DETECTION_PATTERNS = sorted(
+    name for name in PATTERN_BUILDERS if name != "hazard_dangling"
+)
+
+
+def _analyze(pattern: str, insecure: bool, config=None):
+    spec = AppSpec(
+        package="com.gt",
+        seed=23,
+        patterns=(PatternSpec(pattern, insecure=insecure),),
+        filler_classes=2,
+    )
+    generated = generate_app(spec)
+    report = BackDroid(config).analyze(generated.apk)
+    return generated, report
+
+
+class TestGroundTruthAgreement:
+    @pytest.mark.parametrize("pattern", _DETECTION_PATTERNS)
+    def test_insecure_variant_matches_expectation(self, pattern):
+        generated, report = _analyze(pattern, insecure=True)
+        expected = generated.truths[0].expect_backdroid
+        assert report.vulnerable == expected, (
+            f"{pattern}: expected vulnerable={expected}, "
+            f"got {[str(f) for f in report.findings]}"
+        )
+
+    @pytest.mark.parametrize("pattern", _DETECTION_PATTERNS)
+    def test_secure_variant_never_flagged(self, pattern):
+        _, report = _analyze(pattern, insecure=False)
+        assert not report.vulnerable
+
+
+class TestDeliberateLimitation:
+    def test_hierarchy_wrapped_fn_fixed_by_option(self):
+        """The Sec. VI-C FN disappears with the class-hierarchy fix."""
+        config = BackDroidConfig(check_class_hierarchy_in_initial_search=True)
+        generated, report = _analyze("hierarchy_wrapped_sink", True, config)
+        assert report.vulnerable
+        assert generated.truths[0].expect_backdroid is False  # default FN
+
+    def test_hazard_does_not_affect_backdroid(self):
+        spec = AppSpec(
+            package="com.gt", seed=29,
+            patterns=(
+                PatternSpec("hazard_dangling"),
+                PatternSpec("direct_entry", insecure=True),
+            ),
+            filler_classes=2,
+        )
+        generated = generate_app(spec)
+        report = BackDroid().analyze(generated.apk)
+        assert report.vulnerable  # dangling refs break only the baseline
