@@ -1,0 +1,124 @@
+"""Search-backend comparison — linear scan vs. prebuilt inverted index.
+
+The command cache (Sec. IV-F) only hides *repeated* queries; every
+first-time query still pays the linear backend's O(text) scan.  This
+benchmark replays a realistic first-query workload (the initial sink
+searches plus sampled invocation/field/class-mention queries) over the
+Fig. 7 benchmark corpus with cold caches under both backends and
+reports:
+
+* aggregate first-query search time, linear vs. indexed;
+* the one-off index build time (amortised over every later query);
+* the speedup, which must hold >= 3x for the indexed backend.
+
+Knobs are shared with the corpus benches: ``REPRO_BENCH_APPS`` /
+``REPRO_BENCH_SCALE``, plus ``REPRO_BENCH_BACKEND_APPS`` to cap the app
+count for quick runs (default: min(BENCH_APPS, 36)).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import BENCH_APPS, BENCH_SCALE, emit_table, render_table
+from repro.android.framework import sinks_for_rules
+from repro.dex.types import FieldSignature
+from repro.search.backends.indexed import TokenIndex
+from repro.search.index import BytecodeSearcher
+from repro.workload.corpus import benchmark_app_spec
+from repro.workload.generator import generate_app
+
+BACKEND_APPS = int(
+    os.environ.get("REPRO_BENCH_BACKEND_APPS", str(min(BENCH_APPS, 36)))
+)
+
+#: Sampled app-local queries per app (beyond the sink searches).
+_SAMPLE_CLASSES = 24
+_METHODS_PER_CLASS = 2
+
+
+def _query_workload(apk):
+    """A deterministic first-query mix for one app."""
+    invocations = [s.signature for s in sinks_for_rules(("crypto-ecb", "ssl-verifier"))]
+    mentions: list[str] = []
+    fields: list[FieldSignature] = []
+    classes = sorted(apk.classes.application_classes(), key=lambda c: c.name)
+    for cls in classes[:_SAMPLE_CLASSES]:
+        mentions.append(cls.name)
+        for method in cls.methods[:_METHODS_PER_CLASS]:
+            invocations.append(method.signature())
+        for dex_field in cls.fields[:1]:
+            fields.append(
+                FieldSignature(cls.name, dex_field.name, dex_field.field_type)
+            )
+    return invocations, fields, mentions
+
+
+def _time_queries(apk, backend: str) -> float:
+    """Cold-cache wall time for the whole workload under one backend."""
+    invocations, fields, mentions = _query_workload(apk)
+    searcher = BytecodeSearcher(apk.disassembly, backend=backend)
+    started = time.perf_counter()
+    for signature in invocations:
+        searcher.find_invocations(signature)
+    for fieldsig in fields:
+        searcher.find_field_accesses(fieldsig)
+    for name in mentions:
+        searcher.classes_mentioning(name)
+    return time.perf_counter() - started
+
+
+def run_comparison():
+    rows = []
+    totals = {"linear": 0.0, "indexed": 0.0, "build": 0.0}
+    for index in range(BACKEND_APPS):
+        apk = generate_app(benchmark_app_spec(index, scale=BENCH_SCALE)).apk
+        linear_s = _time_queries(apk, "linear")
+        build_started = time.perf_counter()
+        TokenIndex.for_disassembly(apk.disassembly)
+        build_s = time.perf_counter() - build_started
+        indexed_s = _time_queries(apk, "indexed")
+        totals["linear"] += linear_s
+        totals["indexed"] += indexed_s
+        totals["build"] += build_s
+        rows.append(
+            [
+                apk.package,
+                str(len(apk.disassembly.lines)),
+                f"{linear_s * 1e3:.1f}",
+                f"{indexed_s * 1e3:.1f}",
+                f"{build_s * 1e3:.1f}",
+                f"{linear_s / indexed_s:.1f}x" if indexed_s else "-",
+            ]
+        )
+    return rows, totals
+
+
+def test_backend_comparison(benchmark):
+    rows, totals = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    speedup = totals["linear"] / totals["indexed"] if totals["indexed"] else 0.0
+    with_build = totals["indexed"] + totals["build"]
+    amortised = totals["linear"] / with_build if with_build else 0.0
+    summary = (
+        f"\naggregate first-query time: linear {totals['linear']:.3f}s, "
+        f"indexed {totals['indexed']:.3f}s ({speedup:.1f}x), "
+        f"index build {totals['build']:.3f}s "
+        f"(incl. build: {amortised:.1f}x)"
+    )
+    emit_table(
+        "backend_comparison",
+        render_table(
+            f"Search backends over {BACKEND_APPS} Fig. 7 apps "
+            f"(scale {BENCH_SCALE})",
+            ["App", "Lines", "Linear(ms)", "Indexed(ms)", "Build(ms)", "Speedup"],
+            rows,
+        )
+        + summary,
+    )
+
+    assert speedup >= 3.0, (
+        f"indexed backend must be >= 3x faster on aggregate first-query "
+        f"time, got {speedup:.2f}x"
+    )

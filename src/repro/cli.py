@@ -10,9 +10,11 @@ app sources:
 Commands::
 
     backdroid analyze lgtv --rules open-port --dump-ssg
-    backdroid analyze bench:7
+    backdroid analyze bench:7 --backend indexed
     backdroid compare bench:3 --timeout 5
     backdroid corpus --year 2018 --count 1000
+    backdroid batch bench:0..20 --backend indexed --workers 8
+    backdroid batch --year 2016 --count 24 --scale 0.2
     backdroid inventory bench:3
 """
 
@@ -25,9 +27,15 @@ from typing import Optional
 
 from repro.android.apk import Apk
 from repro.baseline import AmandroidConfig, AmandroidStyleAnalyzer
-from repro.core import BackDroid, BackDroidConfig
-from repro.workload.corpus import benchmark_app_spec, sample_year_corpus
-from repro.workload.generator import generate_app
+from repro.core import BackDroid, BackDroidConfig, run_batch
+from repro.core.batch import EXECUTORS
+from repro.search.backends import BACKENDS, DEFAULT_BACKEND
+from repro.workload.corpus import (
+    benchmark_app_spec,
+    sample_year_corpus,
+    year_app_spec,
+)
+from repro.workload.generator import AppSpec, generate_app
 from repro.workload.paperapps import build_heyzap, build_lg_tv_plus, build_palcomp3
 
 _PAPER_APPS = {
@@ -37,12 +45,28 @@ _PAPER_APPS = {
 }
 
 
+def _bench_index(spec: str) -> int:
+    """The index of a ``bench:<index>`` spec, with a friendly error."""
+    raw = spec.split(":", 1)[1]
+    try:
+        index = int(raw)
+    except ValueError:
+        raise SystemExit(
+            f"bad benchmark app spec {spec!r}: the part after 'bench:' must "
+            f"be a non-negative integer, e.g. bench:7"
+        ) from None
+    if index < 0:
+        raise SystemExit(
+            f"bad benchmark app spec {spec!r}: the index must be >= 0"
+        )
+    return index
+
+
 def _load_app(name: str) -> Apk:
     if name in _PAPER_APPS:
         return _PAPER_APPS[name]()
     if name.startswith("bench:"):
-        index = int(name.split(":", 1)[1])
-        return generate_app(benchmark_app_spec(index)).apk
+        return generate_app(benchmark_app_spec(_bench_index(name))).apk
     raise SystemExit(
         f"unknown app {name!r}: use one of {sorted(_PAPER_APPS)} or bench:<index>"
     )
@@ -58,6 +82,7 @@ def cmd_analyze(args) -> int:
         sink_rules=_rules(args),
         check_class_hierarchy_in_initial_search=args.hierarchy_fix,
         collect_ssg_dumps=args.dump_ssg,
+        search_backend=args.backend,
     )
     report = BackDroid(config).analyze(apk)
     print(report.to_text())
@@ -70,7 +95,9 @@ def cmd_analyze(args) -> int:
 
 def cmd_compare(args) -> int:
     apk = _load_app(args.app)
-    backdroid = BackDroid(BackDroidConfig(sink_rules=_rules(args)))
+    backdroid = BackDroid(
+        BackDroidConfig(sink_rules=_rules(args), search_backend=args.backend)
+    )
     baseline = AmandroidStyleAnalyzer(
         AmandroidConfig(timeout_seconds=args.timeout), sink_rules=_rules(args)
     )
@@ -99,6 +126,70 @@ def cmd_corpus(args) -> int:
     return 0
 
 
+def _parse_batch_spec(spec: str) -> list[int]:
+    """Expand a ``bench:<i>`` or ``bench:<a>..<b>`` spec into indices.
+
+    Ranges are python-style half-open: ``bench:0..20`` is apps 0-19.
+    """
+    if not spec.startswith("bench:"):
+        raise SystemExit(
+            f"bad batch app spec {spec!r}: use bench:<index> or "
+            f"bench:<start>..<end> (e.g. bench:0..20)"
+        )
+    raw = spec.split(":", 1)[1]
+    if ".." in raw:
+        start_raw, _, end_raw = raw.partition("..")
+        try:
+            start, end = int(start_raw), int(end_raw)
+        except ValueError:
+            raise SystemExit(
+                f"bad batch app spec {spec!r}: range bounds must be "
+                f"integers, e.g. bench:0..20"
+            ) from None
+        if start < 0 or end <= start:
+            raise SystemExit(
+                f"bad batch app spec {spec!r}: need 0 <= start < end"
+            )
+        return list(range(start, end))
+    return [_bench_index(spec)]
+
+
+def cmd_batch(args) -> int:
+    specs: list[AppSpec] = []
+    for spec in args.apps:
+        specs.extend(
+            benchmark_app_spec(i, scale=args.scale)
+            for i in _parse_batch_spec(spec)
+        )
+    if args.year is not None:
+        specs.extend(
+            year_app_spec(args.year, i, scale=args.scale)
+            for i in range(args.count)
+        )
+    if not specs:
+        raise SystemExit(
+            "nothing to analyze: pass bench:<start>..<end> specs and/or "
+            "--year/--count"
+        )
+    if args.cache_max is not None and args.cache_max < 1:
+        raise SystemExit("--cache-max must be a positive integer")
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit("--workers must be a positive integer")
+    config = BackDroidConfig(
+        sink_rules=_rules(args),
+        search_backend=args.backend,
+        search_cache_max_entries=args.cache_max,
+    )
+    result = run_batch(
+        specs,
+        config=config,
+        max_workers=args.workers,
+        executor=args.executor,
+    )
+    print(result.render())
+    return 2 if result.failures else 0
+
+
 def cmd_inventory(args) -> int:
     apk = _load_app(args.app)
     print(f"package : {apk.package}")
@@ -119,6 +210,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend_flag(p) -> None:
+        p.add_argument(
+            "--backend",
+            choices=sorted(BACKENDS),
+            default=DEFAULT_BACKEND,
+            help="bytecode search backend (default: %(default)s)",
+        )
+
     analyze = sub.add_parser("analyze", help="run BackDroid on an app")
     analyze.add_argument("app")
     analyze.add_argument("--rules", default="",
@@ -126,13 +225,37 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--hierarchy-fix", action="store_true",
                          help="enable the class-hierarchy initial-search fix")
     analyze.add_argument("--dump-ssg", action="store_true")
+    add_backend_flag(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     compare = sub.add_parser("compare", help="BackDroid vs whole-app baseline")
     compare.add_argument("app")
     compare.add_argument("--rules", default="")
     compare.add_argument("--timeout", type=float, default=5.0)
+    add_backend_flag(compare)
     compare.set_defaults(func=cmd_compare)
+
+    batch = sub.add_parser(
+        "batch", help="analyze a whole generated corpus across a worker pool"
+    )
+    batch.add_argument(
+        "apps", nargs="*",
+        help="bench:<index> or bench:<start>..<end> specs (half-open range)",
+    )
+    batch.add_argument("--year", type=int, default=None,
+                       help="also analyze a generated Table-I year sample")
+    batch.add_argument("--count", type=int, default=20,
+                       help="apps in the --year sample (default: 20)")
+    batch.add_argument("--scale", type=float, default=1.0,
+                       help="bulk-code scale factor (default: 1.0)")
+    batch.add_argument("--rules", default="")
+    batch.add_argument("--workers", type=int, default=None,
+                       help="worker pool size (default: executor's choice)")
+    batch.add_argument("--executor", choices=EXECUTORS, default="thread")
+    batch.add_argument("--cache-max", type=int, default=None,
+                       help="LRU bound for the per-app search command cache")
+    add_backend_flag(batch)
+    batch.set_defaults(func=cmd_batch)
 
     corpus = sub.add_parser("corpus", help="sample a Table-I year corpus")
     corpus.add_argument("--year", type=int, default=2018)

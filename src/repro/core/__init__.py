@@ -19,10 +19,13 @@ adjusts the traditional backward slicing and forward analysis:
 * :mod:`repro.core.detectors` — the crypto-ECB and SSL-verifier rules of
   the Sec. VI evaluation;
 * :mod:`repro.core.backdroid` — the top-level ``BackDroid`` driver
-  (Fig. 2), and :mod:`repro.core.report` its result types.
+  (Fig. 2), and :mod:`repro.core.report` its result types;
+* :mod:`repro.core.batch` — the corpus-scale batch driver fanning many
+  apps across a ``concurrent.futures`` worker pool.
 """
 
 from repro.core.backdroid import BackDroid, BackDroidConfig
+from repro.core.batch import AppOutcome, BatchResult, analyze_spec, run_batch
 from repro.core.detectors import DETECTORS, Detector, Finding
 from repro.core.forward import ForwardPropagation
 from repro.core.per_app import PerAppSSG, build_per_app_ssg
@@ -40,11 +43,15 @@ from repro.core.values import (
 
 __all__ = [
     "AnalysisReport",
+    "AppOutcome",
     "ArrayObjFact",
     "BackDroid",
     "BackDroidConfig",
     "BackwardSlicer",
+    "BatchResult",
     "CallBinding",
+    "analyze_spec",
+    "run_batch",
     "ConstFact",
     "DETECTORS",
     "Detector",

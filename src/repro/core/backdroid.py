@@ -49,6 +49,12 @@ class BackDroidConfig:
     #: Sec. IV-F enhancements (ablation switches).
     enable_search_cache: bool = True
     enable_sink_cache: bool = True
+    #: Which search backend scans the plaintext: ``"linear"`` (the
+    #: paper's O(text) scan) or ``"indexed"`` (prebuilt inverted index).
+    search_backend: str = "linear"
+    #: LRU bound for the search command cache (None = unbounded, the
+    #: paper's behaviour; batch runs may bound it to cap memory).
+    search_cache_max_entries: Optional[int] = None
     #: Backward-walk work bound per sink.
     max_frames: int = 4000
     #: Attach full SSG dumps to the report notes.
@@ -70,9 +76,15 @@ class BackDroid:
     def analyze(self, apk: Apk) -> AnalysisReport:
         """Run the full Fig. 2 pipeline on one app."""
         started = time.perf_counter()
-        cache = SearchCommandCache() if self.config.enable_search_cache else None
+        cache = (
+            SearchCommandCache(max_entries=self.config.search_cache_max_entries)
+            if self.config.enable_search_cache
+            else None
+        )
         loops = LoopDetector()
-        engine = CallerResolutionEngine(apk, cache=cache, loops=loops)
+        engine = CallerResolutionEngine(
+            apk, cache=cache, loops=loops, backend=self.config.search_backend
+        )
         slicer = BackwardSlicer(apk, engine=engine, max_frames=self.config.max_frames)
         sink_cache = SinkReachabilityCache()
         report = AnalysisReport(package=apk.package)
@@ -112,8 +124,11 @@ class BackDroid:
         if cache is not None:
             report.search_cache_rate = cache.stats.rate
             report.search_cache_lookups = cache.stats.lookups
+            report.search_cache_evictions = cache.stats.evictions
         report.sink_cache_rate = sink_cache.stats.rate
         report.loop_counts = dict(loops.counts)
+        report.search_backend = engine.searcher.backend.name
+        report.backend_stats = engine.searcher.backend.describe()
         return report
 
     # ------------------------------------------------------------------
@@ -121,7 +136,10 @@ class BackDroid:
         self, apk: Apk, engine: Optional[CallerResolutionEngine] = None
     ) -> list[SinkCallSite]:
         """Step 2 of Fig. 2: the initial sink search over the plaintext."""
-        engine = engine if engine is not None else CallerResolutionEngine(apk)
+        if engine is None:
+            engine = CallerResolutionEngine(
+                apk, backend=self.config.search_backend
+            )
         pool = apk.full_pool
         sites: list[SinkCallSite] = []
         seen: set[tuple[MethodSignature, int]] = set()

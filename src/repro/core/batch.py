@@ -1,0 +1,270 @@
+"""Corpus-scale batch analysis: many apps, one worker pool.
+
+The paper vets one app at a time; serving corpus-scale traffic means
+analyzing thousands.  This driver fans a list of generatable
+:class:`~repro.workload.generator.AppSpec` recipes across a
+``concurrent.futures`` pool (threads by default; processes for CPU-bound
+corpora — the worker is a module-level function precisely so it
+pickles), collects one compact :class:`AppOutcome` per app, and
+aggregates the statistics the paper reports per app (analysis time,
+command/sink cache rates, findings) across the whole run.
+
+A failing app never aborts the batch: its exception is captured in
+``AppOutcome.error`` and surfaces in the aggregate failure count,
+mirroring how the paper's corpus runs tolerate per-app analyzer errors
+(Sec. VI-C).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core.backdroid import BackDroid, BackDroidConfig
+from repro.workload.generator import AppSpec, generate_app
+
+#: Executor kinds selectable from the CLI.
+EXECUTORS = ("thread", "process", "serial")
+
+
+@dataclass(frozen=True)
+class AppOutcome:
+    """One app's per-run summary (cheap to pickle across processes)."""
+
+    package: str
+    seconds: float = 0.0
+    method_count: int = 0
+    sink_count: int = 0
+    reachable_sinks: int = 0
+    findings: tuple[tuple[str, str], ...] = ()  # (rule, class)
+    search_cache_rate: float = 0.0
+    search_cache_evictions: int = 0
+    sink_cache_rate: float = 0.0
+    backend: str = "linear"
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def finding_count(self) -> int:
+        return len(self.findings)
+
+    @property
+    def vulnerable(self) -> bool:
+        return bool(self.findings)
+
+
+def analyze_spec(
+    spec: AppSpec, config: Optional[BackDroidConfig] = None
+) -> AppOutcome:
+    """Generate and analyze one app; never raises (errors are captured)."""
+    config = config if config is not None else BackDroidConfig()
+    try:
+        apk = generate_app(spec).apk
+        report = BackDroid(config).analyze(apk)
+        return AppOutcome(
+            package=apk.package,
+            seconds=report.analysis_seconds,
+            method_count=apk.method_count(),
+            sink_count=report.sink_count,
+            reachable_sinks=report.reachable_sink_count,
+            findings=tuple(
+                (f.rule, f.method.class_name) for f in report.findings
+            ),
+            search_cache_rate=report.search_cache_rate,
+            search_cache_evictions=report.search_cache_evictions,
+            sink_cache_rate=report.sink_cache_rate,
+            backend=report.search_backend,
+        )
+    except Exception as exc:  # noqa: BLE001 - batch isolation by design
+        return AppOutcome(
+            package=spec.package, error=f"{type(exc).__name__}: {exc}"
+        )
+
+
+@dataclass
+class BatchResult:
+    """Per-app outcomes plus run-level aggregates."""
+
+    outcomes: list[AppOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    workers: int = 1
+    executor: str = "thread"
+    backend: str = "linear"
+
+    # ------------------------------------------------------------------
+    @property
+    def analyzed(self) -> list[AppOutcome]:
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failures(self) -> list[AppOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def app_count(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def total_analysis_seconds(self) -> float:
+        return sum(o.seconds for o in self.analyzed)
+
+    @property
+    def total_sinks(self) -> int:
+        return sum(o.sink_count for o in self.analyzed)
+
+    @property
+    def total_findings(self) -> int:
+        return sum(o.finding_count for o in self.analyzed)
+
+    @property
+    def vulnerable_apps(self) -> int:
+        return sum(1 for o in self.analyzed if o.vulnerable)
+
+    @property
+    def mean_seconds(self) -> float:
+        rows = self.analyzed
+        return statistics.fmean(o.seconds for o in rows) if rows else 0.0
+
+    @property
+    def median_seconds(self) -> float:
+        rows = self.analyzed
+        return statistics.median(o.seconds for o in rows) if rows else 0.0
+
+    @property
+    def mean_search_cache_rate(self) -> float:
+        rows = self.analyzed
+        return (
+            statistics.fmean(o.search_cache_rate for o in rows) if rows else 0.0
+        )
+
+    @property
+    def mean_sink_cache_rate(self) -> float:
+        rows = self.analyzed
+        return (
+            statistics.fmean(o.sink_cache_rate for o in rows) if rows else 0.0
+        )
+
+    @property
+    def speedup_over_serial(self) -> float:
+        """Summed per-app time / wall time — the pool's effective overlap."""
+        return (
+            self.total_analysis_seconds / self.wall_seconds
+            if self.wall_seconds
+            else 0.0
+        )
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Per-app rows plus the aggregate block, ready to print."""
+        lines = [
+            f"{'app':34}  {'methods':>7}  {'sinks':>5}  {'reach':>5}  "
+            f"{'vulns':>5}  {'time(s)':>8}  {'cache':>7}"
+        ]
+        for o in self.outcomes:
+            if o.ok:
+                lines.append(
+                    f"{o.package:34}  {o.method_count:7d}  {o.sink_count:5d}  "
+                    f"{o.reachable_sinks:5d}  {o.finding_count:5d}  "
+                    f"{o.seconds:8.3f}  {o.search_cache_rate:6.1%}"
+                )
+            else:
+                lines.append(f"{o.package:34}  ERROR: {o.error}")
+        lines.append("")
+        lines.append(
+            f"batch: {self.app_count} apps "
+            f"({len(self.failures)} failed), backend={self.backend}, "
+            f"{self.workers} {self.executor} worker(s)"
+        )
+        lines.append(
+            f"  wall time      : {self.wall_seconds:.3f}s "
+            f"(sum of per-app: {self.total_analysis_seconds:.3f}s, "
+            f"overlap {self.speedup_over_serial:.2f}x)"
+        )
+        lines.append(
+            f"  per-app time   : mean {self.mean_seconds:.3f}s, "
+            f"median {self.median_seconds:.3f}s"
+        )
+        lines.append(
+            f"  cache rates    : search {self.mean_search_cache_rate:.2%}, "
+            f"sink {self.mean_sink_cache_rate:.2%} (per-app averages)"
+        )
+        lines.append(
+            f"  findings       : {self.total_findings} across "
+            f"{self.vulnerable_apps} vulnerable app(s), "
+            f"{self.total_sinks} sinks analyzed"
+        )
+        return "\n".join(lines)
+
+
+def _make_executor(kind: str, max_workers: Optional[int]) -> Executor:
+    if kind == "thread":
+        return ThreadPoolExecutor(max_workers=max_workers)
+    if kind == "process":
+        return ProcessPoolExecutor(max_workers=max_workers)
+    raise ValueError(f"unknown executor {kind!r}: choose from {EXECUTORS}")
+
+
+def run_batch(
+    specs: Sequence[AppSpec],
+    config: Optional[BackDroidConfig] = None,
+    max_workers: Optional[int] = None,
+    executor: str = "thread",
+    progress: Optional[Callable[[AppOutcome], None]] = None,
+) -> BatchResult:
+    """Analyze every spec across a worker pool, preserving input order.
+
+    ``executor`` is ``"thread"`` (default: safe everywhere, overlaps
+    generation and I/O), ``"process"`` (true CPU parallelism for large
+    corpora) or ``"serial"`` (in-process, for debugging/determinism).
+    ``progress`` is invoked with each outcome as it completes.
+    """
+    config = config if config is not None else BackDroidConfig()
+    started = time.perf_counter()
+    outcomes: list[Optional[AppOutcome]] = [None] * len(specs)
+
+    if executor == "serial":
+        workers = 1
+        for i, spec in enumerate(specs):
+            outcomes[i] = analyze_spec(spec, config)
+            if progress is not None:
+                progress(outcomes[i])
+    else:
+        with _make_executor(executor, max_workers) as pool:
+            workers = getattr(pool, "_max_workers", max_workers or 1)
+            futures = {
+                pool.submit(analyze_spec, spec, config): i
+                for i, spec in enumerate(specs)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    outcome = future.result()
+                except Exception as exc:  # noqa: BLE001 - e.g. a worker
+                    # process died (BrokenProcessPool): record it against
+                    # the spec instead of aborting the whole batch.
+                    outcome = AppOutcome(
+                        package=specs[index].package,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                outcomes[index] = outcome
+                if progress is not None:
+                    progress(outcome)
+
+    return BatchResult(
+        outcomes=[o for o in outcomes if o is not None],
+        wall_seconds=time.perf_counter() - started,
+        workers=workers,
+        executor=executor,
+        backend=config.search_backend,
+    )

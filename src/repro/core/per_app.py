@@ -88,15 +88,18 @@ def build_per_app_ssg(
     apk: Apk,
     sites: list[SinkCallSite],
     engine: Optional[CallerResolutionEngine] = None,
+    backend: Optional[str] = None,
 ) -> PerAppSSG:
     """Slice every sink once and merge into the per-app graph.
 
     The shared :class:`CallerResolutionEngine` (and thus the search
     command cache) is reused across sinks, so repeated path exploration
     is already amortised at the search layer; the merged graph amortises
-    the *storage* as well.
+    the *storage* as well.  ``backend`` selects the search backend when
+    no engine is supplied.
     """
-    engine = engine if engine is not None else CallerResolutionEngine(apk)
+    if engine is None:
+        engine = CallerResolutionEngine(apk, backend=backend)
     slicer = BackwardSlicer(apk, engine=engine)
     merged = PerAppSSG(package=apk.package)
     for site in sites:

@@ -34,8 +34,13 @@ class AnalysisReport:
     #: Sec. IV-F statistics.
     search_cache_rate: float = 0.0
     search_cache_lookups: int = 0
+    search_cache_evictions: int = 0
     sink_cache_rate: float = 0.0
     loop_counts: dict[LoopKind, int] = field(default_factory=dict)
+    #: Which search backend served the bytecode searches.
+    search_backend: str = "linear"
+    #: Per-backend query counters (see ``SearchBackend.describe``).
+    backend_stats: dict = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -73,6 +78,7 @@ class AnalysisReport:
             f"  search cache   : {self.search_cache_rate:.2%} of "
             f"{self.search_cache_lookups} commands",
             f"  sink cache     : {self.sink_cache_rate:.2%}",
+            f"  search backend : {self.search_backend}",
         ]
         if self.loop_counts:
             rendered = ", ".join(

@@ -98,6 +98,25 @@ class InsnLine:
     text: str
 
 
+@dataclass(frozen=True)
+class LineToken:
+    """One searchable token emitted while rendering a line.
+
+    The renderer knows, at emission time, which substrings of a line a
+    bytecode search could ever target: full method signatures on invoke
+    lines, field signatures on access lines, type descriptors wherever a
+    class is referenced, and quoted string/descriptor literals in class
+    and member headers.  Recording them as a token stream lets a search
+    backend build an inverted index without re-parsing the plaintext.
+
+    ``text`` is always a verbatim substring of the rendered line.
+    """
+
+    line_no: int
+    kind: str  # "msig" | "fsig" | "type" | "string" | "header" | "proto"
+    text: str
+
+
 @dataclass
 class MethodBlock:
     """The disassembly section of one method."""
@@ -117,9 +136,15 @@ class MethodBlock:
 class Disassembly:
     """The full dexdump-style plaintext plus its method-block structure."""
 
-    def __init__(self, lines: list[str], blocks: list[MethodBlock]) -> None:
+    def __init__(
+        self,
+        lines: list[str],
+        blocks: list[MethodBlock],
+        tokens: Optional[list[LineToken]] = None,
+    ) -> None:
         self.lines = lines
         self.blocks = blocks
+        self.tokens = tokens if tokens is not None else []
         self._block_starts = [b.start_line for b in blocks]
         self._by_signature = {b.signature: b for b in blocks}
 
@@ -155,10 +180,14 @@ class _Renderer:
     def __init__(self) -> None:
         self.lines: list[str] = []
         self.blocks: list[MethodBlock] = []
+        self.tokens: list[LineToken] = []
         self._methods = _InternPool()
         self._fields = _InternPool()
         self._types = _InternPool()
         self._strings = _InternPool()
+        #: rendered instruction text -> its searchable tokens.  Identical
+        #: texts always carry identical tokens, so a plain memo suffices.
+        self._line_tokens: dict[str, tuple[tuple[str, str], ...]] = {}
         self._addr = 0x10000
 
     # ------------------------------------------------------------------
@@ -166,24 +195,38 @@ class _Renderer:
         self.lines.append(text)
         return len(self.lines) - 1
 
+    def _token(self, kind: str, text: str) -> None:
+        """Record a searchable token on the most recently emitted line."""
+        self.tokens.append(LineToken(len(self.lines) - 1, kind, text))
+
+    def _tokened(self, text: str, *pairs: tuple[str, str]) -> str:
+        """Register the searchable tokens carried by an instruction text."""
+        self._line_tokens.setdefault(text, pairs)
+        return text
+
     def render_pool(self, pool: ClassPool) -> Disassembly:
         self._emit("Processing merged classes.dex")
         self._emit("Opened 'classes.dex', DEX version '035'")
         for index, cls in enumerate(sorted(pool.application_classes(), key=lambda c: c.name)):
             self._render_class(index, cls)
-        return Disassembly(self.lines, self.blocks)
+        return Disassembly(self.lines, self.blocks, self.tokens)
 
     # ------------------------------------------------------------------
     def _render_class(self, index: int, cls: DexClass) -> None:
         descriptor = java_to_dex_type(cls.name)
         self._emit(f"Class #{index}            -")
         self._emit(f"  Class descriptor  : '{descriptor}'")
+        self._token("header", f"'{descriptor}'")
         self._emit(f"  Access flags      : {cls.flags.dex_render()}")
         super_desc = java_to_dex_type(cls.super_name) if cls.super_name else "(none)"
         self._emit(f"  Superclass        : '{super_desc}'")
+        if cls.super_name:
+            self._token("header", f"'{super_desc}'")
         self._emit("  Interfaces        -")
         for i, iface in enumerate(cls.interfaces):
-            self._emit(f"    #{i}              : '{java_to_dex_type(iface)}'")
+            iface_desc = java_to_dex_type(iface)
+            self._emit(f"    #{i}              : '{iface_desc}'")
+            self._token("header", f"'{iface_desc}'")
         self._render_fields(cls)
         direct, virtual = [], []
         for method in cls.methods:
@@ -204,30 +247,39 @@ class _Renderer:
         instance_fields = [f for f in cls.fields if not f.is_static]
         self._emit("  Static fields     -")
         for i, dex_field in enumerate(static_fields):
-            self._emit(f"    #{i}              : (in {java_to_dex_type(cls.name)})")
-            self._emit(f"      name          : '{dex_field.name}'")
-            self._emit(f"      type          : '{java_to_dex_type(dex_field.field_type)}'")
+            self._render_field_header(i, cls, dex_field)
         self._emit("  Instance fields   -")
         for i, dex_field in enumerate(instance_fields):
-            self._emit(f"    #{i}              : (in {java_to_dex_type(cls.name)})")
-            self._emit(f"      name          : '{dex_field.name}'")
-            self._emit(f"      type          : '{java_to_dex_type(dex_field.field_type)}'")
+            self._render_field_header(i, cls, dex_field)
+
+    def _render_field_header(self, index: int, cls: DexClass, dex_field) -> None:
+        owner = java_to_dex_type(cls.name)
+        self._emit(f"    #{index}              : (in {owner})")
+        self._token("type", owner)
+        self._emit(f"      name          : '{dex_field.name}'")
+        type_desc = java_to_dex_type(dex_field.field_type)
+        self._emit(f"      type          : '{type_desc}'")
+        self._token("header", f"'{type_desc}'")
 
     # ------------------------------------------------------------------
     def _render_method(self, index: int, cls: DexClass, method: DexMethod) -> None:
         sig = method.signature()
         descriptor = java_to_dex_type(cls.name)
         start = self._emit(f"    #{index}              : (in {descriptor})")
+        self._token("type", descriptor)
         self._emit(f"      name          : '{method.name}'")
         params = "".join(java_to_dex_type(p) for p in method.param_types)
-        self._emit(f"      type          : '({params}){java_to_dex_type(method.return_type)}'")
+        proto = f"({params}){java_to_dex_type(method.return_type)}"
+        self._emit(f"      type          : '{proto}'")
+        self._token("header", f"'{proto}'")
         self._emit(f"      access        : {method.flags.dex_render()}")
         block = MethodBlock(signature=sig, start_line=start, end_line=start)
         if method.has_body:
             self._emit(f"      insns size    : {max(1, len(method.body))} 16-bit code units")
             dotted = f"{cls.name}.{method.name}".replace("$", ".")
             self._emit(f"{self._addr:06x}:                                   |[{self._addr:06x}] "
-                       f"{dotted}:({params}){java_to_dex_type(method.return_type)}")
+                       f"{dotted}:{proto}")
+            self._token("proto", proto)
             self._addr += 0x10
             self._render_body(method, block)
         else:
@@ -244,6 +296,8 @@ class _Renderer:
                     f"{self._addr:06x}: {'':>24}|{offset:04x}: {text}"
                 )
                 block.insns.append(InsnLine(line_no=line_no, stmt_index=stmt_index, text=text))
+                for kind, token in self._line_tokens.get(text, ()):
+                    self.tokens.append(LineToken(line_no, kind, token))
                 self._addr += 6
                 offset += 3
 
@@ -290,16 +344,22 @@ class _Renderer:
         if isinstance(lhs, InstanceFieldRef):
             src = self._value_reg(rhs, registers)
             return [
-                f"iput{_field_suffix(lhs.fieldsig.field_type)} {src}, "
-                f"{registers.reg(lhs.base)}, {lhs.fieldsig.to_dex()} "
-                f"{self._fields.render('field', lhs.fieldsig.to_dex())}"
+                self._tokened(
+                    f"iput{_field_suffix(lhs.fieldsig.field_type)} {src}, "
+                    f"{registers.reg(lhs.base)}, {lhs.fieldsig.to_dex()} "
+                    f"{self._fields.render('field', lhs.fieldsig.to_dex())}",
+                    ("fsig", lhs.fieldsig.to_dex()),
+                )
             ]
         if isinstance(lhs, StaticFieldRef):
             src = self._value_reg(rhs, registers)
             return [
-                f"sput{_field_suffix(lhs.fieldsig.field_type)} {src}, "
-                f"{lhs.fieldsig.to_dex()} "
-                f"{self._fields.render('field', lhs.fieldsig.to_dex())}"
+                self._tokened(
+                    f"sput{_field_suffix(lhs.fieldsig.field_type)} {src}, "
+                    f"{lhs.fieldsig.to_dex()} "
+                    f"{self._fields.render('field', lhs.fieldsig.to_dex())}",
+                    ("fsig", lhs.fieldsig.to_dex()),
+                )
             ]
         if isinstance(lhs, ArrayRef):
             src = self._value_reg(rhs, registers)
@@ -311,11 +371,20 @@ class _Renderer:
         dst = registers.reg(lhs)
         if isinstance(rhs, NewExpr):
             descriptor = java_to_dex_type(rhs.class_name)
-            return [f"new-instance {dst}, {descriptor} {self._types.render('type', descriptor)}"]
+            return [
+                self._tokened(
+                    f"new-instance {dst}, {descriptor} "
+                    f"{self._types.render('type', descriptor)}",
+                    ("type", descriptor),
+                )
+            ]
         if isinstance(rhs, StringConstant):
             return [
-                f'const-string {dst}, "{rhs.value}" '
-                f"{self._strings.render('string', rhs.value)}"
+                self._tokened(
+                    f'const-string {dst}, "{rhs.value}" '
+                    f"{self._strings.render('string', rhs.value)}",
+                    ("string", f'"{rhs.value}"'),
+                )
             ]
         if isinstance(rhs, IntConstant):
             return [f"const/16 {dst}, #int {rhs.value} // #{rhs.value:x}"]
@@ -327,18 +396,30 @@ class _Renderer:
             return [f"const/4 {dst}, #int 0 // #0"]
         if isinstance(rhs, ClassConstant):
             descriptor = java_to_dex_type(rhs.class_name)
-            return [f"const-class {dst}, {descriptor} {self._types.render('type', descriptor)}"]
+            return [
+                self._tokened(
+                    f"const-class {dst}, {descriptor} "
+                    f"{self._types.render('type', descriptor)}",
+                    ("type", descriptor),
+                )
+            ]
         if isinstance(rhs, InstanceFieldRef):
             return [
-                f"iget{_field_suffix(rhs.fieldsig.field_type)} {dst}, "
-                f"{registers.reg(rhs.base)}, {rhs.fieldsig.to_dex()} "
-                f"{self._fields.render('field', rhs.fieldsig.to_dex())}"
+                self._tokened(
+                    f"iget{_field_suffix(rhs.fieldsig.field_type)} {dst}, "
+                    f"{registers.reg(rhs.base)}, {rhs.fieldsig.to_dex()} "
+                    f"{self._fields.render('field', rhs.fieldsig.to_dex())}",
+                    ("fsig", rhs.fieldsig.to_dex()),
+                )
             ]
         if isinstance(rhs, StaticFieldRef):
             return [
-                f"sget{_field_suffix(rhs.fieldsig.field_type)} {dst}, "
-                f"{rhs.fieldsig.to_dex()} "
-                f"{self._fields.render('field', rhs.fieldsig.to_dex())}"
+                self._tokened(
+                    f"sget{_field_suffix(rhs.fieldsig.field_type)} {dst}, "
+                    f"{rhs.fieldsig.to_dex()} "
+                    f"{self._fields.render('field', rhs.fieldsig.to_dex())}",
+                    ("fsig", rhs.fieldsig.to_dex()),
+                )
             ]
         if isinstance(rhs, ArrayRef):
             idx = self._value_reg(rhs.index, registers)
@@ -356,12 +437,22 @@ class _Renderer:
             src = self._value_reg(rhs.value, registers)
             return [
                 f"move-object {dst}, {src}",
-                f"check-cast {dst}, {descriptor} {self._types.render('type', descriptor)}",
+                self._tokened(
+                    f"check-cast {dst}, {descriptor} "
+                    f"{self._types.render('type', descriptor)}",
+                    ("type", descriptor),
+                ),
             ]
         if isinstance(rhs, NewArrayExpr):
             size = self._value_reg(rhs.size, registers)
             descriptor = java_to_dex_type(rhs.element_type + "[]")
-            return [f"new-array {dst}, {size}, {descriptor} {self._types.render('type', descriptor)}"]
+            return [
+                self._tokened(
+                    f"new-array {dst}, {size}, {descriptor} "
+                    f"{self._types.render('type', descriptor)}",
+                    ("type", descriptor),
+                )
+            ]
         if isinstance(rhs, PhiExpr):
             # Phi nodes are an SSA artefact with no dex encoding; render the
             # merge as moves so the text stays plausible.
@@ -379,9 +470,10 @@ class _Renderer:
         for arg in expr.args:
             regs.append(self._value_reg(arg, registers))
         dex_sig = expr.method.to_dex()
-        return (
+        return self._tokened(
             f"{expr.kind.dex_opcode} {{{', '.join(regs)}}}, {dex_sig} "
-            f"{self._methods.render('method', dex_sig)}"
+            f"{self._methods.render('method', dex_sig)}",
+            ("msig", dex_sig),
         )
 
     def _value_reg(self, value, registers: "_RegisterMap") -> str:

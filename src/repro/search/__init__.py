@@ -6,6 +6,8 @@ graph.  The package mirrors the paper's structure:
 
 * :mod:`repro.search.index` — the raw text-search engine over the
   dexdump plaintext, with command-level caching (Sec. IV-F);
+* :mod:`repro.search.backends` — pluggable line-level scan backends
+  (linear O(text) scan vs. prebuilt inverted index);
 * :mod:`repro.search.basic` — the signature-based search for static /
   private / constructor callees, including child-class signatures
   (Sec. IV-A);
@@ -23,6 +25,13 @@ graph.  The package mirrors the paper's structure:
   whenever "a caller needs to be located".
 """
 
+from repro.search.backends import (
+    BACKENDS,
+    InvertedIndexBackend,
+    LinearScanBackend,
+    SearchBackend,
+    create_backend,
+)
 from repro.search.common import CallChainLink, CallSite, ResolvedCaller, ResolutionResult
 from repro.search.index import BytecodeSearcher, SearchHit
 from repro.search.caching import SearchCommandCache, SinkReachabilityCache
@@ -35,8 +44,13 @@ from repro.search.engine import CallerResolutionEngine
 # ``from repro.search.reflection import ReflectionResolver`` directly.
 
 __all__ = [
+    "BACKENDS",
     "BytecodeSearcher",
     "CallChainLink",
+    "InvertedIndexBackend",
+    "LinearScanBackend",
+    "SearchBackend",
+    "create_backend",
     "CallSite",
     "CallerResolutionEngine",
     "LoopDetector",

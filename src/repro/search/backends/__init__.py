@@ -1,0 +1,68 @@
+"""Pluggable search backends over the disassembly plaintext.
+
+* :mod:`repro.search.backends.base`    — the :class:`SearchBackend`
+  protocol, per-backend stats and the shared joined-text helper;
+* :mod:`repro.search.backends.linear`  — the original O(text) scan;
+* :mod:`repro.search.backends.indexed` — the prebuilt inverted index
+  (posting lists keyed by dex tokens).
+
+``create_backend`` resolves a backend by registry name, an instance, or
+a backend class, so callers can thread a plain string knob
+(``BackDroidConfig.search_backend``, ``--backend``) all the way down.
+"""
+
+from __future__ import annotations
+
+from typing import Type, Union
+
+from repro.dex.disassembler import Disassembly
+from repro.search.backends.base import BackendStats, JoinedText, SearchBackend
+from repro.search.backends.indexed import InvertedIndexBackend, TokenIndex
+from repro.search.backends.linear import LinearScanBackend
+
+#: Registry of selectable backends, keyed by their CLI/config name.
+BACKENDS: dict[str, Type[SearchBackend]] = {
+    LinearScanBackend.name: LinearScanBackend,
+    InvertedIndexBackend.name: InvertedIndexBackend,
+}
+
+DEFAULT_BACKEND = LinearScanBackend.name
+
+BackendSpec = Union[str, SearchBackend, Type[SearchBackend], None]
+
+
+def create_backend(spec: BackendSpec, disassembly: Disassembly) -> SearchBackend:
+    """Resolve a backend spec (name, instance, class or None) for an app."""
+    if spec is None:
+        spec = DEFAULT_BACKEND
+    if isinstance(spec, SearchBackend):
+        if spec.disassembly is not disassembly:
+            raise ValueError(
+                "backend instance is bound to a different disassembly"
+            )
+        return spec
+    if isinstance(spec, type) and issubclass(spec, SearchBackend):
+        return spec(disassembly)
+    if isinstance(spec, str):
+        try:
+            return BACKENDS[spec](disassembly)
+        except KeyError:
+            raise ValueError(
+                f"unknown search backend {spec!r}: "
+                f"choose from {sorted(BACKENDS)}"
+            ) from None
+    raise TypeError(f"bad backend spec: {spec!r}")
+
+
+__all__ = [
+    "BACKENDS",
+    "BackendSpec",
+    "BackendStats",
+    "DEFAULT_BACKEND",
+    "InvertedIndexBackend",
+    "JoinedText",
+    "LinearScanBackend",
+    "SearchBackend",
+    "TokenIndex",
+    "create_backend",
+]

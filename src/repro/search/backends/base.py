@@ -1,0 +1,143 @@
+"""The pluggable search-backend protocol.
+
+A :class:`SearchBackend` answers the three line-level queries the
+:class:`~repro.search.index.BytecodeSearcher` is built on:
+
+* ``literal_lines`` — every line containing an arbitrary substring;
+* ``pattern_lines`` — every line matched by a regular expression;
+* ``token_lines``  — every line where a *token-shaped* needle occurs
+  (full dex method/field signatures, type descriptors, quoted string
+  literals and quoted header descriptors — the shapes the paper's
+  searches actually use, see Sec. IV).
+
+Backends only return absolute line numbers; mapping a line back into the
+program-analysis space (Fig. 3, steps 2-3) stays in the searcher, so
+every backend yields byte-identical :class:`SearchHit` lists.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+import re
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.dex.disassembler import Disassembly
+
+
+@dataclass
+class BackendStats:
+    """Per-backend query counters (reported alongside cache rates)."""
+
+    literal_queries: int = 0
+    pattern_queries: int = 0
+    token_queries: int = 0
+    #: Queries the backend could not serve natively and delegated to a
+    #: full text scan (always 0 for the linear backend).
+    fallbacks: int = 0
+    index_build_seconds: float = 0.0
+    vocab_size: int = 0
+    posting_entries: int = 0
+
+    @property
+    def queries(self) -> int:
+        return self.literal_queries + self.pattern_queries + self.token_queries
+
+    def as_dict(self) -> dict:
+        return {
+            "literal_queries": self.literal_queries,
+            "pattern_queries": self.pattern_queries,
+            "token_queries": self.token_queries,
+            "fallbacks": self.fallbacks,
+            "index_build_seconds": self.index_build_seconds,
+            "vocab_size": self.vocab_size,
+            "posting_entries": self.posting_entries,
+        }
+
+
+class JoinedText:
+    """One joined plaintext + cumulative line offsets, shared per app.
+
+    Literal searches run as fast substring scans instead of per-line
+    loops; the structure is memoized on the :class:`Disassembly` so
+    multiple searchers/backends over one app share a single join.
+    """
+
+    def __init__(self, lines: list[str]) -> None:
+        self.text = "\n".join(lines)
+        self.line_offsets = [0]
+        for line in lines:
+            self.line_offsets.append(self.line_offsets[-1] + len(line) + 1)
+
+    @classmethod
+    def for_disassembly(cls, disassembly: Disassembly) -> "JoinedText":
+        cached = getattr(disassembly, "_joined_text_cache", None)
+        if cached is None:
+            cached = cls(disassembly.lines)
+            disassembly._joined_text_cache = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def line_of_offset(self, offset: int) -> int:
+        return bisect.bisect_right(self.line_offsets, offset) - 1
+
+    def literal_lines(self, needle: str) -> list[int]:
+        """All lines containing *needle*, ascending, one entry per line."""
+        lines: list[int] = []
+        start = 0
+        while True:
+            offset = self.text.find(needle, start)
+            if offset < 0:
+                break
+            line_no = self.line_of_offset(offset)
+            lines.append(line_no)
+            # Continue after the end of this line: one hit per line.
+            start = self.line_offsets[line_no + 1]
+        return lines
+
+    def pattern_lines(self, pattern: str) -> list[int]:
+        """All lines matched by *pattern*, ascending, one entry per line."""
+        compiled = re.compile(pattern)
+        lines: list[int] = []
+        last_line = -1
+        for match in compiled.finditer(self.text):
+            line_no = self.line_of_offset(match.start())
+            if line_no != last_line:
+                lines.append(line_no)
+                last_line = line_no
+        return lines
+
+
+class SearchBackend(abc.ABC):
+    """Line-level query engine over one app's disassembly plaintext."""
+
+    #: Registry key and display name.
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, disassembly: Disassembly) -> None:
+        self.disassembly = disassembly
+        self.stats = BackendStats()
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def literal_lines(self, needle: str) -> list[int]:
+        """Lines containing an arbitrary literal substring."""
+
+    @abc.abstractmethod
+    def pattern_lines(self, pattern: str) -> list[int]:
+        """Lines matched by a regular expression."""
+
+    @abc.abstractmethod
+    def token_lines(self, needle: str) -> list[int]:
+        """Lines containing a token-shaped needle.
+
+        Must agree exactly with ``literal_lines`` for every needle whose
+        occurrences fall inside emitted tokens (dex signatures, type
+        descriptors, quoted literals) — the backend-parity property the
+        test suite enforces.
+        """
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        return {"name": self.name, **self.stats.as_dict()}

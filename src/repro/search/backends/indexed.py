@@ -1,0 +1,244 @@
+"""The inverted-index backend: prebuilt posting lists over dex tokens.
+
+The disassembler already knows, while rendering, which substrings of each
+line a bytecode search could target (method/field signatures, type
+descriptors, quoted literals) and emits them as a token stream
+(:class:`~repro.dex.disassembler.LineToken`).  This backend folds that
+stream — once per app — into
+
+* ``exact``      — token text -> posting list of line numbers, so the
+  hot queries (``find_invocations``, ``find_field_accesses``) become a
+  dict lookup instead of an O(text) scan;
+* ``containing`` — type descriptor -> the tokens embedding it, so
+  descriptor queries (``classes_mentioning``, ``find_const_class``) keep
+  the substring semantics of a raw text search (a descriptor also
+  appears inside invoke signatures, field signatures, array descriptors
+  and header protos) without scanning the text;
+* a tiny *vocabulary scan* fallback for needle shapes the index does not
+  recognise — still far smaller than the full plaintext.
+
+Arbitrary literal/regex queries fall back to the shared linear scan and
+are counted in the backend stats, so the index's coverage is observable.
+
+The index is built lazily on first query and memoized on the
+:class:`Disassembly`, so every searcher over one app shares one build.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import time
+from typing import Optional
+
+from repro.dex.disassembler import Disassembly
+from repro.search.backends.base import JoinedText, SearchBackend
+
+#: A bare dex reference-type descriptor, possibly array-wrapped.
+_DESCRIPTOR_RE = re.compile(r"\[*L[^;]+;")
+
+
+class TokenIndex:
+    """Posting lists keyed by dex tokens, built once per disassembly."""
+
+    def __init__(self, disassembly: Disassembly) -> None:
+        started = time.perf_counter()
+        self.vocab: list[str] = []
+        self.postings: list[list[int]] = []
+        self.exact: dict[str, int] = {}
+        self.containing: dict[str, list[int]] = {}
+        self._string_ids: list[int] = []
+        self._joined_vocab: Optional[JoinedText] = None
+        self._joined_strings: Optional[JoinedText] = None
+
+        for token in disassembly.tokens:
+            tid = self.exact.get(token.text)
+            if tid is None:
+                tid = len(self.vocab)
+                self.exact[token.text] = tid
+                self.vocab.append(token.text)
+                self.postings.append([])
+                if token.kind == "string":
+                    self._string_ids.append(tid)
+            posting = self.postings[tid]
+            if not posting or posting[-1] != token.line_no:
+                posting.append(token.line_no)
+
+        for tid, text in enumerate(self.vocab):
+            for sub in _containment_keys(text):
+                bucket = self.containing.setdefault(sub, [])
+                if not bucket or bucket[-1] != tid:
+                    bucket.append(tid)
+
+        self.posting_entries = sum(len(p) for p in self.postings)
+        self.build_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_disassembly(cls, disassembly: Disassembly) -> "TokenIndex":
+        cached = getattr(disassembly, "_token_index_cache", None)
+        if cached is None:
+            cached = cls(disassembly)
+            disassembly._token_index_cache = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def token_lines(self, needle: str) -> list[int]:
+        """Every line whose tokens contain *needle* as a substring."""
+        lines: set[int] = set()
+        tid = self.exact.get(needle)
+        if tid is not None:
+            lines.update(self.postings[tid])
+        if _DESCRIPTOR_RE.fullmatch(needle):
+            # Descriptors also occur inside longer tokens (signatures,
+            # protos, array types, string values); the containment map
+            # registered every such occurrence at build time, so this
+            # stays a dict lookup.
+            for tid in self.containing.get(needle, ()):
+                lines.update(self.postings[tid])
+        elif ";." in needle and ":" in needle:
+            # A full method/field signature.  Inside signature tokens it
+            # can only occur as a suffix (class names may suffix each
+            # other: ``La;.m:()V`` inside ``Lcom/La;.m:()V``) — covered
+            # by the containment map; string-literal values can embed it
+            # anywhere, so those are scanned too.
+            for tid in self.containing.get(needle, ()):
+                lines.update(self.postings[tid])
+            lines.update(self._scan(self._strings_joined(), needle,
+                                    self._string_ids))
+        elif len(needle) >= 2 and needle[0] == "'" == needle[-1]:
+            # A quoted header literal: header tokens are quoted whole
+            # (exact lookup), but string values may embed the quoted
+            # form verbatim.
+            lines.update(self._scan(self._strings_joined(), needle,
+                                    self._string_ids))
+        elif len(needle) >= 2 and needle[0] == '"' == needle[-1]:
+            # A quoted string literal: scan only the string vocabulary
+            # (values may embed each other).
+            lines.update(self._scan(self._strings_joined(), needle,
+                                    self._string_ids))
+        else:
+            # Unrecognised shape: scan the whole vocabulary — still a
+            # small fraction of the plaintext.
+            lines.update(self._scan(self._vocab_joined(), needle, None))
+        return sorted(lines)
+
+    # ------------------------------------------------------------------
+    def _vocab_joined(self) -> JoinedText:
+        if self._joined_vocab is None:
+            self._joined_vocab = JoinedText(self.vocab)
+        return self._joined_vocab
+
+    def _strings_joined(self) -> JoinedText:
+        if self._joined_strings is None:
+            self._joined_strings = JoinedText(
+                [self.vocab[tid] for tid in self._string_ids]
+            )
+        return self._joined_strings
+
+    def _scan(
+        self, joined: JoinedText, needle: str, id_map: Optional[list[int]]
+    ) -> set[int]:
+        """Substring-scan a vocabulary join, returning matching lines."""
+        lines: set[int] = set()
+        start = 0
+        while True:
+            offset = joined.text.find(needle, start)
+            if offset < 0:
+                break
+            row = joined.line_of_offset(offset)
+            tid = id_map[row] if id_map is not None else row
+            lines.update(self.postings[tid])
+            start = joined.line_offsets[row + 1]
+        return lines
+
+
+def _containment_keys(token: str):
+    """All substrings of *token* a descriptor/signature query could be.
+
+    Two families, both required to preserve the substring semantics of
+    the linear scan:
+
+    * every proper suffix starting at a ``[`` or ``L`` — a signature or
+      descriptor needle occurring *inside* a token always extends to the
+      token's end, because one class name can suffix another
+      (``La;.m:()V`` inside ``Lcom/La;.m:()V``);
+    * every descriptor ending *mid*-token (parameter and return types in
+      signatures, protos and array descriptors), including its own
+      array-prefix/``L``-restart suffixes (``[[Lcom/La;`` can satisfy
+      queries for ``[Lcom/La;``, ``Lcom/La;`` and ``La;``).
+    """
+    seen: set[str] = set()
+    for i in range(1, len(token)):
+        if token[i] == "[" or token[i] == "L":
+            sub = token[i:]
+            # Only descriptor- or signature-shaped suffixes can ever be
+            # looked up; skipping the rest bounds the map (a long string
+            # literal full of 'L's would otherwise materialise one key
+            # per occurrence).
+            if sub in seen:
+                continue
+            if _DESCRIPTOR_RE.fullmatch(sub) or (";." in sub and ":" in sub):
+                seen.add(sub)
+                yield sub
+    for match in _DESCRIPTOR_RE.finditer(token):
+        text = match.group()
+        for i, ch in enumerate(text):
+            if ch == "[" or ch == "L":
+                sub = text[i:]
+                if _DESCRIPTOR_RE.fullmatch(sub) and sub not in seen:
+                    seen.add(sub)
+                    yield sub
+
+
+class InvertedIndexBackend(SearchBackend):
+    """Dict-lookup token queries over the prebuilt :class:`TokenIndex`."""
+
+    name = "indexed"
+
+    def __init__(self, disassembly: Disassembly) -> None:
+        super().__init__(disassembly)
+        self._index: Optional[TokenIndex] = None
+        self._fallback: Optional[JoinedText] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> TokenIndex:
+        if self._index is None:
+            if not self.disassembly.tokens and len(self.disassembly.lines) > 2:
+                # Lines beyond the two-line preamble mean at least one
+                # rendered class, which always emits tokens — a token-less
+                # disassembly here was built outside the disassembler and
+                # would make every query silently return nothing.
+                raise ValueError(
+                    "disassembly carries no token stream; the indexed "
+                    "backend requires Disassembly objects produced by "
+                    "repro.dex.disassembler.disassemble (use the linear "
+                    "backend otherwise)"
+                )
+            self._index = TokenIndex.for_disassembly(self.disassembly)
+            self.stats.index_build_seconds = self._index.build_seconds
+            self.stats.vocab_size = len(self._index.vocab)
+            self.stats.posting_entries = self._index.posting_entries
+        return self._index
+
+    # ------------------------------------------------------------------
+    def token_lines(self, needle: str) -> list[int]:
+        self.stats.token_queries += 1
+        return self.index.token_lines(needle)
+
+    def literal_lines(self, needle: str) -> list[int]:
+        self.stats.literal_queries += 1
+        self.stats.fallbacks += 1
+        return self._joined().literal_lines(needle)
+
+    def pattern_lines(self, pattern: str) -> list[int]:
+        self.stats.pattern_queries += 1
+        self.stats.fallbacks += 1
+        return self._joined().pattern_lines(pattern)
+
+    # ------------------------------------------------------------------
+    def _joined(self) -> JoinedText:
+        if self._fallback is None:
+            self._fallback = JoinedText.for_disassembly(self.disassembly)
+        return self._fallback

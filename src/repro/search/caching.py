@@ -15,6 +15,7 @@ Two distinct caches, with the statistics the paper reports:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -27,6 +28,8 @@ class CacheStats:
 
     lookups: int = 0
     hits: int = 0
+    #: Entries dropped by LRU eviction (0 for unbounded caches).
+    evictions: int = 0
 
     @property
     def misses(self) -> int:
@@ -51,10 +54,18 @@ class SearchCommandCache:
     raw search commands"; higher-level granularities (invoked-class,
     caller-method, field searches) key through the same store with a
     kind prefix.
+
+    ``max_entries`` bounds the store with least-recently-used eviction
+    (evictions are counted in ``stats.evictions``) so corpus-scale batch
+    runs cannot grow memory without limit.  The default stays unbounded,
+    preserving the paper's cache-rate numbers.
     """
 
-    def __init__(self) -> None:
-        self._store: dict[str, Any] = {}
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be a positive integer or None")
+        self.max_entries = max_entries
+        self._store: OrderedDict[str, Any] = OrderedDict()
         self.stats = CacheStats()
         self.stats_by_kind: dict[str, CacheStats] = {}
 
@@ -65,11 +76,17 @@ class SearchCommandCache:
         if key in self._store:
             self.stats.record(hit=True)
             by_kind.record(hit=True)
+            if self.max_entries is not None:
+                self._store.move_to_end(key)
             return self._store[key]
         self.stats.record(hit=False)
         by_kind.record(hit=False)
         result = run()
         self._store[key] = result
+        if self.max_entries is not None:
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+                self.stats.evictions += 1
         return result
 
     def __len__(self) -> int:

@@ -22,6 +22,7 @@ from typing import Optional
 from repro.android.apk import Apk
 from repro.dex.types import MethodSignature
 from repro.search.advanced import advanced_search, needs_advanced_search
+from repro.search.backends import BackendSpec
 from repro.search.basic import basic_search
 from repro.search.caching import SearchCommandCache
 from repro.search.clinit import clinit_reachability_search
@@ -44,13 +45,16 @@ class CallerResolutionEngine:
         apk: Apk,
         cache: Optional[SearchCommandCache] = None,
         loops: Optional[LoopDetector] = None,
+        backend: BackendSpec = None,
     ) -> None:
         self.apk = apk
         self.pool = apk.full_pool
         self.manifest = apk.manifest
         self.cache = cache if cache is not None else SearchCommandCache()
         self.loops = loops if loops is not None else LoopDetector()
-        self.searcher = BytecodeSearcher(apk.disassembly, cache=self.cache)
+        self.searcher = BytecodeSearcher(
+            apk.disassembly, cache=self.cache, backend=backend
+        )
 
     # ------------------------------------------------------------------
     def resolve(self, callee: MethodSignature) -> ResolutionResult:

@@ -5,6 +5,13 @@ signature (already translated to dexdump format), find every line of the
 disassembled plaintext that mentions it, and map each hit back to the
 containing method so the program-analysis space can take over.
 
+The line-level scanning itself is delegated to a pluggable
+:class:`~repro.search.backends.SearchBackend` — the original O(text)
+:class:`~repro.search.backends.LinearScanBackend` by default, or the
+prebuilt :class:`~repro.search.backends.InvertedIndexBackend` whose
+posting lists turn signature/descriptor/literal queries into dict
+lookups.  All backends return identical hits; only the cost differs.
+
 All searches run through a :class:`~repro.search.caching.SearchCommandCache`
 — repeated commands (common when similar paths are explored across
 different sinks) are served from cache, reproducing the Sec. IV-F
@@ -13,13 +20,13 @@ different sinks) are served from cache, reproducing the Sec. IV-F
 
 from __future__ import annotations
 
-import bisect
 import re
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.dex.disassembler import Disassembly
 from repro.dex.types import FieldSignature, MethodSignature, java_to_dex_type
+from repro.search.backends import BackendSpec, JoinedText, create_backend
 from repro.search.caching import SearchCommandCache
 
 
@@ -39,21 +46,26 @@ class SearchHit:
 class BytecodeSearcher:
     """Searches one app's disassembled plaintext, with command caching."""
 
-    def __init__(self, disassembly: Disassembly, cache: Optional[SearchCommandCache] = None):
+    def __init__(
+        self,
+        disassembly: Disassembly,
+        cache: Optional[SearchCommandCache] = None,
+        backend: BackendSpec = None,
+    ):
         self.disassembly = disassembly
         self.cache = cache if cache is not None else SearchCommandCache()
-        # One joined text + cumulative line offsets: literal searches run
-        # as fast substring scans instead of per-line regex loops.
-        self._text = "\n".join(disassembly.lines)
-        self._line_offsets = [0]
-        for line in disassembly.lines:
-            self._line_offsets.append(self._line_offsets[-1] + len(line) + 1)
+        self.backend = create_backend(backend, disassembly)
 
     # ------------------------------------------------------------------
     # Core primitives
     # ------------------------------------------------------------------
+    @property
+    def _text(self) -> str:
+        """The joined plaintext (kept for introspection and tests)."""
+        return JoinedText.for_disassembly(self.disassembly).text
+
     def _line_of_offset(self, offset: int) -> int:
-        return bisect.bisect_right(self._line_offsets, offset) - 1
+        return JoinedText.for_disassembly(self.disassembly).line_of_offset(offset)
 
     def _hit(self, line_no: int) -> SearchHit:
         block = self.disassembly.block_at_line(line_no)
@@ -67,37 +79,28 @@ class BytecodeSearcher:
 
     def search_literal(self, needle: str, kind: str = "raw") -> list[SearchHit]:
         """All hits of a literal substring (cached by command)."""
-
-        def run() -> list[SearchHit]:
-            hits: list[SearchHit] = []
-            start = 0
-            while True:
-                offset = self._text.find(needle, start)
-                if offset < 0:
-                    break
-                line_no = self._line_of_offset(offset)
-                hits.append(self._hit(line_no))
-                # Continue after the end of this line: one hit per line.
-                start = self._line_offsets[line_no + 1]
-            return hits
-
-        return self.cache.get_or_run(kind, needle, run)
+        return self.cache.get_or_run(
+            kind, needle,
+            lambda: [self._hit(n) for n in self.backend.literal_lines(needle)],
+        )
 
     def search_pattern(self, pattern: str, kind: str = "raw-regex") -> list[SearchHit]:
         """All hits of a regular expression (cached by command)."""
+        return self.cache.get_or_run(
+            kind, pattern,
+            lambda: [self._hit(n) for n in self.backend.pattern_lines(pattern)],
+        )
 
-        def run() -> list[SearchHit]:
-            compiled = re.compile(pattern)
-            hits: list[SearchHit] = []
-            last_line = -1
-            for match in compiled.finditer(self._text):
-                line_no = self._line_of_offset(match.start())
-                if line_no != last_line:
-                    hits.append(self._hit(line_no))
-                    last_line = line_no
-            return hits
+    def _search_token(self, needle: str, kind: str) -> list[SearchHit]:
+        """All hits of a token-shaped needle (cached by command).
 
-        return self.cache.get_or_run(kind, pattern, run)
+        Uses the same ``(kind, command)`` cache keys as a literal search
+        would, so cache rates are backend-independent.
+        """
+        return self.cache.get_or_run(
+            kind, needle,
+            lambda: [self._hit(n) for n in self.backend.token_lines(needle)],
+        )
 
     # ------------------------------------------------------------------
     # Signature-level searches
@@ -110,7 +113,7 @@ class BytecodeSearcher:
         header, which must not count as a call site).
         """
         needle = callee.to_dex()
-        hits = self.search_literal(needle, kind="caller-method")
+        hits = self._search_token(needle, kind="caller-method")
         return [h for h in hits if "invoke-" in h.line]
 
     def find_field_accesses(
@@ -118,7 +121,7 @@ class BytecodeSearcher:
     ) -> list[SearchHit]:
         """Field access sites (the slicer's static-field search, Sec. V-A)."""
         needle = fieldsig.to_dex()
-        hits = self.search_literal(needle, kind="field")
+        hits = self._search_token(needle, kind="field")
         accesses = [
             h
             for h in hits
@@ -130,16 +133,21 @@ class BytecodeSearcher:
 
     def find_const_class(self, class_name: str) -> list[SearchHit]:
         """``const-class`` mentions of a class (explicit-ICC parameters)."""
-        needle = f"const-class"
+        marker = "const-class"
         descriptor = java_to_dex_type(class_name)
-        hits = self.search_literal(descriptor, kind="invoked-class")
-        return [h for h in hits if needle in h.line]
+        hits = self._search_token(descriptor, kind="invoked-class")
+        return [h for h in hits if marker in h.line]
 
     def find_const_string(self, value: str) -> list[SearchHit]:
-        """``const-string`` mentions of a literal (implicit-ICC actions)."""
-        needle = f'const-string'
-        hits = self.search_literal(f'"{value}"', kind="raw")
-        return [h for h in hits if needle in h.line]
+        """``const-string`` mentions of a literal (implicit-ICC actions).
+
+        The value is matched literally — never compiled into a regex —
+        so regex metacharacters (``.*+?()[]`` and friends, common in
+        intent actions) need no escaping and cannot mis-match.
+        """
+        marker = "const-string"
+        hits = self._search_token(f'"{value}"', kind="raw")
+        return [h for h in hits if marker in h.line]
 
     def find_invocations_by_name(
         self, method_name: str, param_blob: Optional[str] = None
@@ -148,7 +156,8 @@ class BytecodeSearcher:
 
         Used by the two-time ICC search, where the receiver of e.g.
         ``startService`` can be any ``Context`` subclass.  ``param_blob``
-        optionally pins the dex parameter descriptor blob.
+        optionally pins the dex parameter descriptor blob.  Both inputs
+        are regex-escaped before entering the pattern.
         """
         params = re.escape(param_blob) if param_blob is not None else "[^)]*"
         pattern = rf"invoke-[a-z]+ \{{[^}}]*\}}, L[^;]+;\.{re.escape(method_name)}:\({params}\)"
@@ -162,7 +171,7 @@ class BytecodeSearcher:
         that invoke the SI class."
         """
         descriptor = java_to_dex_type(class_name)
-        hits = self.search_literal(descriptor, kind="invoked-class")
+        hits = self._search_token(descriptor, kind="invoked-class")
         users: set[str] = set()
         for hit in hits:
             if hit.method is None:
@@ -177,7 +186,7 @@ class BytecodeSearcher:
     def subclass_header_mentions(self, class_name: str) -> set[str]:
         """Classes whose *header* (superclass/interfaces) names the class."""
         descriptor = f"'{java_to_dex_type(class_name)}'"
-        hits = self.search_literal(descriptor, kind="invoked-class")
+        hits = self._search_token(descriptor, kind="invoked-class")
         users: set[str] = set()
         current_class: Optional[str] = None
         for hit in hits:

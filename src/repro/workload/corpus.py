@@ -124,6 +124,21 @@ _COMPLEXITY_SIGMA = 1.55
 _COMPLEXITY_CAP = 12.0
 
 
+def _draw_patterns(rng: random.Random) -> list[PatternSpec]:
+    """Draw one app's pattern mix (shared by every generated corpus)."""
+    names = [name for name, _ in _PATTERN_WEIGHTS]
+    weights = [weight for _, weight in _PATTERN_WEIGHTS]
+    # Sink-call counts vary widely (Fig. 9: up to ~70 per app, avg ~21).
+    pattern_count = max(2, min(int(rng.lognormvariate(math.log(8), 0.7)), 40))
+    return [
+        PatternSpec(
+            name=rng.choices(names, weights=weights, k=1)[0],
+            insecure=rng.random() < _INSECURE_PROBABILITY,
+        )
+        for _ in range(pattern_count)
+    ]
+
+
 def benchmark_app_spec(index: int, seed: int = 2018, scale: float = 1.0) -> AppSpec:
     """The deterministic spec of benchmark app *index*."""
     rng = random.Random(f"{seed}-{index}")
@@ -132,17 +147,7 @@ def benchmark_app_spec(index: int, seed: int = 2018, scale: float = 1.0) -> AppS
     complexity = min(max(rng.lognormvariate(0.0, _COMPLEXITY_SIGMA), 0.3),
                      _COMPLEXITY_CAP)
 
-    names = [name for name, _ in _PATTERN_WEIGHTS]
-    weights = [weight for _, weight in _PATTERN_WEIGHTS]
-    # Sink-call counts vary widely (Fig. 9: up to ~70 per app, avg ~21).
-    pattern_count = max(2, min(int(rng.lognormvariate(math.log(8), 0.7)), 40))
-    patterns = [
-        PatternSpec(
-            name=rng.choices(names, weights=weights, k=1)[0],
-            insecure=rng.random() < _INSECURE_PROBABILITY,
-        )
-        for _ in range(pattern_count)
-    ]
+    patterns = _draw_patterns(rng)
     # Guarantee the pre-search property: every benchmark app contains at
     # least one target sink API call.
     if all(p.name == "hazard_dangling" for p in patterns):
@@ -162,6 +167,37 @@ def benchmark_app_spec(index: int, seed: int = 2018, scale: float = 1.0) -> AppS
         filler_classes=filler,
         methods_per_filler=6,
         year=2018,
+        size_mb=round(size_mb, 1),
+        installs=1_000_000 + index * 13_337,
+    )
+
+
+def year_app_spec(
+    year: int, index: int, seed: int = 2018, scale: float = 1.0
+) -> AppSpec:
+    """A generatable app spec sampled from a Table-I year corpus.
+
+    Unlike the metadata-only :func:`sample_year_corpus`, the result can
+    be fed to :func:`~repro.workload.generator.generate_app` — the bridge
+    the ``backdroid batch`` driver uses for ``--year`` runs.  Sizes (and
+    hence bulk-code volume) follow the year's log-normal model.
+    """
+    rng = random.Random(f"{seed}-y{year}-{index}")
+    mu, sigma = year_size_distribution(year)
+    size_mb = min(rng.lognormvariate(mu, sigma), 110.0)
+    complexity = min(max(rng.lognormvariate(0.0, _COMPLEXITY_SIGMA), 0.3),
+                     _COMPLEXITY_CAP)
+    patterns = _draw_patterns(rng)
+    if not patterns or all(p.name == "hazard_dangling" for p in patterns):
+        patterns.append(PatternSpec("direct_entry", insecure=False))
+    filler = max(4, int(size_mb * _FILLER_PER_MB * complexity * scale))
+    return AppSpec(
+        package=f"com.corpus.y{year}.app{index:05d}",
+        seed=index * 7919 + seed + year,
+        patterns=tuple(patterns),
+        filler_classes=filler,
+        methods_per_filler=6,
+        year=year,
         size_mb=round(size_mb, 1),
         installs=1_000_000 + index * 13_337,
     )

@@ -1,0 +1,116 @@
+"""Tests for the corpus-scale batch driver."""
+
+import pytest
+
+from repro.core import BackDroidConfig, run_batch
+from repro.core.batch import AppOutcome, BatchResult, analyze_spec
+from repro.workload.corpus import benchmark_app_spec, year_app_spec
+from repro.workload.generator import AppSpec
+
+
+def _specs(count=4, scale=0.05):
+    return [benchmark_app_spec(i, scale=scale) for i in range(count)]
+
+
+class TestAnalyzeSpec:
+    def test_single_spec_outcome(self):
+        outcome = analyze_spec(_specs(1)[0])
+        assert outcome.ok
+        assert outcome.package == "com.bench.app000"
+        assert outcome.sink_count > 0
+        assert outcome.seconds > 0.0
+
+    def test_error_captured_not_raised(self):
+        bad = AppSpec(package="com.broken", patterns=(("no-such",),))
+        outcome = analyze_spec(bad)
+        assert not outcome.ok
+        assert outcome.package == "com.broken"
+        assert outcome.error
+
+    def test_backend_recorded(self):
+        outcome = analyze_spec(
+            _specs(1)[0], BackDroidConfig(search_backend="indexed")
+        )
+        assert outcome.backend == "indexed"
+
+
+class TestRunBatch:
+    def test_serial_and_thread_agree(self):
+        specs = _specs(3)
+        serial = run_batch(specs, executor="serial")
+        threaded = run_batch(specs, executor="thread", max_workers=3)
+        assert [o.package for o in serial.outcomes] == \
+            [o.package for o in threaded.outcomes]
+        assert [o.findings for o in serial.outcomes] == \
+            [o.findings for o in threaded.outcomes]
+        assert serial.executor == "serial" and threaded.executor == "thread"
+
+    def test_process_pool_roundtrip(self):
+        specs = _specs(2)
+        result = run_batch(specs, executor="process", max_workers=2)
+        assert result.app_count == 2
+        assert not result.failures
+        assert [o.package for o in result.outcomes] == \
+            [s.package for s in specs]
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            run_batch(_specs(1), executor="quantum")
+
+    def test_order_preserved_and_progress_called(self):
+        specs = _specs(4)
+        seen = []
+        result = run_batch(
+            specs, executor="thread", max_workers=4, progress=seen.append
+        )
+        assert [o.package for o in result.outcomes] == \
+            [s.package for s in specs]
+        assert sorted(o.package for o in seen) == \
+            sorted(s.package for s in specs)
+
+    def test_failure_isolated_from_batch(self):
+        specs = _specs(2)
+        specs.insert(1, AppSpec(package="com.broken", patterns=(("bad",),)))
+        result = run_batch(specs, executor="thread")
+        assert len(result.failures) == 1
+        assert len(result.analyzed) == 2
+        assert result.failures[0].package == "com.broken"
+
+    def test_year_specs_are_analyzable(self):
+        specs = [year_app_spec(2016, i, scale=0.05) for i in range(2)]
+        result = run_batch(specs, executor="serial")
+        assert not result.failures
+        assert all(o.package.startswith("com.corpus.y2016") for o in result.outcomes)
+        assert all(o.sink_count > 0 for o in result.outcomes)
+
+
+class TestAggregates:
+    def test_aggregate_statistics(self):
+        result = run_batch(_specs(4), executor="serial")
+        assert result.app_count == 4
+        assert result.total_sinks == sum(o.sink_count for o in result.outcomes)
+        assert result.mean_seconds > 0.0
+        assert result.median_seconds > 0.0
+        assert 0.0 <= result.mean_search_cache_rate <= 1.0
+        assert result.wall_seconds >= 0.0
+
+    def test_render_contains_per_app_and_aggregate(self):
+        result = run_batch(_specs(3), executor="serial")
+        text = result.render()
+        for outcome in result.outcomes:
+            assert outcome.package in text
+        assert "wall time" in text
+        assert "cache rates" in text
+        assert "findings" in text
+        assert "3 apps" in text
+
+    def test_empty_batch_renders(self):
+        result = BatchResult()
+        assert result.mean_seconds == 0.0
+        assert "0 apps" in result.render()
+
+    def test_bounded_cache_records_evictions(self):
+        config = BackDroidConfig(search_cache_max_entries=2)
+        outcome = analyze_spec(_specs(1)[0], config)
+        assert outcome.ok
+        assert outcome.search_cache_evictions > 0

@@ -1,0 +1,193 @@
+"""Backend parity: linear scan and inverted index must agree, byte for byte.
+
+The inverted index is only a faster way to answer the same queries; any
+divergence from the linear scan is a correctness bug.  These tests drive
+randomized apps through every signature/field/class/literal query and
+assert identical :class:`SearchHit` lists, then run the full
+``BackDroid.analyze`` pipeline under both backends and compare reports.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.android.apk import Apk
+from repro.core import BackDroid, BackDroidConfig
+from repro.dex.builder import AppBuilder
+from repro.dex.types import FieldSignature
+from repro.search.index import BytecodeSearcher
+from repro.workload.corpus import benchmark_app_spec
+from repro.workload.generator import generate_app
+from repro.workload.paperapps import build_heyzap, build_palcomp3
+
+#: Deliberately adversarial class names: descriptors that embed each
+#: other (``La;`` is a substring of ``Lcom/La;``), inner classes, and
+#: plain nested prefixes — the cases where a naive token index diverges
+#: from raw substring search.
+_CLASS_NAMES = [
+    "com.par.Base",
+    "com.par.Base2",
+    "com.par.Child",
+    "com.par.Child$1",
+    "com.La",
+    "a",
+    "com.other.Helper",
+]
+
+_STRING_VALUES = [
+    "com.app.ACTION_SYNC",
+    "MARKER_PLAIN",
+    "regex.meta*chars+(really)?",
+    "[brackets] and {braces}",
+    "a",
+    # Values embedding descriptor/signature/header-quoted shapes: a raw
+    # text search matches these const-string lines, so the index must too.
+    "see 'Lcom/par/Base;' here",
+    "call Lcom/par/Base;.m0:()V now",
+    "array [La; blob",
+]
+
+
+@st.composite
+def woven_apps(draw):
+    """An app whose classes mention each other in every searchable way."""
+    names = draw(
+        st.lists(st.sampled_from(_CLASS_NAMES), min_size=2, max_size=5,
+                 unique=True)
+    )
+    app = AppBuilder()
+    builders = {}
+    for i, name in enumerate(names):
+        superclass = "java.lang.Object"
+        if i > 0 and draw(st.booleans()):
+            superclass = names[draw(st.integers(0, i - 1))]
+        builders[name] = app.new_class(name, superclass=superclass)
+
+    placed_strings = []
+    for name, cls in builders.items():
+        if draw(st.booleans()):
+            cls.field("conf", "java.lang.String", static=True)
+        n_methods = draw(st.integers(min_value=1, max_value=3))
+        for m in range(n_methods):
+            method = cls.method(f"m{m}", static=True)
+            for _ in range(draw(st.integers(min_value=0, max_value=3))):
+                action = draw(st.integers(0, 4))
+                other = names[draw(st.integers(0, len(names) - 1))]
+                if action == 0:
+                    value = draw(st.sampled_from(_STRING_VALUES))
+                    method.const_string(value)
+                    placed_strings.append(value)
+                elif action == 1:
+                    method.const_class(other)
+                elif action == 2:
+                    method.invoke_static(other, "m0")
+                elif action == 3:
+                    method.put_static(other, "conf", "java.lang.String",
+                                      "written")
+                else:
+                    local = method.new(other)
+                    method.cast(other, local)
+            method.return_void()
+    return Apk(package="com.parity", classes=app.build()), names, placed_strings
+
+
+def _both(apk):
+    return (
+        BytecodeSearcher(apk.disassembly, backend="linear"),
+        BytecodeSearcher(apk.disassembly, backend="indexed"),
+    )
+
+
+class TestQueryParity:
+    @given(woven_apps())
+    @settings(max_examples=30, deadline=None)
+    def test_all_query_kinds_identical(self, case):
+        apk, names, strings = case
+        linear, indexed = _both(apk)
+        for cls in apk.classes.application_classes():
+            for method in cls.methods:
+                sig = method.signature()
+                assert linear.find_invocations(sig) == indexed.find_invocations(sig)
+            for dex_field in cls.fields:
+                fsig = FieldSignature(cls.name, dex_field.name,
+                                      dex_field.field_type)
+                assert linear.find_field_accesses(fsig) == \
+                    indexed.find_field_accesses(fsig)
+                assert linear.find_field_accesses(fsig, writes_only=True) == \
+                    indexed.find_field_accesses(fsig, writes_only=True)
+        for name in names:
+            assert linear.classes_mentioning(name) == \
+                indexed.classes_mentioning(name)
+            assert linear.subclass_header_mentions(name) == \
+                indexed.subclass_header_mentions(name)
+            assert linear.find_const_class(name) == indexed.find_const_class(name)
+        for value in strings + ["NEVER_PRESENT"]:
+            assert linear.find_const_string(value) == \
+                indexed.find_const_string(value)
+
+    @given(woven_apps())
+    @settings(max_examples=15, deadline=None)
+    def test_pattern_queries_identical(self, case):
+        apk, names, _ = case
+        linear, indexed = _both(apk)
+        assert linear.find_invocations_by_name("m0") == \
+            indexed.find_invocations_by_name("m0")
+        assert linear.find_invocations_by_name("m0", param_blob="") == \
+            indexed.find_invocations_by_name("m0", param_blob="")
+
+    @given(woven_apps())
+    @settings(max_examples=15, deadline=None)
+    def test_absent_needles_empty_on_both(self, case):
+        apk, _, _ = case
+        linear, indexed = _both(apk)
+        assert linear.find_const_string("NOPE") == []
+        assert indexed.find_const_string("NOPE") == []
+        assert indexed.classes_mentioning("com.ghost.Nope") == set()
+        assert linear.classes_mentioning("com.ghost.Nope") == set()
+
+
+def _report_key(report):
+    """Everything observable about a report, modulo wall-clock noise."""
+    return (
+        report.package,
+        report.search_cache_rate,
+        report.search_cache_lookups,
+        report.sink_cache_rate,
+        [
+            (
+                str(record.site.method),
+                record.site.stmt_index,
+                record.site.spec.rule,
+                record.reachable,
+                record.cached,
+                record.ssg_size,
+                record.entry_points,
+                str(record.finding),
+            )
+            for record in report.records
+        ],
+    )
+
+
+class TestEndToEndParity:
+    def _assert_equal_reports(self, make_apk):
+        linear = BackDroid(
+            BackDroidConfig(search_backend="linear")
+        ).analyze(make_apk())
+        indexed = BackDroid(
+            BackDroidConfig(search_backend="indexed")
+        ).analyze(make_apk())
+        assert _report_key(linear) == _report_key(indexed)
+        assert linear.search_backend == "linear"
+        assert indexed.search_backend == "indexed"
+
+    def test_paper_apps_equal_reports(self):
+        self._assert_equal_reports(build_heyzap)
+        self._assert_equal_reports(build_palcomp3)
+
+    def test_benchmark_apps_equal_reports(self):
+        for index in range(4):
+            self._assert_equal_reports(
+                lambda index=index: generate_app(
+                    benchmark_app_spec(index, scale=0.08)
+                ).apk
+            )

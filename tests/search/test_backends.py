@@ -1,0 +1,191 @@
+"""Unit tests for the search backend subsystem and the LRU-bounded cache."""
+
+import pytest
+
+from repro.dex.builder import AppBuilder
+from repro.android.apk import Apk
+from repro.dex.types import MethodSignature
+from repro.search.backends import (
+    BACKENDS,
+    InvertedIndexBackend,
+    LinearScanBackend,
+    create_backend,
+)
+from repro.search.backends.indexed import TokenIndex, _containment_keys
+from repro.search.caching import SearchCommandCache
+from repro.search.index import BytecodeSearcher
+
+
+def _small_apk():
+    app = AppBuilder()
+    callee_cls = app.new_class("com.t.Callee")
+    callee = callee_cls.method("run", static=True)
+    callee.const_string("hello*world")
+    callee.return_void()
+    caller_cls = app.new_class("com.t.Caller", superclass="com.t.Callee")
+    caller = caller_cls.method("go", static=True)
+    caller.invoke_static("com.t.Callee", "run")
+    caller.return_void()
+    return Apk(package="com.t", classes=app.build())
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert set(BACKENDS) == {"linear", "indexed"}
+
+    def test_create_by_name_class_and_instance(self):
+        apk = _small_apk()
+        linear = create_backend("linear", apk.disassembly)
+        assert isinstance(linear, LinearScanBackend)
+        assert isinstance(
+            create_backend(InvertedIndexBackend, apk.disassembly),
+            InvertedIndexBackend,
+        )
+        assert create_backend(linear, apk.disassembly) is linear
+
+    def test_unknown_name_rejected(self):
+        apk = _small_apk()
+        with pytest.raises(ValueError, match="unknown search backend"):
+            create_backend("turbo", apk.disassembly)
+
+    def test_tokenless_disassembly_rejected_by_indexed_backend(self):
+        # A hand-built Disassembly without a token stream must fail loudly
+        # under the indexed backend, not silently return zero hits.
+        from repro.dex.disassembler import Disassembly
+
+        apk = _small_apk()
+        stripped = Disassembly(apk.disassembly.lines, apk.disassembly.blocks)
+        searcher = BytecodeSearcher(stripped, backend="indexed")
+        with pytest.raises(ValueError, match="no token stream"):
+            searcher.find_invocations(
+                MethodSignature("com.t.Callee", "run", (), "void")
+            )
+
+    def test_instance_bound_to_other_app_rejected(self):
+        one, two = _small_apk(), _small_apk()
+        backend = create_backend("linear", one.disassembly)
+        with pytest.raises(ValueError, match="different disassembly"):
+            create_backend(backend, two.disassembly)
+
+
+class TestTokenIndex:
+    def test_index_is_memoized_per_disassembly(self):
+        apk = _small_apk()
+        assert TokenIndex.for_disassembly(apk.disassembly) is \
+            TokenIndex.for_disassembly(apk.disassembly)
+
+    def test_invocation_query_is_exact_lookup(self):
+        apk = _small_apk()
+        index = TokenIndex.for_disassembly(apk.disassembly)
+        sig = MethodSignature("com.t.Callee", "run", (), "void")
+        assert sig.to_dex() in index.exact
+
+    def test_embedded_descriptor_suffixes(self):
+        found = set(_containment_keys("[[Lcom/La;"))
+        assert found == {"[[Lcom/La;", "[Lcom/La;", "Lcom/La;", "La;"}
+
+    def test_needles_embedded_in_string_values(self):
+        # A const-string value may embed quoted descriptors, raw
+        # descriptors, or full signatures; the raw text scan matches the
+        # const-string line, so the index must agree.
+        app = AppBuilder()
+        cls = app.new_class("com.t.Emb")
+        method = cls.method("m", static=True)
+        method.const_string("see 'Lcom/t/Emb;' and Lcom/t/Emb;.m:()V here")
+        method.return_void()
+        apk = Apk(package="com.t", classes=app.build())
+        linear = BytecodeSearcher(apk.disassembly, backend="linear")
+        indexed = BytecodeSearcher(apk.disassembly, backend="indexed")
+        assert linear.subclass_header_mentions("com.t.Emb") == \
+            indexed.subclass_header_mentions("com.t.Emb")
+        assert linear.classes_mentioning("com.t.Emb") == \
+            indexed.classes_mentioning("com.t.Emb")
+        sig = MethodSignature("com.t.Emb", "m", (), "void")
+        assert linear._search_token(sig.to_dex(), kind="caller-method") == \
+            indexed._search_token(sig.to_dex(), kind="caller-method")
+
+    def test_signature_suffixes_registered(self):
+        # 'La;.m0:()V' (class 'a') occurs inside 'Lcom/La;.m0:()V'
+        # (class 'com.La') — the containment map must cover it.
+        found = set(_containment_keys("Lcom/La;.m0:()V"))
+        assert "La;.m0:()V" in found
+        assert "La;" in found
+
+    def test_descriptor_containment_covers_signatures(self):
+        apk = _small_apk()
+        index = TokenIndex.for_disassembly(apk.disassembly)
+        # 'Lcom/t/Callee;' occurs inside the invoke signature token.
+        tids = index.containing["Lcom/t/Callee;"]
+        assert any(
+            "invoke" not in index.vocab[tid] and ";.run:" in index.vocab[tid]
+            for tid in tids
+        )
+
+
+class TestBackendStats:
+    def test_indexed_counts_queries_and_fallbacks(self):
+        apk = _small_apk()
+        searcher = BytecodeSearcher(apk.disassembly, backend="indexed")
+        sig = MethodSignature("com.t.Callee", "run", (), "void")
+        searcher.find_invocations(sig)
+        searcher.find_invocations_by_name("run")  # regex -> fallback
+        stats = searcher.backend.stats
+        assert stats.token_queries == 1
+        assert stats.pattern_queries == 1
+        assert stats.fallbacks == 1
+        assert stats.vocab_size > 0
+        described = searcher.backend.describe()
+        assert described["name"] == "indexed"
+        assert described["fallbacks"] == 1
+
+    def test_linear_never_falls_back(self):
+        apk = _small_apk()
+        searcher = BytecodeSearcher(apk.disassembly, backend="linear")
+        searcher.find_invocations(
+            MethodSignature("com.t.Callee", "run", (), "void")
+        )
+        assert searcher.backend.stats.fallbacks == 0
+
+    def test_const_string_literal_with_regex_metacharacters(self):
+        apk = _small_apk()
+        for backend in ("linear", "indexed"):
+            searcher = BytecodeSearcher(apk.disassembly, backend=backend)
+            hits = searcher.find_const_string("hello*world")
+            assert len(hits) == 1, backend
+            assert searcher.find_const_string("hello.world") == []
+
+
+class TestLruCache:
+    def test_unbounded_by_default(self):
+        cache = SearchCommandCache()
+        for i in range(100):
+            cache.get_or_run("raw", f"cmd{i}", lambda i=i: i)
+        assert len(cache) == 100
+        assert cache.stats.evictions == 0
+
+    def test_bounded_cache_evicts_lru(self):
+        cache = SearchCommandCache(max_entries=2)
+        cache.get_or_run("raw", "a", lambda: "A")
+        cache.get_or_run("raw", "b", lambda: "B")
+        cache.get_or_run("raw", "a", lambda: "A")  # refresh a
+        cache.get_or_run("raw", "c", lambda: "C")  # evicts b
+        assert cache.stats.evictions == 1
+        calls = []
+        cache.get_or_run("raw", "a", lambda: calls.append("a"))
+        assert calls == []  # still cached
+        cache.get_or_run("raw", "b", lambda: calls.append("b"))
+        assert calls == ["b"]  # was evicted, re-ran
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError):
+            SearchCommandCache(max_entries=0)
+
+    def test_eviction_keeps_results_correct(self):
+        apk = _small_apk()
+        cache = SearchCommandCache(max_entries=1)
+        searcher = BytecodeSearcher(apk.disassembly, cache=cache)
+        sig = MethodSignature("com.t.Callee", "run", (), "void")
+        first = searcher.find_invocations(sig)
+        searcher.find_const_string("hello*world")  # evicts the invocation
+        assert searcher.find_invocations(sig) == first
+        assert cache.stats.evictions >= 1

@@ -26,6 +26,25 @@ class TestAnalyze:
         with pytest.raises(SystemExit):
             main(["analyze", "nonexistent"])
 
+    def test_malformed_bench_spec_friendly_error(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["analyze", "bench:abc"])
+        assert "bench:abc" in str(exc_info.value)
+        assert "non-negative integer" in str(exc_info.value)
+
+    def test_negative_bench_spec_friendly_error(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["analyze", "bench:-3"])
+        assert "must be >= 0" in str(exc_info.value)
+
+    def test_analyze_with_indexed_backend(self, capsys):
+        code = main(["analyze", "heyzap", "--rules", "ssl-verifier",
+                     "--backend", "indexed"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VULNERABLE" in out
+        assert "search backend : indexed" in out
+
 
 class TestOtherCommands:
     def test_compare(self, capsys):
@@ -46,3 +65,45 @@ class TestOtherCommands:
         assert code == 0
         assert "com.bench.app000" in out
         assert "components:" in out
+
+
+class TestBatch:
+    def test_batch_range_of_bench_apps(self, capsys):
+        code = main(["batch", "bench:0..3", "--scale", "0.05",
+                     "--backend", "indexed", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "com.bench.app000" in out and "com.bench.app002" in out
+        assert "backend=indexed" in out
+        assert "wall time" in out and "cache rates" in out and "findings" in out
+
+    def test_batch_year_sample(self, capsys):
+        code = main(["batch", "--year", "2015", "--count", "2",
+                     "--scale", "0.05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "com.corpus.y2015.app00000" in out
+
+    def test_batch_twenty_apps_one_invocation(self, capsys):
+        code = main(["batch", "bench:0..20", "--scale", "0.02",
+                     "--backend", "indexed"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "20 apps" in out
+        assert out.count("com.bench.app") >= 20
+
+    def test_batch_requires_some_apps(self):
+        with pytest.raises(SystemExit, match="nothing to analyze"):
+            main(["batch"])
+
+    def test_batch_malformed_range(self):
+        with pytest.raises(SystemExit, match="range bounds"):
+            main(["batch", "bench:1..x"])
+        with pytest.raises(SystemExit, match="start < end"):
+            main(["batch", "bench:5..5"])
+
+    def test_batch_rejects_bad_workers_and_cache_max(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["batch", "bench:0..2", "--workers", "0"])
+        with pytest.raises(SystemExit, match="--cache-max"):
+            main(["batch", "bench:0..2", "--cache-max", "0"])
