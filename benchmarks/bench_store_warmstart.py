@@ -1,0 +1,110 @@
+"""Warm-start artifact store — cold build vs. restored-artifact batch runs.
+
+Corpus re-analysis is the common case at market scale (new rule
+versions, re-runs, incremental crawls), and the artifact store exists to
+amortize per-app preprocessing across those runs.  This benchmark runs
+the same generated corpus through ``run_batch`` twice against one store
+and reports, per app and in aggregate:
+
+* the cold run — index built from the token stream, full analysis,
+  artifacts published;
+* a warm ``"index"``-mode run — posting lists restored from disk, the
+  analysis itself re-executed;
+* a warm ``"full"``-mode run — the finished outcome restored, skipping
+  re-analysis entirely.
+
+The acceptance bar: the full-mode warm run must be at least 2x faster
+than the cold run on aggregate index-build + analysis time (generation
+and disassembly rendering are identical on both sides and excluded).
+
+Knobs: ``REPRO_BENCH_STORE_APPS`` caps the corpus (default
+min(BENCH_APPS, 24)); ``REPRO_BENCH_SCALE`` scales app bulk as usual.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from benchmarks.conftest import BENCH_APPS, BENCH_SCALE, emit_table, render_table
+from repro.core import BackDroidConfig, run_batch
+from repro.workload.corpus import benchmark_app_spec
+
+STORE_APPS = int(
+    os.environ.get("REPRO_BENCH_STORE_APPS", str(min(BENCH_APPS, 24)))
+)
+
+
+def _config(store_dir: str, mode: str) -> BackDroidConfig:
+    return BackDroidConfig(
+        search_backend="indexed", store_dir=store_dir, store_mode=mode
+    )
+
+
+def run_warmstart(store_dir: str):
+    specs = [benchmark_app_spec(i, scale=BENCH_SCALE) for i in range(STORE_APPS)]
+    cold = run_batch(specs, _config(store_dir, "full"), executor="serial")
+    warm_index = run_batch(specs, _config(store_dir, "index"), executor="serial")
+    warm_full = run_batch(specs, _config(store_dir, "full"), executor="serial")
+    return cold, warm_index, warm_full
+
+
+def test_store_warmstart(benchmark):
+    with tempfile.TemporaryDirectory(prefix="bdstore-bench-") as store_dir:
+        cold, warm_index, warm_full = benchmark.pedantic(
+            run_warmstart, args=(store_dir,), rounds=1, iterations=1
+        )
+
+    assert not cold.failures and not warm_index.failures and not warm_full.failures
+    assert cold.store_hits == 0
+    assert all(o.index_restored for o in warm_index.analyzed)
+    assert warm_index.store_hits == 0  # index mode never reuses outcomes
+    assert warm_full.store_hits == STORE_APPS
+    assert [o.findings for o in warm_full.outcomes] == \
+        [o.findings for o in cold.outcomes]
+
+    rows = []
+    for c, wi, wf in zip(cold.outcomes, warm_index.outcomes, warm_full.outcomes):
+        rows.append(
+            [
+                c.package,
+                f"{c.seconds * 1e3:.1f}",
+                f"{wi.seconds * 1e3:.1f}",
+                f"{wf.seconds * 1e3:.1f}",
+                f"{c.seconds / wf.seconds:.0f}x" if wf.seconds else "-",
+            ]
+        )
+
+    cold_s = cold.total_analysis_seconds
+    index_s = warm_index.total_analysis_seconds
+    full_s = warm_full.total_analysis_seconds
+    speedup_full = cold_s / full_s if full_s else float("inf")
+    speedup_index = cold_s / index_s if index_s else float("inf")
+    summary = (
+        f"\naggregate index-build + analysis time: cold {cold_s:.3f}s, "
+        f"warm/index {index_s:.3f}s ({speedup_index:.2f}x), "
+        f"warm/full {full_s:.3f}s ({speedup_full:.1f}x); "
+        f"{warm_index.index_restores} restored index(es), "
+        f"{warm_full.store_hits} outcome hit(s)"
+    )
+    emit_table(
+        "store_warmstart",
+        render_table(
+            f"Warm-start store over {STORE_APPS} Fig. 7 apps "
+            f"(scale {BENCH_SCALE})",
+            ["App", "Cold(ms)", "Warm-index(ms)", "Warm-full(ms)", "Speedup"],
+            rows,
+        )
+        + summary,
+    )
+
+    assert speedup_full >= 2.0, (
+        f"a full-mode warm batch run must be >= 2x faster than the cold "
+        f"run on aggregate index-build + analysis time, got "
+        f"{speedup_full:.2f}x"
+    )
+    assert speedup_index >= 2.0, (
+        f"an index-mode warm batch run (restore the posting lists, "
+        f"re-run the analysis) must be >= 2x faster than the cold run, "
+        f"got {speedup_index:.2f}x"
+    )

@@ -15,6 +15,10 @@ Commands::
     backdroid corpus --year 2018 --count 1000
     backdroid batch bench:0..20 --backend indexed --workers 8
     backdroid batch --year 2016 --count 24 --scale 0.2
+    backdroid batch bench:0..50 --store .bdstore --store-mode full
+    backdroid store warm bench:0..50 --store .bdstore
+    backdroid store stats --store .bdstore
+    backdroid store gc --store .bdstore --max-age-hours 48
     backdroid inventory bench:3
 """
 
@@ -27,9 +31,11 @@ from typing import Optional
 
 from repro.android.apk import Apk
 from repro.baseline import AmandroidConfig, AmandroidStyleAnalyzer
-from repro.core import BackDroid, BackDroidConfig, run_batch
-from repro.core.batch import EXECUTORS
+from repro.core import STORE_MODES, BackDroid, BackDroidConfig, run_batch
+from repro.core.batch import EXECUTORS, analyze_spec
 from repro.search.backends import BACKENDS, DEFAULT_BACKEND
+from repro.search.backends.indexed import TokenIndex
+from repro.store import ArtifactStore
 from repro.workload.corpus import (
     benchmark_app_spec,
     sample_year_corpus,
@@ -83,6 +89,8 @@ def cmd_analyze(args) -> int:
         check_class_hierarchy_in_initial_search=args.hierarchy_fix,
         collect_ssg_dumps=args.dump_ssg,
         search_backend=args.backend,
+        store_dir=args.store,
+        store_mode=args.store_mode,
     )
     report = BackDroid(config).analyze(apk)
     print(report.to_text())
@@ -154,7 +162,8 @@ def _parse_batch_spec(spec: str) -> list[int]:
     return [_bench_index(spec)]
 
 
-def cmd_batch(args) -> int:
+def _collect_specs(args) -> list[AppSpec]:
+    """The app recipes a batch-shaped command line names."""
     specs: list[AppSpec] = []
     for spec in args.apps:
         specs.extend(
@@ -171,6 +180,11 @@ def cmd_batch(args) -> int:
             "nothing to analyze: pass bench:<start>..<end> specs and/or "
             "--year/--count"
         )
+    return specs
+
+
+def cmd_batch(args) -> int:
+    specs = _collect_specs(args)
     if args.cache_max is not None and args.cache_max < 1:
         raise SystemExit("--cache-max must be a positive integer")
     if args.workers is not None and args.workers < 1:
@@ -179,6 +193,8 @@ def cmd_batch(args) -> int:
         sink_rules=_rules(args),
         search_backend=args.backend,
         search_cache_max_entries=args.cache_max,
+        store_dir=args.store,
+        store_mode=args.store_mode,
     )
     result = run_batch(
         specs,
@@ -188,6 +204,56 @@ def cmd_batch(args) -> int:
     )
     print(result.render())
     return 2 if result.failures else 0
+
+
+def _require_store(args) -> ArtifactStore:
+    if not args.store:
+        raise SystemExit("a store directory is required: pass --store DIR")
+    return ArtifactStore(args.store)
+
+
+def cmd_store(args) -> int:
+    if args.action == "stats":
+        print(_require_store(args).describe().render())
+        return 0
+
+    if args.action == "gc":
+        store = _require_store(args)
+        if args.max_age_hours < 0:
+            raise SystemExit("--max-age-hours must be >= 0")
+        removed, reclaimed = store.gc(args.max_age_hours * 3600.0)
+        print(f"removed {removed} entry(ies), reclaimed {reclaimed} bytes")
+        return 0
+
+    # warm: prebuild artifacts so later runs start hot.  "index" mode
+    # builds and persists each app's inverted index; "full" mode runs
+    # the whole analysis once so outcomes are reusable too.
+    store = _require_store(args)
+    specs = _collect_specs(args)
+    config = BackDroidConfig(
+        sink_rules=_rules(args),
+        search_backend="indexed",
+        store_dir=args.store,
+        store_mode=args.store_mode,
+    )
+    warmed = 0
+    for spec in specs:
+        if args.store_mode == "full":
+            outcome = analyze_spec(spec, config)
+            if outcome.ok:
+                warmed += 1
+            else:
+                print(f"{outcome.package}: ERROR: {outcome.error}")
+        else:
+            apk = generate_app(spec).apk
+            if store.load_index(apk.disassembly) is None:
+                store.save_index(
+                    apk.disassembly, TokenIndex.for_disassembly(apk.disassembly)
+                )
+            warmed += 1
+    print(f"warmed {warmed}/{len(specs)} app(s) into {args.store} "
+          f"(mode: {args.store_mode})")
+    return 0
 
 
 def cmd_inventory(args) -> int:
@@ -218,6 +284,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="bytecode search backend (default: %(default)s)",
         )
 
+    def add_store_flags(p) -> None:
+        p.add_argument(
+            "--store", default=None, metavar="DIR",
+            help="persistent warm-start artifact store directory",
+        )
+        p.add_argument(
+            "--store-mode", choices=STORE_MODES, default="index",
+            help="what warm entries may replace: the inverted index only, "
+            "or finished per-app outcomes too (default: %(default)s)",
+        )
+
     analyze = sub.add_parser("analyze", help="run BackDroid on an app")
     analyze.add_argument("app")
     analyze.add_argument("--rules", default="",
@@ -226,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="enable the class-hierarchy initial-search fix")
     analyze.add_argument("--dump-ssg", action="store_true")
     add_backend_flag(analyze)
+    add_store_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     compare = sub.add_parser("compare", help="BackDroid vs whole-app baseline")
@@ -255,7 +333,43 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--cache-max", type=int, default=None,
                        help="LRU bound for the per-app search command cache")
     add_backend_flag(batch)
+    add_store_flags(batch)
     batch.set_defaults(func=cmd_batch)
+
+    store = sub.add_parser(
+        "store", help="manage the warm-start artifact store"
+    )
+    store_sub = store.add_subparsers(dest="action", required=True)
+
+    warm = store_sub.add_parser(
+        "warm", help="prebuild artifacts for a corpus so later runs start hot"
+    )
+    warm.add_argument(
+        "apps", nargs="*",
+        help="bench:<index> or bench:<start>..<end> specs (half-open range)",
+    )
+    warm.add_argument("--year", type=int, default=None,
+                      help="also warm a generated Table-I year sample")
+    warm.add_argument("--count", type=int, default=20,
+                      help="apps in the --year sample (default: 20)")
+    warm.add_argument("--scale", type=float, default=1.0,
+                      help="bulk-code scale factor (default: 1.0)")
+    warm.add_argument("--rules", default="")
+    add_store_flags(warm)
+    warm.set_defaults(func=cmd_store)
+
+    stats = store_sub.add_parser("stats", help="describe the store contents")
+    stats.add_argument("--store", default=None, metavar="DIR")
+    stats.set_defaults(func=cmd_store)
+
+    gc = store_sub.add_parser("gc", help="drop stale store entries")
+    gc.add_argument("--store", default=None, metavar="DIR")
+    gc.add_argument(
+        "--max-age-hours", type=float, default=0.0,
+        help="keep entries newer than this many hours (default: 0, "
+        "i.e. clear everything)",
+    )
+    gc.set_defaults(func=cmd_store)
 
     corpus = sub.add_parser("corpus", help="sample a Table-I year corpus")
     corpus.add_argument("--year", type=int, default=2018)

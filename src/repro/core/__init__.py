@@ -24,8 +24,14 @@ adjusts the traditional backward slicing and forward analysis:
   apps across a ``concurrent.futures`` worker pool.
 """
 
-from repro.core.backdroid import BackDroid, BackDroidConfig
-from repro.core.batch import AppOutcome, BatchResult, analyze_spec, run_batch
+from repro.core.backdroid import STORE_MODES, BackDroid, BackDroidConfig
+from repro.core.batch import (
+    AppOutcome,
+    BatchResult,
+    analyze_spec,
+    resolve_worker_count,
+    run_batch,
+)
 from repro.core.detectors import DETECTORS, Detector, Finding
 from repro.core.forward import ForwardPropagation
 from repro.core.per_app import PerAppSSG, build_per_app_ssg
@@ -51,7 +57,9 @@ __all__ = [
     "BatchResult",
     "CallBinding",
     "analyze_spec",
+    "resolve_worker_count",
     "run_batch",
+    "STORE_MODES",
     "ConstFact",
     "DETECTORS",
     "Detector",

@@ -15,6 +15,7 @@ already proven unreachable.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass
 from typing import Optional
@@ -30,6 +31,10 @@ from repro.search.basic import locate_call_sites
 from repro.search.caching import SearchCommandCache, SinkReachabilityCache
 from repro.search.engine import CallerResolutionEngine
 from repro.search.loops import LoopDetector
+from repro.store import ArtifactStore
+
+#: Selectable warm-start reuse levels (``BackDroidConfig.store_mode``).
+STORE_MODES = ("index", "full")
 
 
 @dataclass
@@ -59,11 +64,56 @@ class BackDroidConfig:
     max_frames: int = 4000
     #: Attach full SSG dumps to the report notes.
     collect_ssg_dumps: bool = False
+    #: Root of the persistent warm-start artifact store (None = off).
+    #: A plain path string so configs stay picklable across pool workers.
+    store_dir: Optional[str] = None
+    #: What a warm store entry may replace: ``"index"`` restores the
+    #: inverted index only; ``"full"`` additionally serves finished
+    #: per-app outcomes in batch runs, skipping re-analysis entirely.
+    store_mode: str = "index"
 
     def sink_specs(self) -> tuple[SinkSpec, ...]:
         if self.sinks is not None:
             return self.sinks
         return sinks_for_rules(self.sink_rules)
+
+    # ------------------------------------------------------------------
+    def artifact_store(self) -> Optional[ArtifactStore]:
+        """A fresh store handle for this config, or None when disabled."""
+        if self.store_dir is None:
+            return None
+        if self.store_mode not in STORE_MODES:
+            raise ValueError(
+                f"unknown store mode {self.store_mode!r}: "
+                f"choose from {STORE_MODES}"
+            )
+        return ArtifactStore(self.store_dir)
+
+    def store_fingerprint(self) -> str:
+        """A stable digest of every analysis-affecting knob.
+
+        Stored outcomes are only reusable under the exact configuration
+        that produced them; anything altering findings, per-sink
+        verdicts or the reported backend/cache statistics must feed
+        this hash.
+        """
+        parts = (
+            repr(tuple(sorted(self.sink_rules))),
+            repr(
+                tuple(
+                    (s.rule, s.key, s.tracked_params) for s in self.sinks
+                )
+                if self.sinks is not None
+                else None
+            ),
+            repr(self.check_class_hierarchy_in_initial_search),
+            repr(self.max_frames),
+            repr(self.search_backend),
+            repr(self.enable_search_cache),
+            repr(self.enable_sink_cache),
+            repr(self.search_cache_max_entries),
+        )
+        return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
 
 
 class BackDroid:
@@ -83,7 +133,11 @@ class BackDroid:
         )
         loops = LoopDetector()
         engine = CallerResolutionEngine(
-            apk, cache=cache, loops=loops, backend=self.config.search_backend
+            apk,
+            cache=cache,
+            loops=loops,
+            backend=self.config.search_backend,
+            store=self.config.artifact_store(),
         )
         slicer = BackwardSlicer(apk, engine=engine, max_frames=self.config.max_frames)
         sink_cache = SinkReachabilityCache()

@@ -17,6 +17,8 @@ mirroring how the paper's corpus runs tolerate per-app analyzer errors
 
 from __future__ import annotations
 
+import dataclasses
+import os
 import statistics
 import time
 from concurrent.futures import (
@@ -49,6 +51,12 @@ class AppOutcome:
     search_cache_evictions: int = 0
     sink_cache_rate: float = 0.0
     backend: str = "linear"
+    #: Served whole from the warm-start store (``seconds`` is then the
+    #: restore time, not an analysis time).
+    store_hit: bool = False
+    #: The indexed backend restored its posting lists instead of folding
+    #: the token stream.
+    index_restored: bool = False
     error: Optional[str] = None
 
     @property
@@ -64,15 +72,62 @@ class AppOutcome:
         return bool(self.findings)
 
 
+def _outcome_payload(outcome: AppOutcome) -> dict:
+    """A JSON-able snapshot of one outcome for the artifact store."""
+    payload = dataclasses.asdict(outcome)
+    payload["findings"] = [list(f) for f in outcome.findings]
+    return payload
+
+
+def _outcome_from_payload(payload: dict) -> AppOutcome:
+    """Rebuild an outcome from its stored snapshot (raises on mismatch)."""
+    names = {f.name for f in dataclasses.fields(AppOutcome)}
+    if not names.issuperset(payload):
+        raise ValueError("unknown outcome fields in store payload")
+    kwargs = dict(payload)
+    kwargs["findings"] = tuple(
+        (str(rule), str(cls)) for rule, cls in payload.get("findings", ())
+    )
+    return AppOutcome(**kwargs)
+
+
 def analyze_spec(
     spec: AppSpec, config: Optional[BackDroidConfig] = None
 ) -> AppOutcome:
-    """Generate and analyze one app; never raises (errors are captured)."""
+    """Generate and analyze one app; never raises (errors are captured).
+
+    With a ``"full"``-mode store configured, a finished outcome for the
+    same bytecode and config is restored instead of re-analyzed; the
+    returned outcome then has ``store_hit`` set and reports the restore
+    time as its ``seconds``.
+    """
     config = config if config is not None else BackDroidConfig()
     try:
         apk = generate_app(spec).apk
+        # Render the plaintext up front: preprocessing is paid identically
+        # by cold and warm paths, so neither the restore time below nor
+        # the analysis time should include it.
+        apk.disassembly
+        started = time.perf_counter()
+        store = config.artifact_store()
+        reuse_outcomes = store is not None and config.store_mode == "full"
+        if reuse_outcomes:
+            payload = store.load_outcome(
+                apk.disassembly, config.store_fingerprint()
+            )
+            if payload is not None:
+                try:
+                    restored = _outcome_from_payload(payload)
+                except (TypeError, ValueError):
+                    pass  # corrupt snapshot: fall through to re-analysis
+                else:
+                    return dataclasses.replace(
+                        restored,
+                        seconds=time.perf_counter() - started,
+                        store_hit=True,
+                    )
         report = BackDroid(config).analyze(apk)
-        return AppOutcome(
+        outcome = AppOutcome(
             package=apk.package,
             seconds=report.analysis_seconds,
             method_count=apk.method_count(),
@@ -85,7 +140,17 @@ def analyze_spec(
             search_cache_evictions=report.search_cache_evictions,
             sink_cache_rate=report.sink_cache_rate,
             backend=report.search_backend,
+            index_restored=bool(
+                report.backend_stats.get("index_restored", False)
+            ),
         )
+        if reuse_outcomes:
+            store.save_outcome(
+                apk.disassembly,
+                config.store_fingerprint(),
+                _outcome_payload(outcome),
+            )
+        return outcome
     except Exception as exc:  # noqa: BLE001 - batch isolation by design
         return AppOutcome(
             package=spec.package, error=f"{type(exc).__name__}: {exc}"
@@ -101,6 +166,9 @@ class BatchResult:
     workers: int = 1
     executor: str = "thread"
     backend: str = "linear"
+    #: Whether a warm-start store was configured for this run (hit/miss
+    #: lines are only rendered when it was).
+    store_enabled: bool = False
 
     # ------------------------------------------------------------------
     @property
@@ -156,6 +224,25 @@ class BatchResult:
         )
 
     @property
+    def store_hits(self) -> int:
+        """Apps whose finished outcome was served from the warm store."""
+        return sum(1 for o in self.analyzed if o.store_hit)
+
+    @property
+    def store_misses(self) -> int:
+        return len(self.analyzed) - self.store_hits
+
+    @property
+    def warm_hit_rate(self) -> float:
+        rows = self.analyzed
+        return self.store_hits / len(rows) if rows else 0.0
+
+    @property
+    def index_restores(self) -> int:
+        """Apps whose inverted index was restored instead of rebuilt."""
+        return sum(1 for o in self.analyzed if o.index_restored)
+
+    @property
     def speedup_over_serial(self) -> float:
         """Summed per-app time / wall time — the pool's effective overlap."""
         return (
@@ -173,10 +260,11 @@ class BatchResult:
         ]
         for o in self.outcomes:
             if o.ok:
+                warm = "  [warm]" if o.store_hit else ""
                 lines.append(
                     f"{o.package:34}  {o.method_count:7d}  {o.sink_count:5d}  "
                     f"{o.reachable_sinks:5d}  {o.finding_count:5d}  "
-                    f"{o.seconds:8.3f}  {o.search_cache_rate:6.1%}"
+                    f"{o.seconds:8.3f}  {o.search_cache_rate:6.1%}{warm}"
                 )
             else:
                 lines.append(f"{o.package:34}  ERROR: {o.error}")
@@ -204,6 +292,13 @@ class BatchResult:
             f"{self.vulnerable_apps} vulnerable app(s), "
             f"{self.total_sinks} sinks analyzed"
         )
+        if self.store_enabled:
+            lines.append(
+                f"  store          : {self.store_hits} hit(s) / "
+                f"{self.store_misses} miss(es) "
+                f"({self.warm_hit_rate:.0%} warm), "
+                f"{self.index_restores} restored index(es)"
+            )
         return "\n".join(lines)
 
 
@@ -213,6 +308,29 @@ def _make_executor(kind: str, max_workers: Optional[int]) -> Executor:
     if kind == "process":
         return ProcessPoolExecutor(max_workers=max_workers)
     raise ValueError(f"unknown executor {kind!r}: choose from {EXECUTORS}")
+
+
+def resolve_worker_count(
+    executor: str, max_workers: Optional[int] = None
+) -> int:
+    """The pool size a run will use, computed from public inputs.
+
+    Mirrors the ``concurrent.futures`` documented defaults instead of
+    poking the executor's private ``_max_workers`` attribute.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}: choose from {EXECUTORS}"
+        )
+    if executor == "serial":
+        return 1
+    if max_workers is not None:
+        return max_workers
+    cpus = os.cpu_count() or 1
+    if executor == "thread":
+        # ThreadPoolExecutor's documented default since Python 3.8.
+        return min(32, cpus + 4)
+    return cpus
 
 
 def run_batch(
@@ -232,16 +350,15 @@ def run_batch(
     config = config if config is not None else BackDroidConfig()
     started = time.perf_counter()
     outcomes: list[Optional[AppOutcome]] = [None] * len(specs)
+    workers = resolve_worker_count(executor, max_workers)
 
     if executor == "serial":
-        workers = 1
         for i, spec in enumerate(specs):
             outcomes[i] = analyze_spec(spec, config)
             if progress is not None:
                 progress(outcomes[i])
     else:
         with _make_executor(executor, max_workers) as pool:
-            workers = getattr(pool, "_max_workers", max_workers or 1)
             futures = {
                 pool.submit(analyze_spec, spec, config): i
                 for i, spec in enumerate(specs)
@@ -267,4 +384,5 @@ def run_batch(
         workers=workers,
         executor=executor,
         backend=config.search_backend,
+        store_enabled=config.store_dir is not None,
     )

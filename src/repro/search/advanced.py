@@ -51,7 +51,7 @@ from repro.dex.instructions import (
 from repro.dex.types import FieldSignature, MethodSignature
 from repro.search.basic import basic_search
 from repro.search.common import CallChainLink, ResolvedCaller
-from repro.search.index import BytecodeSearcher
+from repro.search.index import BytecodeSearcher, instruction_opcode
 from repro.search.loops import LoopDetector
 
 
@@ -220,7 +220,8 @@ class ForwardObjectTaint:
         for hit in self.searcher.find_field_accesses(fieldsig):
             if hit.method is None or hit.stmt_index is None:
                 continue
-            if "iget" not in hit.line and "sget" not in hit.line:
+            opcode = instruction_opcode(hit.line)
+            if not opcode or not opcode.startswith(("iget", "sget")):
                 continue
             if self.loops.check_forward(path, hit.method):
                 continue

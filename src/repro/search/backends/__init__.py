@@ -31,8 +31,14 @@ DEFAULT_BACKEND = LinearScanBackend.name
 BackendSpec = Union[str, SearchBackend, Type[SearchBackend], None]
 
 
-def create_backend(spec: BackendSpec, disassembly: Disassembly) -> SearchBackend:
-    """Resolve a backend spec (name, instance, class or None) for an app."""
+def create_backend(
+    spec: BackendSpec, disassembly: Disassembly, store=None
+) -> SearchBackend:
+    """Resolve a backend spec (name, instance, class or None) for an app.
+
+    ``store`` is an optional warm-start artifact store handed to freshly
+    constructed backends (pre-built instances keep their own).
+    """
     if spec is None:
         spec = DEFAULT_BACKEND
     if isinstance(spec, SearchBackend):
@@ -42,10 +48,10 @@ def create_backend(spec: BackendSpec, disassembly: Disassembly) -> SearchBackend
             )
         return spec
     if isinstance(spec, type) and issubclass(spec, SearchBackend):
-        return spec(disassembly)
+        return spec(disassembly, store=store)
     if isinstance(spec, str):
         try:
-            return BACKENDS[spec](disassembly)
+            return BACKENDS[spec](disassembly, store=store)
         except KeyError:
             raise ValueError(
                 f"unknown search backend {spec!r}: "

@@ -37,6 +37,9 @@ class BackendStats:
     #: full text scan (always 0 for the linear backend).
     fallbacks: int = 0
     index_build_seconds: float = 0.0
+    #: True when the index was restored from the artifact store instead
+    #: of being built (always False for the linear backend).
+    index_restored: bool = False
     vocab_size: int = 0
     posting_entries: int = 0
 
@@ -51,6 +54,7 @@ class BackendStats:
             "token_queries": self.token_queries,
             "fallbacks": self.fallbacks,
             "index_build_seconds": self.index_build_seconds,
+            "index_restored": self.index_restored,
             "vocab_size": self.vocab_size,
             "posting_entries": self.posting_entries,
         }
@@ -115,8 +119,12 @@ class SearchBackend(abc.ABC):
     #: Registry key and display name.
     name: ClassVar[str] = "abstract"
 
-    def __init__(self, disassembly: Disassembly) -> None:
+    def __init__(self, disassembly: Disassembly, store=None) -> None:
         self.disassembly = disassembly
+        #: Optional warm-start artifact store (duck-typed to avoid a
+        #: dependency cycle; see :mod:`repro.store`).  Only backends with
+        #: persistable build products use it.
+        self.store = store
         self.stats = BackendStats()
 
     # ------------------------------------------------------------------

@@ -43,6 +43,7 @@ class TokenIndex:
 
     def __init__(self, disassembly: Disassembly) -> None:
         started = time.perf_counter()
+        self.restored = False
         self.vocab: list[str] = []
         self.postings: list[list[int]] = []
         self.exact: dict[str, int] = {}
@@ -81,6 +82,46 @@ class TokenIndex:
             cached = cls(disassembly)
             disassembly._token_index_cache = cached
         return cached
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TokenIndex":
+        """Rebuild an index from its serialized posting lists.
+
+        The inverse of the artifact store's ``save_index`` payload: no
+        token-stream fold, no containment-key derivation — the restored
+        index is query-ready immediately and reports ``build_seconds ==
+        0.0``.  Raises ``KeyError``/``TypeError``/``ValueError`` on any
+        shape mismatch so the store can treat the entry as corrupt.
+        """
+        index = cls.__new__(cls)
+        index.restored = True
+        index.vocab = [str(text) for text in payload["vocab"]]
+        index.postings = [
+            [int(line_no) for line_no in posting]
+            for posting in payload["postings"]
+        ]
+        if len(index.postings) != len(index.vocab):
+            raise ValueError("postings/vocab length mismatch")
+        index.exact = {text: tid for tid, text in enumerate(index.vocab)}
+        valid = range(len(index.vocab))
+        index._string_ids = [int(tid) for tid in payload["string_ids"]]
+        index.containing = {
+            str(sub): [int(tid) for tid in tids]
+            for sub, tids in payload["containing"].items()
+        }
+        for tid in index._string_ids:
+            if tid not in valid:
+                raise ValueError("string id out of range")
+        for tids in index.containing.values():
+            for tid in tids:
+                if tid not in valid:
+                    raise ValueError("containment id out of range")
+        index._joined_vocab = None
+        index._joined_strings = None
+        index.posting_entries = sum(len(p) for p in index.postings)
+        index.build_seconds = 0.0
+        return index
 
     # ------------------------------------------------------------------
     def token_lines(self, needle: str) -> list[int]:
@@ -192,12 +233,18 @@ def _containment_keys(token: str):
 
 
 class InvertedIndexBackend(SearchBackend):
-    """Dict-lookup token queries over the prebuilt :class:`TokenIndex`."""
+    """Dict-lookup token queries over the prebuilt :class:`TokenIndex`.
+
+    With an artifact ``store`` attached, the index is restored from disk
+    when a warm entry exists for this disassembly (``index_build_seconds
+    == 0.0``, ``index_restored`` set in the stats) and saved back after
+    a cold build, so later runs over the same bytecode skip the fold.
+    """
 
     name = "indexed"
 
-    def __init__(self, disassembly: Disassembly) -> None:
-        super().__init__(disassembly)
+    def __init__(self, disassembly: Disassembly, store=None) -> None:
+        super().__init__(disassembly, store=store)
         self._index: Optional[TokenIndex] = None
         self._fallback: Optional[JoinedText] = None
 
@@ -216,10 +263,21 @@ class InvertedIndexBackend(SearchBackend):
                     "repro.dex.disassembler.disassemble (use the linear "
                     "backend otherwise)"
                 )
-            self._index = TokenIndex.for_disassembly(self.disassembly)
-            self.stats.index_build_seconds = self._index.build_seconds
-            self.stats.vocab_size = len(self._index.vocab)
-            self.stats.posting_entries = self._index.posting_entries
+            index = getattr(self.disassembly, "_token_index_cache", None)
+            if index is None and self.store is not None:
+                index = self.store.load_index(self.disassembly)
+                if index is not None:
+                    # Share the restored index with sibling searchers.
+                    self.disassembly._token_index_cache = index
+            if index is None:
+                index = TokenIndex.for_disassembly(self.disassembly)
+                if self.store is not None:
+                    self.store.save_index(self.disassembly, index)
+            self._index = index
+            self.stats.index_build_seconds = index.build_seconds
+            self.stats.index_restored = index.restored
+            self.stats.vocab_size = len(index.vocab)
+            self.stats.posting_entries = index.posting_entries
         return self._index
 
     # ------------------------------------------------------------------

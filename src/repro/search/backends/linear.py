@@ -17,8 +17,8 @@ class LinearScanBackend(SearchBackend):
 
     name = "linear"
 
-    def __init__(self, disassembly: Disassembly) -> None:
-        super().__init__(disassembly)
+    def __init__(self, disassembly: Disassembly, store=None) -> None:
+        super().__init__(disassembly, store=store)
         self.joined = JoinedText.for_disassembly(disassembly)
 
     # ------------------------------------------------------------------

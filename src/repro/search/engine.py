@@ -46,6 +46,7 @@ class CallerResolutionEngine:
         cache: Optional[SearchCommandCache] = None,
         loops: Optional[LoopDetector] = None,
         backend: BackendSpec = None,
+        store=None,
     ) -> None:
         self.apk = apk
         self.pool = apk.full_pool
@@ -53,7 +54,7 @@ class CallerResolutionEngine:
         self.cache = cache if cache is not None else SearchCommandCache()
         self.loops = loops if loops is not None else LoopDetector()
         self.searcher = BytecodeSearcher(
-            apk.disassembly, cache=self.cache, backend=backend
+            apk.disassembly, cache=self.cache, backend=backend, store=store
         )
 
     # ------------------------------------------------------------------

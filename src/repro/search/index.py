@@ -43,6 +43,25 @@ class SearchHit:
     stmt_index: Optional[int]
 
 
+#: The mnemonic slot of a rendered instruction line: address, 24-column
+#: gutter, ``|`` and the code offset, then the opcode.  Method-header
+#: lines use ``|[addr]`` instead of ``|off:`` and never match.  The
+#: renderer's ``:06x``/``:04x`` widths are minimums that widen on huge
+#: apps, hence ``{6,}``/``{4,}``.
+_INSN_OPCODE_RE = re.compile(r"^[0-9a-f]{6,}: +\|[0-9a-f]{4,}: (\S+)")
+
+
+def instruction_opcode(line: str) -> Optional[str]:
+    """The mnemonic of a rendered instruction line, or None.
+
+    Opcode filters must inspect this slot rather than substring-match the
+    whole line: a ``const-string`` whose value embeds ``invoke-`` or a
+    dex signature would otherwise pass for a call site.
+    """
+    match = _INSN_OPCODE_RE.match(line)
+    return match.group(1) if match else None
+
+
 class BytecodeSearcher:
     """Searches one app's disassembled plaintext, with command caching."""
 
@@ -51,10 +70,11 @@ class BytecodeSearcher:
         disassembly: Disassembly,
         cache: Optional[SearchCommandCache] = None,
         backend: BackendSpec = None,
+        store=None,
     ):
         self.disassembly = disassembly
         self.cache = cache if cache is not None else SearchCommandCache()
-        self.backend = create_backend(backend, disassembly)
+        self.backend = create_backend(backend, disassembly, store=store)
 
     # ------------------------------------------------------------------
     # Core primitives
@@ -108,13 +128,19 @@ class BytecodeSearcher:
     def find_invocations(self, callee: MethodSignature) -> list[SearchHit]:
         """Invocation sites of a method signature (Fig. 3, step 1).
 
-        The needle is the full dexdump signature; only ``invoke-*`` lines
-        qualify (the same signature also appears in its own method
-        header, which must not count as a call site).
+        The needle is the full dexdump signature; only lines whose
+        *mnemonic* is ``invoke-*`` qualify — the same signature also
+        appears in its own method header (not a call site) and can be
+        embedded verbatim in a string literal, whose line would pass a
+        naive ``"invoke-" in line`` substring check.
         """
         needle = callee.to_dex()
         hits = self._search_token(needle, kind="caller-method")
-        return [h for h in hits if "invoke-" in h.line]
+        return [
+            h
+            for h in hits
+            if (op := instruction_opcode(h.line)) and op.startswith("invoke-")
+        ]
 
     def find_field_accesses(
         self, fieldsig: FieldSignature, writes_only: bool = False
@@ -122,21 +148,18 @@ class BytecodeSearcher:
         """Field access sites (the slicer's static-field search, Sec. V-A)."""
         needle = fieldsig.to_dex()
         hits = self._search_token(needle, kind="field")
-        accesses = [
+        ops = ("iput", "sput") if writes_only else ("iget", "iput", "sget", "sput")
+        return [
             h
             for h in hits
-            if any(op in h.line for op in ("iget", "iput", "sget", "sput"))
+            if (op := instruction_opcode(h.line)) and op.startswith(ops)
         ]
-        if writes_only:
-            accesses = [h for h in accesses if "iput" in h.line or "sput" in h.line]
-        return accesses
 
     def find_const_class(self, class_name: str) -> list[SearchHit]:
         """``const-class`` mentions of a class (explicit-ICC parameters)."""
-        marker = "const-class"
         descriptor = java_to_dex_type(class_name)
         hits = self._search_token(descriptor, kind="invoked-class")
-        return [h for h in hits if marker in h.line]
+        return [h for h in hits if instruction_opcode(h.line) == "const-class"]
 
     def find_const_string(self, value: str) -> list[SearchHit]:
         """``const-string`` mentions of a literal (implicit-ICC actions).
@@ -145,9 +168,8 @@ class BytecodeSearcher:
         so regex metacharacters (``.*+?()[]`` and friends, common in
         intent actions) need no escaping and cannot mis-match.
         """
-        marker = "const-string"
         hits = self._search_token(f'"{value}"', kind="raw")
-        return [h for h in hits if marker in h.line]
+        return [h for h in hits if instruction_opcode(h.line) == "const-string"]
 
     def find_invocations_by_name(
         self, method_name: str, param_blob: Optional[str] = None
@@ -161,7 +183,12 @@ class BytecodeSearcher:
         """
         params = re.escape(param_blob) if param_blob is not None else "[^)]*"
         pattern = rf"invoke-[a-z]+ \{{[^}}]*\}}, L[^;]+;\.{re.escape(method_name)}:\({params}\)"
-        return self.search_pattern(pattern, kind="caller-method")
+        hits = self.search_pattern(pattern, kind="caller-method")
+        return [
+            h
+            for h in hits
+            if (op := instruction_opcode(h.line)) and op.startswith("invoke-")
+        ]
 
     def classes_mentioning(self, class_name: str) -> set[str]:
         """Names of classes whose bytecode text mentions *class_name*.
@@ -184,21 +211,36 @@ class BytecodeSearcher:
         return users
 
     def subclass_header_mentions(self, class_name: str) -> set[str]:
-        """Classes whose *header* (superclass/interfaces) names the class."""
+        """Classes whose *header* (superclass/interfaces) names the class.
+
+        Each hit is attributed independently: a hit whose enclosing
+        class-descriptor line is missing or unparseable contributes
+        nothing.  (The attribution previously leaked across hits through
+        a loop-carried ``current_class``, so such a hit inherited the
+        *previous* hit's class.)
+        """
         descriptor = f"'{java_to_dex_type(class_name)}'"
         hits = self._search_token(descriptor, kind="invoked-class")
         users: set[str] = set()
-        current_class: Optional[str] = None
         for hit in hits:
             if "Superclass" in hit.line or ": '" in hit.line:
-                # Walk back to the nearest class-descriptor line.
-                for line_no in range(hit.line_no, -1, -1):
-                    line = self.disassembly.lines[line_no]
-                    if "Class descriptor" in line:
-                        match = re.search(r"'L([^;]+);'", line)
-                        if match:
-                            current_class = match.group(1).replace("/", ".")
-                        break
-                if current_class and current_class != class_name:
-                    users.add(current_class)
+                owner = self._owning_class_of(hit.line_no)
+                if owner and owner != class_name:
+                    users.add(owner)
         return users
+
+    def _owning_class_of(self, line_no: int) -> Optional[str]:
+        """The class of the nearest ``Class descriptor`` header above.
+
+        None when no descriptor line precedes *line_no* or the nearest
+        one cannot be parsed — never a value carried over from another
+        hit.
+        """
+        for prior in range(line_no, -1, -1):
+            line = self.disassembly.lines[prior]
+            if "Class descriptor" in line:
+                match = re.search(r"'L([^;]+);'", line)
+                if match:
+                    return match.group(1).replace("/", ".")
+                return None
+        return None

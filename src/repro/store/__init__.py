@@ -1,0 +1,24 @@
+"""Persistent warm-start artifacts for corpus batch runs.
+
+* :mod:`repro.store.artifacts` — the content-addressed on-disk
+  :class:`ArtifactStore`: per-app token streams, inverted-index posting
+  lists and finished batch outcomes, keyed by a hash of the disassembly
+  plaintext plus a format version, with atomic (rename-published) writes
+  safe under the process-pool batch executor.
+"""
+
+from repro.store.artifacts import (
+    FORMAT_VERSION,
+    ArtifactStore,
+    StoreInventory,
+    StoreStats,
+    store_key,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "ArtifactStore",
+    "StoreInventory",
+    "StoreStats",
+    "store_key",
+]

@@ -1,0 +1,360 @@
+"""The content-addressed on-disk artifact store.
+
+Market-scale vetting re-analyzes the same corpus again and again
+(new sink rules, new detector versions, re-runs after crashes), yet the
+per-app preprocessing — disassembly tokenization and the inverted-index
+posting lists — is identical across runs as long as the app's bytecode
+is unchanged.  This store persists those artifacts on disk, keyed by a
+hash of the disassembly plaintext plus a format version, so a second
+batch run over an unchanged corpus restores each app's index instead of
+rebuilding it, and (in ``"full"`` mode) restores the finished per-app
+outcome instead of re-analyzing.
+
+Layout (one directory per app key)::
+
+    <root>/objects/<key[:2]>/<key>/
+        tokens.json             the disassembler's per-line token stream
+        index.json              the InvertedIndexBackend posting lists
+        outcome-<config>.json   one finished batch outcome per config
+
+Concurrency: batch runs write from many pool processes at once.  Every
+write goes to a same-directory temp file first and is published with an
+atomic :func:`os.replace`, so concurrent readers only ever see absent or
+complete entries — never a torn file.  Duplicate writers race benignly
+(last rename wins; the content is identical by construction).
+
+Corruption and staleness are handled by treating every unreadable,
+version-mismatched or key-mismatched entry as a miss: the caller falls
+back to a fresh build and overwrites the entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.dex.disassembler import Disassembly, LineToken
+from repro.search.backends.indexed import TokenIndex
+
+#: Bump when any serialized artifact shape changes: the version feeds the
+#: content hash, so old entries become unreachable (and are additionally
+#: rejected by the per-payload version check, for entries written by a
+#: tampered or future store).
+FORMAT_VERSION = 1
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss counters for one store handle (one process's view)."""
+
+    index_hits: int = 0
+    index_misses: int = 0
+    token_hits: int = 0
+    token_misses: int = 0
+    outcome_hits: int = 0
+    outcome_misses: int = 0
+    writes: int = 0
+    #: Entries that existed but were unreadable or failed validation
+    #: (torn JSON, wrong version, key mismatch) and fell back to a miss.
+    corrupt_entries: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "index_hits": self.index_hits,
+            "index_misses": self.index_misses,
+            "token_hits": self.token_hits,
+            "token_misses": self.token_misses,
+            "outcome_hits": self.outcome_hits,
+            "outcome_misses": self.outcome_misses,
+            "writes": self.writes,
+            "corrupt_entries": self.corrupt_entries,
+        }
+
+
+@dataclass
+class StoreInventory:
+    """What ``describe`` reports: the on-disk shape of a store."""
+
+    root: str
+    entries: int = 0
+    files_by_kind: dict[str, int] = field(default_factory=dict)
+    total_bytes: int = 0
+
+    def render(self) -> str:
+        lines = [
+            f"store at {self.root}",
+            f"  entries     : {self.entries}",
+            f"  total bytes : {self.total_bytes}",
+        ]
+        for kind in sorted(self.files_by_kind):
+            lines.append(f"  {kind:11} : {self.files_by_kind[kind]} file(s)")
+        return "\n".join(lines)
+
+
+def store_key(disassembly: Disassembly) -> str:
+    """The content address of one app's disassembly (memoized).
+
+    Hashes every plaintext line plus the store format version, so any
+    bytecode change — or any change to the artifact shapes — yields a
+    different key and naturally invalidates stale entries.
+    """
+    cached = getattr(disassembly, "_store_key_cache", None)
+    if cached is None:
+        digest = hashlib.sha256()
+        digest.update(f"backdroid-store-v{FORMAT_VERSION}\n".encode())
+        for line in disassembly.lines:
+            digest.update(line.encode("utf-8", "surrogatepass"))
+            digest.update(b"\n")
+        cached = digest.hexdigest()
+        disassembly._store_key_cache = cached
+    return cached
+
+
+class ArtifactStore:
+    """A content-addressed warm-start store rooted at one directory.
+
+    Handles are cheap to construct and safe to build per process: all
+    state lives on disk, and every publish is an atomic rename.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def entry_dir(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / key
+
+    def _index_path(self, key: str) -> Path:
+        return self.entry_dir(key) / "index.json"
+
+    def _tokens_path(self, key: str) -> Path:
+        return self.entry_dir(key) / "tokens.json"
+
+    def _outcome_path(self, key: str, config_fingerprint: str) -> Path:
+        return self.entry_dir(key) / f"outcome-{config_fingerprint}.json"
+
+    # ------------------------------------------------------------------
+    # Raw I/O (atomic writes, torn-read tolerant reads)
+    # ------------------------------------------------------------------
+    def _write_json(self, path: Path, payload: dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    def _read_json(self, path: Path, key: str) -> Optional[dict]:
+        """A validated payload, or None for missing/corrupt/stale entries."""
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            return None
+        try:
+            payload = json.loads(raw)
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not an object")
+            if payload.get("version") != FORMAT_VERSION:
+                raise ValueError("format version mismatch")
+            if payload.get("key") != key:
+                raise ValueError("content key mismatch")
+        except ValueError:
+            self.stats.corrupt_entries += 1
+            return None
+        return payload
+
+    # ------------------------------------------------------------------
+    # Token-stream artifacts
+    # ------------------------------------------------------------------
+    def save_tokens(self, disassembly: Disassembly) -> None:
+        key = store_key(disassembly)
+        self._write_json(
+            self._tokens_path(key),
+            {
+                "version": FORMAT_VERSION,
+                "key": key,
+                "tokens": [
+                    [t.line_no, t.kind, t.text] for t in disassembly.tokens
+                ],
+            },
+        )
+
+    def load_tokens(self, disassembly: Disassembly) -> Optional[list[LineToken]]:
+        key = store_key(disassembly)
+        payload = self._read_json(self._tokens_path(key), key)
+        if payload is None:
+            self.stats.token_misses += 1
+            return None
+        try:
+            tokens = [
+                LineToken(int(line_no), str(kind), str(text))
+                for line_no, kind, text in payload["tokens"]
+            ]
+        except (KeyError, TypeError, ValueError):
+            self.stats.corrupt_entries += 1
+            self.stats.token_misses += 1
+            return None
+        self.stats.token_hits += 1
+        return tokens
+
+    # ------------------------------------------------------------------
+    # Inverted-index artifacts
+    # ------------------------------------------------------------------
+    def save_index(self, disassembly: Disassembly, index: TokenIndex) -> None:
+        """Persist the posting lists (and the token stream) for one app.
+
+        The token stream is not needed to *restore* the index
+        (``TokenIndex.from_payload`` is self-contained) but is the raw
+        input any future artifact consumer — incremental re-indexing,
+        cross-app shard dedup (see ROADMAP) — starts from, so it is
+        published alongside.
+        """
+        key = store_key(disassembly)
+        self.save_tokens(disassembly)
+        self._write_json(
+            self._index_path(key),
+            {
+                "version": FORMAT_VERSION,
+                "key": key,
+                "vocab": index.vocab,
+                "postings": index.postings,
+                "string_ids": index._string_ids,
+                "containing": index.containing,
+            },
+        )
+
+    def load_index(self, disassembly: Disassembly) -> Optional[TokenIndex]:
+        """Restore the posting lists for an unchanged app, or None.
+
+        The restored index answers every query byte-identically to a
+        fresh build (enforced by the backend-parity suite) and reports
+        ``build_seconds == 0.0`` / ``restored is True``.
+        """
+        key = store_key(disassembly)
+        payload = self._read_json(self._index_path(key), key)
+        if payload is None:
+            self.stats.index_misses += 1
+            return None
+        try:
+            index = TokenIndex.from_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            self.stats.corrupt_entries += 1
+            self.stats.index_misses += 1
+            return None
+        self.stats.index_hits += 1
+        return index
+
+    # ------------------------------------------------------------------
+    # Finished per-app outcomes (batch warm starts)
+    # ------------------------------------------------------------------
+    def save_outcome(
+        self, disassembly: Disassembly, config_fingerprint: str, outcome: dict
+    ) -> None:
+        """Persist one finished batch outcome (a plain JSON-able dict)."""
+        key = store_key(disassembly)
+        self._write_json(
+            self._outcome_path(key, config_fingerprint),
+            {
+                "version": FORMAT_VERSION,
+                "key": key,
+                "config": config_fingerprint,
+                "outcome": outcome,
+            },
+        )
+
+    def load_outcome(
+        self, disassembly: Disassembly, config_fingerprint: str
+    ) -> Optional[dict]:
+        key = store_key(disassembly)
+        payload = self._read_json(
+            self._outcome_path(key, config_fingerprint), key
+        )
+        if payload is None or payload.get("config") != config_fingerprint:
+            self.stats.outcome_misses += 1
+            return None
+        outcome = payload.get("outcome")
+        if not isinstance(outcome, dict):
+            self.stats.corrupt_entries += 1
+            self.stats.outcome_misses += 1
+            return None
+        self.stats.outcome_hits += 1
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Maintenance (the ``backdroid store`` subcommand)
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[Path]:
+        """Every entry directory currently published in the store."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return
+        for shard in sorted(objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.iterdir()):
+                if entry.is_dir():
+                    yield entry
+
+    def describe(self) -> StoreInventory:
+        inventory = StoreInventory(root=str(self.root))
+        for entry in self.entries():
+            inventory.entries += 1
+            try:
+                for artifact in entry.iterdir():
+                    if not artifact.is_file() or artifact.suffix == ".tmp":
+                        continue
+                    kind = artifact.name.split("-", 1)[0].split(".", 1)[0]
+                    inventory.files_by_kind[kind] = (
+                        inventory.files_by_kind.get(kind, 0) + 1
+                    )
+                    inventory.total_bytes += artifact.stat().st_size
+            except OSError:
+                # A concurrent gc swept the entry mid-walk; report what
+                # was still there.
+                continue
+        return inventory
+
+    def gc(self, max_age_seconds: float = 0.0) -> tuple[int, int]:
+        """Drop entries whose newest artifact is older than the cutoff.
+
+        ``max_age_seconds == 0`` clears the whole store.  Returns
+        ``(entries_removed, bytes_reclaimed)``.
+        """
+        cutoff = time.time() - max_age_seconds
+        removed = 0
+        reclaimed = 0
+        for entry in list(self.entries()):
+            try:
+                artifacts = [p for p in entry.iterdir() if p.is_file()]
+                newest = max(
+                    (p.stat().st_mtime for p in artifacts), default=0.0
+                )
+                if newest > cutoff:
+                    continue
+                reclaimed += sum(p.stat().st_size for p in artifacts)
+                shutil.rmtree(entry)
+                removed += 1
+            except OSError:
+                # A concurrent writer re-published the entry mid-sweep;
+                # leave it for the next collection.
+                continue
+        return removed, reclaimed

@@ -1,9 +1,16 @@
 """Tests for the corpus-scale batch driver."""
 
+import os
+
 import pytest
 
 from repro.core import BackDroidConfig, run_batch
-from repro.core.batch import AppOutcome, BatchResult, analyze_spec
+from repro.core.batch import (
+    AppOutcome,
+    BatchResult,
+    analyze_spec,
+    resolve_worker_count,
+)
 from repro.workload.corpus import benchmark_app_spec, year_app_spec
 from repro.workload.generator import AppSpec
 
@@ -114,3 +121,59 @@ class TestAggregates:
         outcome = analyze_spec(_specs(1)[0], config)
         assert outcome.ok
         assert outcome.search_cache_evictions > 0
+
+
+class TestWorkerCounts:
+    """The reported pool size comes from public inputs, not from the
+    executor's private ``_max_workers`` attribute."""
+
+    def test_explicit_workers_reported(self):
+        result = run_batch(_specs(2), executor="thread", max_workers=3)
+        assert result.workers == 3
+
+    def test_serial_reports_one_worker(self):
+        assert run_batch(_specs(1), executor="serial").workers == 1
+        assert resolve_worker_count("serial", max_workers=8) == 1
+
+    def test_default_thread_count_matches_stdlib_formula(self):
+        expected = min(32, (os.cpu_count() or 1) + 4)
+        assert resolve_worker_count("thread") == expected
+        assert run_batch(_specs(1), executor="thread").workers == expected
+
+    def test_default_process_count_matches_stdlib_formula(self):
+        assert resolve_worker_count("process") == (os.cpu_count() or 1)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_worker_count("quantum")
+
+
+class TestStoreReporting:
+    def test_store_line_only_rendered_when_enabled(self, tmp_path):
+        plain = run_batch(_specs(2), executor="serial")
+        assert "store" not in plain.render()
+
+        config = BackDroidConfig(
+            store_dir=str(tmp_path / "s"), store_mode="full"
+        )
+        cold = run_batch(_specs(2), config, executor="serial")
+        assert "store          : 0 hit(s) / 2 miss(es)" in cold.render()
+
+        warm = run_batch(_specs(2), config, executor="serial")
+        assert warm.store_hits == 2 and warm.store_misses == 0
+        assert warm.warm_hit_rate == 1.0
+        assert "store          : 2 hit(s) / 0 miss(es) (100% warm)" \
+            in warm.render()
+        assert "[warm]" in warm.render()
+
+    def test_index_restores_counted(self, tmp_path):
+        config = BackDroidConfig(
+            search_backend="indexed",
+            store_dir=str(tmp_path / "s"),
+            store_mode="index",
+        )
+        cold = run_batch(_specs(2), config, executor="serial")
+        warm = run_batch(_specs(2), config, executor="serial")
+        assert cold.index_restores == 0
+        assert warm.index_restores == 2
+        assert "2 restored index(es)" in warm.render()

@@ -7,6 +7,8 @@ assert identical :class:`SearchHit` lists, then run the full
 ``BackDroid.analyze`` pipeline under both backends and compare reports.
 """
 
+import tempfile
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -15,6 +17,7 @@ from repro.core import BackDroid, BackDroidConfig
 from repro.dex.builder import AppBuilder
 from repro.dex.types import FieldSignature
 from repro.search.index import BytecodeSearcher
+from repro.store import ArtifactStore
 from repro.workload.corpus import benchmark_app_spec
 from repro.workload.generator import generate_app
 from repro.workload.paperapps import build_heyzap, build_palcomp3
@@ -143,6 +146,76 @@ class TestQueryParity:
         assert indexed.find_const_string("NOPE") == []
         assert indexed.classes_mentioning("com.ghost.Nope") == set()
         assert linear.classes_mentioning("com.ghost.Nope") == set()
+
+
+def _assert_searchers_agree(reference, candidate, apk, names, strings):
+    """The full query matrix must agree hit-for-hit between searchers."""
+    for cls in apk.classes.application_classes():
+        for method in cls.methods:
+            sig = method.signature()
+            assert reference.find_invocations(sig) == \
+                candidate.find_invocations(sig)
+        for dex_field in cls.fields:
+            fsig = FieldSignature(cls.name, dex_field.name,
+                                  dex_field.field_type)
+            assert reference.find_field_accesses(fsig) == \
+                candidate.find_field_accesses(fsig)
+    for name in names:
+        assert reference.classes_mentioning(name) == \
+            candidate.classes_mentioning(name)
+        assert reference.subclass_header_mentions(name) == \
+            candidate.subclass_header_mentions(name)
+        assert reference.find_const_class(name) == \
+            candidate.find_const_class(name)
+    for value in strings + ["NEVER_PRESENT"]:
+        assert reference.find_const_string(value) == \
+            candidate.find_const_string(value)
+
+
+class TestRestoredIndexParity:
+    """An index restored from the artifact store is the same index.
+
+    Byte-identical hits, same vocabulary, zero build time — the store is
+    a cache, never a behaviour change.
+    """
+
+    @given(woven_apps())
+    @settings(max_examples=15, deadline=None)
+    def test_restored_hits_identical(self, case):
+        apk, names, strings = case
+        with tempfile.TemporaryDirectory() as root:
+            store = ArtifactStore(root)
+            cold = BytecodeSearcher(
+                apk.disassembly, backend="indexed", store=store
+            )
+            cold.backend.index  # build once, publishing the artifacts
+            assert not cold.backend.stats.index_restored
+
+            # Drop the in-memory memo so the next searcher must go to disk.
+            del apk.disassembly._token_index_cache
+            warm = BytecodeSearcher(
+                apk.disassembly, backend="indexed", store=store
+            )
+            linear = BytecodeSearcher(apk.disassembly, backend="linear")
+            _assert_searchers_agree(linear, warm, apk, names, strings)
+            assert warm.backend.stats.index_restored
+            assert warm.backend.stats.index_build_seconds == 0.0
+
+    def test_paper_apps_restored_reports_equal(self):
+        with tempfile.TemporaryDirectory() as root:
+            config = BackDroidConfig(
+                search_backend="indexed", store_dir=root, store_mode="index"
+            )
+            cold = BackDroid(config).analyze(build_heyzap())
+            warm = BackDroid(config).analyze(build_heyzap())
+            assert _report_key(cold) == _report_key(warm)
+            assert not cold.backend_stats["index_restored"]
+            assert warm.backend_stats["index_restored"]
+            assert warm.backend_stats["index_build_seconds"] == 0.0
+            assert warm.backend_stats["vocab_size"] == \
+                cold.backend_stats["vocab_size"]
+            assert warm.backend_stats["posting_entries"] == \
+                cold.backend_stats["posting_entries"]
 
 
 def _report_key(report):

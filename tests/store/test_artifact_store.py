@@ -1,0 +1,289 @@
+"""Tests for the persistent warm-start artifact store.
+
+Covers the store's four guarantees: restored artifacts are
+byte-identical to fresh builds, stale entries (format-version or
+content-hash mismatch) are invalidated, corrupted entries fall back to a
+rebuild instead of failing, and the atomic-rename write protocol keeps
+concurrent process-pool writers safe.
+"""
+
+import json
+
+import pytest
+
+from repro.core import BackDroidConfig, analyze_spec, run_batch
+from repro.search.backends.indexed import TokenIndex
+from repro.search.index import BytecodeSearcher
+from repro.store import ArtifactStore, store_key
+from repro.store.artifacts import FORMAT_VERSION
+from repro.workload.corpus import benchmark_app_spec
+from repro.workload.generator import generate_app
+from repro.workload.paperapps import build_heyzap, build_palcomp3
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+def _fresh_searcher(apk, store=None):
+    return BytecodeSearcher(apk.disassembly, backend="indexed", store=store)
+
+
+class TestKeying:
+    def test_same_bytecode_same_key(self):
+        assert store_key(build_heyzap().disassembly) == \
+            store_key(build_heyzap().disassembly)
+
+    def test_different_bytecode_different_key(self):
+        assert store_key(build_heyzap().disassembly) != \
+            store_key(build_palcomp3().disassembly)
+
+    def test_key_memoized_per_disassembly(self):
+        disassembly = build_heyzap().disassembly
+        assert store_key(disassembly) is store_key(disassembly)
+
+
+class TestIndexRoundTrip:
+    def test_empty_store_misses(self, store):
+        apk = build_heyzap()
+        assert store.load_index(apk.disassembly) is None
+        assert store.stats.index_misses == 1
+        assert store.stats.index_hits == 0
+
+    def test_restored_index_equals_fresh_build(self, store):
+        apk = build_heyzap()
+        fresh = TokenIndex.for_disassembly(apk.disassembly)
+        store.save_index(apk.disassembly, fresh)
+
+        restored = store.load_index(build_heyzap().disassembly)
+        assert restored is not None
+        assert restored.restored and not fresh.restored
+        assert restored.build_seconds == 0.0
+        assert restored.vocab == fresh.vocab
+        assert restored.postings == fresh.postings
+        assert restored.exact == fresh.exact
+        assert restored.containing == fresh.containing
+        assert restored._string_ids == fresh._string_ids
+        assert restored.posting_entries == fresh.posting_entries
+        assert store.stats.index_hits == 1
+
+    def test_token_stream_round_trip(self, store):
+        apk = build_heyzap()
+        store.save_tokens(apk.disassembly)
+        tokens = store.load_tokens(build_heyzap().disassembly)
+        assert tokens == apk.disassembly.tokens
+        assert store.stats.token_hits == 1
+
+    def test_backend_restores_and_reports_zero_build(self, store):
+        cold = _fresh_searcher(build_heyzap(), store=store)
+        cold.backend.index  # build + save
+        assert not cold.backend.stats.index_restored
+
+        warm = _fresh_searcher(build_heyzap(), store=store)
+        warm.backend.index
+        assert warm.backend.stats.index_restored
+        assert warm.backend.stats.index_build_seconds == 0.0
+
+    def test_restored_index_shared_via_disassembly_memo(self, store):
+        cold = _fresh_searcher(build_heyzap(), store=store)
+        cold.backend.index
+        apk = build_heyzap()
+        first = _fresh_searcher(apk, store=store)
+        second = _fresh_searcher(apk, store=store)
+        assert first.backend.index is second.backend.index
+
+
+class TestInvalidation:
+    def test_version_mismatch_is_a_miss(self, store):
+        apk = build_heyzap()
+        store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
+        path = store._index_path(store_key(apk.disassembly))
+        payload = json.loads(path.read_text())
+        payload["version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+
+        assert store.load_index(build_heyzap().disassembly) is None
+        assert store.stats.corrupt_entries == 1
+
+    def test_key_mismatch_is_a_miss(self, store):
+        apk = build_heyzap()
+        store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
+        path = store._index_path(store_key(apk.disassembly))
+        payload = json.loads(path.read_text())
+        payload["key"] = "0" * 64
+        path.write_text(json.dumps(payload))
+
+        assert store.load_index(build_heyzap().disassembly) is None
+        assert store.stats.corrupt_entries == 1
+
+    def test_changed_bytecode_never_hits_old_entry(self, store):
+        apk = build_heyzap()
+        store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
+        assert store.load_index(build_palcomp3().disassembly) is None
+
+    def test_garbage_entry_falls_back_to_rebuild(self, store):
+        apk = build_heyzap()
+        store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
+        path = store._index_path(store_key(apk.disassembly))
+        path.write_text("{not json at all")
+
+        warm = _fresh_searcher(build_heyzap(), store=store)
+        warm.backend.index  # must rebuild, not raise
+        assert not warm.backend.stats.index_restored
+        assert store.stats.corrupt_entries == 1
+        # The rebuild republished the entry: a third run restores again.
+        third = _fresh_searcher(build_heyzap(), store=store)
+        third.backend.index
+        assert third.backend.stats.index_restored
+
+    def test_truncated_payload_shape_is_corrupt(self, store):
+        apk = build_heyzap()
+        store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
+        path = store._index_path(store_key(apk.disassembly))
+        payload = json.loads(path.read_text())
+        del payload["postings"]
+        path.write_text(json.dumps(payload))
+        assert store.load_index(build_heyzap().disassembly) is None
+        assert store.stats.corrupt_entries == 1
+
+
+def _store_config(tmp_path, mode="full", **kwargs):
+    return BackDroidConfig(
+        search_backend="indexed",
+        store_dir=str(tmp_path / "store"),
+        store_mode=mode,
+        **kwargs,
+    )
+
+
+class TestOutcomeReuse:
+    def test_second_run_is_a_store_hit(self, tmp_path):
+        spec = benchmark_app_spec(0, scale=0.05)
+        config = _store_config(tmp_path)
+        cold = analyze_spec(spec, config)
+        warm = analyze_spec(spec, config)
+        assert not cold.store_hit
+        assert warm.store_hit
+        assert warm.findings == cold.findings
+        assert warm.sink_count == cold.sink_count
+        assert warm.package == cold.package
+
+    def test_config_change_invalidates_outcome(self, tmp_path):
+        spec = benchmark_app_spec(0, scale=0.05)
+        analyze_spec(spec, _store_config(tmp_path))
+        other = analyze_spec(
+            spec, _store_config(tmp_path, sink_rules=("open-port",))
+        )
+        assert not other.store_hit
+
+    def test_backend_change_invalidates_outcome(self, tmp_path):
+        # An outcome recorded under one backend must not be served to a
+        # run configured for another: its backend/cache-stat fields
+        # would misreport the run.
+        spec = benchmark_app_spec(0, scale=0.05)
+        analyze_spec(spec, _store_config(tmp_path))  # indexed
+        other = analyze_spec(
+            spec,
+            BackDroidConfig(
+                search_backend="linear",
+                store_dir=str(tmp_path / "store"),
+                store_mode="full",
+            ),
+        )
+        assert not other.store_hit
+        assert other.backend == "linear"
+
+    def test_index_mode_never_reuses_outcomes(self, tmp_path):
+        spec = benchmark_app_spec(0, scale=0.05)
+        config = _store_config(tmp_path, mode="index")
+        analyze_spec(spec, config)
+        warm = analyze_spec(spec, config)
+        assert not warm.store_hit
+        assert warm.index_restored
+
+    def test_corrupt_outcome_falls_back_to_analysis(self, tmp_path):
+        spec = benchmark_app_spec(0, scale=0.05)
+        config = _store_config(tmp_path)
+        cold = analyze_spec(spec, config)
+        store = config.artifact_store()
+        outcome_files = [
+            p for e in store.entries() for p in e.iterdir()
+            if p.name.startswith("outcome-")
+        ]
+        assert outcome_files
+        for path in outcome_files:
+            path.write_text('{"version": 1, "outcome": "garbage"}')
+        warm = analyze_spec(spec, config)
+        assert not warm.store_hit
+        assert warm.findings == cold.findings
+
+    def test_unknown_store_mode_rejected(self, tmp_path):
+        config = _store_config(tmp_path, mode="quantum")
+        outcome = analyze_spec(benchmark_app_spec(0, scale=0.05), config)
+        assert not outcome.ok
+        assert "unknown store mode" in outcome.error
+
+
+class TestConcurrency:
+    def test_process_pool_writers_then_warm_run(self, tmp_path):
+        specs = [benchmark_app_spec(i, scale=0.05) for i in range(4)]
+        config = _store_config(tmp_path)
+        cold = run_batch(specs, config, executor="process", max_workers=4)
+        assert not cold.failures
+        assert cold.store_hits == 0
+
+        warm = run_batch(specs, config, executor="process", max_workers=4)
+        assert not warm.failures
+        assert warm.store_hits == len(specs)
+        assert warm.warm_hit_rate == 1.0
+        assert [o.findings for o in warm.outcomes] == \
+            [o.findings for o in cold.outcomes]
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        specs = [benchmark_app_spec(i, scale=0.05) for i in range(3)]
+        config = _store_config(tmp_path)
+        run_batch(specs, config, executor="process", max_workers=3)
+        leftovers = list((tmp_path / "store").rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_duplicate_specs_race_benignly(self, tmp_path):
+        # Same app analyzed by several workers at once: every writer
+        # publishes identical content, so last-rename-wins is safe.
+        specs = [benchmark_app_spec(0, scale=0.05)] * 4
+        config = _store_config(tmp_path)
+        result = run_batch(specs, config, executor="process", max_workers=4)
+        assert not result.failures
+        store = config.artifact_store()
+        restored = store.load_index(generate_app(specs[0]).apk.disassembly)
+        assert restored is not None
+
+
+class TestMaintenance:
+    def test_describe_counts_entries_and_kinds(self, store):
+        apk = build_heyzap()
+        store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
+        inventory = store.describe()
+        assert inventory.entries == 1
+        assert inventory.files_by_kind == {"index": 1, "tokens": 1}
+        assert inventory.total_bytes > 0
+        assert "entries     : 1" in inventory.render()
+
+    def test_gc_clears_everything_by_default(self, store):
+        apk = build_heyzap()
+        store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
+        removed, reclaimed = store.gc()
+        assert removed == 1 and reclaimed > 0
+        assert store.describe().entries == 0
+
+    def test_gc_keeps_fresh_entries(self, store):
+        apk = build_heyzap()
+        store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
+        removed, _ = store.gc(max_age_seconds=3600.0)
+        assert removed == 0
+        assert store.describe().entries == 1
+
+    def test_describe_empty_store(self, store):
+        inventory = store.describe()
+        assert inventory.entries == 0
+        assert inventory.total_bytes == 0

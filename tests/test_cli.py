@@ -107,3 +107,58 @@ class TestBatch:
             main(["batch", "bench:0..2", "--workers", "0"])
         with pytest.raises(SystemExit, match="--cache-max"):
             main(["batch", "bench:0..2", "--cache-max", "0"])
+
+
+class TestStore:
+    def _batch(self, tmp_path, capsys):
+        code = main(["batch", "bench:0..3", "--scale", "0.05",
+                     "--backend", "indexed", "--executor", "serial",
+                     "--store", str(tmp_path / "s"), "--store-mode", "full"])
+        assert code == 0
+        return capsys.readouterr().out
+
+    def test_second_batch_run_is_warm(self, tmp_path, capsys):
+        cold = self._batch(tmp_path, capsys)
+        assert "0 hit(s) / 3 miss(es)" in cold
+        warm = self._batch(tmp_path, capsys)
+        assert "3 hit(s) / 0 miss(es) (100% warm)" in warm
+        assert "[warm]" in warm
+
+    def test_warm_then_stats_then_gc(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "s")
+        code = main(["store", "warm", "bench:0..2", "--scale", "0.05",
+                     "--store", store_dir])
+        assert code == 0
+        assert "warmed 2/2" in capsys.readouterr().out
+
+        code = main(["store", "stats", "--store", store_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "entries     : 2" in out and "index" in out
+
+        code = main(["store", "gc", "--store", store_dir])
+        assert code == 0
+        assert "removed 2" in capsys.readouterr().out
+
+        code = main(["store", "stats", "--store", store_dir])
+        assert code == 0
+        assert "entries     : 0" in capsys.readouterr().out
+
+    def test_warmed_store_restores_indexes_in_batch(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "s")
+        main(["store", "warm", "bench:0..3", "--scale", "0.05",
+              "--store", store_dir])
+        capsys.readouterr()
+        code = main(["batch", "bench:0..3", "--scale", "0.05",
+                     "--backend", "indexed", "--executor", "serial",
+                     "--store", store_dir])
+        assert code == 0
+        assert "3 restored index(es)" in capsys.readouterr().out
+
+    def test_store_actions_require_store_dir(self):
+        with pytest.raises(SystemExit, match="--store"):
+            main(["store", "stats"])
+        with pytest.raises(SystemExit, match="--store"):
+            main(["store", "warm", "bench:0..2"])
+        with pytest.raises(SystemExit, match="--store"):
+            main(["store", "gc"])
