@@ -12,6 +12,9 @@ Public entry points:
   comparator used in the paper's evaluation.
 * :mod:`repro.workload` — synthetic app/corpus generation standing in for
   the Google-Play datasets.
+* :mod:`repro.service` — the persistent analysis service: store-aware
+  job scheduling over worker lanes behind an HTTP JSON API
+  (``backdroid serve``).
 """
 
 __version__ = "1.0.0"

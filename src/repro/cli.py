@@ -18,13 +18,16 @@ Commands::
     backdroid batch bench:0..50 --store .bdstore --store-mode full
     backdroid store warm bench:0..50 --store .bdstore
     backdroid store stats --store .bdstore
+    backdroid store verify --store .bdstore
     backdroid store gc --store .bdstore --max-age-hours 48
+    backdroid serve --port 8099 --store .bdstore --workers 4 --fast-lane-workers 1
     backdroid inventory bench:3
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import statistics
 import sys
 from typing import Optional
@@ -202,7 +205,10 @@ def cmd_batch(args) -> int:
         max_workers=args.workers,
         executor=args.executor,
     )
-    print(result.render())
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
     return 2 if result.failures else 0
 
 
@@ -214,8 +220,30 @@ def _require_store(args) -> ArtifactStore:
 
 def cmd_store(args) -> int:
     if args.action == "stats":
-        print(_require_store(args).describe().render())
+        inventory = _require_store(args).describe()
+        if args.json:
+            print(json.dumps(inventory.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(inventory.render())
         return 0
+
+    if args.action == "verify":
+        results = _require_store(args).verify()
+        failures = 0
+        for entry in results:
+            if entry.status == "no-index":
+                print(f"{entry.key[:12]}  SKIP  no stored index")
+            elif entry.status == "stale":
+                print(f"{entry.key[:12]}  SKIP  {entry.detail}")
+            elif entry.ok:
+                print(f"{entry.key[:12]}  ok    parity with a fresh build")
+            else:
+                failures += 1
+                print(f"{entry.key[:12]}  FAIL  {entry.status}: {entry.detail}")
+        verified = sum(1 for e in results if e.status == "ok")
+        print(f"verified {verified} stored index(es), {failures} failure(s), "
+              f"{len(results)} entry(ies) total")
+        return 1 if failures else 0
 
     if args.action == "gc":
         store = _require_store(args)
@@ -253,6 +281,54 @@ def cmd_store(args) -> int:
             warmed += 1
     print(f"warmed {warmed}/{len(specs)} app(s) into {args.store} "
           f"(mode: {args.store_mode})")
+    return 0
+
+
+def build_server(args):
+    """The configured (but not yet started) analysis service."""
+    # Imported lazily: the service layer is only needed by ``serve``.
+    from repro.service import AnalysisServer, StoreAwareScheduler
+
+    if args.workers < 1:
+        raise SystemExit("--workers must be a positive integer")
+    if args.fast_lane_workers < 0:
+        raise SystemExit("--fast-lane-workers must be >= 0")
+    if args.retain_jobs < 1:
+        raise SystemExit("--retain-jobs must be a positive integer")
+    config = BackDroidConfig(
+        sink_rules=_rules(args),
+        search_backend=args.backend,
+        store_dir=args.store,
+        store_mode=args.store_mode,
+    )
+    scheduler = StoreAwareScheduler(
+        config,
+        workers=args.workers,
+        fast_lane_workers=args.fast_lane_workers,
+        max_finished_jobs=args.retain_jobs,
+    )
+    return AnalysisServer(scheduler, host=args.host, port=args.port)
+
+
+def cmd_serve(args) -> int:
+    server = build_server(args)
+    server.start()
+    host, port = server.address
+    store_note = (
+        f"store {args.store} (mode {args.store_mode}), "
+        f"{args.fast_lane_workers} fast-lane worker(s)"
+        if args.store
+        else "no store (every submission rides the main lane)"
+    )
+    print(f"backdroid service listening on http://{host}:{port}")
+    print(f"  {args.workers} main worker(s), {store_note}")
+    print("  endpoints: POST /v1/jobs, GET /v1/jobs/<id>, GET /v1/stats, "
+          "GET /healthz  (Ctrl-C to drain and stop)")
+    try:
+        server.join()
+    except KeyboardInterrupt:
+        print("draining queued jobs ...")
+        server.shutdown(drain=True)
     return 0
 
 
@@ -332,9 +408,30 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--executor", choices=EXECUTORS, default="thread")
     batch.add_argument("--cache-max", type=int, default=None,
                        help="LRU bound for the per-app search command cache")
+    batch.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of the table")
     add_backend_flag(batch)
     add_store_flags(batch)
     batch.set_defaults(func=cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", help="run the persistent analysis service (HTTP JSON API)"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=8099,
+                       help="listen port, 0 for ephemeral (default: %(default)s)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="main (cold-lane) worker pool size (default: 4)")
+    serve.add_argument("--fast-lane-workers", type=int, default=1,
+                       help="dedicated workers for store-warm submissions "
+                       "(0 disables the fast lane; default: 1)")
+    serve.add_argument("--retain-jobs", type=int, default=256,
+                       help="finished jobs kept for polling (default: 256)")
+    serve.add_argument("--rules", default="")
+    add_backend_flag(serve)
+    add_store_flags(serve)
+    serve.set_defaults(func=cmd_serve)
 
     store = sub.add_parser(
         "store", help="manage the warm-start artifact store"
@@ -360,7 +457,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = store_sub.add_parser("stats", help="describe the store contents")
     stats.add_argument("--store", default=None, metavar="DIR")
+    stats.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of the table")
     stats.set_defaults(func=cmd_store)
+
+    verify = store_sub.add_parser(
+        "verify",
+        help="replay the backend-parity check against every stored index",
+    )
+    verify.add_argument("--store", default=None, metavar="DIR")
+    verify.set_defaults(func=cmd_store)
 
     gc = store_sub.add_parser("gc", help="drop stale store entries")
     gc.add_argument("--store", default=None, metavar="DIR")

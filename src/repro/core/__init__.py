@@ -29,6 +29,10 @@ from repro.core.batch import (
     AppOutcome,
     BatchResult,
     analyze_spec,
+    level_is_warm,
+    outcome_payload,
+    plan_lanes,
+    probe_spec,
     resolve_worker_count,
     run_batch,
 )
@@ -57,6 +61,10 @@ __all__ = [
     "BatchResult",
     "CallBinding",
     "analyze_spec",
+    "level_is_warm",
+    "outcome_payload",
+    "plan_lanes",
+    "probe_spec",
     "resolve_worker_count",
     "run_batch",
     "STORE_MODES",

@@ -31,7 +31,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.core.backdroid import BackDroid, BackDroidConfig
-from repro.workload.generator import AppSpec, generate_app
+from repro.store import WARM_LEVELS, ArtifactStore, store_key
+from repro.workload.generator import AppSpec, generate_app, spec_fingerprint
 
 #: Executor kinds selectable from the CLI.
 EXECUTORS = ("thread", "process", "serial")
@@ -57,6 +58,12 @@ class AppOutcome:
     #: The indexed backend restored its posting lists instead of folding
     #: the token stream.
     index_restored: bool = False
+    #: Time this run spent building an inverted index (0.0 whenever the
+    #: index was restored, the outcome was served from the store, or the
+    #: linear backend ran).
+    index_build_seconds: float = 0.0
+    #: Which dispatch lane ran the app (store-aware scheduling).
+    lane: str = "main"
     error: Optional[str] = None
 
     @property
@@ -72,8 +79,9 @@ class AppOutcome:
         return bool(self.findings)
 
 
-def _outcome_payload(outcome: AppOutcome) -> dict:
-    """A JSON-able snapshot of one outcome for the artifact store."""
+def outcome_payload(outcome: AppOutcome) -> dict:
+    """A JSON-able snapshot of one outcome (store entries, service
+    results, ``--json`` output)."""
     payload = dataclasses.asdict(outcome)
     payload["findings"] = [list(f) for f in outcome.findings]
     return payload
@@ -110,6 +118,12 @@ def analyze_spec(
         apk.disassembly
         started = time.perf_counter()
         store = config.artifact_store()
+        if store is not None:
+            # Teach the store which content key this recipe hashes to, so
+            # future scheduler probes resolve it without generating.
+            store.save_spec_key(
+                spec_fingerprint(spec), store_key(apk.disassembly)
+            )
         reuse_outcomes = store is not None and config.store_mode == "full"
         if reuse_outcomes:
             payload = store.load_outcome(
@@ -125,6 +139,7 @@ def analyze_spec(
                         restored,
                         seconds=time.perf_counter() - started,
                         store_hit=True,
+                        index_build_seconds=0.0,
                     )
         report = BackDroid(config).analyze(apk)
         outcome = AppOutcome(
@@ -143,18 +158,76 @@ def analyze_spec(
             index_restored=bool(
                 report.backend_stats.get("index_restored", False)
             ),
+            index_build_seconds=float(
+                report.backend_stats.get("index_build_seconds", 0.0)
+            ),
         )
         if reuse_outcomes:
             store.save_outcome(
                 apk.disassembly,
                 config.store_fingerprint(),
-                _outcome_payload(outcome),
+                outcome_payload(outcome),
             )
         return outcome
     except Exception as exc:  # noqa: BLE001 - batch isolation by design
         return AppOutcome(
             package=spec.package, error=f"{type(exc).__name__}: {exc}"
         )
+
+
+def probe_spec(
+    spec: AppSpec,
+    store: Optional[ArtifactStore],
+    config_fingerprint: Optional[str] = None,
+) -> tuple[str, str]:
+    """``(dedup_key, probe_level)`` for one submission, without generating.
+
+    The dedup key is the app's disassembly sha when the store has seen
+    the recipe before (so two specs producing identical bytecode
+    coalesce), and a spec-fingerprint surrogate otherwise — still stable
+    across duplicate submissions of the same recipe.
+    """
+    fingerprint = spec_fingerprint(spec)
+    if store is None:
+        return f"spec:{fingerprint}", "none"
+    key = store.load_spec_key(fingerprint)
+    if key is None:
+        return f"spec:{fingerprint}", "none"
+    return key, store.probe(key, config_fingerprint).level
+
+
+def level_is_warm(level: str, config: BackDroidConfig) -> bool:
+    """Whether a probe level means *cheap under this config*.
+
+    An outcome-level hit (already fingerprint-matched to the config) is
+    warm whenever outcomes may be reused (``"full"`` mode).  An
+    index-level hit only saves work for the indexed backend — the
+    linear scan never restores posting lists, so for it a stored index
+    is not warmth, it is a full-cost analysis.
+    """
+    if level not in WARM_LEVELS:
+        return False
+    if level == "outcome" and config.store_mode == "full":
+        return True
+    return config.search_backend == "indexed"
+
+
+def plan_lanes(
+    specs: Sequence[AppSpec], config: BackDroidConfig
+) -> list[str]:
+    """The store-aware lane of every spec (``"fast"`` or ``"main"``)."""
+    store = config.artifact_store()
+    if store is None:
+        return ["main"] * len(specs)
+    config_fingerprint = config.store_fingerprint()
+    return [
+        "fast"
+        if level_is_warm(
+            probe_spec(spec, store, config_fingerprint)[1], config
+        )
+        else "main"
+        for spec in specs
+    ]
 
 
 @dataclass
@@ -243,6 +316,15 @@ class BatchResult:
         return sum(1 for o in self.analyzed if o.index_restored)
 
     @property
+    def fast_lane_apps(self) -> int:
+        """Apps the up-front store probe routed to the warm fast lane."""
+        return sum(1 for o in self.outcomes if o.lane == "fast")
+
+    @property
+    def main_lane_apps(self) -> int:
+        return len(self.outcomes) - self.fast_lane_apps
+
+    @property
     def speedup_over_serial(self) -> float:
         """Summed per-app time / wall time — the pool's effective overlap."""
         return (
@@ -299,7 +381,45 @@ class BatchResult:
                 f"({self.warm_hit_rate:.0%} warm), "
                 f"{self.index_restores} restored index(es)"
             )
+            lines.append(
+                f"  lanes          : {self.fast_lane_apps} fast / "
+                f"{self.main_lane_apps} main (store-aware dispatch)"
+            )
         return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """A machine-readable snapshot (the CLI's ``--json`` output)."""
+        aggregate = {
+            "app_count": self.app_count,
+            "failed": len(self.failures),
+            "wall_seconds": self.wall_seconds,
+            "workers": self.workers,
+            "executor": self.executor,
+            "backend": self.backend,
+            "total_analysis_seconds": self.total_analysis_seconds,
+            "mean_seconds": self.mean_seconds,
+            "median_seconds": self.median_seconds,
+            "speedup_over_serial": self.speedup_over_serial,
+            "mean_search_cache_rate": self.mean_search_cache_rate,
+            "mean_sink_cache_rate": self.mean_sink_cache_rate,
+            "total_sinks": self.total_sinks,
+            "total_findings": self.total_findings,
+            "vulnerable_apps": self.vulnerable_apps,
+            "store_enabled": self.store_enabled,
+        }
+        if self.store_enabled:
+            aggregate["store"] = {
+                "hits": self.store_hits,
+                "misses": self.store_misses,
+                "warm_hit_rate": self.warm_hit_rate,
+                "index_restores": self.index_restores,
+                "fast_lane_apps": self.fast_lane_apps,
+                "main_lane_apps": self.main_lane_apps,
+            }
+        return {
+            "apps": [outcome_payload(o) for o in self.outcomes],
+            "aggregate": aggregate,
+        }
 
 
 def _make_executor(kind: str, max_workers: Optional[int]) -> Executor:
@@ -346,22 +466,37 @@ def run_batch(
     generation and I/O), ``"process"`` (true CPU parallelism for large
     corpora) or ``"serial"`` (in-process, for debugging/determinism).
     ``progress`` is invoked with each outcome as it completes.
+
+    With a store configured, every spec is probed up front
+    (:func:`plan_lanes`) and warm apps are dispatched first — the cheap
+    fast-lane work drains ahead of the cold pool instead of queueing
+    behind it.  The result (and its rendered table) stays in input
+    order regardless of dispatch order.
     """
     config = config if config is not None else BackDroidConfig()
     started = time.perf_counter()
     outcomes: list[Optional[AppOutcome]] = [None] * len(specs)
     workers = resolve_worker_count(executor, max_workers)
+    lanes = plan_lanes(specs, config)
+    # Warm-first priority; ties keep input order, so dispatch stays
+    # deterministic.
+    order = sorted(
+        range(len(specs)), key=lambda i: (0 if lanes[i] == "fast" else 1, i)
+    )
+
+    def _with_lane(index: int, outcome: AppOutcome) -> AppOutcome:
+        return dataclasses.replace(outcome, lane=lanes[index])
 
     if executor == "serial":
-        for i, spec in enumerate(specs):
-            outcomes[i] = analyze_spec(spec, config)
+        for i in order:
+            outcomes[i] = _with_lane(i, analyze_spec(specs[i], config))
             if progress is not None:
                 progress(outcomes[i])
     else:
         with _make_executor(executor, max_workers) as pool:
             futures = {
-                pool.submit(analyze_spec, spec, config): i
-                for i, spec in enumerate(specs)
+                pool.submit(analyze_spec, specs[i], config): i
+                for i in order
             }
             for future in as_completed(futures):
                 index = futures[future]
@@ -374,9 +509,9 @@ def run_batch(
                         package=specs[index].package,
                         error=f"{type(exc).__name__}: {exc}",
                     )
-                outcomes[index] = outcome
+                outcomes[index] = _with_lane(index, outcome)
                 if progress is not None:
-                    progress(outcome)
+                    progress(outcomes[index])
 
     return BatchResult(
         outcomes=[o for o in outcomes if o is not None],

@@ -1,0 +1,49 @@
+"""The persistent analysis service: resident BackDroid, served over HTTP.
+
+The batch driver amortizes work across one invocation; this package
+amortizes it across *queries*, the way a market-scale vetting service
+would run:
+
+* :mod:`repro.service.jobs` — :class:`Job` records and the thread-safe
+  :class:`JobQueue`: lifecycle (``queued → running → done|failed``),
+  in-flight dedup (same disassembly sha coalesces onto one analysis)
+  and bounded retention of finished jobs;
+* :mod:`repro.service.scheduler` — the :class:`StoreAwareScheduler`:
+  probes the :class:`~repro.store.ArtifactStore` at submit time and
+  dispatches warm submissions (stored outcome or restorable index) to a
+  small fast lane while cold submissions get the main worker pool, with
+  per-lane depth/wait/warm statistics;
+* :mod:`repro.service.server` — the stdlib-only JSON HTTP API
+  (``POST /v1/jobs``, ``GET /v1/jobs/<id>``, ``GET /v1/stats``,
+  ``GET /healthz``) plus the matching :class:`ServiceClient`.
+
+The CLI front end is ``backdroid serve``.
+"""
+
+from repro.service.jobs import (
+    DONE,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobQueue,
+)
+from repro.service.scheduler import LaneStats, StoreAwareScheduler
+from repro.service.server import AnalysisServer, ServiceClient
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "JOB_STATES",
+    "QUEUED",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "AnalysisServer",
+    "Job",
+    "JobQueue",
+    "LaneStats",
+    "ServiceClient",
+    "StoreAwareScheduler",
+]

@@ -1,0 +1,276 @@
+"""Job records and the thread-safe queue behind the analysis service.
+
+A resident service decouples *submission* from *execution*: clients post
+an app spec, get a job id back immediately, and poll (or block) for the
+result while worker lanes drain the queue.  The queue owns three
+responsibilities the executors cannot cover themselves:
+
+* **lifecycle** — every job moves ``queued → running → done|failed``
+  with timestamps, so wait time (``started_at - submitted_at``) and run
+  time are observable per job and per lane;
+* **in-flight dedup** — two submissions resolving to the same content
+  key (disassembly sha) while the first is still queued or running
+  coalesce onto one analysis: the second job becomes a *follower* that
+  completes the moment the primary does, sharing its result payload
+  verbatim (re-submitting after completion starts a fresh job — results
+  are retained, not cached forever);
+* **bounded retention** — finished jobs are kept for polling but only
+  the newest ``max_finished`` of them, so a long-lived service does not
+  grow without bound.
+
+All state lives behind one lock; completion wakes every waiter via a
+condition variable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.workload.generator import AppSpec
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED)
+TERMINAL_STATES = (DONE, FAILED)
+
+
+@dataclass
+class Job:
+    """One submission's record (mutated only under the queue's lock)."""
+
+    id: str
+    spec: AppSpec
+    #: Content dedup key: the disassembly sha when the store resolved
+    #: the spec, a spec-fingerprint surrogate otherwise.
+    key: str
+    #: Every key this job coalesces under (always includes ``key``; a
+    #: store-resolved job also carries its spec-fingerprint surrogate so
+    #: duplicates submitted before/after the store learned the sha still
+    #: find it).
+    aliases: tuple[str, ...] = ()
+    lane: str = "main"
+    #: The store probe classified this submission as warm at submit time.
+    warm: bool = False
+    state: str = QUEUED
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: The finished outcome payload (shared verbatim with followers).
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    #: Primary job id when this submission coalesced onto an in-flight
+    #: analysis of the same key.
+    coalesced_into: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def wait_seconds(self) -> Optional[float]:
+        """Queue wait: submission to execution start (None while queued)."""
+        if self.started_at is None:
+            return None
+        return max(0.0, self.started_at - self.submitted_at)
+
+    def as_dict(self) -> dict:
+        """The JSON shape the HTTP API serves."""
+        return {
+            "id": self.id,
+            "package": self.spec.package,
+            "key": self.key,
+            "lane": self.lane,
+            "warm": self.warm,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "wait_seconds": self.wait_seconds,
+            "coalesced_into": self.coalesced_into,
+            "result": self.result,
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """Thread-safe job registry with in-flight dedup and retention."""
+
+    def __init__(self, max_finished: int = 256) -> None:
+        if max_finished < 1:
+            raise ValueError("max_finished must be a positive integer")
+        self.max_finished = max_finished
+        self._lock = threading.Lock()
+        self._terminal = threading.Condition(self._lock)
+        self._jobs: dict[str, Job] = {}
+        #: key -> primary job id, for every non-terminal primary.
+        self._active_by_key: dict[str, str] = {}
+        #: primary job id -> follower job ids awaiting its result.
+        self._followers: dict[str, list[str]] = {}
+        self._retained: deque[str] = deque()
+        self._ids = itertools.count(1)
+        self.dedup_hits = 0
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: AppSpec,
+        key: str,
+        lane: str = "main",
+        warm: bool = False,
+        aliases: tuple[str, ...] = (),
+    ) -> tuple[Job, bool]:
+        """Register a submission; returns ``(job, is_primary)``.
+
+        When an analysis for *key* — or any of its *aliases* — is
+        already queued or running, the new job coalesces onto it
+        (``is_primary`` False) and no execution should be scheduled for
+        it: it completes with the primary.  Aliases close the cold-start
+        race where the store learns a spec's disassembly sha mid-run and
+        a duplicate would otherwise resolve to a different key.
+        """
+        with self._lock:
+            all_keys = (key,) + tuple(a for a in aliases if a != key)
+            job = Job(
+                id=f"job-{next(self._ids):06d}",
+                spec=spec,
+                key=key,
+                aliases=all_keys,
+                lane=lane,
+                warm=warm,
+                submitted_at=time.time(),
+            )
+            primary_id = next(
+                (
+                    self._active_by_key[k]
+                    for k in all_keys
+                    if k in self._active_by_key
+                ),
+                None,
+            )
+            if primary_id is not None:
+                primary = self._jobs[primary_id]
+                job.coalesced_into = primary_id
+                job.lane = primary.lane
+                job.warm = primary.warm
+                if primary.state == RUNNING:
+                    job.state = RUNNING
+                    job.started_at = time.time()
+                self._followers.setdefault(primary_id, []).append(job.id)
+                self._jobs[job.id] = job
+                self.dedup_hits += 1
+                return job, False
+            for k in all_keys:
+                self._active_by_key[k] = job.id
+            self._jobs[job.id] = job
+            return job, True
+
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def snapshot(self, job_id: str) -> Optional[dict]:
+        """A consistent JSON view of one job, or None when unknown."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return None if job is None else job.as_dict()
+
+    def snapshots(self) -> list[dict]:
+        """JSON views of every retained job, in submission order."""
+        with self._lock:
+            return [job.as_dict() for job in self._jobs.values()]
+
+    # ------------------------------------------------------------------
+    def mark_running(self, job_id: str) -> None:
+        """A worker picked the primary up; followers mirror the state."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.terminal:
+                return
+            now = time.time()
+            job.state = RUNNING
+            job.started_at = now
+            for follower_id in self._followers.get(job_id, ()):
+                follower = self._jobs[follower_id]
+                follower.state = RUNNING
+                follower.started_at = now
+
+    def finish(
+        self,
+        job_id: str,
+        result: Optional[dict] = None,
+        error: Optional[str] = None,
+    ) -> list[Job]:
+        """Complete a primary (and every follower) with one payload.
+
+        Returns the jobs that reached a terminal state in this call —
+        the primary plus its followers — so callers can account for all
+        of them (lane statistics, logging).
+        """
+        with self._terminal:
+            job = self._jobs.get(job_id)
+            if job is None or job.terminal:
+                return []
+            now = time.time()
+            members = [job] + [
+                self._jobs[f] for f in self._followers.pop(job_id, ())
+            ]
+            for member in members:
+                member.state = FAILED if error is not None else DONE
+                member.result = result
+                member.error = error
+                if member.started_at is None:
+                    member.started_at = now
+                member.finished_at = now
+                self._retained.append(member.id)
+            for k in job.aliases or (job.key,):
+                if self._active_by_key.get(k) == job_id:
+                    del self._active_by_key[k]
+            while len(self._retained) > self.max_finished:
+                evicted = self._retained.popleft()
+                self._jobs.pop(evicted, None)
+            self._terminal.notify_all()
+            return members
+
+    # ------------------------------------------------------------------
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until a job is terminal; raises on unknown id/timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._terminal:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    raise KeyError(f"unknown or evicted job {job_id!r}")
+                if job.terminal:
+                    return job
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} still {job.state} after {timeout}s"
+                    )
+                self._terminal.wait(remaining)
+
+    # ------------------------------------------------------------------
+    def counts(self) -> dict:
+        """State counters plus dedup statistics."""
+        with self._lock:
+            by_state = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                by_state[job.state] += 1
+            return {
+                "by_state": by_state,
+                "retained": len(self._jobs),
+                "in_flight_keys": len(self._active_by_key),
+                "dedup_hits": self.dedup_hits,
+            }

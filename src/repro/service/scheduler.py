@@ -1,0 +1,231 @@
+"""The store-aware two-lane scheduler.
+
+The paper's pitch is per-query cost small enough to serve analyses on
+demand; at service scale the remaining waste is *queueing*: a warm app
+whose outcome (or index) is already in the artifact store costs
+milliseconds, but in a FIFO pool it still waits behind cold apps that
+cost seconds.  This scheduler probes the store at submit time
+(:func:`repro.core.batch.probe_spec` — one tiny specmap read to resolve
+the spec's content key, then pure existence checks; never any app
+generation or artifact deserialization) and routes warm submissions to
+a small dedicated fast lane while cold submissions get the main worker
+pool.
+``benchmarks/bench_service_scheduler.py`` measures the effect: on a
+mixed corpus, warm jobs' mean wait drops versus single-lane FIFO
+dispatch.
+
+Built on the same ``concurrent.futures`` thread pools as ``run_batch``;
+execution itself is :func:`repro.core.batch.analyze_spec`, so per-app
+isolation, store warm starts and outcome shapes are identical to batch
+runs.  Duplicate in-flight submissions coalesce in the
+:class:`~repro.service.jobs.JobQueue` — one analysis, every job
+completed with the same payload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.backdroid import BackDroidConfig
+from repro.core.batch import (
+    analyze_spec,
+    level_is_warm,
+    outcome_payload,
+    probe_spec,
+)
+from repro.service.jobs import Job, JobQueue
+from repro.workload.generator import AppSpec, spec_fingerprint
+
+
+@dataclass
+class LaneStats:
+    """One dispatch lane's counters (read via :meth:`as_dict`)."""
+
+    name: str
+    workers: int
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Jobs currently queued or running in this lane.
+    depth: int = 0
+    total_wait_seconds: float = 0.0
+
+    @property
+    def mean_wait_seconds(self) -> float:
+        finished = self.completed + self.failed
+        return self.total_wait_seconds / finished if finished else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "workers": self.workers,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "depth": self.depth,
+            "mean_wait_seconds": self.mean_wait_seconds,
+        }
+
+
+class StoreAwareScheduler:
+    """Two-lane, store-probing dispatch over thread pools.
+
+    ``workers`` sizes the main (cold) pool; ``fast_lane_workers`` sizes
+    the warm lane.  A zero-sized fast lane (or no configured store)
+    degrades to single-lane FIFO dispatch — the baseline the benchmark
+    compares against.
+    """
+
+    def __init__(
+        self,
+        config: Optional[BackDroidConfig] = None,
+        workers: int = 4,
+        fast_lane_workers: int = 1,
+        max_finished_jobs: int = 256,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be a positive integer")
+        if fast_lane_workers < 0:
+            raise ValueError("fast_lane_workers must be >= 0")
+        self.config = config if config is not None else BackDroidConfig()
+        self.queue = JobQueue(max_finished=max_finished_jobs)
+        self._store = self.config.artifact_store()
+        self._config_fingerprint = (
+            self.config.store_fingerprint() if self._store is not None else None
+        )
+        self._main = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="backdroid-main"
+        )
+        self._fast = (
+            ThreadPoolExecutor(
+                max_workers=fast_lane_workers,
+                thread_name_prefix="backdroid-fast",
+            )
+            if fast_lane_workers > 0
+            else None
+        )
+        self.lanes = {
+            "fast": LaneStats("fast", fast_lane_workers),
+            "main": LaneStats("main", workers),
+        }
+        #: Analyses actually executed (dedup-coalesced jobs share one).
+        self.analyses_run = 0
+        #: Submissions the store probe classified warm (lane-independent,
+        #: so a FIFO-degraded scheduler still reports its warm traffic).
+        self.warm_submissions = 0
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: AppSpec) -> Job:
+        """Probe, route, enqueue; returns the job record immediately."""
+        if self._closed:
+            raise RuntimeError("scheduler is shut down")
+        key, level = probe_spec(spec, self._store, self._config_fingerprint)
+        warm = level_is_warm(level, self.config)
+        lane = "fast" if warm and self._fast is not None else "main"
+        # The fingerprint surrogate always rides along as a dedup alias:
+        # analyze_spec teaches the store the spec -> sha mapping mid-run,
+        # so a duplicate of an in-flight cold submission would otherwise
+        # resolve to the sha and miss the surrogate-keyed primary.
+        aliases = (key, f"spec:{spec_fingerprint(spec)}")
+        job, is_primary = self.queue.submit(
+            spec, key=key, lane=lane, warm=warm, aliases=aliases
+        )
+        with self._lock:
+            stats = self.lanes[job.lane]
+            stats.submitted += 1
+            if warm:
+                self.warm_submissions += 1
+            if is_primary:
+                stats.depth += 1
+        if is_primary:
+            pool = self._fast if job.lane == "fast" else self._main
+            try:
+                pool.submit(self._run, job.id)
+            except RuntimeError:
+                # Lost the race against shutdown(): the executor already
+                # rejected new futures.  Fail the job (and any follower
+                # registered in the same instant) so nothing is left
+                # queued forever, then surface the closed state.
+                members = self.queue.finish(
+                    job.id, error="scheduler shut down before dispatch"
+                )
+                with self._lock:
+                    stats = self.lanes[job.lane]
+                    stats.depth = max(0, stats.depth - 1)
+                    stats.failed += len(members)
+                raise RuntimeError("scheduler is shut down") from None
+        return job
+
+    # ------------------------------------------------------------------
+    def _run(self, job_id: str) -> None:
+        job = self.queue.get(job_id)
+        if job is None:  # evicted before a worker got to it (shutdown race)
+            return
+        self.queue.mark_running(job_id)
+        with self._lock:
+            self.analyses_run += 1
+        outcome = analyze_spec(job.spec, self.config)  # never raises
+        outcome = dataclasses.replace(outcome, lane=job.lane)
+        payload = outcome_payload(outcome)
+        members = self.queue.finish(
+            job_id,
+            result=payload,
+            error=None if outcome.ok else outcome.error,
+        )
+        with self._lock:
+            stats = self.lanes[job.lane]
+            stats.depth = max(0, stats.depth - 1)
+            # Followers count too: every member was a submission and
+            # reached a terminal state with this payload.
+            for member in members:
+                if outcome.ok:
+                    stats.completed += 1
+                else:
+                    stats.failed += 1
+                if member.wait_seconds is not None:
+                    stats.total_wait_seconds += member.wait_seconds
+
+    # ------------------------------------------------------------------
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        return self.queue.wait(job_id, timeout=timeout)
+
+    def stats(self) -> dict:
+        """Lanes, job counts, warm-hit rate and the store's counters."""
+        jobs = self.queue.counts()
+        with self._lock:
+            lanes = {name: lane.as_dict() for name, lane in self.lanes.items()}
+            submitted = sum(lane.submitted for lane in self.lanes.values())
+            warm = self.warm_submissions
+            payload = {
+                "lanes": lanes,
+                "jobs": jobs,
+                "analyses_run": self.analyses_run,
+                "submitted": submitted,
+                "warm_hit_rate": warm / submitted if submitted else 0.0,
+                "store": (
+                    self._store.stats.as_dict()
+                    if self._store is not None
+                    else None
+                ),
+            }
+        return payload
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; with ``wait``, drain every queued job."""
+        self._closed = True
+        self._main.shutdown(wait=wait)
+        if self._fast is not None:
+            self._fast.shutdown(wait=wait)
+
+    def __enter__(self) -> "StoreAwareScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)

@@ -1,0 +1,262 @@
+"""The HTTP front end: a stdlib JSON API over the scheduler.
+
+Endpoints (all JSON)::
+
+    POST /v1/jobs        submit an app spec -> 202 + the job record
+    GET  /v1/jobs/<id>   one job's status (and result once done)
+    GET  /v1/jobs        every retained job, submission order
+    GET  /v1/stats       lanes, job counts, warm-hit rate, store counters
+    GET  /healthz        liveness
+
+Built on ``http.server.ThreadingHTTPServer`` — one thread per
+connection, no third-party dependency — because the request handlers do
+no analysis work themselves: a submit probes the store and enqueues
+(milliseconds), everything else reads queue snapshots.  The worker
+lanes live in the :class:`StoreAwareScheduler` underneath.
+
+:class:`ServiceClient` is the matching ``urllib`` client used by tests,
+CI smoke checks and scripts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib import request as urlrequest
+from urllib.error import HTTPError
+
+from repro.service.scheduler import StoreAwareScheduler
+from repro.workload.corpus import app_spec_from_request
+
+#: Largest request body a submission may carry (a spec is tiny; anything
+#: bigger is a client error, not a payload to buffer).
+MAX_BODY_BYTES = 64 * 1024
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests to the scheduler attached to the server."""
+
+    server: "_ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout: a client that stalls mid-request (e.g. announces
+    #: a Content-Length it never sends) must not pin a handler thread
+    #: forever; ``handle_one_request`` turns the TimeoutError into a
+    #: dropped connection.
+    timeout = 30
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # the service reports via /v1/stats, not stderr chatter
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        # An errored request may leave an unread body on the socket
+        # (oversized POST, wrong path); dropping the connection keeps a
+        # keep-alive client from parsing those bytes as its next request.
+        self.close_connection = True
+        self._send_json(status, {"error": message})
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        scheduler = self.server.scheduler
+        path = self.path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, {"ok": True})
+        elif path == "/v1/stats":
+            self._send_json(200, scheduler.stats())
+        elif path == "/v1/jobs":
+            self._send_json(200, {"jobs": scheduler.queue.snapshots()})
+        elif path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/"):]
+            snapshot = scheduler.queue.snapshot(job_id)
+            if snapshot is None:
+                self._error(404, f"unknown or evicted job {job_id!r}")
+            else:
+                self._send_json(200, snapshot)
+        else:
+            self._error(404, f"no such endpoint {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path.rstrip("/") != "/v1/jobs":
+            self._error(404, f"no such endpoint {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._error(400, "submission body required (a small JSON object)")
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self._error(400, "submission body is not valid JSON")
+            return
+        try:
+            spec = app_spec_from_request(payload)
+        except ValueError as exc:
+            self._error(400, str(exc))
+            return
+        try:
+            job = self.server.scheduler.submit(spec)
+        except RuntimeError as exc:  # shut down mid-flight
+            self._error(503, str(exc))
+            return
+        # A fast-lane job can finish — and, under a tiny retention
+        # bound, even be evicted — before this snapshot; the job record
+        # itself is always a valid response body.
+        snapshot = self.server.scheduler.queue.snapshot(job.id)
+        self._send_json(202, snapshot if snapshot is not None else job.as_dict())
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    #: Service restarts must not wait out TIME_WAIT sockets.
+    allow_reuse_address = True
+
+    def __init__(self, address, scheduler: StoreAwareScheduler) -> None:
+        super().__init__(address, _ServiceHandler)
+        self.scheduler = scheduler
+
+
+class AnalysisServer:
+    """A running analysis service: scheduler + HTTP listener.
+
+    ``port=0`` binds an ephemeral port; read the real one from
+    :attr:`address`.  The listener runs on a daemon thread so
+    ``serve_forever`` semantics stay with the caller (the CLI blocks on
+    :meth:`join`, tests just use the context manager).
+    """
+
+    def __init__(
+        self,
+        scheduler: StoreAwareScheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.scheduler = scheduler
+        self._http = _ServiceHTTPServer((host, port), scheduler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — authoritative even for ``port=0``."""
+        return self._http.server_address[0], self._http.server_address[1]
+
+    # ------------------------------------------------------------------
+    def start(self) -> "AnalysisServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._http.serve_forever,
+            name="backdroid-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def join(self) -> None:
+        """Block the caller until the listener thread exits."""
+        if self._thread is not None:
+            self._thread.join()
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the listener, then (with ``drain``) finish queued jobs.
+
+        Ordering matters: closing the listener first guarantees no new
+        submissions race the drain, so every job accepted before
+        shutdown reaches a terminal state.  Safe on a never-started
+        server (only the bound socket is released).
+        """
+        if self._thread is not None:
+            self._http.shutdown()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.scheduler.shutdown(wait=drain)
+
+    def __enter__(self) -> "AnalysisServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(drain=True)
+
+
+class ServiceClient:
+    """Minimal ``urllib`` client for the service API (tests, CI, scripts)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self.base_url = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> tuple[int, dict]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urlrequest.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urlrequest.urlopen(req, timeout=self.timeout) as response:
+                return response.status, json.loads(response.read() or b"{}")
+        except HTTPError as exc:
+            body = exc.read()
+            try:
+                return exc.code, json.loads(body or b"{}")
+            except json.JSONDecodeError:
+                return exc.code, {"error": body.decode("utf-8", "replace")}
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")[1]
+
+    def submit(self, request_payload: dict) -> dict:
+        """Submit a spec; raises ``ValueError`` on a client error."""
+        status, payload = self._request("POST", "/v1/jobs", request_payload)
+        if status >= 400:
+            raise ValueError(payload.get("error", f"HTTP {status}"))
+        return payload
+
+    def job(self, job_id: str) -> Optional[dict]:
+        status, payload = self._request("GET", f"/v1/jobs/{job_id}")
+        return None if status == 404 else payload
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs")[1]["jobs"]
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")[1]
+
+    def wait(
+        self, job_id: str, timeout: float = 30.0, poll_seconds: float = 0.05
+    ) -> dict:
+        """Poll a job to a terminal state over HTTP."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot is None:
+                raise KeyError(f"unknown or evicted job {job_id!r}")
+            if snapshot["state"] in ("done", "failed"):
+                return snapshot
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['state']} after {timeout}s"
+                )
+            time.sleep(poll_seconds)

@@ -9,16 +9,24 @@
 
 from repro.store.artifacts import (
     FORMAT_VERSION,
+    PROBE_LEVELS,
+    WARM_LEVELS,
     ArtifactStore,
     StoreInventory,
+    StoreProbe,
     StoreStats,
+    VerifyEntry,
     store_key,
 )
 
 __all__ = [
     "FORMAT_VERSION",
+    "PROBE_LEVELS",
+    "WARM_LEVELS",
     "ArtifactStore",
     "StoreInventory",
+    "StoreProbe",
     "StoreStats",
+    "VerifyEntry",
     "store_key",
 ]

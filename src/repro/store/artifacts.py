@@ -36,6 +36,7 @@ import os
 import shutil
 import tempfile
 import time
+import types
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional
@@ -52,7 +53,15 @@ FORMAT_VERSION = 1
 
 @dataclass
 class StoreStats:
-    """Hit/miss counters for one store handle (one process's view)."""
+    """Hit/miss counters for one store root (one process's view).
+
+    Shared by every :class:`ArtifactStore` handle on the same root in
+    this process — configs hand out fresh handles per analysis, and a
+    per-handle view would read as permanently zero to anything
+    monitoring the aggregate (the service's ``/v1/stats``).  Counter
+    bumps are single ``int`` operations, so sharing across worker
+    threads is safe.
+    """
 
     index_hits: int = 0
     index_misses: int = 0
@@ -97,6 +106,69 @@ class StoreInventory:
             lines.append(f"  {kind:11} : {self.files_by_kind[kind]} file(s)")
         return "\n".join(lines)
 
+    def as_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "files_by_kind": dict(self.files_by_kind),
+            "total_bytes": self.total_bytes,
+        }
+
+
+#: Warm-hit classification levels a probe can report, warmest first:
+#: a finished outcome for the probed config beats a restorable index,
+#: which beats a bare token stream, which beats nothing.
+PROBE_LEVELS = ("outcome", "index", "tokens", "none")
+
+#: Levels the schedulers treat as warm (cheap enough for a fast lane).
+WARM_LEVELS = ("outcome", "index")
+
+
+@dataclass(frozen=True)
+class StoreProbe:
+    """The warmest artifact level present for one content key."""
+
+    key: str
+    level: str
+
+    @property
+    def warm(self) -> bool:
+        return self.level in WARM_LEVELS
+
+
+@dataclass(frozen=True)
+class VerifyEntry:
+    """One entry's verdict from :meth:`ArtifactStore.verify`.
+
+    Failing statuses are ``mismatch`` (valid payload, wrong lists),
+    ``corrupt`` (unreadable/key-mismatched payload) and
+    ``missing-tokens`` (nothing to rebuild from).  ``no-index``
+    (outcome-only entry) and ``stale`` (older format version — the
+    runtime load path treats these as harmless misses and rebuilds)
+    are skips, not failures.
+    """
+
+    key: str
+    status: str
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "no-index", "stale")
+
+
+def _tokens_from_payload(payload: dict) -> list[LineToken]:
+    """The token stream a stored payload carries.
+
+    Raises ``KeyError``/``TypeError``/``ValueError`` on any shape
+    mismatch — the one parse both the live load path and the verifier
+    must agree on.
+    """
+    return [
+        LineToken(int(line_no), str(kind), str(text))
+        for line_no, kind, text in payload["tokens"]
+    ]
+
 
 def store_key(disassembly: Disassembly) -> str:
     """The content address of one app's disassembly (memoized).
@@ -117,6 +189,10 @@ def store_key(disassembly: Disassembly) -> str:
     return cached
 
 
+#: One shared StoreStats per store root per process (see StoreStats).
+_STATS_BY_ROOT: dict[str, StoreStats] = {}
+
+
 class ArtifactStore:
     """A content-addressed warm-start store rooted at one directory.
 
@@ -126,7 +202,9 @@ class ArtifactStore:
 
     def __init__(self, root) -> None:
         self.root = Path(root)
-        self.stats = StoreStats()
+        self.stats = _STATS_BY_ROOT.setdefault(
+            os.path.abspath(str(self.root)), StoreStats()
+        )
 
     # ------------------------------------------------------------------
     # Paths
@@ -142,6 +220,12 @@ class ArtifactStore:
 
     def _outcome_path(self, key: str, config_fingerprint: str) -> Path:
         return self.entry_dir(key) / f"outcome-{config_fingerprint}.json"
+
+    def _spec_path(self, spec_fingerprint: str) -> Path:
+        return (
+            self.root / "specmap" / spec_fingerprint[:2]
+            / f"{spec_fingerprint}.json"
+        )
 
     # ------------------------------------------------------------------
     # Raw I/O (atomic writes, torn-read tolerant reads)
@@ -165,22 +249,40 @@ class ArtifactStore:
 
     def _read_json(self, path: Path, key: str) -> Optional[dict]:
         """A validated payload, or None for missing/corrupt/stale entries."""
+        status, payload = self._classify_payload(path, key)
+        if status == "ok":
+            return payload
+        if status in ("corrupt", "stale"):
+            self.stats.corrupt_entries += 1
+        return None
+
+    def _classify_payload(
+        self, path: Path, key: str
+    ) -> tuple[str, Optional[dict]]:
+        """``(status, payload)`` distinguishing stale entries from rot.
+
+        ``"ok"`` / ``"missing"`` / ``"corrupt"`` / ``"stale"`` — unlike
+        :meth:`_read_json` (where every non-hit is simply a miss), the
+        verifier must not report an *older-format* entry as corruption:
+        the live load path rebuilds those harmlessly.
+        """
         try:
             raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return "missing", None
         except (OSError, UnicodeDecodeError):
-            return None
+            return "corrupt", None
         try:
             payload = json.loads(raw)
-            if not isinstance(payload, dict):
-                raise ValueError("payload is not an object")
-            if payload.get("version") != FORMAT_VERSION:
-                raise ValueError("format version mismatch")
-            if payload.get("key") != key:
-                raise ValueError("content key mismatch")
         except ValueError:
-            self.stats.corrupt_entries += 1
-            return None
-        return payload
+            return "corrupt", None
+        if not isinstance(payload, dict):
+            return "corrupt", None
+        if payload.get("version") != FORMAT_VERSION:
+            return "stale", None
+        if payload.get("key") != key:
+            return "corrupt", None
+        return "ok", payload
 
     # ------------------------------------------------------------------
     # Token-stream artifacts
@@ -205,10 +307,7 @@ class ArtifactStore:
             self.stats.token_misses += 1
             return None
         try:
-            tokens = [
-                LineToken(int(line_no), str(kind), str(text))
-                for line_no, kind, text in payload["tokens"]
-            ]
+            tokens = _tokens_from_payload(payload)
         except (KeyError, TypeError, ValueError):
             self.stats.corrupt_entries += 1
             self.stats.token_misses += 1
@@ -300,6 +399,156 @@ class ArtifactStore:
         return outcome
 
     # ------------------------------------------------------------------
+    # Probing (store-aware scheduling)
+    # ------------------------------------------------------------------
+    def probe(
+        self, key: str, config_fingerprint: Optional[str] = None
+    ) -> StoreProbe:
+        """Classify the warmest artifact present for *key*.
+
+        Pure existence checks — no payload is read or deserialized, so a
+        scheduler can probe every submission cheaply before dispatch.  A
+        probe is advisory: the artifact may still fail validation on the
+        real load, in which case the analysis falls back to a cold build.
+        """
+        if (
+            config_fingerprint is not None
+            and self._outcome_path(key, config_fingerprint).is_file()
+        ):
+            return StoreProbe(key, "outcome")
+        if self._index_path(key).is_file():
+            return StoreProbe(key, "index")
+        if self._tokens_path(key).is_file():
+            return StoreProbe(key, "tokens")
+        return StoreProbe(key, "none")
+
+    def save_spec_key(self, spec_fingerprint: str, key: str) -> None:
+        """Record which content key a deterministic app spec produced.
+
+        The map lets schedulers resolve a submission to its disassembly
+        sha *without generating the app*: a spec seen by any earlier
+        store-attached run resolves immediately; an unseen spec simply
+        misses and is treated as cold.  An entry pointing at a different
+        key (a generator change survived by the store) is overwritten,
+        so the map self-heals on the next analysis.
+        """
+        if self.load_spec_key(spec_fingerprint) == key:
+            return  # already current
+        self._write_json(
+            self._spec_path(spec_fingerprint),
+            {
+                "version": FORMAT_VERSION,
+                "key": spec_fingerprint,
+                "target": key,
+            },
+        )
+
+    def load_spec_key(self, spec_fingerprint: str) -> Optional[str]:
+        """The content key recorded for a spec, or None when unseen."""
+        payload = self._read_json(self._spec_path(spec_fingerprint),
+                                  spec_fingerprint)
+        if payload is None:
+            return None
+        target = payload.get("target")
+        if not isinstance(target, str) or not target:
+            self.stats.corrupt_entries += 1
+            return None
+        return target
+
+    # ------------------------------------------------------------------
+    # Verification (the ``backdroid store verify`` action)
+    # ------------------------------------------------------------------
+    def verify(self) -> list[VerifyEntry]:
+        """Replay the backend-parity check against every stored index.
+
+        For each entry the stored posting lists are restored via
+        :meth:`TokenIndex.from_payload` and compared — structure for
+        structure — against a fresh fold of the entry's stored token
+        stream, exactly the equality the parity suite enforces for live
+        restores.  Any divergence means on-disk corruption that the
+        per-payload validation cannot catch (valid JSON, wrong lists).
+        """
+        results: list[VerifyEntry] = []
+        for entry in self.entries():
+            key = entry.name
+            if not self._index_path(key).is_file():
+                results.append(VerifyEntry(key, "no-index"))
+                continue
+            status, payload = self._classify_payload(
+                self._index_path(key), key
+            )
+            if status == "missing":
+                # Present at the is_file() check, gone now: a concurrent
+                # gc is collecting the entry — a skip, not corruption.
+                results.append(VerifyEntry(key, "no-index"))
+                continue
+            if status != "ok":
+                results.append(
+                    VerifyEntry(key, status, "index payload unreadable"
+                                if status == "corrupt" else
+                                "older format version; a live run "
+                                "rebuilds this entry")
+                )
+                continue
+            try:
+                restored = TokenIndex.from_payload(payload)
+            except (KeyError, TypeError, ValueError) as exc:
+                results.append(
+                    VerifyEntry(key, "corrupt", f"index payload: {exc}")
+                )
+                continue
+            tokens_status, tokens_payload = self._classify_payload(
+                self._tokens_path(key), key
+            )
+            if tokens_status == "stale":
+                results.append(
+                    VerifyEntry(key, "stale",
+                                "older-format token stream; a live run "
+                                "rebuilds this entry")
+                )
+                continue
+            if tokens_status == "corrupt":
+                results.append(
+                    VerifyEntry(key, "corrupt", "token payload unreadable")
+                )
+                continue
+            if tokens_payload is None:
+                results.append(
+                    VerifyEntry(key, "missing-tokens",
+                                "no token stream to rebuild from")
+                )
+                continue
+            try:
+                tokens = _tokens_from_payload(tokens_payload)
+            except (KeyError, TypeError, ValueError) as exc:
+                results.append(
+                    VerifyEntry(key, "corrupt", f"token payload: {exc}")
+                )
+                continue
+            fresh = TokenIndex(types.SimpleNamespace(tokens=tokens, lines=[]))
+            mismatched = [
+                name
+                for name, stored_side, fresh_side in (
+                    ("vocab", restored.vocab, fresh.vocab),
+                    ("postings", restored.postings, fresh.postings),
+                    ("string_ids", restored._string_ids, fresh._string_ids),
+                    ("containing", restored.containing, fresh.containing),
+                )
+                if stored_side != fresh_side
+            ]
+            if mismatched:
+                results.append(
+                    VerifyEntry(
+                        key, "mismatch",
+                        "stored index diverges from a fresh build on: "
+                        + ", ".join(mismatched),
+                    )
+                )
+            else:
+                results.append(VerifyEntry(key, "ok"))
+        return results
+
+    # ------------------------------------------------------------------
     # Maintenance (the ``backdroid store`` subcommand)
     # ------------------------------------------------------------------
     def entries(self) -> Iterator[Path]:
@@ -313,6 +562,18 @@ class ArtifactStore:
             for entry in sorted(shard.iterdir()):
                 if entry.is_dir():
                     yield entry
+
+    def _spec_files(self) -> Iterator[Path]:
+        """Every published specmap file."""
+        specmap = self.root / "specmap"
+        if not specmap.is_dir():
+            return
+        for shard in sorted(specmap.iterdir()):
+            if not shard.is_dir():
+                continue
+            for mapping in sorted(shard.iterdir()):
+                if mapping.is_file() and mapping.suffix == ".json":
+                    yield mapping
 
     def describe(self) -> StoreInventory:
         inventory = StoreInventory(root=str(self.root))
@@ -331,13 +592,26 @@ class ArtifactStore:
                 # A concurrent gc swept the entry mid-walk; report what
                 # was still there.
                 continue
+        for mapping in self._spec_files():
+            try:
+                size = mapping.stat().st_size
+            except OSError:
+                continue  # swept by a concurrent gc mid-walk
+            inventory.files_by_kind["specmap"] = (
+                inventory.files_by_kind.get("specmap", 0) + 1
+            )
+            inventory.total_bytes += size
         return inventory
 
     def gc(self, max_age_seconds: float = 0.0) -> tuple[int, int]:
         """Drop entries whose newest artifact is older than the cutoff.
 
-        ``max_age_seconds == 0`` clears the whole store.  Returns
-        ``(entries_removed, bytes_reclaimed)``.
+        ``max_age_seconds == 0`` clears the whole store, specmap
+        included.  Specmap files are swept by the same age rule (a
+        dangling mapping is harmless — it only costs a cold probe — but
+        a long-lived store must not leak one file per spec forever).
+        Returns ``(entries_removed, bytes_reclaimed)``; removed specmap
+        files count toward the reclaimed bytes, not the entry count.
         """
         cutoff = time.time() - max_age_seconds
         removed = 0
@@ -356,5 +630,15 @@ class ArtifactStore:
             except OSError:
                 # A concurrent writer re-published the entry mid-sweep;
                 # leave it for the next collection.
+                continue
+        for mapping in list(self._spec_files()):
+            try:
+                stat = mapping.stat()
+                if stat.st_mtime > cutoff:
+                    continue
+                size = stat.st_size
+                mapping.unlink()
+                reclaimed += size
+            except OSError:
                 continue
         return removed, reclaimed

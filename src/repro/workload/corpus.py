@@ -203,6 +203,64 @@ def year_app_spec(
     )
 
 
+def app_spec_from_request(payload: dict) -> AppSpec:
+    """The :class:`AppSpec` a service submission names.
+
+    Accepted shapes (the ``POST /v1/jobs`` body)::
+
+        {"app": "bench:7", "scale": 0.2}
+        {"year": 2016, "index": 3, "scale": 1.0}
+
+    Raises ``ValueError`` with a client-facing message on anything else;
+    the HTTP layer maps that to a 400.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("submission body must be a JSON object")
+    try:
+        scale = float(payload.get("scale", 1.0))
+    except (TypeError, ValueError):
+        raise ValueError("'scale' must be a number") from None
+    # Bounded above: a client-supplied scale feeds the filler-code
+    # volume, and an unbounded one could wedge a worker lane (or
+    # overflow to inf) — operators wanting bigger apps own the CLI.
+    if not (0 < scale <= 10.0):
+        raise ValueError("'scale' must be a finite number in (0, 10]")
+
+    app = payload.get("app")
+    if app is not None:
+        if not isinstance(app, str) or not app.startswith("bench:"):
+            raise ValueError(
+                "'app' must be a bench:<index> spec, e.g. \"bench:7\""
+            )
+        try:
+            index = int(app.split(":", 1)[1])
+        except ValueError:
+            raise ValueError(
+                "'app' must be a bench:<index> spec with an integer index"
+            ) from None
+        if index < 0:
+            raise ValueError("'app' index must be >= 0")
+        return benchmark_app_spec(index, scale=scale)
+
+    if "year" in payload:
+        try:
+            year = int(payload["year"])
+            index = int(payload.get("index", 0))
+        except (TypeError, ValueError):
+            raise ValueError("'year' and 'index' must be integers") from None
+        if year not in TABLE1_APP_SIZES:
+            raise ValueError(
+                f"'year' must be one of {sorted(TABLE1_APP_SIZES)}"
+            )
+        if index < 0:
+            raise ValueError("'index' must be >= 0")
+        return year_app_spec(year, index, scale=scale)
+
+    raise ValueError(
+        "submission needs 'app' (bench:<index>) or 'year'/'index'"
+    )
+
+
 def benchmark_corpus(
     count: int = 144, seed: int = 2018, scale: float = 1.0
 ) -> list[GeneratedApp]:

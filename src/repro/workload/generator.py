@@ -12,6 +12,7 @@ and VI-D measure.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 
@@ -38,6 +39,18 @@ class AppSpec:
     year: int = 2018
     size_mb: float = 0.0
     installs: int = 1_000_000
+
+
+def spec_fingerprint(spec: AppSpec) -> str:
+    """A stable digest of one app recipe.
+
+    Specs are frozen dataclasses of primitives and
+    :class:`~repro.workload.patterns.PatternSpec` tuples, so their repr
+    is deterministic across processes and runs — the fingerprint lets
+    the artifact store map a recipe to the disassembly key its generated
+    app hashes to, without generating the app.
+    """
+    return hashlib.sha256(repr(spec).encode()).hexdigest()[:16]
 
 
 @dataclass

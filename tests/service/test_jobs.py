@@ -1,0 +1,192 @@
+"""Unit tests for the service job queue: lifecycle, dedup, retention."""
+
+import threading
+
+import pytest
+
+from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, JobQueue
+from repro.workload.generator import AppSpec
+
+
+def _spec(name="com.svc.app"):
+    return AppSpec(package=name)
+
+
+class TestLifecycle:
+    def test_submit_queues_with_timestamps(self):
+        queue = JobQueue()
+        job, is_primary = queue.submit(_spec(), key="k1", lane="main")
+        assert is_primary
+        assert job.state == QUEUED
+        assert job.submitted_at > 0
+        assert job.started_at is None and job.finished_at is None
+        assert job.wait_seconds is None
+        assert not job.terminal
+
+    def test_running_then_done_with_result(self):
+        queue = JobQueue()
+        job, _ = queue.submit(_spec(), key="k1")
+        queue.mark_running(job.id)
+        assert queue.get(job.id).state == RUNNING
+        assert queue.get(job.id).started_at is not None
+
+        queue.finish(job.id, result={"package": "com.svc.app"})
+        done = queue.get(job.id)
+        assert done.state == DONE and done.terminal
+        assert done.result == {"package": "com.svc.app"}
+        assert done.finished_at >= done.started_at
+        assert done.wait_seconds >= 0.0
+
+    def test_failure_records_error(self):
+        queue = JobQueue()
+        job, _ = queue.submit(_spec(), key="k1")
+        queue.finish(job.id, result=None, error="ValueError: boom")
+        failed = queue.get(job.id)
+        assert failed.state == FAILED
+        assert failed.error == "ValueError: boom"
+
+    def test_wait_blocks_until_terminal(self):
+        queue = JobQueue()
+        job, _ = queue.submit(_spec(), key="k1")
+        finisher = threading.Timer(0.02, queue.finish, args=(job.id, {"ok": 1}))
+        finisher.start()
+        done = queue.wait(job.id, timeout=5.0)
+        assert done.state == DONE
+
+    def test_wait_times_out_and_rejects_unknown(self):
+        queue = JobQueue()
+        job, _ = queue.submit(_spec(), key="k1")
+        with pytest.raises(TimeoutError):
+            queue.wait(job.id, timeout=0.01)
+        with pytest.raises(KeyError):
+            queue.wait("job-999999", timeout=0.01)
+
+    def test_snapshot_is_json_shaped(self):
+        queue = JobQueue()
+        job, _ = queue.submit(_spec(), key="k1", lane="fast", warm=True)
+        snapshot = queue.snapshot(job.id)
+        assert snapshot["id"] == job.id
+        assert snapshot["lane"] == "fast" and snapshot["warm"] is True
+        assert snapshot["state"] == QUEUED
+        assert queue.snapshot("nope") is None
+
+
+class TestDedup:
+    def test_same_key_coalesces_while_in_flight(self):
+        queue = JobQueue()
+        primary, is_primary = queue.submit(_spec(), key="sha1")
+        follower, follower_primary = queue.submit(_spec(), key="sha1")
+        assert is_primary and not follower_primary
+        assert follower.coalesced_into == primary.id
+        assert queue.dedup_hits == 1
+
+        queue.mark_running(primary.id)
+        assert queue.get(follower.id).state == RUNNING
+
+        queue.finish(primary.id, result={"payload": 7})
+        assert queue.get(primary.id).result == {"payload": 7}
+        assert queue.get(follower.id).result == {"payload": 7}
+        assert queue.get(follower.id).state == DONE
+
+    def test_follower_submitted_mid_run_mirrors_running(self):
+        queue = JobQueue()
+        primary, _ = queue.submit(_spec(), key="sha1")
+        queue.mark_running(primary.id)
+        follower, is_primary = queue.submit(_spec(), key="sha1")
+        assert not is_primary
+        assert follower.state == RUNNING and follower.started_at is not None
+
+    def test_follower_inherits_primary_lane(self):
+        queue = JobQueue()
+        queue.submit(_spec(), key="sha1", lane="fast", warm=True)
+        follower, _ = queue.submit(_spec(), key="sha1", lane="main")
+        assert follower.lane == "fast" and follower.warm
+
+    def test_distinct_keys_do_not_coalesce(self):
+        queue = JobQueue()
+        _, first_primary = queue.submit(_spec(), key="sha1")
+        _, second_primary = queue.submit(_spec(), key="sha2")
+        assert first_primary and second_primary
+        assert queue.dedup_hits == 0
+
+    def test_resubmit_after_completion_starts_fresh(self):
+        queue = JobQueue()
+        first, _ = queue.submit(_spec(), key="sha1")
+        queue.finish(first.id, result={"run": 1})
+        second, is_primary = queue.submit(_spec(), key="sha1")
+        assert is_primary
+        assert second.coalesced_into is None
+
+    def test_alias_keys_coalesce_across_key_flip(self):
+        # Cold-start race: the first submission runs under the
+        # spec-fingerprint surrogate; a duplicate that resolves to the
+        # learned disassembly sha must still find it via the alias.
+        queue = JobQueue()
+        primary, _ = queue.submit(_spec(), key="spec:fp1",
+                                  aliases=("spec:fp1",))
+        follower, is_primary = queue.submit(
+            _spec(), key="sha1", aliases=("sha1", "spec:fp1")
+        )
+        assert not is_primary
+        assert follower.coalesced_into == primary.id
+
+        queue.finish(primary.id, result={"ok": 1})
+        assert queue.get(follower.id).state == DONE
+        # Every alias was released: fresh submissions are primaries again.
+        _, sha_primary = queue.submit(_spec(), key="sha1",
+                                      aliases=("sha1", "spec:fp1"))
+        assert sha_primary
+
+    def test_finish_returns_all_members(self):
+        queue = JobQueue()
+        primary, _ = queue.submit(_spec(), key="k1")
+        follower, _ = queue.submit(_spec(), key="k1")
+        members = queue.finish(primary.id, result={})
+        assert {m.id for m in members} == {primary.id, follower.id}
+        assert queue.finish(primary.id, result={}) == []  # already terminal
+
+    def test_failure_propagates_to_followers(self):
+        queue = JobQueue()
+        primary, _ = queue.submit(_spec(), key="sha1")
+        follower, _ = queue.submit(_spec(), key="sha1")
+        queue.finish(primary.id, error="RuntimeError: died")
+        assert queue.get(follower.id).state == FAILED
+        assert queue.get(follower.id).error == "RuntimeError: died"
+
+
+class TestRetention:
+    def test_finished_jobs_evicted_oldest_first(self):
+        queue = JobQueue(max_finished=2)
+        ids = []
+        for i in range(4):
+            job, _ = queue.submit(_spec(f"com.svc.app{i}"), key=f"k{i}")
+            queue.finish(job.id, result={"i": i})
+            ids.append(job.id)
+        assert queue.get(ids[0]) is None and queue.get(ids[1]) is None
+        assert queue.get(ids[2]) is not None and queue.get(ids[3]) is not None
+
+    def test_active_jobs_never_evicted(self):
+        queue = JobQueue(max_finished=1)
+        active, _ = queue.submit(_spec("com.svc.active"), key="ka")
+        for i in range(3):
+            job, _ = queue.submit(_spec(f"com.svc.app{i}"), key=f"k{i}")
+            queue.finish(job.id, result={})
+        assert queue.get(active.id) is not None
+        assert queue.counts()["by_state"][QUEUED] == 1
+
+    def test_counts_shape(self):
+        queue = JobQueue()
+        job, _ = queue.submit(_spec(), key="k1")
+        queue.submit(_spec(), key="k1")
+        counts = queue.counts()
+        assert counts["by_state"][QUEUED] == 2
+        assert counts["in_flight_keys"] == 1
+        assert counts["dedup_hits"] == 1
+        queue.finish(job.id, result={})
+        counts = queue.counts()
+        assert counts["by_state"][DONE] == 2
+        assert counts["in_flight_keys"] == 0
+
+    def test_rejects_nonpositive_retention(self):
+        with pytest.raises(ValueError):
+            JobQueue(max_finished=0)

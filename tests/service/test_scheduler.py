@@ -1,0 +1,270 @@
+"""Tests for store-aware two-lane scheduling and in-flight dedup."""
+
+import threading
+
+import pytest
+
+import repro.service.scheduler as scheduler_module
+from repro.core import BackDroidConfig, analyze_spec
+from repro.service import StoreAwareScheduler
+from repro.workload.corpus import benchmark_app_spec
+
+SCALE = 0.05
+
+
+def _config(tmp_path, mode="full"):
+    return BackDroidConfig(
+        search_backend="indexed",
+        store_dir=str(tmp_path / "store"),
+        store_mode=mode,
+    )
+
+
+def _warm(config, index):
+    """Run one app through the store so later probes classify it warm."""
+    outcome = analyze_spec(benchmark_app_spec(index, scale=SCALE), config)
+    assert outcome.ok, outcome.error
+    return outcome
+
+
+class TestRouting:
+    def test_warm_submission_rides_the_fast_lane(self, tmp_path):
+        config = _config(tmp_path)
+        _warm(config, 0)
+        with StoreAwareScheduler(config, workers=2, fast_lane_workers=1) as s:
+            warm = s.submit(benchmark_app_spec(0, scale=SCALE))
+            cold = s.submit(benchmark_app_spec(1, scale=SCALE))
+            assert warm.lane == "fast" and warm.warm
+            assert cold.lane == "main" and not cold.warm
+            done = s.wait(warm.id, timeout=60)
+            assert done.state == "done"
+            assert done.result["store_hit"] is True
+            assert done.result["lane"] == "fast"
+            assert s.wait(cold.id, timeout=60).state == "done"
+
+    def test_warm_submission_never_rebuilds_its_index(self, tmp_path):
+        # Index-mode store: the analysis re-runs but the posting lists
+        # must be restored, never folded again.
+        config = _config(tmp_path, mode="index")
+        _warm(config, 0)
+        with StoreAwareScheduler(config, workers=1, fast_lane_workers=1) as s:
+            job = s.submit(benchmark_app_spec(0, scale=SCALE))
+            assert job.lane == "fast"
+            done = s.wait(job.id, timeout=60)
+            assert done.result["index_restored"] is True
+            assert done.result["index_build_seconds"] == 0.0
+
+    def test_index_level_is_not_warm_for_the_linear_backend(self, tmp_path):
+        # A stored index saves the linear scan nothing; routing such a
+        # submission to the fast lane would serialize full-cost work.
+        _warm(_config(tmp_path, mode="index"), 0)
+        linear = BackDroidConfig(
+            search_backend="linear",
+            store_dir=str(tmp_path / "store"),
+            store_mode="index",
+        )
+        with StoreAwareScheduler(linear, workers=1, fast_lane_workers=1) as s:
+            job = s.submit(benchmark_app_spec(0, scale=SCALE))
+            assert job.lane == "main" and not job.warm
+            assert s.wait(job.id, timeout=60).state == "done"
+
+    def test_outcome_level_is_warm_even_for_the_linear_backend(self, tmp_path):
+        # Full-mode outcome restores skip the analysis entirely, so the
+        # backend does not matter.
+        linear_full = BackDroidConfig(
+            search_backend="linear",
+            store_dir=str(tmp_path / "store"),
+            store_mode="full",
+        )
+        _warm(linear_full, 0)
+        with StoreAwareScheduler(
+            linear_full, workers=1, fast_lane_workers=1
+        ) as s:
+            job = s.submit(benchmark_app_spec(0, scale=SCALE))
+            assert job.lane == "fast" and job.warm
+            assert s.wait(job.id, timeout=60).result["store_hit"] is True
+
+    def test_no_store_means_single_lane(self, tmp_path):
+        with StoreAwareScheduler(BackDroidConfig(), workers=1) as s:
+            job = s.submit(benchmark_app_spec(0, scale=SCALE))
+            assert job.lane == "main" and not job.warm
+            assert s.wait(job.id, timeout=60).state == "done"
+
+    def test_zero_fast_lane_degrades_to_fifo(self, tmp_path):
+        config = _config(tmp_path)
+        _warm(config, 0)
+        with StoreAwareScheduler(config, workers=1, fast_lane_workers=0) as s:
+            job = s.submit(benchmark_app_spec(0, scale=SCALE))
+            assert job.warm and job.lane == "main"
+            assert s.wait(job.id, timeout=60).state == "done"
+
+
+class TestDedup:
+    def test_concurrent_duplicates_one_analysis_shared_payload(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance bar: two submissions, one analysis, one payload."""
+        release = threading.Event()
+        calls = []
+        real = scheduler_module.analyze_spec
+
+        def gated(spec, config=None):
+            calls.append(spec.package)
+            release.wait(timeout=30)
+            return real(spec, config)
+
+        monkeypatch.setattr(scheduler_module, "analyze_spec", gated)
+        scheduler = StoreAwareScheduler(
+            _config(tmp_path), workers=2, fast_lane_workers=1
+        )
+        try:
+            spec = benchmark_app_spec(0, scale=SCALE)
+            first = scheduler.submit(spec)
+            second = scheduler.submit(spec)
+            assert second.coalesced_into == first.id
+            release.set()
+            first_done = scheduler.wait(first.id, timeout=60)
+            second_done = scheduler.wait(second.id, timeout=60)
+        finally:
+            release.set()
+            scheduler.shutdown(wait=True)
+
+        assert calls == [spec.package]  # exactly one analysis ran
+        assert scheduler.analyses_run == 1
+        assert first_done.state == "done" and second_done.state == "done"
+        assert first_done.result == second_done.result
+        assert second_done.result is first_done.result  # shared, not copied
+        assert scheduler.queue.dedup_hits == 1
+        # Lane stats reconcile: both submissions count as completed.
+        lanes = scheduler.stats()["lanes"]
+        completed = sum(lane["completed"] for lane in lanes.values())
+        submitted = sum(lane["submitted"] for lane in lanes.values())
+        assert submitted == completed == 2
+
+    def test_cold_duplicate_survives_midrun_specmap_learning(
+        self, tmp_path, monkeypatch
+    ):
+        """The cold-start race: analyze_spec teaches the store the
+        spec -> sha mapping while the first submission is still running,
+        so the duplicate resolves to a different dedup key.  The
+        fingerprint alias must still coalesce them."""
+        from repro.workload.generator import spec_fingerprint
+
+        release = threading.Event()
+        learned = threading.Event()
+        real = scheduler_module.analyze_spec
+
+        def gated(spec, config=None):
+            learned.wait(timeout=30)  # specmap write happens before this
+            release.wait(timeout=30)
+            return real(spec, config)
+
+        monkeypatch.setattr(scheduler_module, "analyze_spec", gated)
+        config = _config(tmp_path)
+        scheduler = StoreAwareScheduler(config, workers=1)
+        try:
+            spec = benchmark_app_spec(5, scale=SCALE)
+            first = scheduler.submit(spec)
+            assert first.key.startswith("spec:")
+            # Simulate the worker's mid-run store write, then submit the
+            # duplicate: its probe now resolves the disassembly sha.
+            config.artifact_store().save_spec_key(
+                spec_fingerprint(spec), "f00d" * 16
+            )
+            learned.set()
+            second = scheduler.submit(spec)
+            assert second.key == "f00d" * 16
+            assert second.coalesced_into == first.id
+            release.set()
+            assert scheduler.wait(second.id, timeout=60).state == "done"
+        finally:
+            learned.set()
+            release.set()
+            scheduler.shutdown(wait=True)
+        assert scheduler.analyses_run == 1
+
+    def test_failed_analysis_fails_both_jobs(self, tmp_path, monkeypatch):
+        release = threading.Event()
+        real = scheduler_module.analyze_spec
+
+        def gated(spec, config=None):
+            release.wait(timeout=30)
+            return real(spec, config)
+
+        monkeypatch.setattr(scheduler_module, "analyze_spec", gated)
+        from repro.workload.generator import AppSpec
+
+        bad = AppSpec(package="com.broken", patterns=(("no-such",),))
+        scheduler = StoreAwareScheduler(_config(tmp_path), workers=1)
+        try:
+            first = scheduler.submit(bad)
+            second = scheduler.submit(bad)
+            release.set()
+            assert scheduler.wait(first.id, timeout=60).state == "failed"
+            assert scheduler.wait(second.id, timeout=60).state == "failed"
+            assert scheduler.wait(second.id, timeout=60).error
+        finally:
+            release.set()
+            scheduler.shutdown(wait=True)
+
+
+class TestLifecycleAndStats:
+    def test_shutdown_drains_every_queued_job(self, tmp_path):
+        scheduler = StoreAwareScheduler(_config(tmp_path), workers=2)
+        jobs = [
+            scheduler.submit(benchmark_app_spec(i, scale=SCALE))
+            for i in range(5)
+        ]
+        scheduler.shutdown(wait=True)
+        states = {scheduler.queue.get(j.id).state for j in jobs}
+        assert states == {"done"}
+
+    def test_submit_after_shutdown_raises(self, tmp_path):
+        scheduler = StoreAwareScheduler(_config(tmp_path), workers=1)
+        scheduler.shutdown(wait=True)
+        with pytest.raises(RuntimeError, match="shut down"):
+            scheduler.submit(benchmark_app_spec(0, scale=SCALE))
+
+    def test_submit_racing_executor_shutdown_leaves_no_queued_job(
+        self, tmp_path
+    ):
+        # A handler thread can pass the _closed check just as the pools
+        # stop accepting futures; the job must fail, not hang queued.
+        scheduler = StoreAwareScheduler(_config(tmp_path), workers=1)
+        scheduler._main.shutdown(wait=True)  # race the check itself
+        with pytest.raises(RuntimeError, match="shut down"):
+            scheduler.submit(benchmark_app_spec(0, scale=SCALE))
+        jobs = scheduler.queue.snapshots()
+        assert len(jobs) == 1
+        assert jobs[0]["state"] == "failed"
+        assert "before dispatch" in jobs[0]["error"]
+        assert scheduler.queue.counts()["in_flight_keys"] == 0
+        scheduler.shutdown(wait=True)
+
+    def test_stats_report_lanes_and_warm_rate(self, tmp_path):
+        config = _config(tmp_path)
+        _warm(config, 0)
+        with StoreAwareScheduler(config, workers=2, fast_lane_workers=1) as s:
+            warm = s.submit(benchmark_app_spec(0, scale=SCALE))
+            cold = s.submit(benchmark_app_spec(1, scale=SCALE))
+            s.wait(warm.id, timeout=60)
+            s.wait(cold.id, timeout=60)
+            stats = s.stats()
+        assert stats["submitted"] == 2
+        assert stats["warm_hit_rate"] == 0.5
+        assert stats["lanes"]["fast"]["completed"] == 1
+        assert stats["lanes"]["main"]["completed"] == 1
+        assert stats["lanes"]["fast"]["depth"] == 0
+        assert stats["lanes"]["fast"]["mean_wait_seconds"] >= 0.0
+        assert stats["jobs"]["by_state"]["done"] == 2
+        assert stats["analyses_run"] == 2
+        # Store counters are live even though each analysis constructs
+        # its own handle (stats are shared per root in-process).
+        assert stats["store"]["outcome_hits"] >= 1
+        assert stats["store"]["writes"] >= 1
+
+    def test_rejects_bad_worker_counts(self):
+        with pytest.raises(ValueError):
+            StoreAwareScheduler(workers=0)
+        with pytest.raises(ValueError):
+            StoreAwareScheduler(fast_lane_workers=-1)

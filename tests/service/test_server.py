@@ -1,0 +1,145 @@
+"""HTTP round-trip tests: ServiceClient against a live AnalysisServer."""
+
+import pytest
+
+from repro.core import BackDroidConfig, analyze_spec
+from repro.service import AnalysisServer, ServiceClient, StoreAwareScheduler
+from repro.workload.corpus import benchmark_app_spec
+
+SCALE = 0.05
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A running server over a store pre-warmed with bench app 0."""
+    config = BackDroidConfig(
+        search_backend="indexed",
+        store_dir=str(tmp_path / "store"),
+        store_mode="full",
+    )
+    outcome = analyze_spec(benchmark_app_spec(0, scale=SCALE), config)
+    assert outcome.ok, outcome.error
+    scheduler = StoreAwareScheduler(config, workers=2, fast_lane_workers=1)
+    with AnalysisServer(scheduler, port=0) as server:
+        yield ServiceClient(*server.address)
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        assert service.health() == {"ok": True}
+
+    def test_submit_poll_done_round_trip(self, service):
+        job = service.submit({"app": "bench:0", "scale": SCALE})
+        assert job["state"] in ("queued", "running", "done")
+        assert job["lane"] == "fast" and job["warm"] is True
+        assert job["package"] == "com.bench.app000"
+
+        done = service.wait(job["id"], timeout=60)
+        assert done["state"] == "done"
+        assert done["result"]["package"] == "com.bench.app000"
+        assert done["result"]["store_hit"] is True
+        assert done["result"]["index_build_seconds"] == 0.0
+        assert done["wait_seconds"] >= 0.0
+
+    def test_cold_submission_rides_main_lane(self, service):
+        job = service.submit({"app": "bench:2", "scale": SCALE})
+        assert job["lane"] == "main" and job["warm"] is False
+        done = service.wait(job["id"], timeout=60)
+        assert done["state"] == "done"
+        assert done["result"]["store_hit"] is False
+
+    def test_year_submission_shape(self, service):
+        job = service.submit({"year": 2015, "index": 0, "scale": SCALE})
+        assert job["package"] == "com.corpus.y2015.app00000"
+        assert service.wait(job["id"], timeout=60)["state"] == "done"
+
+    def test_duplicate_http_submissions_share_one_result(
+        self, tmp_path, monkeypatch
+    ):
+        # Hold the analysis until both submissions are accepted, so the
+        # concurrent-duplicate path is exercised deterministically.
+        import threading
+
+        import repro.service.scheduler as scheduler_module
+
+        release = threading.Event()
+        real = scheduler_module.analyze_spec
+
+        def gated(spec, config=None):
+            release.wait(timeout=30)
+            return real(spec, config)
+
+        monkeypatch.setattr(scheduler_module, "analyze_spec", gated)
+        config = BackDroidConfig(
+            search_backend="indexed", store_dir=str(tmp_path / "store")
+        )
+        scheduler = StoreAwareScheduler(config, workers=1)
+        with AnalysisServer(scheduler, port=0) as server:
+            client = ServiceClient(*server.address)
+            first = client.submit({"app": "bench:3", "scale": SCALE})
+            second = client.submit({"app": "bench:3", "scale": SCALE})
+            assert second["coalesced_into"] == first["id"]
+            release.set()
+            first_done = client.wait(first["id"], timeout=60)
+            second_done = client.wait(second["id"], timeout=60)
+            assert first_done["state"] == second_done["state"] == "done"
+            assert first_done["result"] == second_done["result"]
+            stats = client.stats()
+        assert stats["jobs"]["dedup_hits"] == 1
+        assert stats["analyses_run"] == 1  # one analysis, two done jobs
+
+    def test_jobs_listing_and_stats(self, service):
+        submitted = service.submit({"app": "bench:0", "scale": SCALE})
+        service.wait(submitted["id"], timeout=60)
+        listed = {job["id"] for job in service.jobs()}
+        assert submitted["id"] in listed
+        stats = service.stats()
+        assert {"lanes", "jobs", "store", "warm_hit_rate"} <= set(stats)
+
+
+class TestErrors:
+    def test_unknown_job_is_404(self, service):
+        assert service.job("job-424242") is None
+
+    def test_bad_spec_is_400(self, service):
+        with pytest.raises(ValueError, match="bench:<index>"):
+            service.submit({"app": "not-a-spec"})
+        with pytest.raises(ValueError, match="must be one of"):
+            service.submit({"year": 1999})
+        with pytest.raises(ValueError, match="'scale'"):
+            service.submit({"app": "bench:0", "scale": -1})
+        # Client-supplied scale is bounded: huge or non-finite values
+        # must be a 400, not a wedged worker or a handler crash.
+        with pytest.raises(ValueError, match="'scale'"):
+            service.submit({"app": "bench:0", "scale": 1e308})
+        with pytest.raises(ValueError, match="'scale'"):
+            service.submit({"app": "bench:0", "scale": 11})
+        with pytest.raises(ValueError, match="needs 'app'"):
+            service.submit({})
+
+    def test_unknown_endpoint_is_404(self, service):
+        status, payload = service._request("GET", "/v1/nope")
+        assert status == 404 and "error" in payload
+        status, _ = service._request("POST", "/v1/nope", {"x": 1})
+        assert status == 404
+
+    def test_empty_body_is_400(self, service):
+        status, payload = service._request("POST", "/v1/jobs")
+        assert status == 400 and "error" in payload
+
+
+class TestShutdownDrain:
+    def test_shutdown_drains_accepted_jobs(self, tmp_path):
+        config = BackDroidConfig(
+            search_backend="indexed", store_dir=str(tmp_path / "store")
+        )
+        scheduler = StoreAwareScheduler(config, workers=2)
+        server = AnalysisServer(scheduler, port=0).start()
+        client = ServiceClient(*server.address)
+        jobs = [
+            client.submit({"app": f"bench:{i}", "scale": SCALE})
+            for i in range(4)
+        ]
+        server.shutdown(drain=True)  # stop listening, finish the queue
+        states = {scheduler.queue.get(job["id"]).state for job in jobs}
+        assert states == {"done"}

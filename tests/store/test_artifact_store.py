@@ -287,3 +287,126 @@ class TestMaintenance:
         inventory = store.describe()
         assert inventory.entries == 0
         assert inventory.total_bytes == 0
+
+
+class TestProbe:
+    def test_probe_levels_escalate_with_artifacts(self, store):
+        apk = build_heyzap()
+        key = store_key(apk.disassembly)
+        assert store.probe(key).level == "none"
+
+        store.save_tokens(apk.disassembly)
+        assert store.probe(key).level == "tokens"
+        assert not store.probe(key).warm
+
+        store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
+        assert store.probe(key).level == "index"
+        assert store.probe(key).warm
+
+        store.save_outcome(apk.disassembly, "cfg1", {"package": "x"})
+        assert store.probe(key, "cfg1").level == "outcome"
+        # A different config's probe does not see that outcome.
+        assert store.probe(key, "cfg2").level == "index"
+        assert store.probe(key).level == "index"
+
+    def test_spec_key_round_trip(self, store):
+        assert store.load_spec_key("ab" * 8) is None
+        store.save_spec_key("ab" * 8, "deadbeef" * 8)
+        assert store.load_spec_key("ab" * 8) == "deadbeef" * 8
+
+    def test_spec_key_self_heals_on_remap(self, store):
+        # A generator change survived by the store: the next analysis
+        # overwrites the stale mapping instead of misrouting forever.
+        store.save_spec_key("ab" * 8, "old0" * 16)
+        store.save_spec_key("ab" * 8, "new1" * 16)
+        assert store.load_spec_key("ab" * 8) == "new1" * 16
+
+    def test_gc_and_describe_cover_the_specmap(self, store):
+        apk = build_heyzap()
+        store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
+        store.save_spec_key("ab" * 8, store_key(apk.disassembly))
+
+        inventory = store.describe()
+        assert inventory.files_by_kind["specmap"] == 1
+        removed, reclaimed = store.gc()
+        assert removed == 1 and reclaimed > 0
+        assert store.load_spec_key("ab" * 8) is None
+        assert store.describe().files_by_kind == {}
+
+    def test_analyze_spec_records_the_spec_mapping(self, tmp_path):
+        spec = benchmark_app_spec(0, scale=0.05)
+        config = BackDroidConfig(
+            search_backend="indexed", store_dir=str(tmp_path / "store")
+        )
+        assert analyze_spec(spec, config).ok
+        from repro.workload.generator import spec_fingerprint
+
+        store = config.artifact_store()
+        key = store.load_spec_key(spec_fingerprint(spec))
+        assert key == store_key(generate_app(spec).apk.disassembly)
+        assert store.probe(key).warm
+
+
+class TestVerify:
+    def _populate(self, store, apk):
+        store.save_index(
+            apk.disassembly, TokenIndex.for_disassembly(apk.disassembly)
+        )
+        return store_key(apk.disassembly)
+
+    def test_intact_store_verifies_clean(self, store):
+        keys = {
+            self._populate(store, build_heyzap()),
+            self._populate(store, build_palcomp3()),
+        }
+        results = store.verify()
+        assert {entry.key for entry in results} == keys
+        assert all(entry.status == "ok" and entry.ok for entry in results)
+
+    def test_tampered_postings_detected(self, store):
+        key = self._populate(store, build_heyzap())
+        path = store._index_path(key)
+        payload = json.loads(path.read_text())
+        payload["postings"][0] = [line + 1 for line in payload["postings"][0]]
+        path.write_text(json.dumps(payload))
+
+        (entry,) = store.verify()
+        assert entry.status == "mismatch" and not entry.ok
+        assert "postings" in entry.detail
+
+    def test_unreadable_index_reported_corrupt(self, store):
+        key = self._populate(store, build_heyzap())
+        store._index_path(key).write_text("{torn")
+        (entry,) = store.verify()
+        assert entry.status == "corrupt" and not entry.ok
+
+    def test_missing_tokens_flagged(self, store):
+        key = self._populate(store, build_heyzap())
+        store._tokens_path(key).unlink()
+        (entry,) = store.verify()
+        assert entry.status == "missing-tokens" and not entry.ok
+
+    def test_torn_tokens_reported_corrupt_not_missing(self, store):
+        key = self._populate(store, build_heyzap())
+        store._tokens_path(key).write_text("{torn")
+        (entry,) = store.verify()
+        assert entry.status == "corrupt" and not entry.ok
+        assert "token payload" in entry.detail
+
+    def test_outcome_only_entry_skipped(self, store):
+        apk = build_heyzap()
+        store.save_outcome(apk.disassembly, "cfg", {"package": "x"})
+        (entry,) = store.verify()
+        assert entry.status == "no-index" and entry.ok
+
+    def test_stale_format_version_is_a_skip_not_a_failure(self, store):
+        # A store written by an older format (e.g. restored from a CI
+        # cache prefix) is rebuilt by live runs, never "corruption".
+        key = self._populate(store, build_heyzap())
+        path = store._index_path(key)
+        payload = json.loads(path.read_text())
+        payload["version"] = FORMAT_VERSION - 1
+        path.write_text(json.dumps(payload))
+
+        (entry,) = store.verify()
+        assert entry.status == "stale" and entry.ok

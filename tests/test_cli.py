@@ -162,3 +162,143 @@ class TestStore:
             main(["store", "warm", "bench:0..2"])
         with pytest.raises(SystemExit, match="--store"):
             main(["store", "gc"])
+
+
+class TestJsonOutput:
+    def test_batch_json_is_machine_readable(self, capsys):
+        import json
+
+        code = main(["batch", "bench:0..3", "--scale", "0.05",
+                     "--backend", "indexed", "--executor", "serial",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["apps"]) == 3
+        assert payload["apps"][0]["package"] == "com.bench.app000"
+        aggregate = payload["aggregate"]
+        assert aggregate["app_count"] == 3 and aggregate["failed"] == 0
+        assert aggregate["backend"] == "indexed"
+        assert "store" not in aggregate  # no store configured
+
+    def test_batch_json_reports_store_and_lanes(self, tmp_path, capsys):
+        import json
+
+        argv = ["batch", "bench:0..3", "--scale", "0.05",
+                "--backend", "indexed", "--executor", "serial",
+                "--store", str(tmp_path / "s"), "--store-mode", "full",
+                "--json"]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)["aggregate"]["store"]
+        assert cold["hits"] == 0 and cold["fast_lane_apps"] == 0
+
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)["aggregate"]["store"]
+        assert warm["hits"] == 3
+        assert warm["fast_lane_apps"] == 3 and warm["main_lane_apps"] == 0
+
+    def test_store_stats_json(self, tmp_path, capsys):
+        import json
+
+        store_dir = str(tmp_path / "s")
+        main(["store", "warm", "bench:0..2", "--scale", "0.05",
+              "--store", store_dir])
+        capsys.readouterr()
+        assert main(["store", "stats", "--store", store_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 2
+        assert payload["files_by_kind"]["index"] == 2
+
+
+class TestStoreVerify:
+    def test_verify_clean_store_exits_zero(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "s")
+        main(["store", "warm", "bench:0..3", "--scale", "0.05",
+              "--store", store_dir])
+        capsys.readouterr()
+        assert main(["store", "verify", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "verified 3 stored index(es), 0 failure(s)" in out
+
+    def test_verify_flags_corruption_nonzero_exit(self, tmp_path, capsys):
+        import json as jsonlib
+
+        from repro.store import ArtifactStore
+
+        store_dir = str(tmp_path / "s")
+        main(["store", "warm", "bench:0..2", "--scale", "0.05",
+              "--store", store_dir])
+        capsys.readouterr()
+        store = ArtifactStore(store_dir)
+        entry = next(store.entries())
+        index_path = entry / "index.json"
+        payload = jsonlib.loads(index_path.read_text())
+        payload["postings"][0] = [n + 1 for n in payload["postings"][0]]
+        index_path.write_text(jsonlib.dumps(payload))
+
+        assert main(["store", "verify", "--store", store_dir]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "1 failure(s)" in out
+
+    def test_verify_requires_store_dir(self):
+        with pytest.raises(SystemExit, match="--store"):
+            main(["store", "verify"])
+
+
+class TestBatchLanes:
+    def test_warm_batch_renders_lane_counts(self, tmp_path, capsys):
+        argv = ["batch", "bench:0..4", "--scale", "0.05",
+                "--backend", "indexed", "--executor", "serial",
+                "--store", str(tmp_path / "s"), "--store-mode", "full"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "lanes          : 0 fast / 4 main" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "lanes          : 4 fast / 0 main" in warm
+        # Rendered rows stay in input order regardless of dispatch order.
+        rows = [line.split()[0] for line in warm.splitlines()
+                if line.startswith("com.bench.app")]
+        assert rows == sorted(rows)
+
+
+class TestServe:
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1" and args.port == 8099
+        assert args.workers == 4 and args.fast_lane_workers == 1
+        assert args.func.__name__ == "cmd_serve"
+
+    def test_build_server_wires_scheduler_and_store(self, tmp_path):
+        from repro.cli import build_parser, build_server
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--store", str(tmp_path / "s"),
+             "--backend", "indexed", "--workers", "2",
+             "--fast-lane-workers", "1"]
+        )
+        server = build_server(args)
+        try:
+            host, port = server.address
+            assert host == "127.0.0.1" and port > 0
+            assert server.scheduler.config.store_dir == str(tmp_path / "s")
+            assert server.scheduler.config.search_backend == "indexed"
+            assert server.scheduler.lanes["main"].workers == 2
+            assert server.scheduler.lanes["fast"].workers == 1
+        finally:
+            server.shutdown(drain=True)
+
+    def test_build_server_rejects_bad_worker_counts(self, tmp_path):
+        from repro.cli import build_parser, build_server
+
+        args = build_parser().parse_args(["serve", "--workers", "0"])
+        with pytest.raises(SystemExit, match="--workers"):
+            build_server(args)
+        args = build_parser().parse_args(["serve", "--fast-lane-workers", "-1"])
+        with pytest.raises(SystemExit, match="--fast-lane-workers"):
+            build_server(args)
+        args = build_parser().parse_args(["serve", "--retain-jobs", "0"])
+        with pytest.raises(SystemExit, match="--retain-jobs"):
+            build_server(args)
