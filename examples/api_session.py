@@ -1,0 +1,75 @@
+"""The session API: many targeted requests, one warm app, zero rebuilds.
+
+Demonstrates the three pillars of ``repro.api``:
+
+1. an :class:`AnalysisSession` owning the expensive per-app state — the
+   second, differently-targeted request performs **zero index builds**;
+2. streaming progress events (``SinkDiscovered``/``SinkAnalyzed``);
+3. the versioned :class:`ReportEnvelope` round-tripping through JSON.
+
+Run with::
+
+    PYTHONPATH=src python examples/api_session.py
+"""
+
+import json
+
+from repro.api import (
+    AnalysisFinished,
+    AnalysisRequest,
+    AnalysisSession,
+    ReportEnvelope,
+    SinkAnalyzed,
+    SinkDiscovered,
+)
+from repro.workload.corpus import benchmark_app_spec
+from repro.workload.generator import generate_app
+
+
+def main() -> None:
+    apk = generate_app(benchmark_app_spec(5, scale=0.2)).apk
+    session = AnalysisSession(apk, default_backend="indexed")
+
+    # --- request 1: crypto sinks only (pays the one index build) -----
+    crypto = session.run(AnalysisRequest(rules=("crypto-ecb",)))
+    stats = crypto.report.backend_stats
+    print(f"[crypto-ecb]    {crypto.report.sink_count} sinks, "
+          f"{len(crypto.findings)} finding(s), "
+          f"index built in {stats['index_build_seconds'] * 1000:.1f}ms")
+
+    # --- request 2: SSL sinks, same session: the index is reused -----
+    ssl = session.run(AnalysisRequest(rules=("ssl-verifier",)))
+    stats = ssl.report.backend_stats
+    print(f"[ssl-verifier]  {ssl.report.sink_count} sinks, "
+          f"{len(ssl.findings)} finding(s), "
+          f"index_prebuilt={stats['index_prebuilt']}, "
+          f"index_build_seconds={stats['index_build_seconds']}")
+    assert stats["index_prebuilt"] is True, "second request must reuse the index"
+    assert stats["index_build_seconds"] == 0.0, "second request must not rebuild"
+    assert session.describe()["index_builds"] == 1, "exactly one build per session"
+
+    # --- request 3: streamed, sink-by-sink progress -------------------
+    print("[streaming]     ", end="")
+    for event in session.stream(AnalysisRequest(rules=("crypto-ecb", "ssl-verifier"))):
+        if isinstance(event, SinkDiscovered):
+            print("d", end="")
+        elif isinstance(event, SinkAnalyzed):
+            print("A" if event.record.reachable else "a", end="")
+        elif isinstance(event, AnalysisFinished):
+            print(f"  -> {event.envelope.report.sink_count} sinks "
+                  f"(schema v{event.envelope.schema_version})")
+            envelope = event.envelope
+
+    # --- the envelope survives a JSON round trip exactly --------------
+    wire = json.dumps(envelope.as_dict(), sort_keys=True)
+    restored = ReportEnvelope.from_dict(json.loads(wire))
+    assert restored.report == envelope.report, "envelope round trip must be exact"
+    print(f"[envelope]      {len(wire)} bytes on the wire, exact round trip ok")
+
+    served = session.describe()["requests_served"]
+    print(f"session served {served} requests over one app "
+          f"with {session.describe()['index_builds']} index build")
+
+
+if __name__ == "__main__":
+    main()

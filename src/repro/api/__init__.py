@@ -1,0 +1,64 @@
+"""BackDroid's public analysis API.
+
+The single entry point for programmatic use::
+
+    from repro.api import AnalysisSession, AnalysisRequest
+
+    session = AnalysisSession(apk, default_backend="indexed")
+    crypto = session.run(AnalysisRequest(rules=("crypto-ecb",)))
+    ssl = session.run(AnalysisRequest(rules=("ssl-verifier",)))
+    assert ssl.report.backend_stats["index_build_seconds"] == 0.0
+
+* :mod:`repro.api.session`  — :class:`AnalysisSession` (expensive
+  per-app state, many requests, zero rebuilds) and the
+  :class:`SessionCache` shared by the batch driver and the service;
+* :mod:`repro.api.request`  — the composable :class:`AnalysisRequest`;
+* :mod:`repro.api.registry` — :class:`TargetRegistry` for client sink
+  specs and detectors;
+* :mod:`repro.api.envelope` — the versioned :class:`ReportEnvelope`
+  (``schema_version``, exact ``as_dict``/``from_dict`` round-trip);
+* :mod:`repro.api.events`   — the streaming progress events.
+
+``BackDroid(config).analyze(apk)`` remains as a thin compatibility shim
+over a one-shot session.
+"""
+
+from repro.api.envelope import (
+    ENVELOPE_KIND,
+    SCHEMA_VERSION,
+    ReportEnvelope,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.api.events import (
+    AnalysisEvent,
+    AnalysisFinished,
+    SinkAnalyzed,
+    SinkDiscovered,
+)
+from repro.api.registry import TargetRegistry, builtin_rules
+from repro.api.request import (
+    DEFAULT_RULES,
+    AnalysisRequest,
+    analysis_request_from_payload,
+)
+from repro.api.session import AnalysisSession, SessionCache
+
+__all__ = [
+    "AnalysisEvent",
+    "AnalysisFinished",
+    "AnalysisRequest",
+    "AnalysisSession",
+    "DEFAULT_RULES",
+    "ENVELOPE_KIND",
+    "ReportEnvelope",
+    "SCHEMA_VERSION",
+    "SessionCache",
+    "SinkAnalyzed",
+    "SinkDiscovered",
+    "TargetRegistry",
+    "analysis_request_from_payload",
+    "builtin_rules",
+    "report_from_dict",
+    "report_to_dict",
+]

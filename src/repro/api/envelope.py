@@ -1,0 +1,249 @@
+"""The versioned result envelope — one report serialization for all.
+
+Before this module existed the repo carried three ad-hoc result shapes:
+``AnalysisReport`` objects (in-memory only), batch ``outcome_payload``
+dicts, and the HTTP job-result JSON.  A :class:`ReportEnvelope` is the
+single canonical serialization: ``schema_version`` + the full report,
+round-trippable via ``as_dict()``/``from_dict()`` with exact equality,
+shared by ``backdroid analyze --json``, batch outcome payloads and the
+service API.
+
+Versioning contract: any change to the serialized shape bumps
+:data:`SCHEMA_VERSION`; ``from_dict`` rejects mismatched versions so a
+store or client never silently misreads an entry.  The golden fixture in
+``tests/api/golden_envelope.json`` fails the build on unversioned shape
+changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.android.framework import SinkSpec
+from repro.core.detectors import Finding
+from repro.core.report import AnalysisReport, SinkRecord
+from repro.core.slicer import SinkCallSite
+from repro.dex.types import MethodSignature
+from repro.search.loops import LoopKind
+
+#: Bump on ANY serialized shape change (fields added/removed/renamed,
+#: key semantics altered) — readers reject mismatches instead of
+#: guessing.
+SCHEMA_VERSION = 1
+
+#: Envelope self-identification (a bare dict in a log stays traceable).
+ENVELOPE_KIND = "backdroid-report"
+
+
+# ----------------------------------------------------------------------
+# Leaf serializers (shared with AnalysisRequest.as_dict)
+# ----------------------------------------------------------------------
+
+
+def signature_to_dict(signature: MethodSignature) -> dict:
+    return {
+        "class_name": signature.class_name,
+        "name": signature.name,
+        "param_types": list(signature.param_types),
+        "return_type": signature.return_type,
+    }
+
+
+def signature_from_dict(payload: dict) -> MethodSignature:
+    return MethodSignature(
+        class_name=str(payload["class_name"]),
+        name=str(payload["name"]),
+        param_types=tuple(str(p) for p in payload["param_types"]),
+        return_type=str(payload["return_type"]),
+    )
+
+
+def spec_to_dict(spec: SinkSpec) -> dict:
+    return {
+        "signature": signature_to_dict(spec.signature),
+        "tracked_params": list(spec.tracked_params),
+        "rule": spec.rule,
+        "description": spec.description,
+    }
+
+
+def spec_from_dict(payload: dict) -> SinkSpec:
+    return SinkSpec(
+        signature=signature_from_dict(payload["signature"]),
+        tracked_params=tuple(int(p) for p in payload["tracked_params"]),
+        rule=str(payload["rule"]),
+        description=str(payload["description"]),
+    )
+
+
+def _finding_to_dict(finding: Finding) -> dict:
+    return {
+        "rule": finding.rule,
+        "method": signature_to_dict(finding.method),
+        "stmt_index": finding.stmt_index,
+        "value_repr": finding.value_repr,
+        "detail": finding.detail,
+    }
+
+
+def _finding_from_dict(payload: dict) -> Finding:
+    return Finding(
+        rule=str(payload["rule"]),
+        method=signature_from_dict(payload["method"]),
+        stmt_index=int(payload["stmt_index"]),
+        value_repr=str(payload["value_repr"]),
+        detail=str(payload["detail"]),
+    )
+
+
+def _record_to_dict(record: SinkRecord) -> dict:
+    return {
+        "site": {
+            "method": signature_to_dict(record.site.method),
+            "stmt_index": record.site.stmt_index,
+            "spec": spec_to_dict(record.site.spec),
+        },
+        "reachable": record.reachable,
+        "cached": record.cached,
+        # JSON object keys are strings; the reader restores the ints.
+        "facts_repr": {str(k): v for k, v in record.facts_repr.items()},
+        "finding": (
+            _finding_to_dict(record.finding)
+            if record.finding is not None
+            else None
+        ),
+        "ssg_size": record.ssg_size,
+        "entry_points": list(record.entry_points),
+        "duration_seconds": record.duration_seconds,
+    }
+
+
+def _record_from_dict(payload: dict) -> SinkRecord:
+    site = payload["site"]
+    finding = payload.get("finding")
+    return SinkRecord(
+        site=SinkCallSite(
+            method=signature_from_dict(site["method"]),
+            stmt_index=int(site["stmt_index"]),
+            spec=spec_from_dict(site["spec"]),
+        ),
+        reachable=bool(payload["reachable"]),
+        cached=bool(payload["cached"]),
+        facts_repr={int(k): str(v) for k, v in payload["facts_repr"].items()},
+        finding=_finding_from_dict(finding) if finding is not None else None,
+        ssg_size=int(payload["ssg_size"]),
+        entry_points=tuple(str(e) for e in payload["entry_points"]),
+        duration_seconds=float(payload["duration_seconds"]),
+    )
+
+
+def report_to_dict(report: AnalysisReport) -> dict:
+    return {
+        "package": report.package,
+        "records": [_record_to_dict(r) for r in report.records],
+        "analysis_seconds": report.analysis_seconds,
+        "search_cache_rate": report.search_cache_rate,
+        "search_cache_lookups": report.search_cache_lookups,
+        "search_cache_evictions": report.search_cache_evictions,
+        "sink_cache_rate": report.sink_cache_rate,
+        "loop_counts": {
+            kind.value: count for kind, count in report.loop_counts.items()
+        },
+        "search_backend": report.search_backend,
+        "backend_stats": dict(report.backend_stats),
+        "notes": list(report.notes),
+    }
+
+
+def report_from_dict(payload: dict) -> AnalysisReport:
+    return AnalysisReport(
+        package=str(payload["package"]),
+        records=[_record_from_dict(r) for r in payload["records"]],
+        analysis_seconds=float(payload["analysis_seconds"]),
+        search_cache_rate=float(payload["search_cache_rate"]),
+        search_cache_lookups=int(payload["search_cache_lookups"]),
+        search_cache_evictions=int(payload["search_cache_evictions"]),
+        sink_cache_rate=float(payload["sink_cache_rate"]),
+        loop_counts={
+            LoopKind(kind): int(count)
+            for kind, count in payload["loop_counts"].items()
+        },
+        search_backend=str(payload["search_backend"]),
+        backend_stats=dict(payload["backend_stats"]),
+        notes=[str(n) for n in payload["notes"]],
+    )
+
+
+# ----------------------------------------------------------------------
+# The envelope
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ReportEnvelope:
+    """A versioned, serializable wrapper of one analysis result.
+
+    Equality is structural (dataclass ``==``), so round-trip tests can
+    assert ``ReportEnvelope.from_dict(e.as_dict()) == e`` exactly.
+    """
+
+    report: AnalysisReport
+    request: Optional["AnalysisRequest"] = None  # noqa: F821
+    schema_version: int = SCHEMA_VERSION
+
+    # -- convenience passthroughs --------------------------------------
+    @property
+    def package(self) -> str:
+        return self.report.package
+
+    @property
+    def findings(self) -> list:
+        return self.report.findings
+
+    @property
+    def vulnerable(self) -> bool:
+        return self.report.vulnerable
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "kind": ENVELOPE_KIND,
+            "schema_version": self.schema_version,
+            "request": (
+                self.request.as_dict() if self.request is not None else None
+            ),
+            "report": report_to_dict(self.report),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ReportEnvelope":
+        from repro.api.request import AnalysisRequest  # local: no cycle
+
+        if not isinstance(payload, dict):
+            raise ValueError("envelope payload must be a JSON object")
+        if payload.get("kind") != ENVELOPE_KIND:
+            raise ValueError(
+                f"not a {ENVELOPE_KIND} envelope: kind={payload.get('kind')!r}"
+            )
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported envelope schema_version {version!r} "
+                f"(this reader speaks {SCHEMA_VERSION})"
+            )
+        request = payload.get("request")
+        return cls(
+            report=report_from_dict(payload["report"]),
+            request=(
+                AnalysisRequest.from_dict(request)
+                if request is not None
+                else None
+            ),
+            schema_version=version,
+        )
+
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """The human-readable rendering (delegates to the report)."""
+        return self.report.to_text()

@@ -1,0 +1,56 @@
+"""Streaming progress events for long analyses.
+
+A session run reports sink-by-sink progress instead of going dark until
+the final report: the initial search yields one :class:`SinkDiscovered`
+per located sink call, each analyzed sink yields a :class:`SinkAnalyzed`
+with its finished record, and the terminal :class:`AnalysisFinished`
+carries the complete :class:`~repro.api.envelope.ReportEnvelope`.
+
+Consume them with ``for event in session.stream(request)`` or pass an
+``on_event`` callback to ``session.run``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.report import SinkRecord
+from repro.core.slicer import SinkCallSite
+
+
+@dataclass(frozen=True)
+class AnalysisEvent:
+    """Base class of every streamed event."""
+
+
+@dataclass(frozen=True)
+class SinkDiscovered(AnalysisEvent):
+    """The initial search located one target sink call site."""
+
+    site: SinkCallSite
+    index: int
+    total: int
+
+
+@dataclass(frozen=True)
+class SinkAnalyzed(AnalysisEvent):
+    """One sink finished slicing + forward analysis (or was cached)."""
+
+    record: SinkRecord
+    index: int
+    total: int
+
+
+@dataclass(frozen=True)
+class AnalysisFinished(AnalysisEvent):
+    """The run completed; ``envelope`` holds the full result."""
+
+    envelope: "ReportEnvelope"  # noqa: F821 - import cycle kept lazy
+
+
+__all__ = [
+    "AnalysisEvent",
+    "AnalysisFinished",
+    "SinkAnalyzed",
+    "SinkDiscovered",
+]

@@ -1,0 +1,113 @@
+"""Client-extensible sink/detector registration.
+
+The paper hard-codes its evaluation sinks (Sec. VI-A); AnaDroid-style
+clients instead supply their own analysis predicates.  A
+:class:`TargetRegistry` holds both halves of a rule family — the sink
+API signatures the initial search hunts for, and the detector judging
+each resolved sink call — so clients can add new rules without editing
+:mod:`repro.android.framework` or :mod:`repro.core.detectors`.
+
+Every registry starts from the built-in catalogue (the paper's sinks and
+detectors) unless constructed with ``include_builtin=False``.  Spec
+order is preserved as registered (built-ins keep catalogue order), which
+matters for duplicate-site attribution: when two specs locate the same
+call site, the first registered spec claims it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Optional
+
+from repro.android.framework import SINK_CATALOGUE, SinkSpec
+from repro.core.detectors import DETECTORS, Detector
+
+
+def builtin_rules() -> tuple[str, ...]:
+    """The built-in rule families, in catalogue order."""
+    return tuple(dict.fromkeys(spec.rule for spec in SINK_CATALOGUE))
+
+
+class TargetRegistry:
+    """Sink specs and detectors, keyed by rule family.
+
+    Mutable by design — ``register`` adds client sinks, and
+    ``register_detector`` attaches or replaces the judge of a rule.
+    Sessions built without an explicit registry get a private copy of
+    the built-ins, so registrations never leak between sessions.
+    """
+
+    def __init__(self, include_builtin: bool = True) -> None:
+        self._catalogue: list[SinkSpec] = []
+        self._detectors: dict[str, Detector] = {}
+        if include_builtin:
+            self._catalogue.extend(SINK_CATALOGUE)
+            self._detectors.update(DETECTORS)
+
+    # ------------------------------------------------------------------
+    def register(
+        self, spec: SinkSpec, detector: Optional[Detector] = None
+    ) -> "TargetRegistry":
+        """Add one sink spec (and optionally its rule's detector).
+
+        Idempotent for identical specs; returns ``self`` for chaining.
+        """
+        if spec not in self._catalogue:
+            self._catalogue.append(spec)
+        if detector is not None:
+            self.register_detector(detector, rule=spec.rule)
+        return self
+
+    def register_detector(
+        self, detector: Detector, rule: Optional[str] = None
+    ) -> "TargetRegistry":
+        """Attach *detector* to a rule (default: the detector's own)."""
+        rule = rule if rule is not None else detector.rule
+        if not rule:
+            raise ValueError("detector has no rule id")
+        self._detectors[rule] = detector
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def rules(self) -> tuple[str, ...]:
+        """Every registered rule family, first-registration order."""
+        return tuple(dict.fromkeys(spec.rule for spec in self._catalogue))
+
+    @property
+    def specs(self) -> tuple[SinkSpec, ...]:
+        return tuple(self._catalogue)
+
+    def specs_for(self, rules: Iterable[str]) -> tuple[SinkSpec, ...]:
+        """The specs of the given rule families, registration order.
+
+        Unknown rules contribute nothing (matching
+        ``BackDroidConfig.sink_specs``); HTTP-facing validation rejects
+        them earlier via :attr:`rules`.
+        """
+        wanted = set(rules)
+        return tuple(s for s in self._catalogue if s.rule in wanted)
+
+    def detector_for(self, rule: str) -> Optional[Detector]:
+        return self._detectors.get(rule)
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """A stable digest of every registered spec and detector.
+
+        Feeds outcome-cache keys: a custom detector changes findings, so
+        outcomes produced under one registry must never be served to
+        another.
+        """
+        parts = [
+            repr((s.rule, s.key, s.tracked_params)) for s in self._catalogue
+        ]
+        parts.extend(
+            # Class identity plus instance state: two differently-
+            # configured instances of one detector class must not share
+            # an outcome-cache key.
+            f"{rule}:{type(det).__module__}.{type(det).__qualname__}:"
+            f"{sorted(vars(det).items())!r}"
+            for rule, det in sorted(self._detectors.items())
+        )
+        return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]

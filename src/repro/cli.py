@@ -10,7 +10,7 @@ app sources:
 Commands::
 
     backdroid analyze lgtv --rules open-port --dump-ssg
-    backdroid analyze bench:7 --backend indexed
+    backdroid analyze bench:7 --backend indexed --json
     backdroid compare bench:3 --timeout 5
     backdroid corpus --year 2018 --count 1000
     backdroid batch bench:0..20 --backend indexed --workers 8
@@ -33,6 +33,7 @@ import sys
 from typing import Optional
 
 from repro.android.apk import Apk
+from repro.api import AnalysisRequest, AnalysisSession
 from repro.baseline import AmandroidConfig, AmandroidStyleAnalyzer
 from repro.core import STORE_MODES, BackDroid, BackDroidConfig, run_batch
 from repro.core.batch import EXECUTORS, analyze_spec
@@ -95,7 +96,12 @@ def cmd_analyze(args) -> int:
         store_dir=args.store,
         store_mode=args.store_mode,
     )
-    report = BackDroid(config).analyze(apk)
+    session = AnalysisSession.from_config(apk, config)
+    envelope = session.run(AnalysisRequest.from_config(config))
+    report = envelope.report
+    if args.json:
+        print(json.dumps(envelope.as_dict(), indent=2, sort_keys=True))
+        return 1 if report.vulnerable else 0
     print(report.to_text())
     if args.dump_ssg:
         for note in report.notes:
@@ -322,8 +328,9 @@ def cmd_serve(args) -> int:
     )
     print(f"backdroid service listening on http://{host}:{port}")
     print(f"  {args.workers} main worker(s), {store_note}")
-    print("  endpoints: POST /v1/jobs, GET /v1/jobs/<id>, GET /v1/stats, "
-          "GET /healthz  (Ctrl-C to drain and stop)")
+    print("  endpoints: POST /v1/jobs, GET /v1/jobs/<id>, "
+          "DELETE /v1/jobs/<id>, GET /v1/stats, GET /healthz  "
+          "(Ctrl-C to drain and stop)")
     try:
         server.join()
     except KeyboardInterrupt:
@@ -378,6 +385,9 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--hierarchy-fix", action="store_true",
                          help="enable the class-hierarchy initial-search fix")
     analyze.add_argument("--dump-ssg", action="store_true")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the versioned ReportEnvelope JSON "
+                         "instead of the text report")
     add_backend_flag(analyze)
     add_store_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)

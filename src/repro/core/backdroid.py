@@ -11,26 +11,28 @@
 
 Sink-API-call caching (Sec. IV-F) short-circuits sinks hosted by a method
 already proven unreachable.
+
+The pipeline itself lives in :mod:`repro.api.session` — ``BackDroid``
+is retained as a thin compatibility shim that runs a one-shot
+:class:`~repro.api.session.AnalysisSession` (the parity tests hold the
+shim to identical reports).  New code should use the session API
+directly: it serves many requests over one app without rebuilding
+per-app state.
 """
 
 from __future__ import annotations
 
 import hashlib
-import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.android.apk import Apk
 from repro.android.framework import SinkSpec, sinks_for_rules
-from repro.core.detectors import DETECTORS
-from repro.core.forward import ForwardPropagation
-from repro.core.report import AnalysisReport, SinkRecord
-from repro.core.slicer import BackwardSlicer, SinkCallSite
+from repro.core.report import AnalysisReport
+from repro.core.slicer import SinkCallSite
 from repro.dex.types import MethodSignature
 from repro.search.basic import locate_call_sites
-from repro.search.caching import SearchCommandCache, SinkReachabilityCache
 from repro.search.engine import CallerResolutionEngine
-from repro.search.loops import LoopDetector
 from repro.store import ArtifactStore
 
 #: Selectable warm-start reuse levels (``BackDroidConfig.store_mode``).
@@ -116,8 +118,55 @@ class BackDroidConfig:
         return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
 
 
+def find_sink_call_sites(
+    apk: Apk,
+    engine: CallerResolutionEngine,
+    specs: Iterable[SinkSpec],
+    check_class_hierarchy: bool = False,
+) -> list[SinkCallSite]:
+    """Step 2 of Fig. 2: the initial sink search over the plaintext.
+
+    Spec order matters for duplicate attribution: when two specs locate
+    the same (method, statement) site, the first spec claims it.
+    """
+    pool = apk.full_pool
+    sites: list[SinkCallSite] = []
+    seen: set[tuple[MethodSignature, int]] = set()
+    for spec in specs:
+        signatures = [spec.signature]
+        if check_class_hierarchy:
+            # The fix for the paper's two FNs: app classes extending
+            # the sink's declaring class may expose the sink API
+            # under their own signature.
+            for cls in pool.application_classes():
+                if spec.signature.class_name in pool.superclass_chain(cls.name):
+                    if not cls.declares_sub_signature(spec.signature.sub_signature()):
+                        signatures.append(spec.signature.with_class(cls.name))
+        for signature in signatures:
+            for hit in engine.searcher.find_invocations(signature):
+                if hit.method is None:
+                    continue
+                for index in locate_call_sites(pool, hit.method, signature):
+                    key = (hit.method, index)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    sites.append(
+                        SinkCallSite(method=hit.method, stmt_index=index, spec=spec)
+                    )
+    sites.sort(key=lambda s: (str(s.method), s.stmt_index))
+    return sites
+
+
 class BackDroid:
-    """Targeted, search-driven security vetting of one app at a time."""
+    """Targeted, search-driven security vetting of one app at a time.
+
+    A compatibility shim: each ``analyze`` call builds a one-shot
+    :class:`~repro.api.session.AnalysisSession` from the config and runs
+    a single request.  Clients analyzing one app repeatedly (or with
+    varying targets) should hold a session instead, which reuses the
+    backend index and search cache across requests.
+    """
 
     def __init__(self, config: Optional[BackDroidConfig] = None) -> None:
         self.config = config if config is not None else BackDroidConfig()
@@ -125,99 +174,28 @@ class BackDroid:
     # ------------------------------------------------------------------
     def analyze(self, apk: Apk) -> AnalysisReport:
         """Run the full Fig. 2 pipeline on one app."""
-        started = time.perf_counter()
-        cache = (
-            SearchCommandCache(max_entries=self.config.search_cache_max_entries)
-            if self.config.enable_search_cache
-            else None
-        )
-        loops = LoopDetector()
-        engine = CallerResolutionEngine(
-            apk,
-            cache=cache,
-            loops=loops,
-            backend=self.config.search_backend,
-            store=self.config.artifact_store(),
-        )
-        slicer = BackwardSlicer(apk, engine=engine, max_frames=self.config.max_frames)
-        sink_cache = SinkReachabilityCache()
-        report = AnalysisReport(package=apk.package)
+        # Imported here: repro.api is layered above repro.core.
+        from repro.api.request import AnalysisRequest
+        from repro.api.session import AnalysisSession
 
-        for site in self.find_sink_call_sites(apk, engine):
-            sink_started = time.perf_counter()
-            record = SinkRecord(site=site, reachable=False)
-            cached_verdict = (
-                sink_cache.lookup(site.method) if self.config.enable_sink_cache else None
-            )
-            if cached_verdict is False:
-                # Sec. IV-F: the hosting method is known-unreachable.
-                record.cached = True
-                record.duration_seconds = time.perf_counter() - sink_started
-                report.records.append(record)
-                continue
-            ssg = slicer.slice_sink(site)
-            record.reachable = ssg.reached_entry
-            record.ssg_size = len(ssg)
-            record.entry_points = tuple(sorted(str(e) for e in ssg.entry_points))
-            if self.config.enable_sink_cache:
-                sink_cache.store(site.method, ssg.reached_entry)
-            if ssg.reached_entry:
-                facts = ForwardPropagation(apk, ssg).run()
-                record.facts_repr = {k: str(v) for k, v in facts.items()}
-                detector = DETECTORS.get(site.spec.rule)
-                if detector is not None:
-                    record.finding = detector.evaluate(
-                        facts, site.method, site.stmt_index, apk.full_pool
-                    )
-            if self.config.collect_ssg_dumps:
-                report.notes.append(ssg.render())
-            record.duration_seconds = time.perf_counter() - sink_started
-            report.records.append(record)
-
-        report.analysis_seconds = time.perf_counter() - started
-        if cache is not None:
-            report.search_cache_rate = cache.stats.rate
-            report.search_cache_lookups = cache.stats.lookups
-            report.search_cache_evictions = cache.stats.evictions
-        report.sink_cache_rate = sink_cache.stats.rate
-        report.loop_counts = dict(loops.counts)
-        report.search_backend = engine.searcher.backend.name
-        report.backend_stats = engine.searcher.backend.describe()
-        return report
+        session = AnalysisSession.from_config(apk, self.config)
+        envelope = session.run(AnalysisRequest.from_config(self.config))
+        return envelope.report
 
     # ------------------------------------------------------------------
     def find_sink_call_sites(
         self, apk: Apk, engine: Optional[CallerResolutionEngine] = None
     ) -> list[SinkCallSite]:
-        """Step 2 of Fig. 2: the initial sink search over the plaintext."""
+        """Step 2 of Fig. 2 under this driver's config (compat wrapper)."""
         if engine is None:
             engine = CallerResolutionEngine(
                 apk, backend=self.config.search_backend
             )
-        pool = apk.full_pool
-        sites: list[SinkCallSite] = []
-        seen: set[tuple[MethodSignature, int]] = set()
-        for spec in self.config.sink_specs():
-            signatures = [spec.signature]
-            if self.config.check_class_hierarchy_in_initial_search:
-                # The fix for the paper's two FNs: app classes extending
-                # the sink's declaring class may expose the sink API
-                # under their own signature.
-                for cls in pool.application_classes():
-                    if spec.signature.class_name in pool.superclass_chain(cls.name):
-                        if not cls.declares_sub_signature(spec.signature.sub_signature()):
-                            signatures.append(spec.signature.with_class(cls.name))
-            for signature in signatures:
-                for hit in engine.searcher.find_invocations(signature):
-                    if hit.method is None:
-                        continue
-                    for index in locate_call_sites(pool, hit.method, signature):
-                        key = (hit.method, index)
-                        if key in seen:
-                            continue
-                        seen.add(key)
-                        sites.append(
-                            SinkCallSite(method=hit.method, stmt_index=index, spec=spec)
-                        )
-        sites.sort(key=lambda s: (str(s.method), s.stmt_index))
-        return sites
+        return find_sink_call_sites(
+            apk,
+            engine,
+            self.config.sink_specs(),
+            check_class_hierarchy=(
+                self.config.check_class_hierarchy_in_initial_search
+            ),
+        )

@@ -18,6 +18,7 @@ mirroring how the paper's corpus runs tolerate per-app analyzer errors
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import os
 import statistics
 import time
@@ -30,7 +31,7 @@ from concurrent.futures import (
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-from repro.core.backdroid import BackDroid, BackDroidConfig
+from repro.core.backdroid import BackDroidConfig
 from repro.store import WARM_LEVELS, ArtifactStore, store_key
 from repro.workload.generator import AppSpec, generate_app, spec_fingerprint
 
@@ -81,26 +82,56 @@ class AppOutcome:
 
 def outcome_payload(outcome: AppOutcome) -> dict:
     """A JSON-able snapshot of one outcome (store entries, service
-    results, ``--json`` output)."""
+    results, ``--json`` output).
+
+    Carries the shared envelope ``schema_version`` so every serialized
+    result in the system — full report envelopes, store outcomes, HTTP
+    job payloads — is versioned by one constant.
+    """
+    from repro.api.envelope import SCHEMA_VERSION
+
     payload = dataclasses.asdict(outcome)
     payload["findings"] = [list(f) for f in outcome.findings]
+    payload["schema_version"] = SCHEMA_VERSION
     return payload
 
 
 def _outcome_from_payload(payload: dict) -> AppOutcome:
     """Rebuild an outcome from its stored snapshot (raises on mismatch)."""
-    names = {f.name for f in dataclasses.fields(AppOutcome)}
-    if not names.issuperset(payload):
-        raise ValueError("unknown outcome fields in store payload")
+    from repro.api.envelope import SCHEMA_VERSION
+
     kwargs = dict(payload)
+    if kwargs.pop("schema_version", None) != SCHEMA_VERSION:
+        raise ValueError("outcome payload schema_version mismatch")
+    names = {f.name for f in dataclasses.fields(AppOutcome)}
+    if not names.issuperset(kwargs):
+        raise ValueError("unknown outcome fields in store payload")
     kwargs["findings"] = tuple(
-        (str(rule), str(cls)) for rule, cls in payload.get("findings", ())
+        (str(rule), str(cls)) for rule, cls in kwargs.get("findings", ())
     )
     return AppOutcome(**kwargs)
 
 
+def _outcome_fingerprint(config: BackDroidConfig, registry=None) -> str:
+    """The store key suffix finished outcomes are cached under.
+
+    A custom registry changes detectors (and hence findings), so its
+    fingerprint must key the outcome cache alongside the config's.
+    """
+    fingerprint = config.store_fingerprint()
+    if registry is not None:
+        fingerprint = hashlib.sha256(
+            f"{fingerprint}|{registry.fingerprint()}".encode()
+        ).hexdigest()[:16]
+    return fingerprint
+
+
 def analyze_spec(
-    spec: AppSpec, config: Optional[BackDroidConfig] = None
+    spec: AppSpec,
+    config: Optional[BackDroidConfig] = None,
+    request=None,
+    sessions=None,
+    registry=None,
 ) -> AppOutcome:
     """Generate and analyze one app; never raises (errors are captured).
 
@@ -108,27 +139,52 @@ def analyze_spec(
     same bytecode and config is restored instead of re-analyzed; the
     returned outcome then has ``store_hit`` set and reports the restore
     time as its ``seconds``.
+
+    ``request`` (an :class:`~repro.api.request.AnalysisRequest`)
+    overrides the config's targets/knobs for this run.  ``sessions`` (a
+    :class:`~repro.api.session.SessionCache`) lets repeated runs against
+    one recipe — including differently-targeted ones — share a warm
+    :class:`~repro.api.session.AnalysisSession` instead of regenerating
+    and re-indexing the app.  ``registry`` threads client sink specs and
+    detectors into the session.
     """
+    from repro.api.request import AnalysisRequest
+    from repro.api.session import AnalysisSession
+
     config = config if config is not None else BackDroidConfig()
+    effective = request.to_config(config) if request is not None else config
     try:
-        apk = generate_app(spec).apk
+        # Sessions are only interchangeable when every session-level
+        # input matches: the app recipe, the registry driving sink
+        # specs/detectors, and the config knobs the session captures at
+        # construction (store, cache bound).  Keying on all of them
+        # keeps a shared cache correct across differently-configured
+        # callers.
+        cache_key = "|".join((
+            spec_fingerprint(spec),
+            registry.fingerprint() if registry is not None else "default",
+            repr(effective.store_dir),
+            repr(effective.store_mode),
+            repr(effective.search_cache_max_entries),
+        ))
+        session = sessions.get(cache_key) if sessions is not None else None
+        apk = session.apk if session is not None else generate_app(spec).apk
         # Render the plaintext up front: preprocessing is paid identically
         # by cold and warm paths, so neither the restore time below nor
         # the analysis time should include it.
         apk.disassembly
         started = time.perf_counter()
-        store = config.artifact_store()
+        store = effective.artifact_store()
+        outcome_fp = _outcome_fingerprint(effective, registry)
         if store is not None:
             # Teach the store which content key this recipe hashes to, so
             # future scheduler probes resolve it without generating.
             store.save_spec_key(
                 spec_fingerprint(spec), store_key(apk.disassembly)
             )
-        reuse_outcomes = store is not None and config.store_mode == "full"
+        reuse_outcomes = store is not None and effective.store_mode == "full"
         if reuse_outcomes:
-            payload = store.load_outcome(
-                apk.disassembly, config.store_fingerprint()
-            )
+            payload = store.load_outcome(apk.disassembly, outcome_fp)
             if payload is not None:
                 try:
                     restored = _outcome_from_payload(payload)
@@ -141,7 +197,24 @@ def analyze_spec(
                         store_hit=True,
                         index_build_seconds=0.0,
                     )
-        report = BackDroid(config).analyze(apk)
+        if session is None:
+            session = AnalysisSession.from_config(
+                apk, effective, registry=registry
+            )
+            if sessions is not None:
+                sessions.put(cache_key, session)
+        run_request = (
+            request
+            if request is not None
+            else AnalysisRequest.from_config(effective)
+        )
+        if run_request.backend is None:
+            # Pin the backend explicitly: a cached session may carry a
+            # different default than this run's config.
+            run_request = dataclasses.replace(
+                run_request, backend=effective.search_backend
+            )
+        report = session.run(run_request).report
         outcome = AppOutcome(
             package=apk.package,
             seconds=report.analysis_seconds,
@@ -164,9 +237,7 @@ def analyze_spec(
         )
         if reuse_outcomes:
             store.save_outcome(
-                apk.disassembly,
-                config.store_fingerprint(),
-                outcome_payload(outcome),
+                apk.disassembly, outcome_fp, outcome_payload(outcome)
             )
         return outcome
     except Exception as exc:  # noqa: BLE001 - batch isolation by design
@@ -389,6 +460,8 @@ class BatchResult:
 
     def as_dict(self) -> dict:
         """A machine-readable snapshot (the CLI's ``--json`` output)."""
+        from repro.api.envelope import SCHEMA_VERSION
+
         aggregate = {
             "app_count": self.app_count,
             "failed": len(self.failures),
@@ -417,6 +490,7 @@ class BatchResult:
                 "main_lane_apps": self.main_lane_apps,
             }
         return {
+            "schema_version": SCHEMA_VERSION,
             "apps": [outcome_payload(o) for o in self.outcomes],
             "aggregate": aggregate,
         }
@@ -459,6 +533,8 @@ def run_batch(
     max_workers: Optional[int] = None,
     executor: str = "thread",
     progress: Optional[Callable[[AppOutcome], None]] = None,
+    request=None,
+    session_cache_size: int = 4,
 ) -> BatchResult:
     """Analyze every spec across a worker pool, preserving input order.
 
@@ -467,6 +543,14 @@ def run_batch(
     corpora) or ``"serial"`` (in-process, for debugging/determinism).
     ``progress`` is invoked with each outcome as it completes.
 
+    ``request`` (an :class:`~repro.api.request.AnalysisRequest`)
+    overrides the config's targets/knobs for every app in the run.  For
+    in-process executors (``thread``/``serial``) a bounded
+    :class:`~repro.api.session.SessionCache` of ``session_cache_size``
+    warm sessions is shared across the run, so duplicate specs reuse
+    one generated app and one built index (process pools cannot share
+    sessions; pass ``session_cache_size=0`` to disable sharing).
+
     With a store configured, every spec is probed up front
     (:func:`plan_lanes`) and warm apps are dispatched first — the cheap
     fast-lane work drains ahead of the cold pool instead of queueing
@@ -474,10 +558,16 @@ def run_batch(
     order regardless of dispatch order.
     """
     config = config if config is not None else BackDroidConfig()
+    effective = request.to_config(config) if request is not None else config
     started = time.perf_counter()
     outcomes: list[Optional[AppOutcome]] = [None] * len(specs)
     workers = resolve_worker_count(executor, max_workers)
-    lanes = plan_lanes(specs, config)
+    lanes = plan_lanes(specs, effective)
+    sessions = None
+    if executor != "process" and session_cache_size > 0:
+        from repro.api.session import SessionCache
+
+        sessions = SessionCache(max_sessions=session_cache_size)
     # Warm-first priority; ties keep input order, so dispatch stays
     # deterministic.
     order = sorted(
@@ -489,13 +579,17 @@ def run_batch(
 
     if executor == "serial":
         for i in order:
-            outcomes[i] = _with_lane(i, analyze_spec(specs[i], config))
+            outcomes[i] = _with_lane(
+                i, analyze_spec(specs[i], config, request, sessions)
+            )
             if progress is not None:
                 progress(outcomes[i])
     else:
         with _make_executor(executor, max_workers) as pool:
             futures = {
-                pool.submit(analyze_spec, specs[i], config): i
+                pool.submit(
+                    analyze_spec, specs[i], config, request, sessions
+                ): i
                 for i in order
             }
             for future in as_completed(futures):
@@ -518,6 +612,6 @@ def run_batch(
         wall_seconds=time.perf_counter() - started,
         workers=workers,
         executor=executor,
-        backend=config.search_backend,
-        store_enabled=config.store_dir is not None,
+        backend=effective.search_backend,
+        store_enabled=effective.store_dir is not None,
     )

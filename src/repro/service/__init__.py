@@ -5,22 +5,26 @@ amortizes it across *queries*, the way a market-scale vetting service
 would run:
 
 * :mod:`repro.service.jobs` — :class:`Job` records and the thread-safe
-  :class:`JobQueue`: lifecycle (``queued → running → done|failed``),
-  in-flight dedup (same disassembly sha coalesces onto one analysis)
-  and bounded retention of finished jobs;
+  :class:`JobQueue`: lifecycle (``queued → running →
+  done|failed|cancelled``), in-flight dedup (same disassembly sha *and*
+  same analysis request coalesce onto one analysis), cancellation and
+  bounded retention of finished jobs;
 * :mod:`repro.service.scheduler` — the :class:`StoreAwareScheduler`:
   probes the :class:`~repro.store.ArtifactStore` at submit time and
   dispatches warm submissions (stored outcome or restorable index) to a
   small fast lane while cold submissions get the main worker pool, with
   per-lane depth/wait/warm statistics;
 * :mod:`repro.service.server` — the stdlib-only JSON HTTP API
-  (``POST /v1/jobs``, ``GET /v1/jobs/<id>``, ``GET /v1/stats``,
+  (``POST /v1/jobs`` with per-job rule/backend/budget overrides,
+  ``GET /v1/jobs/<id>``, ``DELETE /v1/jobs/<id>``, ``GET /v1/stats``,
   ``GET /healthz``) plus the matching :class:`ServiceClient`.
 
 The CLI front end is ``backdroid serve``.
 """
 
 from repro.service.jobs import (
+    CANCELLED,
+    CANCELLING,
     DONE,
     FAILED,
     JOB_STATES,
@@ -34,6 +38,8 @@ from repro.service.scheduler import LaneStats, StoreAwareScheduler
 from repro.service.server import AnalysisServer, ServiceClient
 
 __all__ = [
+    "CANCELLED",
+    "CANCELLING",
     "DONE",
     "FAILED",
     "JOB_STATES",

@@ -16,7 +16,13 @@ responsibilities the executors cannot cover themselves:
   are retained, not cached forever);
 * **bounded retention** — finished jobs are kept for polling but only
   the newest ``max_finished`` of them, so a long-lived service does not
-  grow without bound.
+  grow without bound;
+* **cancellation** — a queued job cancels immediately (it never runs);
+  a running job is marked ``cancelling`` and reaches the terminal
+  ``cancelled`` state when its worker completes (the analysis itself is
+  not interruptible mid-run).  A job other submissions coalesced onto
+  refuses cancellation — its result is shared — while a follower
+  detaches and cancels alone.
 
 All state lives behind one lock; completion wakes every waiter via a
 condition variable.
@@ -36,10 +42,21 @@ from repro.workload.generator import AppSpec
 #: Job lifecycle states.
 QUEUED = "queued"
 RUNNING = "running"
+#: A cancel was requested while running; terminal ``cancelled`` follows
+#: when the worker finishes.
+CANCELLING = "cancelling"
 DONE = "done"
 FAILED = "failed"
-JOB_STATES = (QUEUED, RUNNING, DONE, FAILED)
-TERMINAL_STATES = (DONE, FAILED)
+CANCELLED = "cancelled"
+JOB_STATES = (QUEUED, RUNNING, CANCELLING, DONE, FAILED, CANCELLED)
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+#: ``JobQueue.cancel`` dispositions.
+CANCEL_UNKNOWN = "unknown"        # no such job (or evicted)
+CANCEL_TERMINAL = "terminal"      # already done/failed/cancelled
+CANCEL_CONFLICT = "conflict"      # shared by coalesced followers
+CANCEL_DONE = "cancelled"         # cancelled immediately (never ran)
+CANCEL_PENDING = "cancelling"     # running; terminal state follows
 
 
 @dataclass
@@ -59,6 +76,11 @@ class Job:
     lane: str = "main"
     #: The store probe classified this submission as warm at submit time.
     warm: bool = False
+    #: Per-job target/knob overrides (an
+    #: :class:`~repro.api.request.AnalysisRequest`), None for the
+    #: service defaults.  Folded into the dedup key by the scheduler so
+    #: differently-targeted jobs never coalesce.
+    request: Optional[object] = None
     state: str = QUEUED
     submitted_at: float = 0.0
     started_at: Optional[float] = None
@@ -89,6 +111,9 @@ class Job:
             "key": self.key,
             "lane": self.lane,
             "warm": self.warm,
+            "request": (
+                self.request.as_dict() if self.request is not None else None
+            ),
             "state": self.state,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
@@ -126,6 +151,7 @@ class JobQueue:
         lane: str = "main",
         warm: bool = False,
         aliases: tuple[str, ...] = (),
+        request: Optional[object] = None,
     ) -> tuple[Job, bool]:
         """Register a submission; returns ``(job, is_primary)``.
 
@@ -145,6 +171,7 @@ class JobQueue:
                 aliases=all_keys,
                 lane=lane,
                 warm=warm,
+                request=request,
                 submitted_at=time.time(),
             )
             primary_id = next(
@@ -220,25 +247,97 @@ class JobQueue:
             if job is None or job.terminal:
                 return []
             now = time.time()
+            cancelling = job.state == CANCELLING
             members = [job] + [
                 self._jobs[f] for f in self._followers.pop(job_id, ())
             ]
             for member in members:
-                member.state = FAILED if error is not None else DONE
-                member.result = result
-                member.error = error
+                if cancelling:
+                    # The worker's result is discarded: the client asked
+                    # for cancellation while the analysis was running.
+                    member.state = CANCELLED
+                    member.result = None
+                    member.error = "cancelled by client"
+                else:
+                    member.state = FAILED if error is not None else DONE
+                    member.result = result
+                    member.error = error
                 if member.started_at is None:
                     member.started_at = now
                 member.finished_at = now
-                self._retained.append(member.id)
-            for k in job.aliases or (job.key,):
-                if self._active_by_key.get(k) == job_id:
-                    del self._active_by_key[k]
-            while len(self._retained) > self.max_finished:
-                evicted = self._retained.popleft()
-                self._jobs.pop(evicted, None)
+                self._retain(member)
+            self._release_keys(job)
             self._terminal.notify_all()
             return members
+
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> tuple[Optional[Job], str]:
+        """Cancel one submission; returns ``(job, disposition)``.
+
+        Dispositions:
+
+        * ``"unknown"``    — no such job (job is None);
+        * ``"terminal"``   — already done/failed/cancelled, nothing to do;
+        * ``"conflict"``   — a primary other submissions coalesced onto;
+          cancelling it would discard their shared result, so it is
+          refused (cancel the followers individually instead);
+        * ``"cancelled"``  — reached the terminal state immediately
+          (a queued primary, or a follower detached from its primary);
+        * ``"cancelling"`` — running; the terminal ``cancelled`` state
+          follows when the worker completes, and its keys are released
+          so new submissions of the same app start fresh.
+        """
+        with self._terminal:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None, CANCEL_UNKNOWN
+            if job.terminal:
+                return job, CANCEL_TERMINAL
+            if job.state == CANCELLING:
+                return job, CANCEL_PENDING
+            if job.coalesced_into is not None:
+                # A follower: detach so the primary's completion no
+                # longer touches it, then cancel it alone.
+                followers = self._followers.get(job.coalesced_into)
+                if followers is not None and job_id in followers:
+                    followers.remove(job_id)
+                self._cancel_now(job)
+                return job, CANCEL_DONE
+            if self._followers.get(job_id):
+                return job, CANCEL_CONFLICT
+            if job.state == QUEUED:
+                self._release_keys(job)
+                self._cancel_now(job)
+                return job, CANCEL_DONE
+            # Running: flag it and free the keys — duplicates submitted
+            # from here on must not coalesce onto a discarded result.
+            job.state = CANCELLING
+            self._release_keys(job)
+            return job, CANCEL_PENDING
+
+    def _release_keys(self, job: Job) -> None:
+        """Drop *job*'s dedup keys so new submissions start fresh."""
+        for k in job.aliases or (job.key,):
+            if self._active_by_key.get(k) == job.id:
+                del self._active_by_key[k]
+
+    def _retain(self, job: Job) -> None:
+        """Record a terminal job for polling, evicting past the bound."""
+        self._retained.append(job.id)
+        while len(self._retained) > self.max_finished:
+            self._jobs.pop(self._retained.popleft(), None)
+
+    def _cancel_now(self, job: Job) -> None:
+        """Move one job to the terminal ``cancelled`` state (lock held)."""
+        now = time.time()
+        job.state = CANCELLED
+        job.error = "cancelled by client"
+        job.result = None
+        if job.started_at is None:
+            job.started_at = now
+        job.finished_at = now
+        self._retain(job)
+        self._terminal.notify_all()
 
     # ------------------------------------------------------------------
     def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:

@@ -30,14 +30,17 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.api.request import AnalysisRequest
+from repro.api.session import SessionCache
 from repro.core.backdroid import BackDroidConfig
 from repro.core.batch import (
+    _outcome_fingerprint,
     analyze_spec,
     level_is_warm,
     outcome_payload,
     probe_spec,
 )
-from repro.service.jobs import Job, JobQueue
+from repro.service.jobs import CANCELLED, CANCEL_DONE, Job, JobQueue
 from repro.workload.generator import AppSpec, spec_fingerprint
 
 
@@ -50,6 +53,7 @@ class LaneStats:
     submitted: int = 0
     completed: int = 0
     failed: int = 0
+    cancelled: int = 0
     #: Jobs currently queued or running in this lane.
     depth: int = 0
     total_wait_seconds: float = 0.0
@@ -66,6 +70,7 @@ class LaneStats:
             "submitted": self.submitted,
             "completed": self.completed,
             "failed": self.failed,
+            "cancelled": self.cancelled,
             "depth": self.depth,
             "mean_wait_seconds": self.mean_wait_seconds,
         }
@@ -86,16 +91,33 @@ class StoreAwareScheduler:
         workers: int = 4,
         fast_lane_workers: int = 1,
         max_finished_jobs: int = 256,
+        session_cache_size: int = 4,
+        registry=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be a positive integer")
         if fast_lane_workers < 0:
             raise ValueError("fast_lane_workers must be >= 0")
+        if session_cache_size < 0:
+            raise ValueError("session_cache_size must be >= 0")
         self.config = config if config is not None else BackDroidConfig()
         self.queue = JobQueue(max_finished=max_finished_jobs)
+        #: Client sink specs/detectors served by every lane (None = the
+        #: built-in catalogue).
+        self.registry = registry
+        #: Warm per-app sessions shared across jobs — differently-
+        #: targeted submissions of one app reuse a single generated APK
+        #: and built index.
+        self.sessions = (
+            SessionCache(max_sessions=session_cache_size)
+            if session_cache_size > 0
+            else None
+        )
         self._store = self.config.artifact_store()
         self._config_fingerprint = (
-            self.config.store_fingerprint() if self._store is not None else None
+            _outcome_fingerprint(self.config, self.registry)
+            if self._store is not None
+            else None
         )
         self._main = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="backdroid-main"
@@ -121,20 +143,49 @@ class StoreAwareScheduler:
         self._closed = False
 
     # ------------------------------------------------------------------
-    def submit(self, spec: AppSpec) -> Job:
-        """Probe, route, enqueue; returns the job record immediately."""
+    def submit(
+        self, spec: AppSpec, request: Optional[AnalysisRequest] = None
+    ) -> Job:
+        """Probe, route, enqueue; returns the job record immediately.
+
+        ``request`` overrides the service's default targets/knobs for
+        this job only.  It is folded into the dedup key, so two
+        submissions of one app coalesce only when their requests match
+        — differently-targeted jobs run separately (but still share the
+        warm per-app session underneath).
+        """
         if self._closed:
             raise RuntimeError("scheduler is shut down")
-        key, level = probe_spec(spec, self._store, self._config_fingerprint)
-        warm = level_is_warm(level, self.config)
+        if request is None:
+            effective = self.config
+            fingerprint = self._config_fingerprint
+            suffix = ""
+        else:
+            effective = request.to_config(self.config)
+            fingerprint = (
+                _outcome_fingerprint(effective, self.registry)
+                if self._store is not None
+                else None
+            )
+            suffix = f"#{request.fingerprint()}"
+        key, level = probe_spec(spec, self._store, fingerprint)
+        warm = level_is_warm(level, effective)
         lane = "fast" if warm and self._fast is not None else "main"
         # The fingerprint surrogate always rides along as a dedup alias:
         # analyze_spec teaches the store the spec -> sha mapping mid-run,
         # so a duplicate of an in-flight cold submission would otherwise
         # resolve to the sha and miss the surrogate-keyed primary.
-        aliases = (key, f"spec:{spec_fingerprint(spec)}")
+        aliases = (
+            f"{key}{suffix}",
+            f"spec:{spec_fingerprint(spec)}{suffix}",
+        )
         job, is_primary = self.queue.submit(
-            spec, key=key, lane=lane, warm=warm, aliases=aliases
+            spec,
+            key=f"{key}{suffix}",
+            lane=lane,
+            warm=warm,
+            aliases=aliases,
+            request=request,
         )
         with self._lock:
             stats = self.lanes[job.lane]
@@ -146,7 +197,7 @@ class StoreAwareScheduler:
         if is_primary:
             pool = self._fast if job.lane == "fast" else self._main
             try:
-                pool.submit(self._run, job.id)
+                pool.submit(self._run, job.id, job.lane)
             except RuntimeError:
                 # Lost the race against shutdown(): the executor already
                 # rejected new futures.  Fail the job (and any follower
@@ -163,14 +214,34 @@ class StoreAwareScheduler:
         return job
 
     # ------------------------------------------------------------------
-    def _run(self, job_id: str) -> None:
+    def _run(self, job_id: str, lane: str) -> None:
         job = self.queue.get(job_id)
-        if job is None:  # evicted before a worker got to it (shutdown race)
+        if job is None:
+            # Cancelled (or shutdown-failed) *and* already evicted from
+            # retention before a worker got to it.  The job record is
+            # gone but the lane slot it held is not — release it via the
+            # lane captured at submit time.
+            with self._lock:
+                stats = self.lanes[lane]
+                stats.depth = max(0, stats.depth - 1)
+            return
+        if job.terminal:
+            # Cancelled while queued: never analyze, just release the
+            # lane slot the dead job still held.
+            with self._lock:
+                stats = self.lanes[job.lane]
+                stats.depth = max(0, stats.depth - 1)
             return
         self.queue.mark_running(job_id)
         with self._lock:
             self.analyses_run += 1
-        outcome = analyze_spec(job.spec, self.config)  # never raises
+        outcome = analyze_spec(  # never raises
+            job.spec,
+            self.config,
+            request=job.request,
+            sessions=self.sessions,
+            registry=self.registry,
+        )
         outcome = dataclasses.replace(outcome, lane=job.lane)
         payload = outcome_payload(outcome)
         members = self.queue.finish(
@@ -184,12 +255,28 @@ class StoreAwareScheduler:
             # Followers count too: every member was a submission and
             # reached a terminal state with this payload.
             for member in members:
+                if member.state == CANCELLED:
+                    stats.cancelled += 1
+                    continue  # a discarded result is not a wait served
                 if outcome.ok:
                     stats.completed += 1
                 else:
                     stats.failed += 1
                 if member.wait_seconds is not None:
                     stats.total_wait_seconds += member.wait_seconds
+
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> tuple[Optional[Job], str]:
+        """Cancel a job (see :meth:`JobQueue.cancel` for dispositions).
+
+        Jobs cancelled before running are counted per lane; a running
+        job's ``cancelled`` tally lands when its worker completes.
+        """
+        job, disposition = self.queue.cancel(job_id)
+        if disposition == CANCEL_DONE and job is not None:
+            with self._lock:
+                self.lanes[job.lane].cancelled += 1
+        return job, disposition
 
     # ------------------------------------------------------------------
     def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
@@ -211,6 +298,11 @@ class StoreAwareScheduler:
                 "store": (
                     self._store.stats.as_dict()
                     if self._store is not None
+                    else None
+                ),
+                "sessions": (
+                    self.sessions.describe()
+                    if self.sessions is not None
                     else None
                 ),
             }

@@ -2,11 +2,20 @@
 
 Endpoints (all JSON)::
 
-    POST /v1/jobs        submit an app spec -> 202 + the job record
-    GET  /v1/jobs/<id>   one job's status (and result once done)
-    GET  /v1/jobs        every retained job, submission order
-    GET  /v1/stats       lanes, job counts, warm-hit rate, store counters
-    GET  /healthz        liveness
+    POST   /v1/jobs        submit an app spec -> 202 + the job record
+    GET    /v1/jobs/<id>   one job's status (and result once done)
+    DELETE /v1/jobs/<id>   cancel: queued jobs cancel immediately,
+                           running jobs are marked ``cancelling``
+    GET    /v1/jobs        every retained job, submission order
+    GET    /v1/stats       lanes, job counts, warm-hit rate, store counters
+    GET    /healthz        liveness
+
+A ``POST /v1/jobs`` body may carry per-job analysis overrides alongside
+the app spec — ``rules`` (list of rule ids), ``backend``, ``max_frames``
+and ``hierarchy`` — which become an
+:class:`~repro.api.request.AnalysisRequest` for that job only.
+Differently-targeted submissions of one app never share a result, but
+they do share the scheduler's warm per-app session underneath.
 
 Built on ``http.server.ThreadingHTTPServer`` — one thread per
 connection, no third-party dependency — because the request handlers do
@@ -28,6 +37,14 @@ from typing import Optional
 from urllib import request as urlrequest
 from urllib.error import HTTPError
 
+from repro.api.registry import builtin_rules
+from repro.api.request import AnalysisRequest, analysis_request_from_payload
+from repro.service.jobs import (
+    CANCEL_CONFLICT,
+    CANCEL_TERMINAL,
+    CANCEL_UNKNOWN,
+    TERMINAL_STATES,
+)
 from repro.service.scheduler import StoreAwareScheduler
 from repro.workload.corpus import app_spec_from_request
 
@@ -103,13 +120,22 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError):
             self._error(400, "submission body is not valid JSON")
             return
+        scheduler = self.server.scheduler
         try:
             spec = app_spec_from_request(payload)
+            request = analysis_request_from_payload(
+                payload,
+                known_rules=self._known_rules(scheduler),
+                # Overrides layer onto the *service's* configuration, so
+                # a body naming only e.g. max_frames keeps the operator's
+                # rule selection.
+                defaults=AnalysisRequest.from_config(scheduler.config),
+            )
         except ValueError as exc:
             self._error(400, str(exc))
             return
         try:
-            job = self.server.scheduler.submit(spec)
+            job = scheduler.submit(spec, request=request)
         except RuntimeError as exc:  # shut down mid-flight
             self._error(503, str(exc))
             return
@@ -118,6 +144,36 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         # itself is always a valid response body.
         snapshot = self.server.scheduler.queue.snapshot(job.id)
         self._send_json(202, snapshot if snapshot is not None else job.as_dict())
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.rstrip("/")
+        if not path.startswith("/v1/jobs/"):
+            self._error(404, f"no such endpoint {self.path!r}")
+            return
+        job_id = path[len("/v1/jobs/"):]
+        job, disposition = self.server.scheduler.cancel(job_id)
+        if disposition == CANCEL_UNKNOWN:
+            self._error(404, f"unknown or evicted job {job_id!r}")
+        elif disposition == CANCEL_TERMINAL:
+            self._error(409, f"job {job_id} already {job.state}")
+        elif disposition == CANCEL_CONFLICT:
+            self._error(
+                409,
+                f"job {job_id} is shared by coalesced submissions; "
+                f"cancel those followers instead",
+            )
+        else:  # cancelled now, or cancelling while the worker finishes
+            snapshot = self.server.scheduler.queue.snapshot(job_id)
+            self._send_json(
+                200, snapshot if snapshot is not None else job.as_dict()
+            )
+
+    @staticmethod
+    def _known_rules(scheduler: StoreAwareScheduler) -> tuple[str, ...]:
+        """The rule ids submissions may target on this service."""
+        if scheduler.registry is not None:
+            return scheduler.registry.rules
+        return builtin_rules()
 
 
 class _ServiceHTTPServer(ThreadingHTTPServer):
@@ -238,6 +294,17 @@ class ServiceClient:
         status, payload = self._request("GET", f"/v1/jobs/{job_id}")
         return None if status == 404 else payload
 
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a job; raises ``KeyError`` on unknown ids and
+        ``ValueError`` when the job cannot be cancelled (already
+        terminal, or shared by coalesced submissions)."""
+        status, payload = self._request("DELETE", f"/v1/jobs/{job_id}")
+        if status == 404:
+            raise KeyError(f"unknown or evicted job {job_id!r}")
+        if status >= 400:
+            raise ValueError(payload.get("error", f"HTTP {status}"))
+        return payload
+
     def jobs(self) -> list[dict]:
         return self._request("GET", "/v1/jobs")[1]["jobs"]
 
@@ -253,7 +320,7 @@ class ServiceClient:
             snapshot = self.job(job_id)
             if snapshot is None:
                 raise KeyError(f"unknown or evicted job {job_id!r}")
-            if snapshot["state"] in ("done", "failed"):
+            if snapshot["state"] in TERMINAL_STATES:
                 return snapshot
             if time.monotonic() > deadline:
                 raise TimeoutError(

@@ -1,0 +1,26 @@
+"""Shared fixtures for the public-API test suite."""
+
+import pytest
+
+from repro.workload.corpus import benchmark_app_spec
+from repro.workload.generator import generate_app
+from repro.workload.paperapps import build_heyzap, build_lg_tv_plus
+
+#: Small enough for fast tests, big enough to exercise the index.
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def lg_tv_plus():
+    return build_lg_tv_plus()
+
+
+@pytest.fixture(scope="module")
+def heyzap():
+    return build_heyzap()
+
+
+@pytest.fixture()
+def bench_apk():
+    """A freshly generated bench app (no cross-test memoized caches)."""
+    return generate_app(benchmark_app_spec(5, scale=SCALE)).apk

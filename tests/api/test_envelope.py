@@ -1,0 +1,141 @@
+"""ReportEnvelope: exact round trips, versioning, schema stability."""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    SCHEMA_VERSION,
+    AnalysisRequest,
+    AnalysisSession,
+    ReportEnvelope,
+)
+from repro.workload.paperapps import build_lg_tv_plus
+
+GOLDEN_PATH = Path(__file__).parent / "golden_envelope.json"
+
+#: The deterministic run the golden fixture pins: the LG TV worked
+#: example under every built-in rule family, linear backend.
+GOLDEN_RULES = ("crypto-ecb", "ssl-verifier", "open-port", "sms-send")
+
+
+def _golden_envelope() -> ReportEnvelope:
+    apk = build_lg_tv_plus()
+    session = AnalysisSession(apk)
+    return session.run(AnalysisRequest(rules=GOLDEN_RULES))
+
+
+def _normalized(payload: dict) -> dict:
+    """Zero the wall-clock fields; everything else is deterministic."""
+    payload = json.loads(json.dumps(payload))  # deep copy via JSON
+    report = payload["report"]
+    report["analysis_seconds"] = 0.0
+    report["backend_stats"]["index_build_seconds"] = 0.0
+    for record in report["records"]:
+        record["duration_seconds"] = 0.0
+    return payload
+
+
+class TestRoundTrip:
+    def test_exact_round_trip_through_json(self, bench_apk):
+        session = AnalysisSession(bench_apk, default_backend="indexed")
+        envelope = session.run(AnalysisRequest())
+
+        wire = json.dumps(envelope.as_dict(), sort_keys=True)
+        restored = ReportEnvelope.from_dict(json.loads(wire))
+
+        assert restored.schema_version == SCHEMA_VERSION
+        assert restored.request == envelope.request
+        assert restored.report == envelope.report  # exact, field by field
+        assert restored.as_dict() == envelope.as_dict()
+
+    def test_round_trip_preserves_findings_and_facts(self, lg_tv_plus):
+        envelope = AnalysisSession(lg_tv_plus).run(
+            AnalysisRequest(rules=("open-port",))
+        )
+        restored = ReportEnvelope.from_dict(envelope.as_dict())
+        assert restored.report.findings == envelope.report.findings
+        assert [r.facts_repr for r in restored.report.records] == [
+            r.facts_repr for r in envelope.report.records
+        ]
+        # facts keys survive as ints, not JSON strings.
+        for record in restored.report.records:
+            assert all(isinstance(k, int) for k in record.facts_repr)
+
+    def test_round_trip_with_explicit_targets(self, lg_tv_plus):
+        from repro.android.framework import sinks_for_rules
+
+        request = AnalysisRequest(targets=sinks_for_rules(("open-port",)))
+        envelope = AnalysisSession(lg_tv_plus).run(request)
+        restored = ReportEnvelope.from_dict(
+            json.loads(json.dumps(envelope.as_dict()))
+        )
+        assert restored.request == request
+
+
+class TestVersioning:
+    def test_rejects_wrong_schema_version(self, lg_tv_plus):
+        payload = AnalysisSession(lg_tv_plus).run(
+            AnalysisRequest(rules=("open-port",))
+        ).as_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            ReportEnvelope.from_dict(payload)
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            ReportEnvelope.from_dict({"kind": "something-else"})
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            ReportEnvelope.from_dict("not a dict")
+
+    def test_outcome_payloads_carry_the_shared_version(self):
+        from repro.core.batch import AppOutcome, outcome_payload
+
+        payload = outcome_payload(AppOutcome(package="com.x"))
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_stale_outcome_payload_is_rejected(self):
+        from repro.core.batch import (
+            AppOutcome,
+            _outcome_from_payload,
+            outcome_payload,
+        )
+
+        payload = outcome_payload(AppOutcome(package="com.x"))
+        assert _outcome_from_payload(payload).package == "com.x"
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            _outcome_from_payload(payload)
+        del payload["schema_version"]
+        with pytest.raises(ValueError):
+            _outcome_from_payload(payload)
+
+
+class TestSchemaStability:
+    """The CI gate: shape changes must bump SCHEMA_VERSION.
+
+    Regenerate the fixture *together with* a version bump::
+
+        REGENERATE_GOLDEN=1 PYTHONPATH=src \\
+            python -m pytest tests/api/test_envelope.py -q
+    """
+
+    def test_golden_fixture_matches_current_serialization(self):
+        current = _normalized(_golden_envelope().as_dict())
+        if os.environ.get("REGENERATE_GOLDEN") == "1":
+            GOLDEN_PATH.write_text(
+                json.dumps(current, indent=2, sort_keys=True) + "\n"
+            )
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert golden["schema_version"] == SCHEMA_VERSION, (
+            "golden fixture was generated under a different schema version"
+        )
+        assert current == golden, (
+            "the serialized envelope shape changed without a SCHEMA_VERSION "
+            "bump — bump repro.api.envelope.SCHEMA_VERSION and regenerate "
+            "the fixture (REGENERATE_GOLDEN=1)"
+        )

@@ -1,0 +1,140 @@
+"""Old-vs-new parity: the BackDroid shim must match the session API.
+
+``BackDroid(config).analyze(apk)`` is now a thin shim over a one-shot
+:class:`AnalysisSession`; these tests hold it to identical reports —
+across both backends and every sink rule family — when compared to a
+directly-driven session, and hold the two backends to identical
+verdicts for every rule.
+"""
+
+import pytest
+
+from repro.api import AnalysisRequest, AnalysisSession, report_to_dict
+from repro.core import BackDroid, BackDroidConfig
+from repro.workload.corpus import benchmark_app_spec
+from repro.workload.generator import generate_app
+
+RULE_SETS = (
+    ("crypto-ecb",),
+    ("ssl-verifier",),
+    ("open-port",),
+    ("sms-send",),
+    ("crypto-ecb", "ssl-verifier"),
+    ("crypto-ecb", "ssl-verifier", "open-port", "sms-send"),
+)
+
+BACKENDS = ("linear", "indexed")
+
+
+def _normalized(report) -> dict:
+    """The report's serialized form with timing noise zeroed out.
+
+    Wall-clock fields can never be byte-identical between two runs;
+    everything else must be.
+    """
+    payload = report_to_dict(report)
+    payload["analysis_seconds"] = 0.0
+    payload["backend_stats"] = dict(payload["backend_stats"])
+    payload["backend_stats"]["index_build_seconds"] = 0.0
+    for record in payload["records"]:
+        record["duration_seconds"] = 0.0
+    return payload
+
+
+def _fresh_apk():
+    # A fresh Apk per run: memoized per-disassembly caches (joined text,
+    # token index) must not leak state between the two sides.
+    return generate_app(benchmark_app_spec(5, scale=0.05)).apk
+
+
+class TestShimParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("rules", RULE_SETS, ids=[",".join(r) for r in RULE_SETS])
+    def test_shim_equals_one_shot_session(self, backend, rules):
+        config = BackDroidConfig(sink_rules=rules, search_backend=backend)
+
+        legacy = BackDroid(config).analyze(_fresh_apk())
+
+        apk = _fresh_apk()
+        session = AnalysisSession.from_config(apk, config)
+        envelope = session.run(AnalysisRequest.from_config(config))
+
+        assert _normalized(legacy) == _normalized(envelope.report)
+
+    def test_shim_parity_with_hierarchy_fix_and_paper_apps(self, heyzap):
+        config = BackDroidConfig(
+            sink_rules=("ssl-verifier",),
+            check_class_hierarchy_in_initial_search=True,
+        )
+        legacy = BackDroid(config).analyze(heyzap)
+        envelope = AnalysisSession.from_config(heyzap, config).run(
+            AnalysisRequest.from_config(config)
+        )
+        assert _normalized(legacy) == _normalized(envelope.report)
+
+    def test_shim_parity_with_disabled_caches(self, lg_tv_plus):
+        config = BackDroidConfig(
+            sink_rules=("open-port",),
+            enable_search_cache=False,
+            enable_sink_cache=False,
+        )
+        legacy = BackDroid(config).analyze(lg_tv_plus)
+        envelope = AnalysisSession.from_config(lg_tv_plus, config).run(
+            AnalysisRequest.from_config(config)
+        )
+        assert _normalized(legacy) == _normalized(envelope.report)
+        assert legacy.search_cache_lookups == 0
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("rules", RULE_SETS, ids=[",".join(r) for r in RULE_SETS])
+    def test_backends_agree_on_every_rule(self, rules):
+        apk = _fresh_apk()
+        session = AnalysisSession(apk)
+        linear = session.run(AnalysisRequest(rules=rules, backend="linear"))
+        indexed = session.run(AnalysisRequest(rules=rules, backend="indexed"))
+
+        left = _normalized(linear.report)
+        right = _normalized(indexed.report)
+        # Everything except the backend identity/stats must agree.
+        for payload in (left, right):
+            payload.pop("backend_stats")
+            payload.pop("search_backend")
+            # Cache rates differ: the second run shares the session's
+            # warm command cache.
+            payload.pop("search_cache_rate")
+            payload.pop("search_cache_lookups")
+            payload.pop("search_cache_evictions")
+        assert left == right
+
+
+class TestRequestConfigBridge:
+    def test_round_trip_preserves_every_knob(self):
+        config = BackDroidConfig(
+            sink_rules=("open-port",),
+            search_backend="indexed",
+            max_frames=123,
+            check_class_hierarchy_in_initial_search=True,
+            enable_search_cache=False,
+            enable_sink_cache=False,
+            collect_ssg_dumps=True,
+            store_dir="/tmp/s",
+            store_mode="full",
+            search_cache_max_entries=9,
+        )
+        request = AnalysisRequest.from_config(config)
+        rebuilt = request.to_config(config)
+        assert rebuilt == config
+
+    def test_fingerprint_distinguishes_targets_and_budgets(self):
+        base = AnalysisRequest()
+        assert base.fingerprint() == AnalysisRequest().fingerprint()
+        assert base.fingerprint() != AnalysisRequest(
+            rules=("crypto-ecb",)
+        ).fingerprint()
+        assert base.fingerprint() != AnalysisRequest(
+            max_frames=17
+        ).fingerprint()
+        assert base.fingerprint() != AnalysisRequest(
+            backend="indexed"
+        ).fingerprint()

@@ -1,0 +1,236 @@
+"""AnalysisSession: state reuse, zero rebuilds, streaming, registry."""
+
+import threading
+
+import pytest
+
+from repro.api import (
+    AnalysisFinished,
+    AnalysisRequest,
+    AnalysisSession,
+    SessionCache,
+    SinkAnalyzed,
+    SinkDiscovered,
+    TargetRegistry,
+)
+from repro.android.framework import SinkSpec
+from repro.core import BackDroidConfig
+from repro.core.detectors import Detector, Finding
+from repro.dex.types import MethodSignature
+
+
+class TestIndexReuse:
+    def test_second_request_performs_zero_index_builds(self, bench_apk):
+        """The acceptance bar: request 2 on a warm session never rebuilds."""
+        session = AnalysisSession(bench_apk, default_backend="indexed")
+        first = session.run(AnalysisRequest(rules=("crypto-ecb",)))
+        second = session.run(AnalysisRequest(rules=("ssl-verifier",)))
+
+        assert first.report.backend_stats["index_prebuilt"] is False
+        assert second.report.backend_stats["index_prebuilt"] is True
+        assert second.report.backend_stats["index_build_seconds"] == 0.0
+        assert second.report.backend_stats["index_restored"] is False
+        assert session.describe()["index_builds"] == 1
+        assert session.describe()["requests_served"] == 2
+
+    def test_backend_instance_is_shared_across_requests(self, bench_apk):
+        session = AnalysisSession(bench_apk, default_backend="indexed")
+        session.run(AnalysisRequest(rules=("crypto-ecb",)))
+        backend = session.backend_for()
+        session.run(AnalysisRequest(rules=("crypto-ecb",)))
+        assert session.backend_for() is backend
+        # Cumulative queries live on the backend; reports carry deltas.
+        assert backend.describe()["token_queries"] > 0
+
+    def test_per_request_backend_override(self, bench_apk):
+        session = AnalysisSession(bench_apk, default_backend="linear")
+        linear = session.run(AnalysisRequest(rules=("crypto-ecb",)))
+        indexed = session.run(
+            AnalysisRequest(rules=("crypto-ecb",), backend="indexed")
+        )
+        assert linear.report.search_backend == "linear"
+        assert indexed.report.search_backend == "indexed"
+        # Identical findings regardless of backend.
+        assert [r.finding for r in linear.report.records] == [
+            r.finding for r in indexed.report.records
+        ]
+
+    def test_search_cache_carries_across_requests(self, bench_apk):
+        session = AnalysisSession(bench_apk)
+        request = AnalysisRequest(rules=("crypto-ecb",))
+        first = session.run(request)
+        second = session.run(request)
+        # The repeated run's searches are all warm in the shared cache.
+        assert second.report.search_cache_rate >= first.report.search_cache_rate
+        assert second.report.search_cache_rate == 1.0
+
+    def test_disabled_search_cache_stays_private_and_unreported(self, bench_apk):
+        session = AnalysisSession(bench_apk)
+        report = session.run(
+            AnalysisRequest(rules=("crypto-ecb",), enable_search_cache=False)
+        ).report
+        assert report.search_cache_lookups == 0
+        assert report.search_cache_rate == 0.0
+        assert session.search_cache.stats.lookups == 0  # untouched
+
+
+class TestStreaming:
+    def test_event_order_and_counts(self, bench_apk):
+        session = AnalysisSession(bench_apk)
+        events = list(session.stream(AnalysisRequest(rules=("crypto-ecb",))))
+        discovered = [e for e in events if isinstance(e, SinkDiscovered)]
+        analyzed = [e for e in events if isinstance(e, SinkAnalyzed)]
+        finished = [e for e in events if isinstance(e, AnalysisFinished)]
+
+        assert len(finished) == 1 and events[-1] is finished[0]
+        report = finished[0].envelope.report
+        assert len(discovered) == len(analyzed) == report.sink_count
+        # Discovery precedes analysis, indices line up with sites.
+        assert events[: len(discovered)] == discovered
+        for event in analyzed:
+            assert event.total == len(analyzed)
+        assert [e.site for e in discovered] == [
+            e.record.site for e in analyzed
+        ]
+
+    def test_run_on_event_sees_the_same_stream(self, bench_apk):
+        session = AnalysisSession(bench_apk)
+        seen = []
+        envelope = session.run(
+            AnalysisRequest(rules=("crypto-ecb",)), on_event=seen.append
+        )
+        assert isinstance(seen[-1], AnalysisFinished)
+        assert seen[-1].envelope is envelope
+        assert sum(isinstance(e, SinkAnalyzed) for e in seen) == (
+            envelope.report.sink_count
+        )
+
+
+class TestParityKnobs:
+    def test_from_config_carries_session_knobs(self, bench_apk):
+        config = BackDroidConfig(
+            search_backend="indexed", search_cache_max_entries=7
+        )
+        session = AnalysisSession.from_config(bench_apk, config)
+        assert session.default_backend == "indexed"
+        assert session.search_cache.max_entries == 7
+        assert session.store is None
+
+    def test_max_frames_zero_budget_changes_reachability(self, bench_apk):
+        session = AnalysisSession(bench_apk)
+        tight = session.run(
+            AnalysisRequest(rules=("crypto-ecb",), max_frames=1)
+        ).report
+        loose = session.run(
+            AnalysisRequest(rules=("crypto-ecb",), max_frames=4000)
+        ).report
+        assert loose.reachable_sink_count >= tight.reachable_sink_count
+
+
+class _LoadUrlDetector(Detector):
+    rule = "webview-load"
+
+    def evaluate(self, facts, method, stmt_index, pool):
+        return Finding(
+            rule=self.rule,
+            method=method,
+            stmt_index=stmt_index,
+            value_repr=str(facts.get(0)),
+            detail="WebView.loadUrl reachable",
+        )
+
+
+class TestRegistry:
+    def test_custom_sink_and_detector_flow_end_to_end(self, lg_tv_plus):
+        # Register the ServerSocket constructor under a *client* rule id
+        # with a client detector — without touching the built-in
+        # open-port family.
+        registry = TargetRegistry()
+        registry.register(
+            SinkSpec(
+                signature=MethodSignature(
+                    "java.net.ServerSocket", "<init>", ("int",), "void"
+                ),
+                tracked_params=(0,),
+                rule="webview-load",
+                description="client-registered ServerSocket(int)",
+            ),
+            detector=_LoadUrlDetector(),
+        )
+        session = AnalysisSession(lg_tv_plus, registry=registry)
+        report = session.run(
+            AnalysisRequest(rules=("webview-load",))
+        ).report
+        assert report.sink_count >= 1
+        assert all(r.site.spec.rule == "webview-load" for r in report.records)
+        reachable = [r for r in report.records if r.reachable]
+        assert reachable
+        assert all(
+            r.finding is not None and r.finding.rule == "webview-load"
+            for r in reachable
+        )
+
+    def test_registries_do_not_leak_between_sessions(self, lg_tv_plus):
+        registry = TargetRegistry()
+        spec = SinkSpec(
+            signature=MethodSignature("com.x.Y", "z", (), "void"),
+            tracked_params=(),
+            rule="custom",
+            description="custom",
+        )
+        registry.register(spec)
+        assert "custom" in registry.rules
+        assert "custom" not in TargetRegistry().rules
+        assert "custom" not in AnalysisSession(lg_tv_plus).registry.rules
+
+    def test_registry_fingerprint_tracks_registrations(self):
+        a, b = TargetRegistry(), TargetRegistry()
+        assert a.fingerprint() == b.fingerprint()
+        b.register(
+            SinkSpec(
+                signature=MethodSignature("com.x.Y", "z", (), "void"),
+                tracked_params=(),
+                rule="custom",
+                description="custom",
+            )
+        )
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestSessionCache:
+    def test_lru_bound_and_counters(self, bench_apk):
+        cache = SessionCache(max_sessions=2)
+        sessions = {
+            key: AnalysisSession(bench_apk) for key in ("a", "b", "c")
+        }
+        for key, session in sessions.items():
+            cache.put(key, session)
+        assert len(cache) == 2
+        assert cache.get("a") is None  # evicted
+        assert cache.get("c") is sessions["c"]
+        stats = cache.describe()
+        assert stats["evictions"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            SessionCache(max_sessions=0)
+
+    def test_concurrent_runs_serialize_safely(self, bench_apk):
+        session = AnalysisSession(bench_apk, default_backend="indexed")
+        results = []
+
+        def work():
+            results.append(
+                session.run(AnalysisRequest(rules=("crypto-ecb",)))
+            )
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 4
+        counts = {e.report.sink_count for e in results}
+        assert len(counts) == 1  # identical verdicts every run
+        assert session.describe()["index_builds"] == 1

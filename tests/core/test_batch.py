@@ -177,3 +177,59 @@ class TestStoreReporting:
         assert cold.index_restores == 0
         assert warm.index_restores == 2
         assert "2 restored index(es)" in warm.render()
+
+
+class TestRequests:
+    def test_run_batch_with_request_overrides_targets(self):
+        from repro.api import AnalysisRequest
+
+        specs = _specs(3)
+        default = run_batch(specs, executor="serial")
+        crypto_only = run_batch(
+            specs,
+            executor="serial",
+            request=AnalysisRequest(
+                rules=("crypto-ecb",), backend="indexed"
+            ),
+        )
+        assert crypto_only.backend == "indexed"
+        for outcome in crypto_only.analyzed:
+            assert outcome.backend == "indexed"
+            assert {rule for rule, _ in outcome.findings} <= {"crypto-ecb"}
+        # The override is a restriction of the default rule set.
+        assert crypto_only.total_sinks <= default.total_sinks
+
+    def test_analyze_spec_shares_sessions_across_requests(self):
+        from repro.api import AnalysisRequest, SessionCache
+        from repro.core.backdroid import BackDroidConfig
+
+        spec = _specs(1)[0]
+        config = BackDroidConfig(search_backend="indexed")
+        sessions = SessionCache()
+        first = analyze_spec(
+            spec, config,
+            request=AnalysisRequest(rules=("crypto-ecb",)),
+            sessions=sessions,
+        )
+        second = analyze_spec(
+            spec, config,
+            request=AnalysisRequest(rules=("ssl-verifier",)),
+            sessions=sessions,
+        )
+        assert first.ok and second.ok
+        # The second, differently-targeted run reused the warm session's
+        # index: zero build time without any artifact store.
+        assert second.index_build_seconds == 0.0
+        assert sessions.describe()["hits"] == 1
+        assert len(sessions) == 1
+
+    def test_duplicate_specs_reuse_one_session_in_serial_batch(self):
+        from repro.core.backdroid import BackDroidConfig
+
+        spec = _specs(1)[0]
+        config = BackDroidConfig(search_backend="indexed")
+        result = run_batch([spec, spec], config=config, executor="serial")
+        assert all(o.ok for o in result.outcomes)
+        builds = [o.index_build_seconds for o in result.outcomes]
+        # One build at most: the duplicate rides the cached session.
+        assert sum(1 for b in builds if b > 0) <= 1

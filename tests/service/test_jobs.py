@@ -4,7 +4,19 @@ import threading
 
 import pytest
 
-from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, JobQueue
+from repro.service.jobs import (
+    CANCEL_CONFLICT,
+    CANCEL_DONE,
+    CANCEL_PENDING,
+    CANCEL_TERMINAL,
+    CANCELLED,
+    CANCELLING,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobQueue,
+)
 from repro.workload.generator import AppSpec
 
 
@@ -190,3 +202,81 @@ class TestRetention:
     def test_rejects_nonpositive_retention(self):
         with pytest.raises(ValueError):
             JobQueue(max_finished=0)
+
+
+class TestCancellation:
+    def test_queued_primary_cancels_immediately(self):
+        queue = JobQueue()
+        job, _ = queue.submit(_spec(), key="k1")
+        cancelled, disposition = queue.cancel(job.id)
+        assert disposition == CANCEL_DONE
+        assert cancelled.state == CANCELLED and cancelled.terminal
+        assert cancelled.error == "cancelled by client"
+        assert cancelled.result is None
+        assert queue.counts()["in_flight_keys"] == 0
+        # wait() wakes immediately on the terminal state.
+        assert queue.wait(job.id, timeout=1).state == CANCELLED
+
+    def test_unknown_and_terminal_dispositions(self):
+        queue = JobQueue()
+        assert queue.cancel("job-999999") == (None, "unknown")
+        job, _ = queue.submit(_spec(), key="k1")
+        queue.finish(job.id, result={})
+        done, disposition = queue.cancel(job.id)
+        assert disposition == CANCEL_TERMINAL
+        assert done.state == DONE  # untouched
+
+    def test_running_primary_becomes_cancelling_then_cancelled(self):
+        queue = JobQueue()
+        job, _ = queue.submit(_spec(), key="k1")
+        queue.mark_running(job.id)
+        pending, disposition = queue.cancel(job.id)
+        assert disposition == CANCEL_PENDING
+        assert pending.state == CANCELLING and not pending.terminal
+        # The key is released: a duplicate becomes a fresh primary.
+        fresh, is_primary = queue.submit(_spec(), key="k1")
+        assert is_primary and fresh.coalesced_into is None
+        # Worker completes: the result is discarded, state is cancelled.
+        members = queue.finish(job.id, result={"x": 1})
+        assert [m.id for m in members] == [job.id]
+        final = queue.get(job.id)
+        assert final.state == CANCELLED and final.terminal
+        assert final.result is None
+        assert final.error == "cancelled by client"
+        # Re-cancelling a cancelling job stays idempotent.
+        assert queue.cancel(fresh.id)[1] == CANCEL_DONE
+
+    def test_primary_with_followers_refuses_cancel(self):
+        queue = JobQueue()
+        primary, _ = queue.submit(_spec(), key="k1")
+        follower, is_primary = queue.submit(_spec(), key="k1")
+        assert not is_primary
+        job, disposition = queue.cancel(primary.id)
+        assert disposition == CANCEL_CONFLICT
+        assert job.state == QUEUED  # untouched
+        # The shared analysis still completes everyone.
+        members = queue.finish(primary.id, result={"ok": True})
+        assert {m.id for m in members} == {primary.id, follower.id}
+        assert all(m.state == DONE for m in members)
+
+    def test_follower_detaches_and_cancels_alone(self):
+        queue = JobQueue()
+        primary, _ = queue.submit(_spec(), key="k1")
+        follower, _ = queue.submit(_spec(), key="k1")
+        cancelled, disposition = queue.cancel(follower.id)
+        assert disposition == CANCEL_DONE
+        assert cancelled.state == CANCELLED
+        # After detaching, the primary cancels cleanly too (no conflict).
+        job, disposition = queue.cancel(primary.id)
+        assert disposition == CANCEL_DONE and job.state == CANCELLED
+
+    def test_cancelled_jobs_count_and_are_retained(self):
+        queue = JobQueue(max_finished=2)
+        cancelled_ids = []
+        for i in range(3):
+            job, _ = queue.submit(_spec(f"com.svc.app{i}"), key=f"k{i}")
+            queue.cancel(job.id)
+            cancelled_ids.append(job.id)
+        assert queue.get(cancelled_ids[0]) is None  # evicted by retention
+        counts = queue.counts()["by_state"]
+        assert counts[CANCELLED] == 2

@@ -5,6 +5,7 @@ import threading
 import pytest
 
 import repro.service.scheduler as scheduler_module
+from repro.api import AnalysisRequest
 from repro.core import BackDroidConfig, analyze_spec
 from repro.service import StoreAwareScheduler
 from repro.workload.corpus import benchmark_app_spec
@@ -108,10 +109,10 @@ class TestDedup:
         calls = []
         real = scheduler_module.analyze_spec
 
-        def gated(spec, config=None):
+        def gated(spec, config=None, **kwargs):
             calls.append(spec.package)
             release.wait(timeout=30)
-            return real(spec, config)
+            return real(spec, config, **kwargs)
 
         monkeypatch.setattr(scheduler_module, "analyze_spec", gated)
         scheduler = StoreAwareScheduler(
@@ -154,10 +155,10 @@ class TestDedup:
         learned = threading.Event()
         real = scheduler_module.analyze_spec
 
-        def gated(spec, config=None):
+        def gated(spec, config=None, **kwargs):
             learned.wait(timeout=30)  # specmap write happens before this
             release.wait(timeout=30)
-            return real(spec, config)
+            return real(spec, config, **kwargs)
 
         monkeypatch.setattr(scheduler_module, "analyze_spec", gated)
         config = _config(tmp_path)
@@ -187,9 +188,9 @@ class TestDedup:
         release = threading.Event()
         real = scheduler_module.analyze_spec
 
-        def gated(spec, config=None):
+        def gated(spec, config=None, **kwargs):
             release.wait(timeout=30)
-            return real(spec, config)
+            return real(spec, config, **kwargs)
 
         monkeypatch.setattr(scheduler_module, "analyze_spec", gated)
         from repro.workload.generator import AppSpec
@@ -268,3 +269,160 @@ class TestLifecycleAndStats:
             StoreAwareScheduler(workers=0)
         with pytest.raises(ValueError):
             StoreAwareScheduler(fast_lane_workers=-1)
+
+
+class TestRequests:
+    def test_differently_targeted_jobs_do_not_coalesce(self, tmp_path, monkeypatch):
+        release = threading.Event()
+        real = scheduler_module.analyze_spec
+
+        def gated(spec, config=None, **kwargs):
+            release.wait(timeout=30)
+            return real(spec, config, **kwargs)
+
+        monkeypatch.setattr(scheduler_module, "analyze_spec", gated)
+        with StoreAwareScheduler(_config(tmp_path), workers=2) as scheduler:
+            spec = benchmark_app_spec(0, scale=SCALE)
+            crypto = scheduler.submit(
+                spec, request=AnalysisRequest(rules=("crypto-ecb",))
+            )
+            ssl = scheduler.submit(
+                spec, request=AnalysisRequest(rules=("ssl-verifier",))
+            )
+            same = scheduler.submit(
+                spec, request=AnalysisRequest(rules=("crypto-ecb",))
+            )
+            assert ssl.coalesced_into is None  # different request: new job
+            assert same.coalesced_into == crypto.id  # same request: coalesced
+            release.set()
+            crypto_done = scheduler.wait(crypto.id, timeout=60)
+            ssl_done = scheduler.wait(ssl.id, timeout=60)
+        crypto_rules = {rule for rule, _ in crypto_done.result["findings"]}
+        ssl_rules = {rule for rule, _ in ssl_done.result["findings"]}
+        assert crypto_rules <= {"crypto-ecb"}
+        assert ssl_rules <= {"ssl-verifier"}
+        assert scheduler.analyses_run == 2
+
+    def test_jobs_share_one_warm_session_per_app(self, tmp_path):
+        config = BackDroidConfig(search_backend="indexed")
+        with StoreAwareScheduler(config, workers=1) as scheduler:
+            spec = benchmark_app_spec(0, scale=SCALE)
+            first = scheduler.submit(
+                spec, request=AnalysisRequest(rules=("crypto-ecb",))
+            )
+            scheduler.wait(first.id, timeout=60)
+            second = scheduler.submit(
+                spec, request=AnalysisRequest(rules=("ssl-verifier",))
+            )
+            done = scheduler.wait(second.id, timeout=60)
+        # The second, differently-targeted job reused the warm session:
+        # no index rebuild even without an artifact store.
+        assert done.result["index_build_seconds"] == 0.0
+        sessions = scheduler.stats()["sessions"]
+        assert sessions["hits"] >= 1
+
+    def test_request_snapshot_rides_the_job_record(self, tmp_path):
+        with StoreAwareScheduler(_config(tmp_path), workers=1) as scheduler:
+            job = scheduler.submit(
+                benchmark_app_spec(0, scale=SCALE),
+                request=AnalysisRequest(rules=("crypto-ecb",), max_frames=99),
+            )
+            snapshot = scheduler.queue.snapshot(job.id)
+            scheduler.wait(job.id, timeout=60)
+        assert snapshot["request"]["rules"] == ["crypto-ecb"]
+        assert snapshot["request"]["max_frames"] == 99
+
+
+class TestCancellation:
+    def test_queued_job_cancels_and_reconciles_stats(self, tmp_path, monkeypatch):
+        release = threading.Event()
+        real = scheduler_module.analyze_spec
+
+        def gated(spec, config=None, **kwargs):
+            release.wait(timeout=30)
+            return real(spec, config, **kwargs)
+
+        monkeypatch.setattr(scheduler_module, "analyze_spec", gated)
+        scheduler = StoreAwareScheduler(_config(tmp_path), workers=1)
+        try:
+            blocker = scheduler.submit(benchmark_app_spec(0, scale=SCALE))
+            queued = scheduler.submit(benchmark_app_spec(1, scale=SCALE))
+            job, disposition = scheduler.cancel(queued.id)
+            assert disposition == "cancelled"
+            assert job.state == "cancelled"
+            release.set()
+            assert scheduler.wait(blocker.id, timeout=60).state == "done"
+            assert scheduler.wait(queued.id, timeout=60).state == "cancelled"
+        finally:
+            release.set()
+            scheduler.shutdown(wait=True)
+        lanes = scheduler.stats()["lanes"]
+        assert sum(lane["cancelled"] for lane in lanes.values()) == 1
+        assert sum(lane["completed"] for lane in lanes.values()) == 1
+        assert all(lane["depth"] == 0 for lane in lanes.values())
+        assert scheduler.analyses_run == 1  # the cancelled job never ran
+
+    def test_running_job_cancels_when_worker_finishes(self, tmp_path, monkeypatch):
+        started = threading.Event()
+        release = threading.Event()
+        real = scheduler_module.analyze_spec
+
+        def gated(spec, config=None, **kwargs):
+            started.set()
+            release.wait(timeout=30)
+            return real(spec, config, **kwargs)
+
+        monkeypatch.setattr(scheduler_module, "analyze_spec", gated)
+        scheduler = StoreAwareScheduler(_config(tmp_path), workers=1)
+        try:
+            job = scheduler.submit(benchmark_app_spec(0, scale=SCALE))
+            assert started.wait(timeout=30)
+            cancelled, disposition = scheduler.cancel(job.id)
+            assert disposition == "cancelling"
+            assert cancelled.state == "cancelling"
+            release.set()
+            final = scheduler.wait(job.id, timeout=60)
+        finally:
+            release.set()
+            scheduler.shutdown(wait=True)
+        assert final.state == "cancelled"
+        assert final.result is None
+        lanes = scheduler.stats()["lanes"]
+        assert sum(lane["cancelled"] for lane in lanes.values()) == 1
+        assert all(lane["depth"] == 0 for lane in lanes.values())
+
+    def test_cancelled_job_evicted_before_worker_slot_still_frees_depth(
+        self, tmp_path, monkeypatch
+    ):
+        # Tiny retention: a cancelled-while-queued job can be evicted
+        # from the registry before the pool ever dequeues its _run; the
+        # lane slot it held must still be released.
+        release = threading.Event()
+        real = scheduler_module.analyze_spec
+
+        def gated(spec, config=None, **kwargs):
+            release.wait(timeout=30)
+            return real(spec, config, **kwargs)
+
+        monkeypatch.setattr(scheduler_module, "analyze_spec", gated)
+        scheduler = StoreAwareScheduler(
+            _config(tmp_path), workers=1, max_finished_jobs=1
+        )
+        try:
+            blocker = scheduler.submit(benchmark_app_spec(0, scale=SCALE))
+            victims = [
+                scheduler.submit(benchmark_app_spec(i, scale=SCALE))
+                for i in (1, 2, 3)
+            ]
+            for victim in victims:
+                assert scheduler.cancel(victim.id)[1] == "cancelled"
+            # Retention bound 1: the first two cancelled jobs are gone.
+            assert scheduler.queue.get(victims[0].id) is None
+            release.set()
+            scheduler.wait(blocker.id, timeout=60)
+        finally:
+            release.set()
+            scheduler.shutdown(wait=True)
+        lanes = scheduler.stats()["lanes"]
+        assert all(lane["depth"] == 0 for lane in lanes.values())
+        assert sum(lane["cancelled"] for lane in lanes.values()) == 3

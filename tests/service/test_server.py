@@ -65,9 +65,9 @@ class TestEndpoints:
         release = threading.Event()
         real = scheduler_module.analyze_spec
 
-        def gated(spec, config=None):
+        def gated(spec, config=None, **kwargs):
             release.wait(timeout=30)
-            return real(spec, config)
+            return real(spec, config, **kwargs)
 
         monkeypatch.setattr(scheduler_module, "analyze_spec", gated)
         config = BackDroidConfig(
@@ -95,6 +95,129 @@ class TestEndpoints:
         assert submitted["id"] in listed
         stats = service.stats()
         assert {"lanes", "jobs", "store", "warm_hit_rate"} <= set(stats)
+
+
+class TestRequestOverrides:
+    def test_per_job_rules_override(self, service):
+        job = service.submit(
+            {"app": "bench:1", "scale": SCALE, "rules": ["crypto-ecb"]}
+        )
+        assert job["request"]["rules"] == ["crypto-ecb"]
+        done = service.wait(job["id"], timeout=60)
+        assert done["state"] == "done"
+        rules = {rule for rule, _ in done["result"]["findings"]}
+        assert rules <= {"crypto-ecb"}
+
+    def test_override_validation_is_400(self, service):
+        with pytest.raises(ValueError, match="unknown rule"):
+            service.submit(
+                {"app": "bench:0", "scale": SCALE, "rules": ["nope"]}
+            )
+        with pytest.raises(ValueError, match="'rules'"):
+            service.submit({"app": "bench:0", "scale": SCALE, "rules": []})
+        with pytest.raises(ValueError, match="'backend'"):
+            service.submit(
+                {"app": "bench:0", "scale": SCALE, "backend": "quantum"}
+            )
+        with pytest.raises(ValueError, match="'max_frames'"):
+            service.submit(
+                {"app": "bench:0", "scale": SCALE, "max_frames": 0}
+            )
+        with pytest.raises(ValueError, match="'hierarchy'"):
+            service.submit(
+                {"app": "bench:0", "scale": SCALE, "hierarchy": "yes"}
+            )
+
+    def test_default_submission_carries_no_request(self, service):
+        job = service.submit({"app": "bench:0", "scale": SCALE})
+        assert job["request"] is None
+        service.wait(job["id"], timeout=60)
+
+    def test_rules_override_clears_configured_explicit_targets(self, tmp_path):
+        # A config pinning explicit sinks must not shadow a per-job
+        # rules override (sink_specs gives targets precedence).
+        from repro.android.framework import sinks_for_rules
+
+        config = BackDroidConfig(sinks=sinks_for_rules(("ssl-verifier",)))
+        scheduler = StoreAwareScheduler(config, workers=1)
+        with AnalysisServer(scheduler, port=0) as server:
+            client = ServiceClient(*server.address)
+            job = client.submit(
+                {"app": "bench:1", "scale": SCALE, "rules": ["crypto-ecb"]}
+            )
+            assert job["request"]["targets"] is None
+            done = client.wait(job["id"], timeout=60)
+            assert done["state"] == "done"
+            rules = {rule for rule, _ in done["result"]["findings"]}
+            assert rules == {"crypto-ecb"}  # bench:1 has crypto findings
+
+    def test_partial_override_keeps_service_configured_defaults(self, tmp_path):
+        # A body naming only max_frames must not reset the operator's
+        # --rules selection back to the package defaults.
+        config = BackDroidConfig(
+            sink_rules=("open-port",), search_backend="indexed"
+        )
+        scheduler = StoreAwareScheduler(config, workers=1)
+        with AnalysisServer(scheduler, port=0) as server:
+            client = ServiceClient(*server.address)
+            job = client.submit(
+                {"app": "bench:0", "scale": SCALE, "max_frames": 2000}
+            )
+            assert job["request"]["rules"] == ["open-port"]
+            assert job["request"]["max_frames"] == 2000
+            assert job["request"]["backend"] == "indexed"
+            assert client.wait(job["id"], timeout=60)["state"] == "done"
+
+
+class TestCancellation:
+    def test_cancel_unknown_job_is_404(self, service):
+        with pytest.raises(KeyError):
+            service.cancel("job-424242")
+
+    def test_cancel_finished_job_is_409(self, service):
+        job = service.submit({"app": "bench:0", "scale": SCALE})
+        service.wait(job["id"], timeout=60)
+        with pytest.raises(ValueError, match="already done"):
+            service.cancel(job["id"])
+
+    def test_cancel_queued_job_round_trip(self, tmp_path, monkeypatch):
+        import threading
+
+        import repro.service.scheduler as scheduler_module
+
+        release = threading.Event()
+        real = scheduler_module.analyze_spec
+
+        def gated(spec, config=None, **kwargs):
+            release.wait(timeout=30)
+            return real(spec, config, **kwargs)
+
+        monkeypatch.setattr(scheduler_module, "analyze_spec", gated)
+        config = BackDroidConfig(
+            search_backend="indexed", store_dir=str(tmp_path / "store")
+        )
+        scheduler = StoreAwareScheduler(config, workers=1)
+        with AnalysisServer(scheduler, port=0) as server:
+            client = ServiceClient(*server.address)
+            blocker = client.submit({"app": "bench:0", "scale": SCALE})
+            queued = client.submit({"app": "bench:1", "scale": SCALE})
+            snapshot = client.cancel(queued["id"])
+            assert snapshot["state"] == "cancelled"
+            assert snapshot["error"] == "cancelled by client"
+            # DELETE is not idempotent-successful: the second call is 409.
+            with pytest.raises(ValueError, match="already cancelled"):
+                client.cancel(queued["id"])
+            release.set()
+            assert client.wait(blocker["id"], timeout=60)["state"] == "done"
+            # wait() resolves cancelled as terminal over HTTP too.
+            assert client.wait(queued["id"], timeout=5)["state"] == "cancelled"
+            stats = client.stats()
+            lanes = stats["lanes"]
+            assert sum(l["cancelled"] for l in lanes.values()) == 1
+
+    def test_cancel_bad_path_is_404(self, service):
+        status, _ = service._request("DELETE", "/v1/stats")
+        assert status == 404
 
 
 class TestErrors:

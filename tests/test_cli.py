@@ -37,6 +37,21 @@ class TestAnalyze:
             main(["analyze", "bench:-3"])
         assert "must be >= 0" in str(exc_info.value)
 
+    def test_analyze_json_emits_versioned_envelope(self, capsys):
+        import json
+
+        from repro.api import SCHEMA_VERSION, ReportEnvelope
+
+        code = main(["analyze", "heyzap", "--rules", "ssl-verifier", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1  # exit code still reflects the verdict
+        assert payload["kind"] == "backdroid-report"
+        assert payload["schema_version"] == SCHEMA_VERSION
+        envelope = ReportEnvelope.from_dict(payload)
+        assert envelope.package == "com.heyzap.demo"
+        assert envelope.vulnerable
+        assert envelope.request.rules == ("ssl-verifier",)
+
     def test_analyze_with_indexed_backend(self, capsys):
         code = main(["analyze", "heyzap", "--rules", "ssl-verifier",
                      "--backend", "indexed"])
