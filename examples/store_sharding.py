@@ -1,0 +1,83 @@
+"""Cross-app shard dedup: two overlapping apps, one stored library.
+
+Two synthetic apps embed the same vendored SDK.  The artifact store
+splits each app's token stream and posting lists into per-class-group
+*shards* keyed by content, so the SDK's shard is persisted exactly once:
+
+1. app one is saved — its own group *and* the SDK group are published;
+2. app two is saved — only its own group is new; the SDK shard is
+   shared (``shards_shared`` counts it);
+3. both apps restore to indexes **byte-identical** to fresh builds;
+4. a third app that was *never saved* still warm-starts: the SDK shard
+   already on disk composes in, and only the app's own group is folded
+   (``patched_groups`` — the incremental re-indexing path).
+
+Run with::
+
+    PYTHONPATH=src python examples/store_sharding.py
+"""
+
+import tempfile
+
+from repro.search.backends.indexed import TokenIndex
+from repro.store import ArtifactStore
+from repro.workload.generator import AppSpec, LibrarySpec, generate_app
+
+SDK = LibrarySpec(package="org.vendored.sdk", seed=3, classes=20,
+                  methods_per_class=6)
+
+
+def _spec(package: str, seed: int) -> AppSpec:
+    return AppSpec(package=package, seed=seed, filler_classes=6,
+                   libraries=(SDK,))
+
+
+def _assert_parity(restored: TokenIndex, fresh: TokenIndex) -> None:
+    assert restored.vocab == fresh.vocab
+    assert restored.postings == fresh.postings
+    assert restored.exact == fresh.exact
+    assert restored.containing == fresh.containing
+    assert restored._string_ids == fresh._string_ids
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="bdshard-demo-") as root:
+        store = ArtifactStore(root)
+
+        # --- save two apps that share the SDK ------------------------
+        one = generate_app(_spec("com.example.alpha", 1)).apk.disassembly
+        two = generate_app(_spec("com.example.beta", 2)).apk.disassembly
+        store.save_index(one)
+        store.save_index(two)
+        inventory = store.describe()
+        print(f"apps saved        : 2")
+        print(f"unique shards     : {inventory.shards} "
+              f"({inventory.shard_refs} manifest references)")
+        print(f"bytes saved       : {inventory.bytes_saved} "
+              f"(dedup ratio {inventory.dedup_ratio:.2f}x)")
+        assert store.stats.shards_shared >= 1, "the SDK shard must dedup"
+        assert inventory.shard_refs > inventory.shards
+
+        # --- restores are byte-identical to fresh builds -------------
+        for spec in (_spec("com.example.alpha", 1), _spec("com.example.beta", 2)):
+            disassembly = generate_app(spec).apk.disassembly
+            restored = store.load_index(disassembly)
+            assert restored is not None and restored.patched_groups == 0
+            assert restored.build_seconds == 0.0
+            _assert_parity(restored, TokenIndex.for_disassembly(disassembly))
+        print("parity            : restored indexes == fresh builds")
+
+        # --- a never-saved sibling app warm-starts off the SDK -------
+        gamma = generate_app(_spec("com.example.gamma", 3)).apk.disassembly
+        restored = store.load_index(gamma)
+        assert restored is not None, "SDK shard should make this a partial hit"
+        assert restored.patched_groups >= 1
+        _assert_parity(restored, TokenIndex(gamma))
+        print(f"cross-app warm    : gamma composed "
+              f"{len(store._groups(gamma)) - restored.patched_groups} shared "
+              f"shard(s), folded {restored.patched_groups} of its own")
+        print("store counters    :", store.stats.as_dict())
+
+
+if __name__ == "__main__":
+    main()

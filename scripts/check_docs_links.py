@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Check that intra-repo markdown links resolve.
+
+Walks every ``*.md`` file in the repository (skipping generated and
+vendor directories), extracts inline links, and verifies:
+
+* relative file links point at files/directories that exist;
+* fragment links (``path#anchor`` and same-file ``#anchor``) name a
+  heading that actually occurs in the target file, using GitHub's
+  heading-slug rules.
+
+External links (``http(s)://``, ``mailto:``) are ignored — CI must not
+depend on the network.  Exits nonzero listing every broken link.
+
+Run from the repo root (CI does)::
+
+    python scripts/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules",
+             "results", ".backdroid-store"}
+
+#: Inline markdown links: [text](target) — images share the syntax.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def markdown_files() -> list[Path]:
+    """Every tracked-ish markdown file under the repo root."""
+    files = []
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        files.append(path)
+    return files
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for one heading line."""
+    # Strip inline code/links/emphasis markers, then slugify.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    body = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for match in HEADING_RE.finditer(body):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    body = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(body):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(REPO_ROOT)}: broken link "
+                              f"-> {target}")
+                continue
+        else:
+            resolved = path
+        if fragment:
+            if resolved.suffix != ".md" or not resolved.is_file():
+                continue  # anchors into non-markdown targets: skip
+            if fragment.lower() not in heading_slugs(resolved):
+                errors.append(
+                    f"{path.relative_to(REPO_ROOT)}: missing anchor "
+                    f"#{fragment} in {resolved.relative_to(REPO_ROOT)}"
+                )
+    return errors
+
+
+def main() -> int:
+    files = markdown_files()
+    errors = [error for path in files for error in check_file(path)]
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s): "
+          f"{len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

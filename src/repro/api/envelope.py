@@ -29,8 +29,9 @@ from repro.search.loops import LoopKind
 
 #: Bump on ANY serialized shape change (fields added/removed/renamed,
 #: key semantics altered) — readers reject mismatches instead of
-#: guessing.
-SCHEMA_VERSION = 1
+#: guessing.  v2 added ``shards_patched`` to backend stats and to batch
+#: outcome payloads (the store's warm-partial restore counter).
+SCHEMA_VERSION = 2
 
 #: Envelope self-identification (a bare dict in a log stays traceable).
 ENVELOPE_KIND = "backdroid-report"
@@ -42,6 +43,7 @@ ENVELOPE_KIND = "backdroid-report"
 
 
 def signature_to_dict(signature: MethodSignature) -> dict:
+    """One method signature as a JSON-able dict."""
     return {
         "class_name": signature.class_name,
         "name": signature.name,
@@ -51,6 +53,7 @@ def signature_to_dict(signature: MethodSignature) -> dict:
 
 
 def signature_from_dict(payload: dict) -> MethodSignature:
+    """Rebuild a :class:`MethodSignature` from its dict form."""
     return MethodSignature(
         class_name=str(payload["class_name"]),
         name=str(payload["name"]),
@@ -60,6 +63,7 @@ def signature_from_dict(payload: dict) -> MethodSignature:
 
 
 def spec_to_dict(spec: SinkSpec) -> dict:
+    """One sink spec as a JSON-able dict."""
     return {
         "signature": signature_to_dict(spec.signature),
         "tracked_params": list(spec.tracked_params),
@@ -69,6 +73,7 @@ def spec_to_dict(spec: SinkSpec) -> dict:
 
 
 def spec_from_dict(payload: dict) -> SinkSpec:
+    """Rebuild a :class:`SinkSpec` from its dict form."""
     return SinkSpec(
         signature=signature_from_dict(payload["signature"]),
         tracked_params=tuple(int(p) for p in payload["tracked_params"]),
@@ -139,6 +144,7 @@ def _record_from_dict(payload: dict) -> SinkRecord:
 
 
 def report_to_dict(report: AnalysisReport) -> dict:
+    """The full analysis report as a JSON-able dict (exact)."""
     return {
         "package": report.package,
         "records": [_record_to_dict(r) for r in report.records],
@@ -157,6 +163,10 @@ def report_to_dict(report: AnalysisReport) -> dict:
 
 
 def report_from_dict(payload: dict) -> AnalysisReport:
+    """Rebuild an :class:`AnalysisReport` from its dict form.
+
+    Raises ``KeyError``/``TypeError``/``ValueError`` on shape mismatch.
+    """
     return AnalysisReport(
         package=str(payload["package"]),
         records=[_record_from_dict(r) for r in payload["records"]],
@@ -195,18 +205,22 @@ class ReportEnvelope:
     # -- convenience passthroughs --------------------------------------
     @property
     def package(self) -> str:
+        """The analyzed app's package name."""
         return self.report.package
 
     @property
     def findings(self) -> list:
+        """Every confirmed finding in the wrapped report."""
         return self.report.findings
 
     @property
     def vulnerable(self) -> bool:
+        """Whether the wrapped report carries any finding."""
         return self.report.vulnerable
 
     # ------------------------------------------------------------------
     def as_dict(self) -> dict:
+        """The canonical JSON-able form (exact ``from_dict`` inverse)."""
         return {
             "kind": ENVELOPE_KIND,
             "schema_version": self.schema_version,
@@ -218,6 +232,12 @@ class ReportEnvelope:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ReportEnvelope":
+        """Rebuild an envelope from its :meth:`as_dict` payload.
+
+        Raises ``ValueError`` on a non-dict payload, a foreign ``kind``
+        or a mismatched ``schema_version`` — readers never guess at
+        unversioned shapes.
+        """
         from repro.api.request import AnalysisRequest  # local: no cycle
 
         if not isinstance(payload, dict):

@@ -38,6 +38,8 @@ class TargetRegistry:
     """
 
     def __init__(self, include_builtin: bool = True) -> None:
+        """Create a registry, seeded with the built-in sink catalogue
+        and detectors unless ``include_builtin`` is False."""
         self._catalogue: list[SinkSpec] = []
         self._detectors: dict[str, Detector] = {}
         if include_builtin:
@@ -76,6 +78,7 @@ class TargetRegistry:
 
     @property
     def specs(self) -> tuple[SinkSpec, ...]:
+        """Every registered sink spec, in registration order."""
         return tuple(self._catalogue)
 
     def specs_for(self, rules: Iterable[str]) -> tuple[SinkSpec, ...]:
@@ -89,6 +92,7 @@ class TargetRegistry:
         return tuple(s for s in self._catalogue if s.rule in wanted)
 
     def detector_for(self, rule: str) -> Optional[Detector]:
+        """The detector registered for ``rule``, or None when absent."""
         return self._detectors.get(rule)
 
     # ------------------------------------------------------------------

@@ -144,6 +144,11 @@ class AnalysisRequest:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "AnalysisRequest":
+        """Rebuild a request from its :meth:`as_dict` payload.
+
+        The inverse of ``as_dict`` (exact round trip); unknown keys are
+        ignored, absent ones take the request defaults.
+        """
         from repro.api.envelope import spec_from_dict
 
         targets = payload.get("targets")

@@ -84,6 +84,9 @@ def _delta_backend_stats(pre: dict, post: dict, prebuilt: bool) -> dict:
     delta["index_restored"] = bool(
         post.get("index_restored", False) and not pre.get("index_restored", False)
     )
+    delta["shards_patched"] = max(
+        0, post.get("shards_patched", 0) - pre.get("shards_patched", 0)
+    )
     delta["vocab_size"] = post.get("vocab_size", 0)
     delta["posting_entries"] = post.get("posting_entries", 0)
     delta["index_prebuilt"] = prebuilt
@@ -102,6 +105,15 @@ class AnalysisSession:
         search_cache_max_entries: Optional[int] = None,
         registry: Optional[TargetRegistry] = None,
     ) -> None:
+        """Open a session over one app.
+
+        ``apk`` is the app under analysis; ``default_backend`` names the
+        search backend requests fall back to; ``store`` attaches a
+        warm-start artifact store (a directory path or an open
+        :class:`~repro.store.ArtifactStore`); ``search_cache_max_entries``
+        bounds the shared search-command cache; ``registry`` supplies
+        client sink specs and detectors (defaults to the built-ins).
+        """
         self.apk = apk
         self.default_backend = default_backend
         self.registry = registry if registry is not None else TargetRegistry()
@@ -319,6 +331,7 @@ class SessionCache:
     """
 
     def __init__(self, max_sessions: int = 4) -> None:
+        """Create a cache holding at most ``max_sessions`` live sessions."""
         if max_sessions < 1:
             raise ValueError("max_sessions must be a positive integer")
         self.max_sessions = max_sessions
@@ -330,6 +343,8 @@ class SessionCache:
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[AnalysisSession]:
+        """The cached session for ``key`` (refreshing its LRU slot), or
+        None on a miss."""
         with self._lock:
             session = self._sessions.get(key)
             if session is None:
@@ -340,6 +355,8 @@ class SessionCache:
             return session
 
     def put(self, key: str, session: AnalysisSession) -> None:
+        """Insert (or refresh) ``session`` under ``key``, evicting the
+        least recently used entry past the bound."""
         with self._lock:
             self._sessions[key] = session
             self._sessions.move_to_end(key)
@@ -352,6 +369,7 @@ class SessionCache:
             return len(self._sessions)
 
     def describe(self) -> dict:
+        """Occupancy and hit/miss/eviction counters as a JSON-able dict."""
         with self._lock:
             return {
                 "sessions": len(self._sessions),

@@ -38,14 +38,13 @@ from repro.baseline import AmandroidConfig, AmandroidStyleAnalyzer
 from repro.core import STORE_MODES, BackDroid, BackDroidConfig, run_batch
 from repro.core.batch import EXECUTORS, analyze_spec
 from repro.search.backends import BACKENDS, DEFAULT_BACKEND
-from repro.search.backends.indexed import TokenIndex
-from repro.store import ArtifactStore
+from repro.store import ArtifactStore, store_key
 from repro.workload.corpus import (
     benchmark_app_spec,
     sample_year_corpus,
     year_app_spec,
 )
-from repro.workload.generator import AppSpec, generate_app
+from repro.workload.generator import AppSpec, generate_app, spec_fingerprint
 from repro.workload.paperapps import build_heyzap, build_lg_tv_plus, build_palcomp3
 
 _PAPER_APPS = {
@@ -255,8 +254,12 @@ def cmd_store(args) -> int:
         store = _require_store(args)
         if args.max_age_hours < 0:
             raise SystemExit("--max-age-hours must be >= 0")
-        removed, reclaimed = store.gc(args.max_age_hours * 3600.0)
-        print(f"removed {removed} entry(ies), reclaimed {reclaimed} bytes")
+        result = store.gc(args.max_age_hours * 3600.0)
+        print(
+            f"removed {result.entries_removed} entry(ies) and "
+            f"{result.shards_removed} unreferenced shard(s), "
+            f"reclaimed {result.bytes_reclaimed} bytes"
+        )
         return 0
 
     # warm: prebuild artifacts so later runs start hot.  "index" mode
@@ -281,9 +284,16 @@ def cmd_store(args) -> int:
         else:
             apk = generate_app(spec).apk
             if store.load_index(apk.disassembly) is None:
-                store.save_index(
-                    apk.disassembly, TokenIndex.for_disassembly(apk.disassembly)
-                )
+                # save_index shards the token stream itself; building
+                # an app-level index here would be folded work thrown
+                # away.
+                store.save_index(apk.disassembly)
+            # Teach the specmap too, so store-aware dispatch (batch
+            # plan_lanes, the service scheduler) can classify the
+            # warmed app without generating it.
+            store.save_spec_key(
+                spec_fingerprint(spec), store_key(apk.disassembly)
+            )
             warmed += 1
     print(f"warmed {warmed}/{len(specs)} app(s) into {args.store} "
           f"(mode: {args.store_mode})")

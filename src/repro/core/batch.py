@@ -59,6 +59,9 @@ class AppOutcome:
     #: The indexed backend restored its posting lists instead of folding
     #: the token stream.
     index_restored: bool = False
+    #: Shard groups the store re-folded during a warm-partial restore
+    #: (0 for cold builds and full-shard restores).
+    shards_patched: int = 0
     #: Time this run spent building an inverted index (0.0 whenever the
     #: index was restored, the outcome was served from the store, or the
     #: linear backend ran).
@@ -231,6 +234,9 @@ def analyze_spec(
             index_restored=bool(
                 report.backend_stats.get("index_restored", False)
             ),
+            shards_patched=int(
+                report.backend_stats.get("shards_patched", 0)
+            ),
             index_build_seconds=float(
                 report.backend_stats.get("index_build_seconds", 0.0)
             ),
@@ -271,10 +277,14 @@ def level_is_warm(level: str, config: BackDroidConfig) -> bool:
     """Whether a probe level means *cheap under this config*.
 
     An outcome-level hit (already fingerprint-matched to the config) is
-    warm whenever outcomes may be reused (``"full"`` mode).  An
-    index-level hit only saves work for the indexed backend — the
+    warm whenever outcomes may be reused (``"full"`` mode).  An index-
+    or partial-level hit only saves work for the indexed backend — the
     linear scan never restores posting lists, so for it a stored index
-    is not warmth, it is a full-cost analysis.
+    is not warmth, it is a full-cost analysis.  A *partial* hit (some
+    shards present, e.g. another app already published this app's
+    libraries) still rides the fast lane: composing the present shards
+    and re-folding only the missing groups is far cheaper than a cold
+    build.
     """
     if level not in WARM_LEVELS:
         return False
@@ -387,6 +397,16 @@ class BatchResult:
         return sum(1 for o in self.analyzed if o.index_restored)
 
     @property
+    def partial_restores(self) -> int:
+        """Apps restored warm-partial (some shards patched in place)."""
+        return sum(1 for o in self.analyzed if o.shards_patched > 0)
+
+    @property
+    def shards_patched(self) -> int:
+        """Total shard groups re-folded across all warm-partial apps."""
+        return sum(o.shards_patched for o in self.analyzed)
+
+    @property
     def fast_lane_apps(self) -> int:
         """Apps the up-front store probe routed to the warm fast lane."""
         return sum(1 for o in self.outcomes if o.lane == "fast")
@@ -450,7 +470,9 @@ class BatchResult:
                 f"  store          : {self.store_hits} hit(s) / "
                 f"{self.store_misses} miss(es) "
                 f"({self.warm_hit_rate:.0%} warm), "
-                f"{self.index_restores} restored index(es)"
+                f"{self.index_restores} restored index(es), "
+                f"{self.partial_restores} partial "
+                f"({self.shards_patched} shard(s) patched)"
             )
             lines.append(
                 f"  lanes          : {self.fast_lane_apps} fast / "
@@ -486,6 +508,8 @@ class BatchResult:
                 "misses": self.store_misses,
                 "warm_hit_rate": self.warm_hit_rate,
                 "index_restores": self.index_restores,
+                "partial_restores": self.partial_restores,
+                "shards_patched": self.shards_patched,
                 "fast_lane_apps": self.fast_lane_apps,
                 "main_lane_apps": self.main_lane_apps,
             }

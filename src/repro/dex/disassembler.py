@@ -117,6 +117,23 @@ class LineToken:
     text: str
 
 
+@dataclass(frozen=True)
+class ClassSpan:
+    """The contiguous line range one class's rendering occupies.
+
+    Class sections are rendered back to back in sorted-name order, so
+    spans tile the post-preamble disassembly.  The artifact store's
+    sharding layer groups consecutive spans by library prefix and keys
+    each group by its (position-independent) token content — which is
+    what lets two apps embedding the same library share one stored
+    shard.
+    """
+
+    class_name: str  # Java-style name, e.g. "com.lge.app1.MainActivity"
+    start_line: int
+    end_line: int  # exclusive
+
+
 @dataclass
 class MethodBlock:
     """The disassembly section of one method."""
@@ -141,10 +158,15 @@ class Disassembly:
         lines: list[str],
         blocks: list[MethodBlock],
         tokens: Optional[list[LineToken]] = None,
+        class_spans: Optional[list[ClassSpan]] = None,
     ) -> None:
         self.lines = lines
         self.blocks = blocks
         self.tokens = tokens if tokens is not None else []
+        #: Per-class line ranges (empty for hand-built disassemblies;
+        #: the store's sharding layer then falls back to one app-wide
+        #: shard group).
+        self.class_spans = class_spans if class_spans is not None else []
         self._block_starts = [b.start_line for b in blocks]
         self._by_signature = {b.signature: b for b in blocks}
 
@@ -181,6 +203,7 @@ class _Renderer:
         self.lines: list[str] = []
         self.blocks: list[MethodBlock] = []
         self.tokens: list[LineToken] = []
+        self.class_spans: list[ClassSpan] = []
         self._methods = _InternPool()
         self._fields = _InternPool()
         self._types = _InternPool()
@@ -208,8 +231,14 @@ class _Renderer:
         self._emit("Processing merged classes.dex")
         self._emit("Opened 'classes.dex', DEX version '035'")
         for index, cls in enumerate(sorted(pool.application_classes(), key=lambda c: c.name)):
+            start = len(self.lines)
             self._render_class(index, cls)
-        return Disassembly(self.lines, self.blocks, self.tokens)
+            self.class_spans.append(
+                ClassSpan(cls.name, start, len(self.lines))
+            )
+        return Disassembly(
+            self.lines, self.blocks, self.tokens, self.class_spans
+        )
 
     # ------------------------------------------------------------------
     def _render_class(self, index: int, cls: DexClass) -> None:

@@ -40,6 +40,10 @@ class BackendStats:
     #: True when the index was restored from the artifact store instead
     #: of being built (always False for the linear backend).
     index_restored: bool = False
+    #: Shard groups the store had to re-fold while restoring (0 for a
+    #: fresh build or a full-shard restore; > 0 marks a warm-partial
+    #: restore that patched only the missing groups).
+    shards_patched: int = 0
     vocab_size: int = 0
     posting_entries: int = 0
 
@@ -55,6 +59,7 @@ class BackendStats:
             "fallbacks": self.fallbacks,
             "index_build_seconds": self.index_build_seconds,
             "index_restored": self.index_restored,
+            "shards_patched": self.shards_patched,
             "vocab_size": self.vocab_size,
             "posting_entries": self.posting_entries,
         }

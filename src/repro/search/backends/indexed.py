@@ -44,6 +44,9 @@ class TokenIndex:
     def __init__(self, disassembly: Disassembly) -> None:
         started = time.perf_counter()
         self.restored = False
+        #: Shard groups the store re-folded while restoring this index
+        #: (0 for fresh builds and full-shard restores).
+        self.patched_groups = 0
         self.vocab: list[str] = []
         self.postings: list[list[int]] = []
         self.exact: dict[str, int] = {}
@@ -96,6 +99,7 @@ class TokenIndex:
         """
         index = cls.__new__(cls)
         index.restored = True
+        index.patched_groups = 0
         index.vocab = [str(text) for text in payload["vocab"]]
         index.postings = [
             [int(line_no) for line_no in posting]
@@ -235,10 +239,13 @@ def _containment_keys(token: str):
 class InvertedIndexBackend(SearchBackend):
     """Dict-lookup token queries over the prebuilt :class:`TokenIndex`.
 
-    With an artifact ``store`` attached, the index is restored from disk
-    when a warm entry exists for this disassembly (``index_build_seconds
-    == 0.0``, ``index_restored`` set in the stats) and saved back after
-    a cold build, so later runs over the same bytecode skip the fold.
+    With an artifact ``store`` attached, the index is composed from the
+    store's per-class-group shards when any exist for this disassembly
+    (``index_restored`` set in the stats; a full-shard hit reports
+    ``index_build_seconds == 0.0``, a partial hit re-folds only the
+    missing groups and reports them as ``shards_patched``) and saved
+    back after a cold build, so later runs over the same bytecode — or
+    over *different apps embedding the same libraries* — skip the fold.
     """
 
     name = "indexed"
@@ -276,6 +283,7 @@ class InvertedIndexBackend(SearchBackend):
             self._index = index
             self.stats.index_build_seconds = index.build_seconds
             self.stats.index_restored = index.restored
+            self.stats.shards_patched = getattr(index, "patched_groups", 0)
             self.stats.vocab_size = len(index.vocab)
             self.stats.posting_entries = index.posting_entries
         return self._index

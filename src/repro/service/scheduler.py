@@ -6,10 +6,13 @@ whose outcome (or index) is already in the artifact store costs
 milliseconds, but in a FIFO pool it still waits behind cold apps that
 cost seconds.  This scheduler probes the store at submit time
 (:func:`repro.core.batch.probe_spec` — one tiny specmap read to resolve
-the spec's content key, then pure existence checks; never any app
-generation or artifact deserialization) and routes warm submissions to
-a small dedicated fast lane while cold submissions get the main worker
-pool.
+the spec's content key, then one small manifest read plus shard
+existence checks; never any app generation or shard deserialization)
+and routes warm submissions to a small dedicated fast lane while cold
+submissions get the main worker pool.  A *partial* probe (some of the
+app's shards already published — typically by another app embedding
+the same libraries) counts as warm: the analysis composes the present
+shards and patches only the missing groups.
 ``benchmarks/bench_service_scheduler.py`` measures the effect: on a
 mixed corpus, warm jobs' mean wait drops versus single-lane FIFO
 dispatch.
@@ -139,6 +142,10 @@ class StoreAwareScheduler:
         #: Submissions the store probe classified warm (lane-independent,
         #: so a FIFO-degraded scheduler still reports its warm traffic).
         self.warm_submissions = 0
+        #: The subset of warm submissions that were *partial* hits —
+        #: only some shards present, the rest patched at analysis time
+        #: (cross-app dedup warming an app never seen before).
+        self.warm_partial_submissions = 0
         self._lock = threading.Lock()
         self._closed = False
 
@@ -192,6 +199,8 @@ class StoreAwareScheduler:
             stats.submitted += 1
             if warm:
                 self.warm_submissions += 1
+                if level == "partial":
+                    self.warm_partial_submissions += 1
             if is_primary:
                 stats.depth += 1
         if is_primary:
@@ -295,6 +304,7 @@ class StoreAwareScheduler:
                 "analyses_run": self.analyses_run,
                 "submitted": submitted,
                 "warm_hit_rate": warm / submitted if submitted else 0.0,
+                "warm_partial_submissions": self.warm_partial_submissions,
                 "store": (
                     self._store.stats.as_dict()
                     if self._store is not None

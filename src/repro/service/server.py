@@ -66,7 +66,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        pass  # the service reports via /v1/stats, not stderr chatter
+        """Silence per-request stderr chatter (see ``/v1/stats``)."""
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -85,6 +85,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Serve ``/healthz``, ``/v1/stats``, ``/v1/jobs[/<id>]``.
+
+        Returns 200 with a JSON body, or 404 for unknown paths/jobs.
+        """
         scheduler = self.server.scheduler
         path = self.path.rstrip("/") or "/"
         if path == "/healthz":
@@ -104,6 +108,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._error(404, f"no such endpoint {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """``POST /v1/jobs``: validate, submit, answer 202 + record.
+
+        The body is a small JSON object naming the app spec plus
+        optional per-job overrides (``rules``/``backend``/
+        ``max_frames``/``hierarchy``).  400 on malformed bodies or
+        unknown rules, 503 when the scheduler is shut down.
+        """
         if self.path.rstrip("/") != "/v1/jobs":
             self._error(404, f"no such endpoint {self.path!r}")
             return
@@ -146,6 +157,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self._send_json(202, snapshot if snapshot is not None else job.as_dict())
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        """``DELETE /v1/jobs/<id>``: cancel one job.
+
+        200 with the job snapshot on success (queued jobs cancel
+        immediately; running ones report ``cancelling``), 404 for
+        unknown ids, 409 when terminal or shared by coalesced
+        submissions.
+        """
         path = self.path.rstrip("/")
         if not path.startswith("/v1/jobs/"):
             self._error(404, f"no such endpoint {self.path!r}")
@@ -182,6 +200,7 @@ class _ServiceHTTPServer(ThreadingHTTPServer):
     allow_reuse_address = True
 
     def __init__(self, address, scheduler: StoreAwareScheduler) -> None:
+        """Bind ``address`` and attach the scheduler handlers route to."""
         super().__init__(address, _ServiceHandler)
         self.scheduler = scheduler
 
@@ -201,6 +220,10 @@ class AnalysisServer:
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
+        """Bind the listener (not yet serving) over ``scheduler``.
+
+        ``port=0`` picks an ephemeral port; see :attr:`address`.
+        """
         self.scheduler = scheduler
         self._http = _ServiceHTTPServer((host, port), scheduler)
         self._thread: Optional[threading.Thread] = None
@@ -212,6 +235,7 @@ class AnalysisServer:
 
     # ------------------------------------------------------------------
     def start(self) -> "AnalysisServer":
+        """Start serving on a daemon thread; returns self for chaining."""
         if self._thread is not None:
             raise RuntimeError("server already started")
         self._thread = threading.Thread(
@@ -254,6 +278,7 @@ class ServiceClient:
     """Minimal ``urllib`` client for the service API (tests, CI, scripts)."""
 
     def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        """Point the client at ``host:port`` with one request timeout."""
         self.base_url = f"http://{host}:{port}"
         self.timeout = timeout
 
@@ -281,6 +306,7 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
     def health(self) -> dict:
+        """The ``/healthz`` liveness payload (``{\"ok\": true}``)."""
         return self._request("GET", "/healthz")[1]
 
     def submit(self, request_payload: dict) -> dict:
@@ -291,6 +317,7 @@ class ServiceClient:
         return payload
 
     def job(self, job_id: str) -> Optional[dict]:
+        """One job's snapshot, or None for unknown/evicted ids."""
         status, payload = self._request("GET", f"/v1/jobs/{job_id}")
         return None if status == 404 else payload
 
@@ -306,9 +333,11 @@ class ServiceClient:
         return payload
 
     def jobs(self) -> list[dict]:
+        """Every retained job snapshot, in submission order."""
         return self._request("GET", "/v1/jobs")[1]["jobs"]
 
     def stats(self) -> dict:
+        """The ``/v1/stats`` payload: lanes, jobs, warm rate, store."""
         return self._request("GET", "/v1/stats")[1]
 
     def wait(

@@ -1,10 +1,17 @@
 """Persistent warm-start artifacts for corpus batch runs.
 
 * :mod:`repro.store.artifacts` — the content-addressed on-disk
-  :class:`ArtifactStore`: per-app token streams, inverted-index posting
-  lists and finished batch outcomes, keyed by a hash of the disassembly
-  plaintext plus a format version, with atomic (rename-published) writes
-  safe under the process-pool batch executor.
+  :class:`ArtifactStore`: per-class-group *shards* (token streams plus
+  prefolded posting lists, shared across every app that embeds the same
+  library code), per-app manifests composing shards back into
+  byte-identical indexes, and finished batch outcomes — all keyed by
+  content hashes plus a format version, with atomic (rename-published)
+  writes safe under the process-pool batch executor.
+* :mod:`repro.store.sharding` — the class-group partitioner, shard
+  content addressing, and the exact composition of shard mini-indexes
+  back into one app-level :class:`~repro.search.backends.indexed.TokenIndex`.
+
+The on-disk format is specified in ``docs/STORE_FORMAT.md``.
 """
 
 from repro.store.artifacts import (
@@ -12,11 +19,18 @@ from repro.store.artifacts import (
     PROBE_LEVELS,
     WARM_LEVELS,
     ArtifactStore,
+    GcResult,
     StoreInventory,
     StoreProbe,
     StoreStats,
     VerifyEntry,
     store_key,
+)
+from repro.store.sharding import (
+    ShardGroup,
+    group_label,
+    partition_disassembly,
+    shard_key,
 )
 
 __all__ = [
@@ -24,9 +38,14 @@ __all__ = [
     "PROBE_LEVELS",
     "WARM_LEVELS",
     "ArtifactStore",
+    "GcResult",
+    "ShardGroup",
     "StoreInventory",
     "StoreProbe",
     "StoreStats",
     "VerifyEntry",
+    "group_label",
+    "partition_disassembly",
+    "shard_key",
     "store_key",
 ]

@@ -4,18 +4,29 @@ Market-scale vetting re-analyzes the same corpus again and again
 (new sink rules, new detector versions, re-runs after crashes), yet the
 per-app preprocessing — disassembly tokenization and the inverted-index
 posting lists — is identical across runs as long as the app's bytecode
-is unchanged.  This store persists those artifacts on disk, keyed by a
-hash of the disassembly plaintext plus a format version, so a second
+is unchanged.  This store persists those artifacts on disk so a second
 batch run over an unchanged corpus restores each app's index instead of
 rebuilding it, and (in ``"full"`` mode) restores the finished per-app
 outcome instead of re-analyzing.
 
-Layout (one directory per app key)::
+Artifacts are **sharded**: an app's token stream and posting lists are
+split per class group (consecutive classes under one library prefix —
+see :mod:`repro.store.sharding`), each shard is keyed by a sha256 of its
+position-independent content, and the app entry stores a *manifest*
+listing shard keys instead of a monolithic blob.  Two apps embedding the
+same library therefore persist that library's artifacts exactly once,
+and restoring an app composes its shards back into a byte-identical
+token stream and index.
+
+Layout (see ``docs/STORE_FORMAT.md`` for the full spec)::
 
     <root>/objects/<key[:2]>/<key>/
-        tokens.json             the disassembler's per-line token stream
-        index.json              the InvertedIndexBackend posting lists
+        manifest.json           ordered shard references + line offsets
         outcome-<config>.json   one finished batch outcome per config
+    <root>/shards/<sha[:2]>/<sha>.json
+        one class group: relative tokens + prefolded mini-index
+    <root>/specmap/<fp[:2]>/<fp>.json
+        app-spec fingerprint -> disassembly content key
 
 Concurrency: batch runs write from many pool processes at once.  Every
 write goes to a same-directory temp file first and is published with an
@@ -25,7 +36,10 @@ complete entries — never a torn file.  Duplicate writers race benignly
 
 Corruption and staleness are handled by treating every unreadable,
 version-mismatched or key-mismatched entry as a miss: the caller falls
-back to a fresh build and overwrites the entry.
+back to a fresh build and overwrites the entry.  A manifest pointing at
+a *missing or corrupt shard* is patched in place when the caller holds
+the disassembly (only the damaged groups are re-folded — incremental
+re-indexing), and reads as a plain miss otherwise.
 """
 
 from __future__ import annotations
@@ -36,19 +50,30 @@ import os
 import shutil
 import tempfile
 import time
-import types
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional
 
 from repro.dex.disassembler import Disassembly, LineToken
 from repro.search.backends.indexed import TokenIndex
+from repro.store.sharding import (
+    ShardGroup,
+    compose_index,
+    compose_tokens,
+    fold_group,
+    partition_disassembly,
+    shard_key,
+    shard_payload,
+    tokens_from_shard,
+)
 
-#: Bump when any serialized artifact shape changes: the version feeds the
-#: content hash, so old entries become unreachable (and are additionally
-#: rejected by the per-payload version check, for entries written by a
-#: tampered or future store).
-FORMAT_VERSION = 1
+#: Bump when any serialized artifact shape changes: the version feeds
+#: both the app content hash and every shard's content hash, so old
+#: entries become unreachable (and are additionally rejected by the
+#: per-payload version check, for entries written by a tampered or
+#: future store).  v2 introduced the shard/manifest layout; v1
+#: monolithic entries read as misses and are swept by ``gc``.
+FORMAT_VERSION = 2
 
 
 @dataclass
@@ -65,23 +90,43 @@ class StoreStats:
 
     index_hits: int = 0
     index_misses: int = 0
+    #: Index restores where some (not all) shards were present: the
+    #: missing groups were re-folded and published, the rest composed
+    #: from disk.
+    partial_hits: int = 0
     token_hits: int = 0
     token_misses: int = 0
     outcome_hits: int = 0
     outcome_misses: int = 0
+    #: Per-shard read results across all composed restores.
+    shard_hits: int = 0
+    shard_misses: int = 0
+    #: Shards re-folded from a live disassembly to repair a partial
+    #: entry (the incremental re-indexing path).
+    shards_patched: int = 0
+    #: Shards a save skipped because identical content was already
+    #: published (by this app earlier, or by another app sharing the
+    #: class group — the cross-app dedup counter).
+    shards_shared: int = 0
     writes: int = 0
     #: Entries that existed but were unreadable or failed validation
     #: (torn JSON, wrong version, key mismatch) and fell back to a miss.
     corrupt_entries: int = 0
 
     def as_dict(self) -> dict:
+        """All counters as a JSON-able dict (service ``/v1/stats``)."""
         return {
             "index_hits": self.index_hits,
             "index_misses": self.index_misses,
+            "partial_hits": self.partial_hits,
             "token_hits": self.token_hits,
             "token_misses": self.token_misses,
             "outcome_hits": self.outcome_hits,
             "outcome_misses": self.outcome_misses,
+            "shard_hits": self.shard_hits,
+            "shard_misses": self.shard_misses,
+            "shards_patched": self.shards_patched,
+            "shards_shared": self.shards_shared,
             "writes": self.writes,
             "corrupt_entries": self.corrupt_entries,
         }
@@ -89,39 +134,95 @@ class StoreStats:
 
 @dataclass
 class StoreInventory:
-    """What ``describe`` reports: the on-disk shape of a store."""
+    """What ``describe`` reports: the on-disk shape of a store.
+
+    Alongside raw entry/file counts, carries the cross-app dedup
+    accounting: ``logical_shard_bytes`` is what the store would hold if
+    every app persisted its shards privately (each manifest reference
+    paid in full); ``shard_bytes`` is what sharing actually costs.
+    """
 
     root: str
     entries: int = 0
     files_by_kind: dict[str, int] = field(default_factory=dict)
     total_bytes: int = 0
+    #: Unique shard files on disk.
+    shards: int = 0
+    #: Bytes held by unique shard files.
+    shard_bytes: int = 0
+    #: Manifest -> shard references across all app entries (>= shards
+    #: once any two apps share a class group).
+    shard_refs: int = 0
+    #: Bytes the referenced shards would occupy without dedup.
+    logical_shard_bytes: int = 0
+
+    @property
+    def bytes_saved(self) -> int:
+        """Bytes cross-app sharding avoided storing."""
+        return max(0, self.logical_shard_bytes - self.shard_bytes)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Logical over physical shard bytes (1.0 = no sharing yet)."""
+        return (
+            self.logical_shard_bytes / self.shard_bytes
+            if self.shard_bytes
+            else 1.0
+        )
 
     def render(self) -> str:
+        """A human-readable multi-line summary (``store stats``)."""
         lines = [
             f"store at {self.root}",
             f"  entries     : {self.entries}",
             f"  total bytes : {self.total_bytes}",
+            f"  shards      : {self.shards} unique "
+            f"({self.shard_refs} reference(s))",
+            f"  shard bytes : {self.shard_bytes} "
+            f"(logical {self.logical_shard_bytes}, "
+            f"saved {self.bytes_saved})",
+            f"  dedup ratio : {self.dedup_ratio:.2f}x",
         ]
         for kind in sorted(self.files_by_kind):
             lines.append(f"  {kind:11} : {self.files_by_kind[kind]} file(s)")
         return "\n".join(lines)
 
     def as_dict(self) -> dict:
+        """The machine-readable snapshot (``store stats --json``)."""
         return {
             "root": self.root,
             "entries": self.entries,
             "files_by_kind": dict(self.files_by_kind),
             "total_bytes": self.total_bytes,
+            "shards": self.shards,
+            "shard_bytes": self.shard_bytes,
+            "shard_refs": self.shard_refs,
+            "logical_shard_bytes": self.logical_shard_bytes,
+            "bytes_saved": self.bytes_saved,
+            "dedup_ratio": self.dedup_ratio,
         }
 
 
+@dataclass
+class GcResult:
+    """What one :meth:`ArtifactStore.gc` sweep removed."""
+
+    entries_removed: int = 0
+    shards_removed: int = 0
+    bytes_reclaimed: int = 0
+
+
 #: Warm-hit classification levels a probe can report, warmest first:
-#: a finished outcome for the probed config beats a restorable index,
-#: which beats a bare token stream, which beats nothing.
-PROBE_LEVELS = ("outcome", "index", "tokens", "none")
+#: a finished outcome for the probed config beats a fully restorable
+#: index (every shard present), which beats a partially restorable one
+#: (some shards present; the rest are patched from the disassembly),
+#: which beats nothing.
+PROBE_LEVELS = ("outcome", "index", "partial", "none")
 
 #: Levels the schedulers treat as warm (cheap enough for a fast lane).
-WARM_LEVELS = ("outcome", "index")
+#: A partial hit qualifies: composing the present shards and re-folding
+#: only the missing groups is far cheaper than a cold build.
+WARM_LEVELS = ("outcome", "index", "partial")
 
 
 @dataclass(frozen=True)
@@ -130,9 +231,15 @@ class StoreProbe:
 
     key: str
     level: str
+    #: Shard groups the entry's manifest references (0 when no manifest
+    #: is published for the key).
+    shards_total: int = 0
+    #: How many of those shards are currently on disk.
+    shards_present: int = 0
 
     @property
     def warm(self) -> bool:
+        """Whether a scheduler should route this key to the fast lane."""
         return self.level in WARM_LEVELS
 
 
@@ -140,12 +247,14 @@ class StoreProbe:
 class VerifyEntry:
     """One entry's verdict from :meth:`ArtifactStore.verify`.
 
-    Failing statuses are ``mismatch`` (valid payload, wrong lists),
-    ``corrupt`` (unreadable/key-mismatched payload) and
-    ``missing-tokens`` (nothing to rebuild from).  ``no-index``
-    (outcome-only entry) and ``stale`` (older format version — the
-    runtime load path treats these as harmless misses and rebuilds)
-    are skips, not failures.
+    Failing statuses are ``mismatch`` (a shard's stored mini-index
+    diverges from a re-fold of its own token stream, or its content
+    hash no longer matches its name), ``corrupt`` (unreadable or
+    key-mismatched payload) and ``missing-shard`` (the manifest
+    references a shard that is gone — a live run patches it, so it is
+    flagged rather than fatal).  ``no-index`` (outcome-only entry) and
+    ``stale`` (older format version — the runtime load path treats
+    these as harmless misses and rebuilds) are skips, not failures.
     """
 
     key: str
@@ -154,20 +263,8 @@ class VerifyEntry:
 
     @property
     def ok(self) -> bool:
+        """True for passing and skip statuses (non-failures)."""
         return self.status in ("ok", "no-index", "stale")
-
-
-def _tokens_from_payload(payload: dict) -> list[LineToken]:
-    """The token stream a stored payload carries.
-
-    Raises ``KeyError``/``TypeError``/``ValueError`` on any shape
-    mismatch — the one parse both the live load path and the verifier
-    must agree on.
-    """
-    return [
-        LineToken(int(line_no), str(kind), str(text))
-        for line_no, kind, text in payload["tokens"]
-    ]
 
 
 def store_key(disassembly: Disassembly) -> str:
@@ -181,9 +278,14 @@ def store_key(disassembly: Disassembly) -> str:
     if cached is None:
         digest = hashlib.sha256()
         digest.update(f"backdroid-store-v{FORMAT_VERSION}\n".encode())
-        for line in disassembly.lines:
-            digest.update(line.encode("utf-8", "surrogatepass"))
-            digest.update(b"\n")
+        # One join + one update: the C fast path.  A trailing newline
+        # terminates the last line so "a", "b" never collides with
+        # "a\nb" split differently.
+        digest.update(
+            ("\n".join(disassembly.lines) + "\n").encode(
+                "utf-8", "surrogatepass"
+            )
+        )
         cached = digest.hexdigest()
         disassembly._store_key_cache = cached
     return cached
@@ -201,6 +303,8 @@ class ArtifactStore:
     """
 
     def __init__(self, root) -> None:
+        """Open (lazily) the store rooted at ``root``; never touches
+        disk until the first read or write."""
         self.root = Path(root)
         self.stats = _STATS_BY_ROOT.setdefault(
             os.path.abspath(str(self.root)), StoreStats()
@@ -210,13 +314,14 @@ class ArtifactStore:
     # Paths
     # ------------------------------------------------------------------
     def entry_dir(self, key: str) -> Path:
+        """The directory holding one app key's manifest and outcomes."""
         return self.root / "objects" / key[:2] / key
 
-    def _index_path(self, key: str) -> Path:
-        return self.entry_dir(key) / "index.json"
+    def _manifest_path(self, key: str) -> Path:
+        return self.entry_dir(key) / "manifest.json"
 
-    def _tokens_path(self, key: str) -> Path:
-        return self.entry_dir(key) / "tokens.json"
+    def _shard_path(self, sha: str) -> Path:
+        return self.root / "shards" / sha[:2] / f"{sha}.json"
 
     def _outcome_path(self, key: str, config_fingerprint: str) -> Path:
         return self.entry_dir(key) / f"outcome-{config_fingerprint}.json"
@@ -285,29 +390,162 @@ class ArtifactStore:
         return "ok", payload
 
     # ------------------------------------------------------------------
+    # Sharding
+    # ------------------------------------------------------------------
+    def _groups(self, disassembly: Disassembly) -> list[tuple[ShardGroup, str]]:
+        """The disassembly's shard groups plus their content keys.
+
+        Memoized on the disassembly: partitioning and hashing are paid
+        once per app even when save/load/patch paths all run.
+        """
+        cached = getattr(disassembly, "_shard_groups_cache", None)
+        if cached is None:
+            cached = [
+                (group, shard_key(group, FORMAT_VERSION))
+                for group in partition_disassembly(disassembly)
+            ]
+            disassembly._shard_groups_cache = cached
+        return cached
+
+    def _publish_entry(self, disassembly: Disassembly) -> None:
+        """Write any missing shards plus the app's manifest.
+
+        A shard whose content key already exists on disk is *shared*,
+        not rewritten — that is the cross-app dedup: the second app
+        embedding a library publishes only its manifest reference.
+        """
+        key = store_key(disassembly)
+        groups = self._groups(disassembly)
+        for group, sha in groups:
+            if self._shard_path(sha).is_file():
+                self.stats.shards_shared += 1
+                try:
+                    # Refresh the shared shard's mtime so gc's age gate
+                    # protects it while this entry's manifest is still
+                    # in flight — a shard published long ago by another
+                    # app is "fresh" again the moment a new writer
+                    # relies on it.
+                    os.utime(self._shard_path(sha))
+                except OSError:
+                    pass  # racing gc: the load path patches it back
+                continue
+            self._write_json(
+                self._shard_path(sha),
+                shard_payload(group, sha, FORMAT_VERSION),
+            )
+        self._write_json(self._manifest_path(key), self._manifest(key, groups))
+
+    def _manifest(
+        self, key: str, groups: list[tuple[ShardGroup, str]]
+    ) -> dict:
+        return {
+            "version": FORMAT_VERSION,
+            "key": key,
+            "line_count": max(
+                (g.end_line for g, _ in groups), default=0
+            ),
+            "token_count": sum(len(g.tokens) for g, _ in groups),
+            "groups": [
+                {
+                    "shard": sha,
+                    "label": group.label,
+                    "start_line": group.start_line,
+                    "line_count": group.line_count,
+                    "tokens": len(group.tokens),
+                }
+                for group, sha in groups
+            ],
+        }
+
+    def _read_manifest(
+        self, key: str, advisory: bool = False
+    ) -> Optional[dict]:
+        """The validated manifest for ``key``, or None on any miss.
+
+        Validates the group list shape (shard sha + start line per
+        group) so downstream composition never indexes into garbage.
+        ``advisory`` reads (probe/describe/gc classification) skip the
+        ``corrupt_entries`` bump: that counter records *load-path*
+        fall-back-to-miss events, and a scheduler probing one damaged
+        manifest on every submission must not inflate it.
+        """
+        if advisory:
+            status, payload = self._classify_payload(
+                self._manifest_path(key), key
+            )
+            if status != "ok":
+                return None
+        else:
+            payload = self._read_json(self._manifest_path(key), key)
+            if payload is None:
+                return None
+        groups = payload.get("groups")
+        valid = isinstance(groups, list) and all(
+            isinstance(group, dict)
+            and isinstance(group.get("shard"), str)
+            and group["shard"]
+            and isinstance(group.get("start_line"), int)
+            for group in groups
+        )
+        if not valid:
+            if not advisory:
+                self.stats.corrupt_entries += 1
+            return None
+        return payload
+
+    #: Keys every readable shard payload must carry (shape-truncated
+    #: payloads read as corrupt, so one bad shard is patched instead of
+    #: poisoning the whole composition).
+    _SHARD_KEYS = (
+        "line_count", "tokens", "vocab", "postings", "string_ids",
+        "containing",
+    )
+
+    def _read_shard(self, sha: str) -> Optional[dict]:
+        """A validated shard payload, or None (missing/corrupt/stale)."""
+        payload = self._read_json(self._shard_path(sha), sha)
+        if payload is None:
+            return None
+        if any(key not in payload for key in self._SHARD_KEYS):
+            self.stats.corrupt_entries += 1
+            return None
+        return payload
+
+    # ------------------------------------------------------------------
     # Token-stream artifacts
     # ------------------------------------------------------------------
     def save_tokens(self, disassembly: Disassembly) -> None:
-        key = store_key(disassembly)
-        self._write_json(
-            self._tokens_path(key),
-            {
-                "version": FORMAT_VERSION,
-                "key": key,
-                "tokens": [
-                    [t.line_no, t.kind, t.text] for t in disassembly.tokens
-                ],
-            },
-        )
+        """Persist the app's token stream as shards plus a manifest.
+
+        Shards also carry the prefolded mini-index, so a later
+        :meth:`load_index` over the same bytecode composes posting
+        lists without any token-stream fold.
+        """
+        self._publish_entry(disassembly)
 
     def load_tokens(self, disassembly: Disassembly) -> Optional[list[LineToken]]:
+        """The app's token stream composed from its shards, or None.
+
+        Any missing or unreadable shard reads as a plain miss (the
+        entry self-heals on the next save); a full composition is
+        byte-identical to ``disassembly.tokens``.
+        """
         key = store_key(disassembly)
-        payload = self._read_json(self._tokens_path(key), key)
-        if payload is None:
+        manifest = self._read_manifest(key)
+        if manifest is None:
             self.stats.token_misses += 1
             return None
+        parts: list[tuple[int, dict]] = []
+        for group in manifest["groups"]:
+            payload = self._read_shard(group["shard"])
+            if payload is None:
+                self.stats.shard_misses += 1
+                self.stats.token_misses += 1
+                return None
+            self.stats.shard_hits += 1
+            parts.append((group["start_line"], payload))
         try:
-            tokens = _tokens_from_payload(payload)
+            tokens = compose_tokens(parts)
         except (KeyError, TypeError, ValueError):
             self.stats.corrupt_entries += 1
             self.stats.token_misses += 1
@@ -318,48 +556,117 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # Inverted-index artifacts
     # ------------------------------------------------------------------
-    def save_index(self, disassembly: Disassembly, index: TokenIndex) -> None:
-        """Persist the posting lists (and the token stream) for one app.
+    def save_index(
+        self, disassembly: Disassembly, index: Optional[TokenIndex] = None
+    ) -> None:
+        """Persist the app's posting lists (sharded) plus its manifest.
 
-        The token stream is not needed to *restore* the index
-        (``TokenIndex.from_payload`` is self-contained) but is the raw
-        input any future artifact consumer — incremental re-indexing,
-        cross-app shard dedup (see ROADMAP) — starts from, so it is
-        published alongside.
+        ``index`` is accepted for call-site symmetry with the build
+        path but is not serialized directly: shards store per-group
+        mini-indexes folded from their own tokens, which is what makes
+        them position-independent and therefore shareable across apps.
+        A cold save therefore re-folds each *new* group (groups whose
+        shards already exist — shared libraries — are skipped); that
+        one-time cost is what every later cross-app restore amortizes.
         """
-        key = store_key(disassembly)
-        self.save_tokens(disassembly)
-        self._write_json(
-            self._index_path(key),
-            {
-                "version": FORMAT_VERSION,
-                "key": key,
-                "vocab": index.vocab,
-                "postings": index.postings,
-                "string_ids": index._string_ids,
-                "containing": index.containing,
-            },
-        )
+        self._publish_entry(disassembly)
 
     def load_index(self, disassembly: Disassembly) -> Optional[TokenIndex]:
-        """Restore the posting lists for an unchanged app, or None.
+        """Compose the app's index from shards; patch missing groups.
 
-        The restored index answers every query byte-identically to a
-        fresh build (enforced by the backend-parity suite) and reports
-        ``build_seconds == 0.0`` / ``restored is True``.
+        Three outcomes:
+
+        * every shard present — a full warm hit; the composed index is
+          byte-identical to a fresh build and reports
+          ``build_seconds == 0.0`` / ``restored`` (enforced by the
+          parity suite);
+        * some shards present — a *partial* hit: only the missing or
+          corrupt groups are re-folded from the live disassembly and
+          published back (incremental re-indexing); the result reports
+          ``patched_groups > 0`` and the patch time as
+          ``build_seconds``;
+        * no shards present — a plain miss (returns None); the caller
+          builds fresh and saves, which publishes every shard.
         """
+        started = time.perf_counter()
         key = store_key(disassembly)
-        payload = self._read_json(self._index_path(key), key)
-        if payload is None:
+        index = self._compose_from_manifest(key)
+        if index is not None:
+            self.stats.index_hits += 1
+            return index
+        # Slow path: no manifest, or a shard is missing/corrupt.  The
+        # disassembly is authoritative — partition it, hash each group,
+        # and compose from whatever shards exist (patching the rest).
+        groups = self._groups(disassembly)
+        present = [
+            (group, sha, self._shard_path(sha).is_file())
+            for group, sha in groups
+        ]
+        if not any(on_disk for _, _, on_disk in present):
             self.stats.index_misses += 1
             return None
+        parts: list[tuple[int, dict]] = []
+        patched = 0
+        for group, sha, _ in present:
+            payload = self._read_shard(sha)
+            if payload is None:
+                # Missing or corrupt: re-fold just this group from the
+                # live disassembly and publish the repaired shard.
+                payload = shard_payload(group, sha, FORMAT_VERSION)
+                self._write_json(self._shard_path(sha), payload)
+                self.stats.shard_misses += 1
+                self.stats.shards_patched += 1
+                patched += 1
+            else:
+                self.stats.shard_hits += 1
+            parts.append((group.start_line, payload))
         try:
-            index = TokenIndex.from_payload(payload)
+            index = compose_index(parts)
         except (KeyError, TypeError, ValueError):
             self.stats.corrupt_entries += 1
             self.stats.index_misses += 1
             return None
-        self.stats.index_hits += 1
+        # Self-heal: the slow path only runs when the fast path failed
+        # — no manifest, a corrupt/stale one, or a damaged shard — so
+        # republish the manifest unconditionally and the next probe
+        # (and the next app sharing these groups) sees a complete
+        # entry.
+        self._write_json(
+            self._manifest_path(key), self._manifest(key, groups)
+        )
+        index.patched_groups = patched
+        if patched:
+            index.build_seconds = time.perf_counter() - started
+            self.stats.partial_hits += 1
+        else:
+            self.stats.index_hits += 1
+        return index
+
+    def _compose_from_manifest(self, key: str) -> Optional[TokenIndex]:
+        """The fast restore path: manifest-listed shards, no hashing.
+
+        A published manifest already records every group's shard key
+        and line offset, so a fully warm entry composes without
+        partitioning or re-hashing the disassembly.  Returns None on
+        any gap (no manifest, missing/corrupt shard, compose failure)
+        — the caller then falls back to the authoritative
+        disassembly-derived path.
+        """
+        manifest = self._read_manifest(key)
+        if manifest is None:
+            return None
+        parts: list[tuple[int, dict]] = []
+        for group in manifest["groups"]:
+            payload = self._read_shard(group["shard"])
+            if payload is None:
+                return None
+            parts.append((group["start_line"], payload))
+        try:
+            index = compose_index(parts)
+        except (KeyError, TypeError, ValueError):
+            self.stats.corrupt_entries += 1
+            return None
+        self.stats.shard_hits += len(parts)
         return index
 
     # ------------------------------------------------------------------
@@ -383,6 +690,7 @@ class ArtifactStore:
     def load_outcome(
         self, disassembly: Disassembly, config_fingerprint: str
     ) -> Optional[dict]:
+        """The stored outcome for this bytecode + config, or None."""
         key = store_key(disassembly)
         payload = self._read_json(
             self._outcome_path(key, config_fingerprint), key
@@ -404,23 +712,33 @@ class ArtifactStore:
     def probe(
         self, key: str, config_fingerprint: Optional[str] = None
     ) -> StoreProbe:
-        """Classify the warmest artifact present for *key*.
+        """Classify the warmest artifact level present for *key*.
 
-        Pure existence checks — no payload is read or deserialized, so a
-        scheduler can probe every submission cheaply before dispatch.  A
-        probe is advisory: the artifact may still fail validation on the
-        real load, in which case the analysis falls back to a cold build.
+        Reads at most one small manifest — never a shard payload — so a
+        scheduler can probe every submission cheaply before dispatch.
+        A probe is advisory: the artifact may still fail validation on
+        the real load, in which case the analysis falls back to a cold
+        (or patched) build.
         """
         if (
             config_fingerprint is not None
             and self._outcome_path(key, config_fingerprint).is_file()
         ):
             return StoreProbe(key, "outcome")
-        if self._index_path(key).is_file():
-            return StoreProbe(key, "index")
-        if self._tokens_path(key).is_file():
-            return StoreProbe(key, "tokens")
-        return StoreProbe(key, "none")
+        manifest = self._read_manifest(key, advisory=True)
+        if manifest is None:
+            return StoreProbe(key, "none")
+        total = len(manifest["groups"])
+        found = sum(
+            1
+            for group in manifest["groups"]
+            if self._shard_path(group["shard"]).is_file()
+        )
+        if total and found == total:
+            return StoreProbe(key, "index", total, found)
+        if found:
+            return StoreProbe(key, "partial", total, found)
+        return StoreProbe(key, "none", total, found)
 
     def save_spec_key(self, spec_fingerprint: str, key: str) -> None:
         """Record which content key a deterministic app spec produced.
@@ -459,94 +777,143 @@ class ArtifactStore:
     # Verification (the ``backdroid store verify`` action)
     # ------------------------------------------------------------------
     def verify(self) -> list[VerifyEntry]:
-        """Replay the backend-parity check against every stored index.
+        """Replay shard-level parity against every stored entry.
 
-        For each entry the stored posting lists are restored via
-        :meth:`TokenIndex.from_payload` and compared — structure for
-        structure — against a fresh fold of the entry's stored token
-        stream, exactly the equality the parity suite enforces for live
-        restores.  Any divergence means on-disk corruption that the
-        per-payload validation cannot catch (valid JSON, wrong lists).
+        For each manifest, every referenced shard is checked three
+        ways:
+
+        1. **content address** — the shard's sha256 is recomputed from
+           its stored tokens and must match its file name (rules out a
+           shard silently swapped for another group's content);
+        2. **mini-index parity** — the stored vocabulary/posting
+           lists/string ids must equal a fresh fold of the shard's own
+           token stream, exactly the equality the backend-parity suite
+           enforces for live restores;
+        3. **presence/readability** — a referenced shard that is gone
+           or unreadable is reported (``missing-shard`` / ``corrupt``).
+
+        Any divergence means on-disk corruption that the per-payload
+        validation cannot catch (valid JSON, wrong lists).
         """
         results: list[VerifyEntry] = []
         for entry in self.entries():
             key = entry.name
-            if not self._index_path(key).is_file():
+            if not self._manifest_path(key).is_file():
                 results.append(VerifyEntry(key, "no-index"))
                 continue
-            status, payload = self._classify_payload(
-                self._index_path(key), key
+            status, manifest = self._classify_payload(
+                self._manifest_path(key), key
             )
             if status == "missing":
                 # Present at the is_file() check, gone now: a concurrent
                 # gc is collecting the entry — a skip, not corruption.
                 results.append(VerifyEntry(key, "no-index"))
                 continue
-            if status != "ok":
+            if status == "stale":
                 results.append(
-                    VerifyEntry(key, status, "index payload unreadable"
-                                if status == "corrupt" else
+                    VerifyEntry(key, "stale",
                                 "older format version; a live run "
                                 "rebuilds this entry")
                 )
                 continue
-            try:
-                restored = TokenIndex.from_payload(payload)
-            except (KeyError, TypeError, ValueError) as exc:
+            if status != "ok" or not isinstance(manifest.get("groups"), list):
                 results.append(
-                    VerifyEntry(key, "corrupt", f"index payload: {exc}")
+                    VerifyEntry(key, "corrupt", "manifest unreadable")
                 )
                 continue
-            tokens_status, tokens_payload = self._classify_payload(
-                self._tokens_path(key), key
+            results.append(self._verify_entry(key, manifest))
+        return results
+
+    def _verify_entry(self, key: str, manifest: dict) -> VerifyEntry:
+        """One app entry's shard-by-shard verdict.
+
+        Beyond per-shard checks, manifest group offsets must *tile*:
+        each group's ``start_line`` must equal the previous group's end
+        (start + content-addressed ``line_count``), since composition
+        rebases postings onto those offsets.  A corrupted offset would
+        otherwise compose an index whose hits point at the wrong lines
+        while every shard still verifies clean.  (A uniform shift of
+        *all* offsets is the one corruption shard content cannot
+        witness.)
+        """
+        prev_end: Optional[int] = None
+        for group in manifest["groups"]:
+            sha = group.get("shard")
+            if not isinstance(sha, str) or not sha:
+                return VerifyEntry(key, "corrupt", "manifest group malformed")
+            status, payload = self._classify_payload(self._shard_path(sha), sha)
+            if status == "missing":
+                return VerifyEntry(
+                    key, "missing-shard",
+                    f"shard {sha[:12]} referenced by the manifest is gone "
+                    "(a live run patches it)",
+                )
+            if status == "stale":
+                return VerifyEntry(
+                    key, "stale",
+                    f"shard {sha[:12]} has an older format version; a "
+                    "live run patches this entry",
+                )
+            if status != "ok":
+                return VerifyEntry(
+                    key, "corrupt", f"shard {sha[:12]} payload unreadable"
+                )
+            try:
+                tokens = tokens_from_shard(payload)
+                line_count = int(payload["line_count"])
+                vocab = [str(t) for t in payload["vocab"]]
+                postings = [
+                    [int(n) for n in posting] for posting in payload["postings"]
+                ]
+                string_ids = [int(t) for t in payload["string_ids"]]
+                containing = {
+                    str(sub): [int(t) for t in tids]
+                    for sub, tids in payload["containing"].items()
+                }
+            except (KeyError, TypeError, ValueError, AttributeError) as exc:
+                return VerifyEntry(
+                    key, "corrupt", f"shard {sha[:12]} payload: {exc}"
+                )
+            start_line = group["start_line"]
+            if start_line < 0 or (
+                prev_end is not None and start_line != prev_end
+            ):
+                return VerifyEntry(
+                    key, "mismatch",
+                    f"manifest offsets do not tile: group at shard "
+                    f"{sha[:12]} starts at line {start_line}, expected "
+                    f"{max(prev_end or 0, 0)}",
+                )
+            prev_end = start_line + line_count
+            expected_sha = shard_key(
+                ShardGroup("", 0, line_count, tokens), FORMAT_VERSION
             )
-            if tokens_status == "stale":
-                results.append(
-                    VerifyEntry(key, "stale",
-                                "older-format token stream; a live run "
-                                "rebuilds this entry")
+            if expected_sha != sha:
+                return VerifyEntry(
+                    key, "mismatch",
+                    f"shard {sha[:12]} content no longer matches its "
+                    "content address",
                 )
-                continue
-            if tokens_status == "corrupt":
-                results.append(
-                    VerifyEntry(key, "corrupt", "token payload unreadable")
-                )
-                continue
-            if tokens_payload is None:
-                results.append(
-                    VerifyEntry(key, "missing-tokens",
-                                "no token stream to rebuild from")
-                )
-                continue
-            try:
-                tokens = _tokens_from_payload(tokens_payload)
-            except (KeyError, TypeError, ValueError) as exc:
-                results.append(
-                    VerifyEntry(key, "corrupt", f"token payload: {exc}")
-                )
-                continue
-            fresh = TokenIndex(types.SimpleNamespace(tokens=tokens, lines=[]))
+            fresh = fold_group(tokens)
             mismatched = [
                 name
                 for name, stored_side, fresh_side in (
-                    ("vocab", restored.vocab, fresh.vocab),
-                    ("postings", restored.postings, fresh.postings),
-                    ("string_ids", restored._string_ids, fresh._string_ids),
-                    ("containing", restored.containing, fresh.containing),
+                    ("vocab", vocab, fresh[0]),
+                    ("postings", postings, fresh[1]),
+                    ("string_ids", string_ids, fresh[2]),
+                    ("containing", containing, fresh[3]),
                 )
                 if stored_side != fresh_side
             ]
             if mismatched:
-                results.append(
-                    VerifyEntry(
-                        key, "mismatch",
-                        "stored index diverges from a fresh build on: "
-                        + ", ".join(mismatched),
-                    )
+                return VerifyEntry(
+                    key, "mismatch",
+                    f"shard {sha[:12]} diverges from a fresh fold on: "
+                    + ", ".join(mismatched),
                 )
-            else:
-                results.append(VerifyEntry(key, "ok"))
-        return results
+        return VerifyEntry(
+            key, "ok", f"{len(manifest['groups'])} shard(s) verified"
+        )
 
     # ------------------------------------------------------------------
     # Maintenance (the ``backdroid store`` subcommand)
@@ -563,6 +930,18 @@ class ArtifactStore:
                 if entry.is_dir():
                     yield entry
 
+    def _shard_files(self) -> Iterator[Path]:
+        """Every published shard file."""
+        shards = self.root / "shards"
+        if not shards.is_dir():
+            return
+        for prefix in sorted(shards.iterdir()):
+            if not prefix.is_dir():
+                continue
+            for shard in sorted(prefix.iterdir()):
+                if shard.is_file() and shard.suffix == ".json":
+                    yield shard
+
     def _spec_files(self) -> Iterator[Path]:
         """Every published specmap file."""
         specmap = self.root / "specmap"
@@ -575,8 +954,33 @@ class ArtifactStore:
                 if mapping.is_file() and mapping.suffix == ".json":
                     yield mapping
 
+    def _referenced_shards(self) -> dict[str, int]:
+        """Shard sha -> reference count across all valid manifests."""
+        refs: dict[str, int] = {}
+        for entry in self.entries():
+            manifest = self._read_manifest(entry.name, advisory=True)
+            if manifest is None:
+                continue
+            for group in manifest["groups"]:
+                refs[group["shard"]] = refs.get(group["shard"], 0) + 1
+        return refs
+
     def describe(self) -> StoreInventory:
+        """Walk the store and return its :class:`StoreInventory`."""
         inventory = StoreInventory(root=str(self.root))
+        shard_sizes: dict[str, int] = {}
+        for shard in self._shard_files():
+            try:
+                size = shard.stat().st_size
+            except OSError:
+                continue  # swept by a concurrent gc mid-walk
+            shard_sizes[shard.stem] = size
+            inventory.shards += 1
+            inventory.shard_bytes += size
+            inventory.total_bytes += size
+            inventory.files_by_kind["shard"] = (
+                inventory.files_by_kind.get("shard", 0) + 1
+            )
         for entry in self.entries():
             inventory.entries += 1
             try:
@@ -592,6 +996,14 @@ class ArtifactStore:
                 # A concurrent gc swept the entry mid-walk; report what
                 # was still there.
                 continue
+            manifest = self._read_manifest(entry.name, advisory=True)
+            if manifest is None:
+                continue
+            for group in manifest["groups"]:
+                inventory.shard_refs += 1
+                inventory.logical_shard_bytes += shard_sizes.get(
+                    group["shard"], 0
+                )
         for mapping in self._spec_files():
             try:
                 size = mapping.stat().st_size
@@ -603,19 +1015,26 @@ class ArtifactStore:
             inventory.total_bytes += size
         return inventory
 
-    def gc(self, max_age_seconds: float = 0.0) -> tuple[int, int]:
-        """Drop entries whose newest artifact is older than the cutoff.
+    def gc(self, max_age_seconds: float = 0.0) -> GcResult:
+        """Sweep aged app entries, then any shards they alone held.
 
-        ``max_age_seconds == 0`` clears the whole store, specmap
-        included.  Specmap files are swept by the same age rule (a
-        dangling mapping is harmless — it only costs a cold probe — but
-        a long-lived store must not leak one file per spec forever).
-        Returns ``(entries_removed, bytes_reclaimed)``; removed specmap
-        files count toward the reclaimed bytes, not the entry count.
+        App entries (manifest + outcomes) whose newest artifact is
+        older than the cutoff are removed, exactly as before sharding.
+        Shards are **refcounted by the surviving manifests**: after the
+        entry sweep, a shard still referenced by any live manifest is
+        kept regardless of age; an unreferenced shard older than the
+        cutoff is reclaimed.  The age gate on shards keeps a concurrent
+        writer's freshly published shards safe while its manifest is
+        still in flight.
+
+        ``max_age_seconds == 0`` clears the whole store — entries,
+        shards and specmap.  Specmap files are swept by the same age
+        rule (a dangling mapping is harmless — it only costs a cold
+        probe — but a long-lived store must not leak one file per spec
+        forever).
         """
         cutoff = time.time() - max_age_seconds
-        removed = 0
-        reclaimed = 0
+        result = GcResult()
         for entry in list(self.entries()):
             try:
                 artifacts = [p for p in entry.iterdir() if p.is_file()]
@@ -624,12 +1043,28 @@ class ArtifactStore:
                 )
                 if newest > cutoff:
                     continue
-                reclaimed += sum(p.stat().st_size for p in artifacts)
+                result.bytes_reclaimed += sum(
+                    p.stat().st_size for p in artifacts
+                )
                 shutil.rmtree(entry)
-                removed += 1
+                result.entries_removed += 1
             except OSError:
                 # A concurrent writer re-published the entry mid-sweep;
                 # leave it for the next collection.
+                continue
+        referenced = self._referenced_shards()
+        for shard in list(self._shard_files()):
+            if shard.stem in referenced:
+                continue
+            try:
+                stat = shard.stat()
+                if stat.st_mtime > cutoff:
+                    continue
+                size = stat.st_size
+                shard.unlink()
+                result.shards_removed += 1
+                result.bytes_reclaimed += size
+            except OSError:
                 continue
         for mapping in list(self._spec_files()):
             try:
@@ -638,7 +1073,7 @@ class ArtifactStore:
                     continue
                 size = stat.st_size
                 mapping.unlink()
-                reclaimed += size
+                result.bytes_reclaimed += size
             except OSError:
                 continue
-        return removed, reclaimed
+        return result

@@ -28,6 +28,23 @@ from repro.workload.patterns import (
 
 
 @dataclass(frozen=True)
+class LibrarySpec:
+    """A deterministic recipe for one embeddable library.
+
+    Library code is generated from the library's *own* package and seed
+    — never from the embedding app's — so every app that lists the same
+    ``LibrarySpec`` embeds byte-identical classes.  That is what the
+    artifact store's cross-app shard dedup exploits: the library's
+    class group hashes to the same shard key in every app.
+    """
+
+    package: str
+    seed: int = 0
+    classes: int = 8
+    methods_per_class: int = 4
+
+
+@dataclass(frozen=True)
 class AppSpec:
     """A deterministic recipe for one synthetic app."""
 
@@ -36,6 +53,8 @@ class AppSpec:
     patterns: tuple[PatternSpec, ...] = ()
     filler_classes: int = 10
     methods_per_filler: int = 6
+    #: Shared libraries embedded verbatim (see :class:`LibrarySpec`).
+    libraries: tuple[LibrarySpec, ...] = ()
     year: int = 2018
     size_mb: float = 0.0
     installs: int = 1_000_000
@@ -155,6 +174,62 @@ def _build_filler(
     )
 
 
+def _build_library(app: AppBuilder, lib: LibrarySpec) -> None:
+    """Embed one shared library's classes, app-independently.
+
+    The class bodies are driven by a library-local RNG seeded from the
+    library spec alone, and every emitted name/signature/string refers
+    only to the library's own package — so the rendered class group
+    (and hence its store shard) is identical in every embedding app.
+    """
+    if lib.classes <= 0:
+        return
+    rng = random.Random(f"{lib.package}:{lib.seed}")
+    base_name = f"{lib.package}.core.LibBase"
+    base = app.new_class(base_name)
+    base.default_constructor()
+    base_step = base.method("transform", params=["int"], returns="int")
+    base_step.this()
+    p = base_step.param(0)
+    base_step.return_value(p)
+
+    class_names = [
+        f"{lib.package}.core.Component{index}" for index in range(lib.classes)
+    ]
+    for index, name in enumerate(class_names):
+        component = app.new_class(name, superclass=base_name)
+        component.default_constructor()
+        step = component.method("transform", params=["int"], returns="int")
+        step.this()
+        arg = step.param(0)
+        value = step.binop("+", arg, rng.randint(1, 99))
+        step.return_value(value)
+        for m_index in range(lib.methods_per_class):
+            method = component.method(
+                f"stage{m_index}", params=["int"], returns="int", static=True
+            )
+            arg = method.param(0)
+            acc = method.binop("*", arg, rng.randint(2, 9))
+            if m_index + 1 < lib.methods_per_class:
+                nxt = method.invoke_static(
+                    name, f"stage{m_index + 1}", args=[acc],
+                    params=["int"], returns="int",
+                )
+                method.return_value(nxt)
+            else:
+                # Library-internal cross-class dispatch, mirroring real
+                # SDKs' intra-library call graphs.
+                obj = method.new_init(
+                    class_names[(index + 1) % len(class_names)]
+                )
+                up = method.cast(base_name, obj)
+                out = method.invoke_virtual(
+                    up, base_name, "transform", args=[acc],
+                    params=["int"], returns="int",
+                )
+                method.return_value(out)
+
+
 def generate_app(spec: AppSpec) -> GeneratedApp:
     """Generate one app deterministically from its spec."""
     rng = random.Random(spec.seed)
@@ -169,6 +244,8 @@ def generate_app(spec: AppSpec) -> GeneratedApp:
         truths.append(builder(app, manifest, namespace, context, pattern.insecure))
 
     _build_filler(app, manifest, spec.package, spec, rng)
+    for library in spec.libraries:
+        _build_library(app, library)
 
     apk = Apk(
         package=spec.package,

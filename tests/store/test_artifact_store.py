@@ -17,7 +17,7 @@ from repro.search.index import BytecodeSearcher
 from repro.store import ArtifactStore, store_key
 from repro.store.artifacts import FORMAT_VERSION
 from repro.workload.corpus import benchmark_app_spec
-from repro.workload.generator import generate_app
+from repro.workload.generator import AppSpec, LibrarySpec, generate_app
 from repro.workload.paperapps import build_heyzap, build_palcomp3
 
 
@@ -94,58 +94,101 @@ class TestIndexRoundTrip:
         assert first.backend.index is second.backend.index
 
 
+def _only_shard_path(store, disassembly):
+    """The shard file of a single-group app (asserts there is one)."""
+    groups = store._groups(disassembly)
+    assert len(groups) == 1
+    return store._shard_path(groups[0][1])
+
+
 class TestInvalidation:
-    def test_version_mismatch_is_a_miss(self, store):
+    def test_corrupt_manifest_self_heals_on_index_load(self, store):
+        # A torn manifest over intact shards must not wedge the entry:
+        # the next load republishes it and probes go warm again.
+        apk = build_heyzap()
+        key = store_key(apk.disassembly)
+        store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
+        store._manifest_path(key).write_text("{torn")
+        assert store.probe(key).level == "none"
+
+        restored = store.load_index(build_heyzap().disassembly)
+        assert restored is not None
+        assert store.probe(key).level == "index"
+        assert all(entry.ok for entry in store.verify())
+
+    def test_probe_never_counts_corrupt_entries(self, store):
+        # probe() is advisory: a scheduler probing one damaged manifest
+        # on every submission must not inflate the load-path counter.
+        apk = build_heyzap()
+        key = store_key(apk.disassembly)
+        store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
+        store._manifest_path(key).write_text("{torn")
+        before = store.stats.corrupt_entries
+        for _ in range(5):
+            store.probe(key)
+        assert store.stats.corrupt_entries == before
+
+    def test_manifest_version_mismatch_is_a_token_miss(self, store):
         apk = build_heyzap()
         store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
-        path = store._index_path(store_key(apk.disassembly))
+        path = store._manifest_path(store_key(apk.disassembly))
         payload = json.loads(path.read_text())
         payload["version"] = FORMAT_VERSION + 1
         path.write_text(json.dumps(payload))
 
-        assert store.load_index(build_heyzap().disassembly) is None
-        assert store.stats.corrupt_entries == 1
+        assert store.load_tokens(build_heyzap().disassembly) is None
+        assert store.probe(store_key(apk.disassembly)).level == "none"
+        assert store.stats.corrupt_entries >= 1
 
-    def test_key_mismatch_is_a_miss(self, store):
+    def test_manifest_key_mismatch_is_a_token_miss(self, store):
         apk = build_heyzap()
         store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
-        path = store._index_path(store_key(apk.disassembly))
+        path = store._manifest_path(store_key(apk.disassembly))
         payload = json.loads(path.read_text())
         payload["key"] = "0" * 64
         path.write_text(json.dumps(payload))
 
-        assert store.load_index(build_heyzap().disassembly) is None
-        assert store.stats.corrupt_entries == 1
+        assert store.load_tokens(build_heyzap().disassembly) is None
+        assert store.stats.corrupt_entries >= 1
 
     def test_changed_bytecode_never_hits_old_entry(self, store):
         apk = build_heyzap()
         store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
         assert store.load_index(build_palcomp3().disassembly) is None
 
-    def test_garbage_entry_falls_back_to_rebuild(self, store):
+    def test_garbage_shard_is_patched_in_place(self, store):
+        # A torn shard is indistinguishable from a missing one: the
+        # load path re-folds just that group from the live disassembly
+        # and publishes the repaired shard.
         apk = build_heyzap()
-        store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
-        path = store._index_path(store_key(apk.disassembly))
-        path.write_text("{not json at all")
+        fresh = TokenIndex.for_disassembly(apk.disassembly)
+        store.save_index(apk.disassembly, fresh)
+        _only_shard_path(store, apk.disassembly).write_text("{not json at all")
 
         warm = _fresh_searcher(build_heyzap(), store=store)
-        warm.backend.index  # must rebuild, not raise
-        assert not warm.backend.stats.index_restored
-        assert store.stats.corrupt_entries == 1
-        # The rebuild republished the entry: a third run restores again.
+        warm.backend.index  # must repair, not raise
+        assert warm.backend.stats.shards_patched == 1
+        assert store.stats.corrupt_entries >= 1
+        assert warm.backend.index.vocab == fresh.vocab
+        # The patch republished the shard: a third run restores whole.
         third = _fresh_searcher(build_heyzap(), store=store)
         third.backend.index
         assert third.backend.stats.index_restored
+        assert third.backend.stats.shards_patched == 0
+        assert third.backend.stats.index_build_seconds == 0.0
 
-    def test_truncated_payload_shape_is_corrupt(self, store):
+    def test_truncated_shard_shape_is_patched(self, store):
         apk = build_heyzap()
         store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
-        path = store._index_path(store_key(apk.disassembly))
+        path = _only_shard_path(store, apk.disassembly)
         payload = json.loads(path.read_text())
         del payload["postings"]
         path.write_text(json.dumps(payload))
-        assert store.load_index(build_heyzap().disassembly) is None
-        assert store.stats.corrupt_entries == 1
+        restored = store.load_index(build_heyzap().disassembly)
+        assert restored is not None and restored.patched_groups == 1
+        assert restored.vocab == TokenIndex.for_disassembly(
+            build_heyzap().disassembly
+        ).vocab
 
 
 def _store_config(tmp_path, mode="full", **kwargs):
@@ -265,23 +308,33 @@ class TestMaintenance:
         store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
         inventory = store.describe()
         assert inventory.entries == 1
-        assert inventory.files_by_kind == {"index": 1, "tokens": 1}
+        assert inventory.files_by_kind["manifest"] == 1
+        assert inventory.files_by_kind["shard"] >= 1
+        assert inventory.shards == inventory.files_by_kind["shard"]
+        assert inventory.shard_refs == inventory.shards  # one app: no sharing
+        assert inventory.logical_shard_bytes == inventory.shard_bytes
+        assert inventory.dedup_ratio == 1.0 and inventory.bytes_saved == 0
         assert inventory.total_bytes > 0
         assert "entries     : 1" in inventory.render()
+        assert "dedup ratio" in inventory.render()
 
     def test_gc_clears_everything_by_default(self, store):
         apk = build_heyzap()
         store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
-        removed, reclaimed = store.gc()
-        assert removed == 1 and reclaimed > 0
-        assert store.describe().entries == 0
+        result = store.gc()
+        assert result.entries_removed == 1
+        assert result.shards_removed >= 1
+        assert result.bytes_reclaimed > 0
+        inventory = store.describe()
+        assert inventory.entries == 0 and inventory.shards == 0
 
     def test_gc_keeps_fresh_entries(self, store):
         apk = build_heyzap()
         store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
-        removed, _ = store.gc(max_age_seconds=3600.0)
-        assert removed == 0
-        assert store.describe().entries == 1
+        result = store.gc(max_age_seconds=3600.0)
+        assert result.entries_removed == 0 and result.shards_removed == 0
+        inventory = store.describe()
+        assert inventory.entries == 1 and inventory.shards >= 1
 
     def test_describe_empty_store(self, store):
         inventory = store.describe()
@@ -295,19 +348,38 @@ class TestProbe:
         key = store_key(apk.disassembly)
         assert store.probe(key).level == "none"
 
+        # Shards carry both the token stream and the mini-index, so the
+        # token save already publishes a fully restorable entry.
         store.save_tokens(apk.disassembly)
-        assert store.probe(key).level == "tokens"
-        assert not store.probe(key).warm
-
-        store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
-        assert store.probe(key).level == "index"
-        assert store.probe(key).warm
+        probe = store.probe(key)
+        assert probe.level == "index" and probe.warm
+        assert probe.shards_total == probe.shards_present >= 1
 
         store.save_outcome(apk.disassembly, "cfg1", {"package": "x"})
         assert store.probe(key, "cfg1").level == "outcome"
         # A different config's probe does not see that outcome.
         assert store.probe(key, "cfg2").level == "index"
         assert store.probe(key).level == "index"
+
+    def test_probe_reports_partial_when_a_shard_is_missing(self, store):
+        lib = LibrarySpec(package="org.probed.sdk", seed=3, classes=4)
+        apk = generate_app(
+            AppSpec(package="com.probe.host", seed=1, libraries=(lib,))
+        ).apk
+        store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
+        key = store_key(apk.disassembly)
+        groups = store._groups(apk.disassembly)
+        assert len(groups) >= 2
+        store._shard_path(groups[0][1]).unlink()
+
+        probe = store.probe(key)
+        assert probe.level == "partial" and probe.warm
+        assert probe.shards_present == probe.shards_total - 1
+
+        # With every shard gone the manifest alone offers no warmth.
+        for _, sha in groups[1:]:
+            store._shard_path(sha).unlink()
+        assert store.probe(key).level == "none"
 
     def test_spec_key_round_trip(self, store):
         assert store.load_spec_key("ab" * 8) is None
@@ -328,8 +400,8 @@ class TestProbe:
 
         inventory = store.describe()
         assert inventory.files_by_kind["specmap"] == 1
-        removed, reclaimed = store.gc()
-        assert removed == 1 and reclaimed > 0
+        result = store.gc()
+        assert result.entries_removed == 1 and result.bytes_reclaimed > 0
         assert store.load_spec_key("ab" * 8) is None
         assert store.describe().files_by_kind == {}
 
@@ -364,8 +436,9 @@ class TestVerify:
         assert all(entry.status == "ok" and entry.ok for entry in results)
 
     def test_tampered_postings_detected(self, store):
-        key = self._populate(store, build_heyzap())
-        path = store._index_path(key)
+        apk = build_heyzap()
+        self._populate(store, apk)
+        path = _only_shard_path(store, apk.disassembly)
         payload = json.loads(path.read_text())
         payload["postings"][0] = [line + 1 for line in payload["postings"][0]]
         path.write_text(json.dumps(payload))
@@ -374,24 +447,64 @@ class TestVerify:
         assert entry.status == "mismatch" and not entry.ok
         assert "postings" in entry.detail
 
-    def test_unreadable_index_reported_corrupt(self, store):
-        key = self._populate(store, build_heyzap())
-        store._index_path(key).write_text("{torn")
+    def test_shard_swap_breaks_the_content_address(self, store):
+        # A shard replaced by *another group's valid content* passes the
+        # mini-index parity check but fails the content-address replay.
+        apk = build_heyzap()
+        other = build_palcomp3()
+        self._populate(store, apk)
+        self._populate(store, other)
+        target = _only_shard_path(store, apk.disassembly)
+        impostor = _only_shard_path(store, other.disassembly)
+        payload = json.loads(impostor.read_text())
+        payload["key"] = store._groups(apk.disassembly)[0][1]
+        target.write_text(json.dumps(payload))
+
+        statuses = {entry.key: entry for entry in store.verify()}
+        bad = statuses[store_key(apk.disassembly)]
+        assert bad.status == "mismatch" and "content address" in bad.detail
+        assert statuses[store_key(other.disassembly)].status == "ok"
+
+    def test_unreadable_shard_reported_corrupt(self, store):
+        apk = build_heyzap()
+        self._populate(store, apk)
+        _only_shard_path(store, apk.disassembly).write_text("{torn")
         (entry,) = store.verify()
         assert entry.status == "corrupt" and not entry.ok
 
-    def test_missing_tokens_flagged(self, store):
-        key = self._populate(store, build_heyzap())
-        store._tokens_path(key).unlink()
+    def test_missing_shard_flagged(self, store):
+        apk = build_heyzap()
+        self._populate(store, apk)
+        _only_shard_path(store, apk.disassembly).unlink()
         (entry,) = store.verify()
-        assert entry.status == "missing-tokens" and not entry.ok
+        assert entry.status == "missing-shard" and not entry.ok
 
-    def test_torn_tokens_reported_corrupt_not_missing(self, store):
+    def test_shifted_manifest_offset_detected(self, store):
+        # Shards verify clean individually; a corrupted start_line would
+        # compose postings onto the wrong absolute lines, so verify must
+        # check that group offsets tile.
+        lib = LibrarySpec(package="org.tiled.sdk", seed=5, classes=4)
+        apk = generate_app(
+            AppSpec(package="com.tiled.host", seed=1, libraries=(lib,))
+        ).apk
+        key = store_key(apk.disassembly)
+        store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
+        path = store._manifest_path(key)
+        payload = json.loads(path.read_text())
+        assert len(payload["groups"]) >= 2
+        payload["groups"][1]["start_line"] += 3
+        path.write_text(json.dumps(payload))
+
+        entries = {e.key: e for e in store.verify()}
+        assert entries[key].status == "mismatch"
+        assert "tile" in entries[key].detail
+
+    def test_torn_manifest_reported_corrupt(self, store):
         key = self._populate(store, build_heyzap())
-        store._tokens_path(key).write_text("{torn")
+        store._manifest_path(key).write_text("{torn")
         (entry,) = store.verify()
         assert entry.status == "corrupt" and not entry.ok
-        assert "token payload" in entry.detail
+        assert "manifest" in entry.detail
 
     def test_outcome_only_entry_skipped(self, store):
         apk = build_heyzap()
@@ -403,7 +516,7 @@ class TestVerify:
         # A store written by an older format (e.g. restored from a CI
         # cache prefix) is rebuilt by live runs, never "corruption".
         key = self._populate(store, build_heyzap())
-        path = store._index_path(key)
+        path = store._manifest_path(key)
         payload = json.loads(path.read_text())
         payload["version"] = FORMAT_VERSION - 1
         path.write_text(json.dumps(payload))

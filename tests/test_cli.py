@@ -149,7 +149,8 @@ class TestStore:
         code = main(["store", "stats", "--store", store_dir])
         assert code == 0
         out = capsys.readouterr().out
-        assert "entries     : 2" in out and "index" in out
+        assert "entries     : 2" in out and "manifest" in out
+        assert "shard" in out and "dedup ratio" in out
 
         code = main(["store", "gc", "--store", store_dir])
         assert code == 0
@@ -221,7 +222,10 @@ class TestJsonOutput:
         assert main(["store", "stats", "--store", store_dir, "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["entries"] == 2
-        assert payload["files_by_kind"]["index"] == 2
+        assert payload["files_by_kind"]["manifest"] == 2
+        assert payload["shards"] >= 2
+        assert payload["shard_refs"] >= payload["shards"]
+        assert payload["dedup_ratio"] >= 1.0
 
 
 class TestStoreVerify:
@@ -244,11 +248,10 @@ class TestStoreVerify:
               "--store", store_dir])
         capsys.readouterr()
         store = ArtifactStore(store_dir)
-        entry = next(store.entries())
-        index_path = entry / "index.json"
-        payload = jsonlib.loads(index_path.read_text())
+        shard_path = next(store._shard_files())
+        payload = jsonlib.loads(shard_path.read_text())
         payload["postings"][0] = [n + 1 for n in payload["postings"][0]]
-        index_path.write_text(jsonlib.dumps(payload))
+        shard_path.write_text(jsonlib.dumps(payload))
 
         assert main(["store", "verify", "--store", store_dir]) == 1
         out = capsys.readouterr().out
