@@ -30,8 +30,10 @@ from repro.search.loops import LoopKind
 #: Bump on ANY serialized shape change (fields added/removed/renamed,
 #: key semantics altered) — readers reject mismatches instead of
 #: guessing.  v2 added ``shards_patched`` to backend stats and to batch
-#: outcome payloads (the store's warm-partial restore counter).
-SCHEMA_VERSION = 2
+#: outcome payloads (the store's warm-partial restore counter); v3
+#: added the lazy-restore observables (``materialized_groups``,
+#: ``bytes_mapped``, ``bytes_decoded``) to both.
+SCHEMA_VERSION = 3
 
 #: Envelope self-identification (a bare dict in a log stays traceable).
 ENVELOPE_KIND = "backdroid-report"

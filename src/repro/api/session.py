@@ -89,6 +89,12 @@ def _delta_backend_stats(pre: dict, post: dict, prebuilt: bool) -> dict:
     )
     delta["vocab_size"] = post.get("vocab_size", 0)
     delta["posting_entries"] = post.get("posting_entries", 0)
+    # Laziness observables: groups decoded and bytes parsed are flows
+    # (what *this request* materialized); mapped bytes are state (the
+    # restore maps every shard once, on the first touching request).
+    for counter in ("materialized_groups", "bytes_decoded"):
+        delta[counter] = max(0, post.get(counter, 0) - pre.get(counter, 0))
+    delta["bytes_mapped"] = post.get("bytes_mapped", 0)
     delta["index_prebuilt"] = prebuilt
     return delta
 

@@ -19,6 +19,7 @@ Commands::
     backdroid store warm bench:0..50 --store .bdstore
     backdroid store stats --store .bdstore
     backdroid store verify --store .bdstore
+    backdroid store migrate --store .bdstore
     backdroid store gc --store .bdstore --max-age-hours 48
     backdroid serve --port 8099 --store .bdstore --workers 4 --fast-lane-workers 1
     backdroid inventory bench:3
@@ -220,7 +221,9 @@ def cmd_batch(args) -> int:
 def _require_store(args) -> ArtifactStore:
     if not args.store:
         raise SystemExit("a store directory is required: pass --store DIR")
-    return ArtifactStore(args.store)
+    return ArtifactStore(
+        args.store, shard_format=getattr(args, "shard_format", "binary")
+    )
 
 
 def cmd_store(args) -> int:
@@ -255,12 +258,26 @@ def cmd_store(args) -> int:
         if args.max_age_hours < 0:
             raise SystemExit("--max-age-hours must be >= 0")
         result = store.gc(args.max_age_hours * 3600.0)
+        migrated = (
+            f", migrated {result.shards_migrated} legacy shard(s)"
+            if result.shards_migrated
+            else ""
+        )
         print(
             f"removed {result.entries_removed} entry(ies) and "
             f"{result.shards_removed} unreferenced shard(s), "
-            f"reclaimed {result.bytes_reclaimed} bytes"
+            f"reclaimed {result.bytes_reclaimed} bytes{migrated}"
         )
         return 0
+
+    if args.action == "migrate":
+        result = _require_store(args).migrate()
+        print(
+            f"migrated {result.shards_migrated} legacy JSON shard(s) to "
+            f"the binary container, {result.shards_failed} failure(s), "
+            f"reclaimed {result.bytes_reclaimed} bytes"
+        )
+        return 1 if result.shards_failed else 0
 
     # warm: prebuild artifacts so later runs start hot.  "index" mode
     # builds and persists each app's inverted index; "full" mode runs
@@ -295,6 +312,14 @@ def cmd_store(args) -> int:
                 spec_fingerprint(spec), store_key(apk.disassembly)
             )
             warmed += 1
+    if store.shard_format == "binary":
+        # Warming an older store is the natural moment to finish its
+        # v2 -> v3 conversion: everything it still holds as legacy
+        # JSON becomes mmap-able.
+        migrated = store.migrate()
+        if migrated.shards_migrated:
+            print(f"migrated {migrated.shards_migrated} legacy JSON "
+                  "shard(s) to the binary container")
     print(f"warmed {warmed}/{len(specs)} app(s) into {args.store} "
           f"(mode: {args.store_mode})")
     return 0
@@ -472,6 +497,12 @@ def build_parser() -> argparse.ArgumentParser:
     warm.add_argument("--scale", type=float, default=1.0,
                       help="bulk-code scale factor (default: 1.0)")
     warm.add_argument("--rules", default="")
+    warm.add_argument(
+        "--shard-format", choices=ArtifactStore.SHARD_FORMATS,
+        default="binary",
+        help="shard container to publish (json emulates a v2-era "
+        "writer, e.g. to seed a migration test; default: binary)",
+    )
     add_store_flags(warm)
     warm.set_defaults(func=cmd_store)
 
@@ -496,6 +527,15 @@ def build_parser() -> argparse.ArgumentParser:
         "i.e. clear everything)",
     )
     gc.set_defaults(func=cmd_store)
+
+    migrate = store_sub.add_parser(
+        "migrate",
+        help="convert legacy v2 JSON shards to the v3 binary container "
+        "in place (content addresses are container-independent, so "
+        "manifests need no rewrite)",
+    )
+    migrate.add_argument("--store", default=None, metavar="DIR")
+    migrate.set_defaults(func=cmd_store)
 
     corpus = sub.add_parser("corpus", help="sample a Table-I year corpus")
     corpus.add_argument("--year", type=int, default=2018)

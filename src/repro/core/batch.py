@@ -66,6 +66,14 @@ class AppOutcome:
     #: index was restored, the outcome was served from the store, or the
     #: linear backend ran).
     index_build_seconds: float = 0.0
+    #: Shard groups a lazy restore decoded for this app's queries (0
+    #: for cold builds and eager restores).
+    materialized_groups: int = 0
+    #: Shard bytes mmapped by this app's lazy restore.
+    bytes_mapped: int = 0
+    #: Shard bytes actually decoded; ``bytes_mapped - bytes_decoded``
+    #: is what laziness avoided parsing.
+    bytes_decoded: int = 0
     #: Which dispatch lane ran the app (store-aware scheduling).
     lane: str = "main"
     error: Optional[str] = None
@@ -240,6 +248,11 @@ def analyze_spec(
             index_build_seconds=float(
                 report.backend_stats.get("index_build_seconds", 0.0)
             ),
+            materialized_groups=int(
+                report.backend_stats.get("materialized_groups", 0)
+            ),
+            bytes_mapped=int(report.backend_stats.get("bytes_mapped", 0)),
+            bytes_decoded=int(report.backend_stats.get("bytes_decoded", 0)),
         )
         if reuse_outcomes:
             store.save_outcome(
@@ -407,6 +420,25 @@ class BatchResult:
         return sum(o.shards_patched for o in self.analyzed)
 
     @property
+    def lazy_restores(self) -> int:
+        """Apps restored lazily (mmapped shards, on-demand decode)."""
+        return sum(1 for o in self.analyzed if o.materialized_groups > 0
+                   or o.bytes_mapped > 0)
+
+    @property
+    def groups_materialized(self) -> int:
+        """Total shard groups decoded across all lazy restores."""
+        return sum(o.materialized_groups for o in self.analyzed)
+
+    @property
+    def total_bytes_mapped(self) -> int:
+        return sum(o.bytes_mapped for o in self.analyzed)
+
+    @property
+    def total_bytes_decoded(self) -> int:
+        return sum(o.bytes_decoded for o in self.analyzed)
+
+    @property
     def fast_lane_apps(self) -> int:
         """Apps the up-front store probe routed to the warm fast lane."""
         return sum(1 for o in self.outcomes if o.lane == "fast")
@@ -474,6 +506,13 @@ class BatchResult:
                 f"{self.partial_restores} partial "
                 f"({self.shards_patched} shard(s) patched)"
             )
+            if self.lazy_restores:
+                lines.append(
+                    f"  lazy restores  : {self.lazy_restores} app(s), "
+                    f"{self.groups_materialized} group(s) materialized, "
+                    f"{self.total_bytes_decoded} of "
+                    f"{self.total_bytes_mapped} mapped byte(s) decoded"
+                )
             lines.append(
                 f"  lanes          : {self.fast_lane_apps} fast / "
                 f"{self.main_lane_apps} main (store-aware dispatch)"
@@ -510,6 +549,10 @@ class BatchResult:
                 "index_restores": self.index_restores,
                 "partial_restores": self.partial_restores,
                 "shards_patched": self.shards_patched,
+                "lazy_restores": self.lazy_restores,
+                "groups_materialized": self.groups_materialized,
+                "bytes_mapped": self.total_bytes_mapped,
+                "bytes_decoded": self.total_bytes_decoded,
                 "fast_lane_apps": self.fast_lane_apps,
                 "main_lane_apps": self.main_lane_apps,
             }

@@ -46,6 +46,14 @@ class BackendStats:
     shards_patched: int = 0
     vocab_size: int = 0
     posting_entries: int = 0
+    #: Shard groups a lazy restore has decoded so far (0 for fresh
+    #: builds and eager restores — laziness observables, ISSUE 6).
+    materialized_groups: int = 0
+    #: Shard bytes mmapped by a lazy restore (0 when eager).
+    bytes_mapped: int = 0
+    #: Shard bytes actually decoded by a lazy restore; the gap to
+    #: ``bytes_mapped`` is what laziness avoided paying.
+    bytes_decoded: int = 0
 
     @property
     def queries(self) -> int:
@@ -62,6 +70,9 @@ class BackendStats:
             "shards_patched": self.shards_patched,
             "vocab_size": self.vocab_size,
             "posting_entries": self.posting_entries,
+            "materialized_groups": self.materialized_groups,
+            "bytes_mapped": self.bytes_mapped,
+            "bytes_decoded": self.bytes_decoded,
         }
 
 

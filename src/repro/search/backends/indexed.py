@@ -283,9 +283,17 @@ class InvertedIndexBackend(SearchBackend):
             self._index = index
             self.stats.index_build_seconds = index.build_seconds
             self.stats.index_restored = index.restored
-            self.stats.shards_patched = getattr(index, "patched_groups", 0)
-            self.stats.vocab_size = len(index.vocab)
+            if getattr(index, "lazy", False):
+                # Touching ``index.vocab`` would force the full
+                # materialization a lazy restore exists to avoid; the
+                # shard headers carry the counts.  Reading them is also
+                # where a torn shard file first surfaces (and heals),
+                # so the patch counter is read afterwards.
+                self.stats.vocab_size = index.vocab_size
+            else:
+                self.stats.vocab_size = len(index.vocab)
             self.stats.posting_entries = index.posting_entries
+            self.stats.shards_patched = getattr(index, "patched_groups", 0)
         return self._index
 
     # ------------------------------------------------------------------
@@ -302,6 +310,24 @@ class InvertedIndexBackend(SearchBackend):
         self.stats.pattern_queries += 1
         self.stats.fallbacks += 1
         return self._joined().pattern_lines(pattern)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """The stats snapshot, with live laziness counters.
+
+        A lazy index materializes groups (and may heal shards) *after*
+        the index property primed the stats, so the counters are
+        re-read from the index at snapshot time — this is what the
+        session layer's per-request deltas diff.
+        """
+        index = self._index
+        if index is not None and getattr(index, "lazy", False):
+            self.stats.materialized_groups = index.materialized_groups
+            self.stats.bytes_mapped = index.bytes_mapped
+            self.stats.bytes_decoded = index.bytes_decoded
+            self.stats.shards_patched = index.patched_groups
+            self.stats.vocab_size = index.vocab_size
+        return super().describe()
 
     # ------------------------------------------------------------------
     def _joined(self) -> JoinedText:

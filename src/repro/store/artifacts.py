@@ -23,10 +23,21 @@ Layout (see ``docs/STORE_FORMAT.md`` for the full spec)::
     <root>/objects/<key[:2]>/<key>/
         manifest.json           ordered shard references + line offsets
         outcome-<config>.json   one finished batch outcome per config
+    <root>/shards/<sha[:2]>/<sha>.bin
+        one class group, v3 binary container (struct-packed sections;
+        see :mod:`repro.store.binshard`): relative tokens + prefolded
+        mini-index
     <root>/shards/<sha[:2]>/<sha>.json
-        one class group: relative tokens + prefolded mini-index
+        the same content in the legacy v2 JSON container — still
+        readable; ``gc``/``warm``/``migrate`` convert it in place
     <root>/specmap/<fp[:2]>/<fp>.json
         app-spec fingerprint -> disassembly content key
+
+Restores are **lazy**: a fully binary warm entry returns a
+:class:`~repro.store.lazy.LazyTokenIndex` that mmaps each shard and
+materializes a group's posting lists only when a query touches it, so
+warm sessions pay decode cost proportional to the groups they query,
+not to the app's size.
 
 Concurrency: batch runs write from many pool processes at once.  Every
 write goes to a same-directory temp file first and is published with an
@@ -56,7 +67,16 @@ from typing import Iterator, Optional
 
 from repro.dex.disassembler import Disassembly, LineToken
 from repro.search.backends.indexed import TokenIndex
+from repro.store.binshard import (
+    LazyShardView,
+    ShardCorrupt,
+    ShardStale,
+    decode_shard,
+    encode_shard,
+)
+from repro.store.lazy import DEFAULT_GROUP_CACHE, LazyTokenIndex
 from repro.store.sharding import (
+    KEY_VERSION,
     ShardGroup,
     compose_index,
     compose_tokens,
@@ -67,13 +87,22 @@ from repro.store.sharding import (
     tokens_from_shard,
 )
 
-#: Bump when any serialized artifact shape changes: the version feeds
-#: both the app content hash and every shard's content hash, so old
-#: entries become unreachable (and are additionally rejected by the
-#: per-payload version check, for entries written by a tampered or
-#: future store).  v2 introduced the shard/manifest layout; v1
-#: monolithic entries read as misses and are swept by ``gc``.
-FORMAT_VERSION = 2
+#: The *container* version new writers publish.  v2 introduced the
+#: shard/manifest layout (v1 monolithic entries read as misses and are
+#: swept by ``gc``); v3 re-encodes shards as the mmap-friendly binary
+#: container.  v3 changed no logical content, so content addresses
+#: still hash under :data:`~repro.store.sharding.KEY_VERSION` and v2
+#: JSON artifacts remain readable (see :data:`COMPAT_VERSIONS`) until
+#: migrated in place.
+FORMAT_VERSION = 3
+
+#: Container versions the read path accepts.  Anything else — v1, or a
+#: future writer — reads as stale and is rebuilt/swept.
+COMPAT_VERSIONS = (2, FORMAT_VERSION)
+
+#: The legacy JSON container version (what ``shard_format="json"``
+#: handles write, for tooling that must produce v2 stores).
+LEGACY_FORMAT_VERSION = 2
 
 
 @dataclass
@@ -112,6 +141,15 @@ class StoreStats:
     #: Entries that existed but were unreadable or failed validation
     #: (torn JSON, wrong version, key mismatch) and fell back to a miss.
     corrupt_entries: int = 0
+    #: Index hits served as a :class:`~repro.store.lazy.LazyTokenIndex`
+    #: (mmapped binary shards; groups decode on first query).
+    lazy_restores: int = 0
+    #: Shard groups lazily decoded across every lazy restore, re-faults
+    #: after LRU eviction included.
+    groups_materialized: int = 0
+    #: Legacy JSON shards converted to the binary container in place
+    #: (``gc``/``warm``/``migrate``).
+    shards_migrated: int = 0
 
     def as_dict(self) -> dict:
         """All counters as a JSON-able dict (service ``/v1/stats``)."""
@@ -129,6 +167,9 @@ class StoreStats:
             "shards_shared": self.shards_shared,
             "writes": self.writes,
             "corrupt_entries": self.corrupt_entries,
+            "lazy_restores": self.lazy_restores,
+            "groups_materialized": self.groups_materialized,
+            "shards_migrated": self.shards_migrated,
         }
 
 
@@ -155,6 +196,9 @@ class StoreInventory:
     shard_refs: int = 0
     #: Bytes the referenced shards would occupy without dedup.
     logical_shard_bytes: int = 0
+    #: Shard files still in the legacy v2 JSON container (``store
+    #: migrate`` converts them; 0 on a fully migrated store).
+    legacy_json_shards: int = 0
 
     @property
     def bytes_saved(self) -> int:
@@ -182,6 +226,8 @@ class StoreInventory:
             f"(logical {self.logical_shard_bytes}, "
             f"saved {self.bytes_saved})",
             f"  dedup ratio : {self.dedup_ratio:.2f}x",
+            f"  containers  : {self.shards - self.legacy_json_shards} "
+            f"binary, {self.legacy_json_shards} legacy JSON",
         ]
         for kind in sorted(self.files_by_kind):
             lines.append(f"  {kind:11} : {self.files_by_kind[kind]} file(s)")
@@ -200,6 +246,7 @@ class StoreInventory:
             "logical_shard_bytes": self.logical_shard_bytes,
             "bytes_saved": self.bytes_saved,
             "dedup_ratio": self.dedup_ratio,
+            "legacy_json_shards": self.legacy_json_shards,
         }
 
 
@@ -209,6 +256,22 @@ class GcResult:
 
     entries_removed: int = 0
     shards_removed: int = 0
+    bytes_reclaimed: int = 0
+    #: Surviving legacy JSON shards converted to the binary container
+    #: during the sweep (binary-format stores only).
+    shards_migrated: int = 0
+
+
+@dataclass
+class MigrateResult:
+    """What one :meth:`ArtifactStore.migrate` pass converted."""
+
+    shards_migrated: int = 0
+    #: Legacy shards that failed validation and were left in place (a
+    #: live run patches them from the disassembly instead).
+    shards_failed: int = 0
+    #: JSON bytes dropped minus binary bytes added (the container is
+    #: denser, so this is normally positive).
     bytes_reclaimed: int = 0
 
 
@@ -270,14 +333,16 @@ class VerifyEntry:
 def store_key(disassembly: Disassembly) -> str:
     """The content address of one app's disassembly (memoized).
 
-    Hashes every plaintext line plus the store format version, so any
-    bytecode change — or any change to the artifact shapes — yields a
-    different key and naturally invalidates stale entries.
+    Hashes every plaintext line plus the :data:`KEY_VERSION`, so any
+    bytecode change — or any change to the hashed content itself —
+    yields a different key and naturally invalidates stale entries.
+    The *container* version is deliberately absent: re-encoding shards
+    (v2 JSON -> v3 binary) must not orphan every stored entry.
     """
     cached = getattr(disassembly, "_store_key_cache", None)
     if cached is None:
         digest = hashlib.sha256()
-        digest.update(f"backdroid-store-v{FORMAT_VERSION}\n".encode())
+        digest.update(f"backdroid-store-v{KEY_VERSION}\n".encode())
         # One join + one update: the C fast path.  A trailing newline
         # terminates the last line so "a", "b" never collides with
         # "a\nb" split differently.
@@ -302,10 +367,34 @@ class ArtifactStore:
     state lives on disk, and every publish is an atomic rename.
     """
 
-    def __init__(self, root) -> None:
+    #: Container formats a handle can write.  ``"binary"`` (default)
+    #: publishes v3 mmap-friendly shards and serves lazy restores;
+    #: ``"json"`` emulates a v2-era writer — legacy JSON shards and
+    #: version-2 payloads, eager restores — for migration tooling,
+    #: A/B benchmarks and fixtures.
+    SHARD_FORMATS = ("binary", "json")
+
+    def __init__(
+        self,
+        root,
+        shard_format: str = "binary",
+        group_cache: int = DEFAULT_GROUP_CACHE,
+    ) -> None:
         """Open (lazily) the store rooted at ``root``; never touches
-        disk until the first read or write."""
+        disk until the first read or write.  ``group_cache`` bounds how
+        many materialized groups each lazy restore keeps resident."""
+        if shard_format not in self.SHARD_FORMATS:
+            raise ValueError(
+                f"unknown shard format {shard_format!r}: "
+                f"choose from {self.SHARD_FORMATS}"
+            )
         self.root = Path(root)
+        self.shard_format = shard_format
+        self._group_cache = group_cache
+        self._write_version = (
+            FORMAT_VERSION if shard_format == "binary"
+            else LEGACY_FORMAT_VERSION
+        )
         self.stats = _STATS_BY_ROOT.setdefault(
             os.path.abspath(str(self.root)), StoreStats()
         )
@@ -320,8 +409,39 @@ class ArtifactStore:
     def _manifest_path(self, key: str) -> Path:
         return self.entry_dir(key) / "manifest.json"
 
-    def _shard_path(self, sha: str) -> Path:
+    def _shard_path_bin(self, sha: str) -> Path:
+        return self.root / "shards" / sha[:2] / f"{sha}.bin"
+
+    def _shard_path_json(self, sha: str) -> Path:
         return self.root / "shards" / sha[:2] / f"{sha}.json"
+
+    def _shard_path(self, sha: str) -> Path:
+        """Where *this handle's* configured format publishes a shard."""
+        if self.shard_format == "binary":
+            return self._shard_path_bin(sha)
+        return self._shard_path_json(sha)
+
+    def _find_shard(self, sha: str) -> Optional[Path]:
+        """The on-disk file (either container) holding ``sha``, if any."""
+        for path in (self._shard_path_bin(sha), self._shard_path_json(sha)):
+            if path.is_file():
+                return path
+        return None
+
+    def _shard_present(self, sha: str) -> bool:
+        """Stat/size-only presence probe — never parses a payload.
+
+        Advisory paths (scheduler probes, publish dedup, gc refcounts)
+        call this per shard; decoding there would make every probe cost
+        O(shard bytes) instead of one ``stat``.
+        """
+        for path in (self._shard_path_bin(sha), self._shard_path_json(sha)):
+            try:
+                if path.stat().st_size > 0:
+                    return True
+            except OSError:
+                continue
+        return False
 
     def _outcome_path(self, key: str, config_fingerprint: str) -> Path:
         return self.entry_dir(key) / f"outcome-{config_fingerprint}.json"
@@ -336,13 +456,22 @@ class ArtifactStore:
     # Raw I/O (atomic writes, torn-read tolerant reads)
     # ------------------------------------------------------------------
     def _write_json(self, path: Path, payload: dict) -> None:
+        self._write_bytes(
+            path,
+            json.dumps(payload, separators=(",", ":")).encode(
+                "utf-8", "surrogatepass"
+            ),
+        )
+
+    def _write_bytes(self, path: Path, data: bytes) -> None:
+        """Publish ``data`` at ``path`` via the atomic-rename path."""
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
             prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
         )
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, separators=(",", ":"))
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -383,7 +512,7 @@ class ArtifactStore:
             return "corrupt", None
         if not isinstance(payload, dict):
             return "corrupt", None
-        if payload.get("version") != FORMAT_VERSION:
+        if payload.get("version") not in COMPAT_VERSIONS:
             return "stale", None
         if payload.get("key") != key:
             return "corrupt", None
@@ -401,23 +530,37 @@ class ArtifactStore:
         cached = getattr(disassembly, "_shard_groups_cache", None)
         if cached is None:
             cached = [
-                (group, shard_key(group, FORMAT_VERSION))
+                (group, shard_key(group))
                 for group in partition_disassembly(disassembly)
             ]
             disassembly._shard_groups_cache = cached
         return cached
 
+    def _write_shard(self, group: ShardGroup, sha: str) -> dict:
+        """Publish one shard in this handle's container format."""
+        payload = shard_payload(group, sha, self._write_version)
+        if self.shard_format == "binary":
+            self._write_bytes(
+                self._shard_path_bin(sha), encode_shard(payload, sha)
+            )
+        else:
+            self._write_json(self._shard_path_json(sha), payload)
+        return payload
+
     def _publish_entry(self, disassembly: Disassembly) -> None:
         """Write any missing shards plus the app's manifest.
 
-        A shard whose content key already exists on disk is *shared*,
-        not rewritten — that is the cross-app dedup: the second app
-        embedding a library publishes only its manifest reference.
+        A shard whose content key already exists on disk — in *either*
+        container — is *shared*, not rewritten: that is the cross-app
+        dedup (the second app embedding a library publishes only its
+        manifest reference), and it keeps publishing from re-encoding
+        legacy shards (migration is an explicit maintenance action).
         """
         key = store_key(disassembly)
         groups = self._groups(disassembly)
         for group, sha in groups:
-            if self._shard_path(sha).is_file():
+            existing = self._find_shard(sha)
+            if existing is not None:
                 self.stats.shards_shared += 1
                 try:
                     # Refresh the shared shard's mtime so gc's age gate
@@ -425,21 +568,18 @@ class ArtifactStore:
                     # in flight — a shard published long ago by another
                     # app is "fresh" again the moment a new writer
                     # relies on it.
-                    os.utime(self._shard_path(sha))
+                    os.utime(existing)
                 except OSError:
                     pass  # racing gc: the load path patches it back
                 continue
-            self._write_json(
-                self._shard_path(sha),
-                shard_payload(group, sha, FORMAT_VERSION),
-            )
+            self._write_shard(group, sha)
         self._write_json(self._manifest_path(key), self._manifest(key, groups))
 
     def _manifest(
         self, key: str, groups: list[tuple[ShardGroup, str]]
     ) -> dict:
         return {
-            "version": FORMAT_VERSION,
+            "version": self._write_version,
             "key": key,
             "line_count": max(
                 (g.end_line for g, _ in groups), default=0
@@ -502,14 +642,60 @@ class ArtifactStore:
     )
 
     def _read_shard(self, sha: str) -> Optional[dict]:
-        """A validated shard payload, or None (missing/corrupt/stale)."""
-        payload = self._read_json(self._shard_path(sha), sha)
+        """A validated shard payload, or None (missing/corrupt/stale).
+
+        Container-agnostic: the binary file is preferred when both
+        exist (migration unlinks the JSON twin last, so a reader racing
+        a migration still finds one complete container either way).
+        """
+        try:
+            data = self._shard_path_bin(sha).read_bytes()
+        except FileNotFoundError:
+            data = None
+        except OSError:
+            self.stats.corrupt_entries += 1
+            data = None
+        if data is not None:
+            try:
+                return decode_shard(data, sha)
+            except ShardCorrupt:
+                self.stats.corrupt_entries += 1
+                return None
+        payload = self._read_json(self._shard_path_json(sha), sha)
         if payload is None:
             return None
         if any(key not in payload for key in self._SHARD_KEYS):
             self.stats.corrupt_entries += 1
             return None
         return payload
+
+    def _classify_shard(self, sha: str) -> tuple[str, Optional[dict]]:
+        """``(status, payload)`` for the shard holding ``sha``.
+
+        The verifier's container-aware read: a foreign container
+        version reports ``"stale"`` (a live run rebuilds it), bit rot
+        reports ``"corrupt"``.
+        """
+        path_bin = self._shard_path_bin(sha)
+        if path_bin.is_file():
+            try:
+                data = path_bin.read_bytes()
+            except OSError:
+                return "corrupt", None
+            try:
+                return "ok", decode_shard(data, sha)
+            except ShardStale:
+                return "stale", None
+            except ShardCorrupt:
+                return "corrupt", None
+        status, payload = self._classify_payload(
+            self._shard_path_json(sha), sha
+        )
+        if status == "ok" and any(
+            key not in payload for key in self._SHARD_KEYS
+        ):
+            return "corrupt", None
+        return status, payload
 
     # ------------------------------------------------------------------
     # Token-stream artifacts
@@ -587,19 +773,35 @@ class ArtifactStore:
           ``build_seconds``;
         * no shards present — a plain miss (returns None); the caller
           builds fresh and saves, which publishes every shard.
+
+        On a ``"binary"`` handle, a full warm hit whose groups are all
+        in the binary container is served as a
+        :class:`~repro.store.lazy.LazyTokenIndex` — shards are mmapped,
+        not parsed, and a group decodes on the first query that touches
+        it.  Mixed or legacy entries (any group still JSON) restore
+        eagerly, exactly as before.
         """
         started = time.perf_counter()
         key = store_key(disassembly)
-        index = self._compose_from_manifest(key)
-        if index is not None:
-            self.stats.index_hits += 1
-            return index
+        manifest = self._read_manifest(key)
+        if manifest is not None:
+            if self.shard_format == "binary":
+                lazy = self._lazy_from_manifest(manifest, disassembly)
+                if lazy is not None:
+                    self.stats.index_hits += 1
+                    self.stats.lazy_restores += 1
+                    self.stats.shard_hits += len(manifest["groups"])
+                    return lazy
+            index = self._compose_from_manifest(manifest)
+            if index is not None:
+                self.stats.index_hits += 1
+                return index
         # Slow path: no manifest, or a shard is missing/corrupt.  The
         # disassembly is authoritative — partition it, hash each group,
         # and compose from whatever shards exist (patching the rest).
         groups = self._groups(disassembly)
         present = [
-            (group, sha, self._shard_path(sha).is_file())
+            (group, sha, self._shard_present(sha))
             for group, sha in groups
         ]
         if not any(on_disk for _, _, on_disk in present):
@@ -612,8 +814,7 @@ class ArtifactStore:
             if payload is None:
                 # Missing or corrupt: re-fold just this group from the
                 # live disassembly and publish the repaired shard.
-                payload = shard_payload(group, sha, FORMAT_VERSION)
-                self._write_json(self._shard_path(sha), payload)
+                payload = self._write_shard(group, sha)
                 self.stats.shard_misses += 1
                 self.stats.shards_patched += 1
                 patched += 1
@@ -642,19 +843,66 @@ class ArtifactStore:
             self.stats.index_hits += 1
         return index
 
-    def _compose_from_manifest(self, key: str) -> Optional[TokenIndex]:
+    def _lazy_from_manifest(
+        self, manifest: dict, disassembly: Disassembly
+    ) -> Optional[LazyTokenIndex]:
+        """A lazy index over the manifest's binary shards, or None.
+
+        Presence is checked by ``stat`` only — no shard byte is read or
+        parsed here; the first query pays for candidacy probes and any
+        materialization.  Any group lacking a binary container (legacy
+        JSON, or gone) disqualifies the whole entry, and the caller
+        falls back to the eager/patching paths.
+        """
+        parts: list[tuple[int, LazyShardView]] = []
+        for group in manifest["groups"]:
+            sha = group["shard"]
+            path = self._shard_path_bin(sha)
+            try:
+                if path.stat().st_size <= 0:
+                    return None
+            except OSError:
+                return None
+            parts.append((group["start_line"], LazyShardView(path, sha)))
+        return LazyTokenIndex(
+            parts,
+            heal=self._heal_group_fn(disassembly),
+            group_cache=self._group_cache,
+            stats=self.stats,
+        )
+
+    def _heal_group_fn(self, disassembly: Disassembly):
+        """The lazy index's repair callback.
+
+        Re-folds group *i* from the live disassembly (manifest group
+        order is :meth:`_groups` order — both derive deterministically
+        from the same bytecode) and republishes its binary shard; the
+        caller drops its stale mapping and proceeds with the repaired
+        payload.
+        """
+        def heal(index: int) -> dict:
+            group, sha = self._groups(disassembly)[index]
+            payload = shard_payload(group, sha, FORMAT_VERSION)
+            self._write_bytes(
+                self._shard_path_bin(sha), encode_shard(payload, sha)
+            )
+            # Laziness only heals shards that existed but could not be
+            # trusted, so every heal is also a corrupt-entry event.
+            self.stats.corrupt_entries += 1
+            self.stats.shards_patched += 1
+            return payload
+
+        return heal
+
+    def _compose_from_manifest(self, manifest: dict) -> Optional[TokenIndex]:
         """The fast restore path: manifest-listed shards, no hashing.
 
         A published manifest already records every group's shard key
         and line offset, so a fully warm entry composes without
         partitioning or re-hashing the disassembly.  Returns None on
-        any gap (no manifest, missing/corrupt shard, compose failure)
-        — the caller then falls back to the authoritative
-        disassembly-derived path.
+        any gap (missing/corrupt shard, compose failure) — the caller
+        then falls back to the authoritative disassembly-derived path.
         """
-        manifest = self._read_manifest(key)
-        if manifest is None:
-            return None
         parts: list[tuple[int, dict]] = []
         for group in manifest["groups"]:
             payload = self._read_shard(group["shard"])
@@ -680,7 +928,7 @@ class ArtifactStore:
         self._write_json(
             self._outcome_path(key, config_fingerprint),
             {
-                "version": FORMAT_VERSION,
+                "version": self._write_version,
                 "key": key,
                 "config": config_fingerprint,
                 "outcome": outcome,
@@ -732,7 +980,7 @@ class ArtifactStore:
         found = sum(
             1
             for group in manifest["groups"]
-            if self._shard_path(group["shard"]).is_file()
+            if self._shard_present(group["shard"])
         )
         if total and found == total:
             return StoreProbe(key, "index", total, found)
@@ -755,7 +1003,7 @@ class ArtifactStore:
         self._write_json(
             self._spec_path(spec_fingerprint),
             {
-                "version": FORMAT_VERSION,
+                "version": self._write_version,
                 "key": spec_fingerprint,
                 "target": key,
             },
@@ -841,7 +1089,7 @@ class ArtifactStore:
             sha = group.get("shard")
             if not isinstance(sha, str) or not sha:
                 return VerifyEntry(key, "corrupt", "manifest group malformed")
-            status, payload = self._classify_payload(self._shard_path(sha), sha)
+            status, payload = self._classify_shard(sha)
             if status == "missing":
                 return VerifyEntry(
                     key, "missing-shard",
@@ -885,9 +1133,7 @@ class ArtifactStore:
                     f"{max(prev_end or 0, 0)}",
                 )
             prev_end = start_line + line_count
-            expected_sha = shard_key(
-                ShardGroup("", 0, line_count, tokens), FORMAT_VERSION
-            )
+            expected_sha = shard_key(ShardGroup("", 0, line_count, tokens))
             if expected_sha != sha:
                 return VerifyEntry(
                     key, "mismatch",
@@ -939,7 +1185,7 @@ class ArtifactStore:
             if not prefix.is_dir():
                 continue
             for shard in sorted(prefix.iterdir()):
-                if shard.is_file() and shard.suffix == ".json":
+                if shard.is_file() and shard.suffix in (".bin", ".json"):
                     yield shard
 
     def _spec_files(self) -> Iterator[Path]:
@@ -978,6 +1224,8 @@ class ArtifactStore:
             inventory.shards += 1
             inventory.shard_bytes += size
             inventory.total_bytes += size
+            if shard.suffix == ".json":
+                inventory.legacy_json_shards += 1
             inventory.files_by_kind["shard"] = (
                 inventory.files_by_kind.get("shard", 0) + 1
             )
@@ -1032,6 +1280,11 @@ class ArtifactStore:
         rule (a dangling mapping is harmless — it only costs a cold
         probe — but a long-lived store must not leak one file per spec
         forever).
+
+        On a ``"binary"`` handle, surviving *referenced* legacy JSON
+        shards are additionally migrated to the binary container in
+        place (``shards_migrated``), so routine collection steadily
+        converts a v2 store without a dedicated maintenance pass.
         """
         cutoff = time.time() - max_age_seconds
         result = GcResult()
@@ -1076,4 +1329,73 @@ class ArtifactStore:
                 result.bytes_reclaimed += size
             except OSError:
                 continue
+        if self.shard_format == "binary":
+            for shard in list(self._shard_files()):
+                if shard.suffix != ".json" or shard.stem not in referenced:
+                    continue
+                if self._migrate_shard(shard) is not None:
+                    result.shards_migrated += 1
+        return result
+
+    def _migrate_shard(self, path: Path) -> Optional[int]:
+        """Convert one legacy JSON shard to the binary container.
+
+        The content address is container-independent, so the binary
+        twin is published at the same sha (no manifest rewrite) and the
+        JSON file is unlinked last — a reader racing the migration
+        always finds one complete container.  Returns the bytes
+        reclaimed (JSON size minus binary size; the binary container is
+        denser, so normally positive), or None when the legacy payload
+        fails validation and is left in place for the live patch path.
+        """
+        sha = path.stem
+        bin_path = self._shard_path_bin(sha)
+        try:
+            json_size = path.stat().st_size
+        except OSError:
+            return None  # swept by a concurrent gc mid-pass
+        if not bin_path.is_file():
+            status, payload = self._classify_payload(path, sha)
+            if status != "ok" or any(
+                key not in payload for key in self._SHARD_KEYS
+            ):
+                return None
+            try:
+                data = encode_shard(payload, sha)
+            except (KeyError, TypeError, ValueError):
+                # CRC-clean JSON whose structure lies (a token text
+                # missing from its own vocabulary): not convertible.
+                return None
+            self._write_bytes(bin_path, data)
+        try:
+            bin_size = bin_path.stat().st_size
+        except OSError:
+            bin_size = 0
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.stats.shards_migrated += 1
+        return json_size - bin_size
+
+    def migrate(self) -> MigrateResult:
+        """Convert every legacy JSON shard to the binary container.
+
+        In place and idempotent (``backdroid store migrate``): shard
+        content addresses name logical content, not containers, so
+        manifests keep referencing the same shas and a partially
+        migrated (mixed) store stays fully readable throughout.
+        Legacy shards that fail validation are counted and left on
+        disk — a live run holding the disassembly patches them.
+        """
+        result = MigrateResult()
+        for shard in list(self._shard_files()):
+            if shard.suffix != ".json":
+                continue
+            reclaimed = self._migrate_shard(shard)
+            if reclaimed is None:
+                result.shards_failed += 1
+            else:
+                result.shards_migrated += 1
+                result.bytes_reclaimed += reclaimed
         return result

@@ -38,6 +38,16 @@ from dataclasses import dataclass
 from repro.dex.disassembler import Disassembly, LineToken
 from repro.search.backends.indexed import TokenIndex
 
+#: The *content-address* version: feeds every app key and shard key.
+#: Deliberately decoupled from the store's container FORMAT_VERSION —
+#: v3 changed only the shard *encoding* (binary sections instead of
+#: JSON), not the logical content, so v2 JSON shards and v3 binary
+#: shards of the same class group share one sha and one manifest
+#: reference.  Bump this only when the hashed content itself changes
+#: (token shapes, line-count semantics), which orphans every stored
+#: entry.
+KEY_VERSION = 2
+
 
 def group_label(class_name: str) -> str:
     """The library-fingerprint label of one class.
@@ -71,6 +81,26 @@ class ShardGroup:
     def end_line(self) -> int:
         """The exclusive end of the group's line range."""
         return self.start_line + self.line_count
+
+    def canonical_bytes(self) -> bytes:
+        """The group's canonical token serialization, computed once.
+
+        One JSON dump of the whole token list: C-speed, and any
+        structural ambiguity (kind/text containing separators) is
+        handled by JSON string escaping.  Cached on the group object so
+        a save that hashes the group and anything downstream that needs
+        the same bytes (verification replay, legacy-JSON encoding)
+        serializes the token list exactly once per group.
+        """
+        cached = self.__dict__.get("_canonical_bytes")
+        if cached is None:
+            cached = json.dumps(
+                self.tokens,  # tuples serialize as JSON arrays
+                separators=(",", ":"),
+                ensure_ascii=True,
+            ).encode("utf-8", "surrogatepass")
+            object.__setattr__(self, "_canonical_bytes", cached)
+        return cached
 
 
 def partition_disassembly(disassembly: Disassembly) -> list[ShardGroup]:
@@ -114,28 +144,21 @@ def partition_disassembly(disassembly: Disassembly) -> list[ShardGroup]:
     return groups
 
 
-def shard_key(group: ShardGroup, format_version: int) -> str:
+def shard_key(group: ShardGroup, key_version: int = KEY_VERSION) -> str:
     """The content address of one shard group.
 
     Hashes the group's relative token triples, its rendered line count
-    (later groups' offsets depend on it) and the store format version —
+    (later groups' offsets depend on it) and the :data:`KEY_VERSION` —
     but *not* its label or absolute position, so identical library code
-    dedups across apps regardless of where each app renders it.
+    dedups across apps regardless of where each app renders it, and
+    *not* the container format, so a JSON shard and its binary
+    migration share one content address.
     """
     digest = hashlib.sha256()
-    digest.update(f"backdroid-shard-v{format_version}\n".encode())
+    digest.update(f"backdroid-shard-v{key_version}\n".encode())
     digest.update(str(group.line_count).encode())
     digest.update(b"\n")
-    # One canonical dump of the whole token list: C-speed, and any
-    # structural ambiguity (kind/text containing separators) is handled
-    # by JSON string escaping.
-    digest.update(
-        json.dumps(
-            group.tokens,  # tuples serialize as JSON arrays
-            separators=(",", ":"),
-            ensure_ascii=True,
-        ).encode("utf-8", "surrogatepass")
-    )
+    digest.update(group.canonical_bytes())
     return digest.hexdigest()
 
 

@@ -16,6 +16,7 @@ from repro.search.backends.indexed import TokenIndex
 from repro.search.index import BytecodeSearcher
 from repro.store import ArtifactStore, store_key
 from repro.store.artifacts import FORMAT_VERSION
+from repro.store.binshard import decode_shard, encode_shard
 from repro.workload.corpus import benchmark_app_spec
 from repro.workload.generator import AppSpec, LibrarySpec, generate_app
 from repro.workload.paperapps import build_heyzap, build_palcomp3
@@ -177,7 +178,11 @@ class TestInvalidation:
         assert third.backend.stats.shards_patched == 0
         assert third.backend.stats.index_build_seconds == 0.0
 
-    def test_truncated_shard_shape_is_patched(self, store):
+    def test_truncated_shard_shape_is_patched(self, tmp_path):
+        # Shape truncation is a JSON-container failure mode (the binary
+        # container catches truncation structurally); the legacy writer
+        # must patch it the same way.
+        store = ArtifactStore(tmp_path / "store", shard_format="json")
         apk = build_heyzap()
         store.save_index(apk.disassembly, TokenIndex.for_disassembly(apk.disassembly))
         path = _only_shard_path(store, apk.disassembly)
@@ -436,12 +441,14 @@ class TestVerify:
         assert all(entry.status == "ok" and entry.ok for entry in results)
 
     def test_tampered_postings_detected(self, store):
+        # CRC-clean bytes whose posting lists lie: decode, shift every
+        # line in one posting, re-encode under the same content address.
         apk = build_heyzap()
         self._populate(store, apk)
         path = _only_shard_path(store, apk.disassembly)
-        payload = json.loads(path.read_text())
+        payload = decode_shard(path.read_bytes())
         payload["postings"][0] = [line + 1 for line in payload["postings"][0]]
-        path.write_text(json.dumps(payload))
+        path.write_bytes(encode_shard(payload, payload["key"]))
 
         (entry,) = store.verify()
         assert entry.status == "mismatch" and not entry.ok
@@ -456,9 +463,10 @@ class TestVerify:
         self._populate(store, other)
         target = _only_shard_path(store, apk.disassembly)
         impostor = _only_shard_path(store, other.disassembly)
-        payload = json.loads(impostor.read_text())
-        payload["key"] = store._groups(apk.disassembly)[0][1]
-        target.write_text(json.dumps(payload))
+        payload = decode_shard(impostor.read_bytes())
+        target.write_bytes(
+            encode_shard(payload, store._groups(apk.disassembly)[0][1])
+        )
 
         statuses = {entry.key: entry for entry in store.verify()}
         bad = statuses[store_key(apk.disassembly)]
@@ -518,7 +526,8 @@ class TestVerify:
         key = self._populate(store, build_heyzap())
         path = store._manifest_path(key)
         payload = json.loads(path.read_text())
-        payload["version"] = FORMAT_VERSION - 1
+        # v1 predates the compat window (v2 JSON is still readable).
+        payload["version"] = 1
         path.write_text(json.dumps(payload))
 
         (entry,) = store.verify()

@@ -93,8 +93,7 @@ class TestPartitioning:
             g for g in partition_disassembly(two) if g.label == "org.sharedsdk"
         )
         assert lib_one.start_line != lib_two.start_line
-        assert shard_key(lib_one, FORMAT_VERSION) == \
-            shard_key(lib_two, FORMAT_VERSION)
+        assert shard_key(lib_one) == shard_key(lib_two)
 
     def test_different_library_shape_changes_the_shard_key(self):
         # The shard key addresses exactly what the shard stores: the
@@ -108,8 +107,7 @@ class TestPartitioning:
         keys = [
             shard_key(
                 next(g for g in partition_disassembly(d)
-                     if g.label == "org.sharedsdk"),
-                FORMAT_VERSION,
+                     if g.label == "org.sharedsdk")
             )
             for d in (one, two)
         ]
@@ -272,7 +270,7 @@ class TestComposeParity:
         disassembly = build_lg_tv_plus().disassembly
         parts = []
         for group in partition_disassembly(disassembly):
-            sha = shard_key(group, FORMAT_VERSION)
+            sha = shard_key(group)
             parts.append(
                 (group.start_line, shard_payload(group, sha, FORMAT_VERSION))
             )

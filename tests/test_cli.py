@@ -239,9 +239,8 @@ class TestStoreVerify:
         assert "verified 3 stored index(es), 0 failure(s)" in out
 
     def test_verify_flags_corruption_nonzero_exit(self, tmp_path, capsys):
-        import json as jsonlib
-
         from repro.store import ArtifactStore
+        from repro.store.binshard import decode_shard, encode_shard
 
         store_dir = str(tmp_path / "s")
         main(["store", "warm", "bench:0..2", "--scale", "0.05",
@@ -249,9 +248,9 @@ class TestStoreVerify:
         capsys.readouterr()
         store = ArtifactStore(store_dir)
         shard_path = next(store._shard_files())
-        payload = jsonlib.loads(shard_path.read_text())
+        payload = decode_shard(shard_path.read_bytes())
         payload["postings"][0] = [n + 1 for n in payload["postings"][0]]
-        shard_path.write_text(jsonlib.dumps(payload))
+        shard_path.write_bytes(encode_shard(payload, payload["key"]))
 
         assert main(["store", "verify", "--store", store_dir]) == 1
         out = capsys.readouterr().out
