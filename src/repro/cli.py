@@ -21,7 +21,7 @@ Commands::
     backdroid store verify --store .bdstore
     backdroid store migrate --store .bdstore
     backdroid store gc --store .bdstore --max-age-hours 48
-    backdroid serve --port 8099 --store .bdstore --workers 4 --fast-lane-workers 1
+    backdroid serve --port 8099 --store .bdstore --cold-workers 4 --fast-lane-workers 1
     backdroid inventory bench:3
 """
 
@@ -31,6 +31,7 @@ import argparse
 import json
 import statistics
 import sys
+import threading
 from typing import Optional
 
 from repro.android.apk import Apk
@@ -326,9 +327,22 @@ def cmd_store(args) -> int:
 
 
 def build_server(args):
-    """The configured (but not yet started) analysis service."""
+    """The configured (but not yet started) analysis service.
+
+    ``--cold-workers`` sizes the cold lane's worker *processes*
+    (default: ``--workers``): the service runs cold analyses out of
+    process so warm restores never share the GIL with disassembly and
+    index folds.  ``--cold-workers 0`` keeps cold analyses in-process
+    (thread pool), the embedding-style fallback.  ``--loop`` picks the
+    HTTP front end: the asyncio event loop (default) or the legacy
+    thread-per-connection server.
+    """
     # Imported lazily: the service layer is only needed by ``serve``.
-    from repro.service import AnalysisServer, StoreAwareScheduler
+    from repro.service import (
+        AnalysisServer,
+        StoreAwareScheduler,
+        ThreadedAnalysisServer,
+    )
 
     if args.workers < 1:
         raise SystemExit("--workers must be a positive integer")
@@ -336,6 +350,15 @@ def build_server(args):
         raise SystemExit("--fast-lane-workers must be >= 0")
     if args.retain_jobs < 1:
         raise SystemExit("--retain-jobs must be a positive integer")
+    cold_workers = getattr(args, "cold_workers", None)
+    if cold_workers is None:
+        cold_workers = args.workers
+    if cold_workers < 0:
+        raise SystemExit("--cold-workers must be >= 0")
+    # The cold lane *is* the main pool: with process isolation on, its
+    # process count is the lane's concurrency.
+    cold_executor = "process" if cold_workers > 0 else "thread"
+    workers = cold_workers if cold_executor == "process" else args.workers
     config = BackDroidConfig(
         sink_rules=_rules(args),
         search_backend=args.backend,
@@ -344,14 +367,22 @@ def build_server(args):
     )
     scheduler = StoreAwareScheduler(
         config,
-        workers=args.workers,
+        workers=workers,
         fast_lane_workers=args.fast_lane_workers,
         max_finished_jobs=args.retain_jobs,
+        cold_executor=cold_executor,
     )
-    return AnalysisServer(scheduler, host=args.host, port=args.port)
+    server_cls = (
+        ThreadedAnalysisServer
+        if getattr(args, "loop", "asyncio") == "threaded"
+        else AnalysisServer
+    )
+    return server_cls(scheduler, host=args.host, port=args.port)
 
 
 def cmd_serve(args) -> int:
+    import signal
+
     server = build_server(args)
     server.start()
     host, port = server.address
@@ -361,16 +392,41 @@ def cmd_serve(args) -> int:
         if args.store
         else "no store (every submission rides the main lane)"
     )
-    print(f"backdroid service listening on http://{host}:{port}")
-    print(f"  {args.workers} main worker(s), {store_note}")
+    scheduler = server.scheduler
+    cold_note = (
+        f"{scheduler.lanes['main'].workers} cold worker process(es)"
+        if scheduler.cold_executor == "process"
+        else f"{scheduler.lanes['main'].workers} in-process cold worker(s)"
+    )
+    print(f"backdroid service listening on http://{host}:{port} "
+          f"({args.loop} front end)")
+    print(f"  {cold_note}, {store_note}")
     print("  endpoints: POST /v1/jobs, GET /v1/jobs/<id>, "
           "DELETE /v1/jobs/<id>, GET /v1/stats, GET /healthz  "
-          "(Ctrl-C to drain and stop)")
+          "(SIGTERM/Ctrl-C to drain and stop)")
+    # SIGTERM (orchestrators) and SIGINT (Ctrl-C) both trigger the
+    # graceful drain: stop accepting (503), give in-flight jobs
+    # --drain-timeout seconds, then shut down — hard if they overran.
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _request_stop)
+        except ValueError:  # not on the main thread (embedding, tests)
+            break
     try:
-        server.join()
+        while not stop.is_set():
+            stop.wait(1.0)
     except KeyboardInterrupt:
-        print("draining queued jobs ...")
-        server.shutdown(drain=True)
+        pass
+    print(f"draining in-flight jobs (up to {args.drain_timeout:g}s) ...")
+    drained = server.drain(timeout=args.drain_timeout)
+    if not drained:
+        print("drain timeout exceeded; abandoning unfinished jobs")
+    server.shutdown(drain=drained)
     return 0
 
 
@@ -473,6 +529,16 @@ def build_parser() -> argparse.ArgumentParser:
                        "(0 disables the fast lane; default: 1)")
     serve.add_argument("--retain-jobs", type=int, default=256,
                        help="finished jobs kept for polling (default: 256)")
+    serve.add_argument("--cold-workers", type=int, default=None,
+                       help="cold-lane worker processes (default: --workers; "
+                       "0 runs cold analyses in-process instead)")
+    serve.add_argument("--loop", choices=("asyncio", "threaded"),
+                       default="asyncio",
+                       help="HTTP front end: asyncio event loop (default) "
+                       "or thread-per-connection")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="seconds to let in-flight jobs finish on "
+                       "SIGTERM/SIGINT before abandoning them (default: 30)")
     serve.add_argument("--rules", default="")
     add_backend_flag(serve)
     add_store_flags(serve)

@@ -652,13 +652,22 @@ def run_batch(
             if progress is not None:
                 progress(outcomes[i])
     else:
-        with _make_executor(executor, max_workers) as pool:
-            futures = {
-                pool.submit(
+        if executor == "process":
+            # The shared worker entry point (also the service's cold
+            # lane): one module-level function crosses the process
+            # boundary, so batch and serve ship identical work.
+            # Imported lazily — the service package imports this module.
+            from repro.service.workers import run_analysis
+
+            def _submit(pool, i):
+                return pool.submit(run_analysis, specs[i], config, request)
+        else:
+            def _submit(pool, i):
+                return pool.submit(
                     analyze_spec, specs[i], config, request, sessions
-                ): i
-                for i in order
-            }
+                )
+        with _make_executor(executor, max_workers) as pool:
+            futures = {_submit(pool, i): i for i in order}
             for future in as_completed(futures):
                 index = futures[future]
                 try:

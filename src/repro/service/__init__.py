@@ -12,12 +12,22 @@ would run:
 * :mod:`repro.service.scheduler` — the :class:`StoreAwareScheduler`:
   probes the :class:`~repro.store.ArtifactStore` at submit time and
   dispatches warm submissions (stored outcome or restorable index) to a
-  small fast lane while cold submissions get the main worker pool, with
-  per-lane depth/wait/warm statistics;
+  small in-process fast lane while cold submissions get the main pool —
+  in-process threads, or (``cold_executor="process"``) worker processes
+  so cold CPU work never shares the GIL with warm restores — with
+  per-lane depth/wait/utilization statistics;
+* :mod:`repro.service.workers` — the process-isolation substrate:
+  the module-level worker entry point shared with
+  ``run_batch --executor process`` and the :class:`ProcessLane` of
+  long-lived worker processes (kill a running analysis, survive worker
+  crashes, respawn to constant capacity);
 * :mod:`repro.service.server` — the stdlib-only JSON HTTP API
   (``POST /v1/jobs`` with per-job rule/backend/budget overrides,
   ``GET /v1/jobs/<id>``, ``DELETE /v1/jobs/<id>``, ``GET /v1/stats``,
-  ``GET /healthz``) plus the matching :class:`ServiceClient`.
+  ``GET /healthz``): the transport-agnostic :class:`ServiceAPI` router,
+  the asyncio :class:`AnalysisServer` front end, the legacy
+  :class:`ThreadedAnalysisServer` baseline, and the matching (retrying)
+  :class:`ServiceClient`.
 
 The CLI front end is ``backdroid serve``.
 """
@@ -35,7 +45,13 @@ from repro.service.jobs import (
     JobQueue,
 )
 from repro.service.scheduler import LaneStats, StoreAwareScheduler
-from repro.service.server import AnalysisServer, ServiceClient
+from repro.service.server import (
+    AnalysisServer,
+    ServiceAPI,
+    ServiceClient,
+    ThreadedAnalysisServer,
+)
+from repro.service.workers import ColdResult, ProcessLane
 
 __all__ = [
     "CANCELLED",
@@ -47,9 +63,13 @@ __all__ = [
     "RUNNING",
     "TERMINAL_STATES",
     "AnalysisServer",
+    "ColdResult",
     "Job",
     "JobQueue",
     "LaneStats",
+    "ProcessLane",
+    "ServiceAPI",
     "ServiceClient",
     "StoreAwareScheduler",
+    "ThreadedAnalysisServer",
 ]

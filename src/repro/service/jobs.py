@@ -91,6 +91,10 @@ class Job:
     #: Primary job id when this submission coalesced onto an in-flight
     #: analysis of the same key.
     coalesced_into: Optional[str] = None
+    #: Pid of the process that executed the analysis: the service's own
+    #: pid for in-process lanes, a worker process's pid for the
+    #: out-of-process cold lane.  None until execution starts.
+    worker_pid: Optional[int] = None
 
     @property
     def terminal(self) -> bool:
@@ -120,6 +124,7 @@ class Job:
             "finished_at": self.finished_at,
             "wait_seconds": self.wait_seconds,
             "coalesced_into": self.coalesced_into,
+            "worker_pid": self.worker_pid,
             "result": self.result,
             "error": self.error,
         }
@@ -229,6 +234,16 @@ class JobQueue:
                 follower = self._jobs[follower_id]
                 follower.state = RUNNING
                 follower.started_at = now
+
+    def record_worker(self, job_id: str, pid: Optional[int]) -> None:
+        """Attach the executing process's pid (mirrored to followers)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return
+            job.worker_pid = pid
+            for follower_id in self._followers.get(job_id, ()):
+                self._jobs[follower_id].worker_pid = pid
 
     def finish(
         self,
@@ -358,6 +373,27 @@ class JobQueue:
                     raise TimeoutError(
                         f"job {job_id} still {job.state} after {timeout}s"
                     )
+                self._terminal.wait(remaining)
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until every retained job is terminal (the drain wait).
+
+        Returns True when the queue went idle, False on timeout.  New
+        submissions arriving during the wait extend it — callers drain
+        behind a closed front door (503 on submit), so in practice the
+        population only shrinks.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._terminal:
+            while True:
+                if all(job.terminal for job in self._jobs.values()):
+                    return True
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
                 self._terminal.wait(remaining)
 
     # ------------------------------------------------------------------

@@ -17,10 +17,20 @@ shards and patches only the missing groups.
 mixed corpus, warm jobs' mean wait drops versus single-lane FIFO
 dispatch.
 
-Built on the same ``concurrent.futures`` thread pools as ``run_batch``;
-execution itself is :func:`repro.core.batch.analyze_spec`, so per-app
-isolation, store warm starts and outcome shapes are identical to batch
-runs.  Duplicate in-flight submissions coalesce in the
+The warm fast lane runs in-process (restores are mmap-backed reads; the
+shared :class:`~repro.api.session.SessionCache` lives here), while the
+cold lane can execute **out of process**: with
+``cold_executor="process"`` every cold analysis ships to a
+:class:`~repro.service.workers.ProcessLane` worker and only the
+serialized outcome payload crosses back, so cold CPU work (disassembly,
+index folds) never shares the service interpreter's GIL with warm
+fetches.  The default ``cold_executor="thread"`` keeps everything
+in-process — the embedding-friendly library mode and the baseline the
+sustained-traffic benchmark compares against.  Execution itself is
+:func:`repro.core.batch.analyze_spec` either way (the process lane runs
+it through :mod:`repro.service.workers`' shared entry point), so
+per-app isolation, store warm starts and outcome shapes are identical
+to batch runs.  Duplicate in-flight submissions coalesce in the
 :class:`~repro.service.jobs.JobQueue` — one analysis, every job
 completed with the same payload.
 """
@@ -28,9 +38,11 @@ completed with the same payload.
 from __future__ import annotations
 
 import dataclasses
+import os
 import threading
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.api.request import AnalysisRequest
@@ -43,8 +55,20 @@ from repro.core.batch import (
     outcome_payload,
     probe_spec,
 )
-from repro.service.jobs import CANCELLED, CANCEL_DONE, Job, JobQueue
+from repro.service.jobs import CANCELLED, CANCEL_DONE, CANCEL_PENDING, Job, JobQueue
+from repro.service.workers import STALL_ENV_VAR, ProcessLane
 from repro.workload.generator import AppSpec, spec_fingerprint
+
+#: How many recent depth observations each lane keeps for percentiles.
+DEPTH_SAMPLE_WINDOW = 512
+
+
+def _percentile(samples: list, fraction: float) -> float:
+    """Nearest-rank percentile of a sorted sample list (0.0 if empty)."""
+    if not samples:
+        return 0.0
+    index = min(len(samples) - 1, max(0, int(fraction * len(samples))))
+    return float(samples[index])
 
 
 @dataclass
@@ -53,28 +77,53 @@ class LaneStats:
 
     name: str
     workers: int
+    #: Where this lane's analyses execute: ``"in-process"`` (threads in
+    #: the service interpreter) or ``"process"`` (worker processes).
+    kind: str = "in-process"
     submitted: int = 0
     completed: int = 0
     failed: int = 0
     cancelled: int = 0
     #: Jobs currently queued or running in this lane.
     depth: int = 0
+    #: Analyses executing right now (bounded by ``workers``).
+    busy: int = 0
     total_wait_seconds: float = 0.0
+    #: Recent queue-depth observations, sampled at each submission, for
+    #: the percentiles ``/v1/stats`` reports.
+    depth_samples: deque = field(
+        default_factory=lambda: deque(maxlen=DEPTH_SAMPLE_WINDOW),
+        repr=False,
+    )
 
     @property
     def mean_wait_seconds(self) -> float:
         finished = self.completed + self.failed
         return self.total_wait_seconds / finished if finished else 0.0
 
+    @property
+    def utilization(self) -> float:
+        """Fraction of this lane's workers currently executing."""
+        return self.busy / self.workers if self.workers else 0.0
+
     def as_dict(self) -> dict:
+        ordered = sorted(self.depth_samples)
         return {
             "name": self.name,
+            "kind": self.kind,
             "workers": self.workers,
             "submitted": self.submitted,
             "completed": self.completed,
             "failed": self.failed,
             "cancelled": self.cancelled,
             "depth": self.depth,
+            "busy": self.busy,
+            "utilization": self.utilization,
+            "depth_percentiles": {
+                "p50": _percentile(ordered, 0.50),
+                "p90": _percentile(ordered, 0.90),
+                "p99": _percentile(ordered, 0.99),
+            },
             "mean_wait_seconds": self.mean_wait_seconds,
         }
 
@@ -86,6 +135,14 @@ class StoreAwareScheduler:
     the warm lane.  A zero-sized fast lane (or no configured store)
     degrades to single-lane FIFO dispatch — the baseline the benchmark
     compares against.
+
+    ``cold_executor`` picks where cold analyses execute: ``"thread"``
+    (default) keeps them in-process, ``"process"`` forks a
+    :class:`~repro.service.workers.ProcessLane` of ``workers`` worker
+    processes and the main pool's threads become dispatchers — each
+    blocks on one out-of-process analysis, so lane capacity is
+    unchanged.  Process mode requires picklable work: a custom
+    ``registry`` (arbitrary client callables) is rejected up front.
     """
 
     def __init__(
@@ -96,6 +153,7 @@ class StoreAwareScheduler:
         max_finished_jobs: int = 256,
         session_cache_size: int = 4,
         registry=None,
+        cold_executor: str = "thread",
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be a positive integer")
@@ -103,6 +161,19 @@ class StoreAwareScheduler:
             raise ValueError("fast_lane_workers must be >= 0")
         if session_cache_size < 0:
             raise ValueError("session_cache_size must be >= 0")
+        if cold_executor not in ("thread", "process"):
+            raise ValueError(
+                "cold_executor must be 'thread' or 'process', "
+                f"got {cold_executor!r}"
+            )
+        if cold_executor == "process" and registry is not None:
+            raise ValueError(
+                "cold_executor='process' cannot ship a custom registry "
+                "(client detectors are arbitrary callables and may not "
+                "pickle); use cold_executor='thread' or the built-in "
+                "catalogue"
+            )
+        self.cold_executor = cold_executor
         self.config = config if config is not None else BackDroidConfig()
         self.queue = JobQueue(max_finished=max_finished_jobs)
         #: Client sink specs/detectors served by every lane (None = the
@@ -122,6 +193,10 @@ class StoreAwareScheduler:
             if self._store is not None
             else None
         )
+        # The main pool's threads either run cold analyses themselves
+        # (thread mode) or act as dispatchers, each blocking on one
+        # ProcessLane worker (process mode) — either way its size is
+        # the cold lane's concurrency.
         self._main = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="backdroid-main"
         )
@@ -133,9 +208,16 @@ class StoreAwareScheduler:
             if fast_lane_workers > 0
             else None
         )
+        self._cold = (
+            ProcessLane(workers) if cold_executor == "process" else None
+        )
         self.lanes = {
-            "fast": LaneStats("fast", fast_lane_workers),
-            "main": LaneStats("main", workers),
+            "fast": LaneStats("fast", fast_lane_workers, kind="in-process"),
+            "main": LaneStats(
+                "main",
+                workers,
+                kind="process" if self._cold is not None else "in-process",
+            ),
         }
         #: Analyses actually executed (dedup-coalesced jobs share one).
         self.analyses_run = 0
@@ -203,6 +285,7 @@ class StoreAwareScheduler:
                     self.warm_partial_submissions += 1
             if is_primary:
                 stats.depth += 1
+            stats.depth_samples.append(stats.depth)
         if is_primary:
             pool = self._fast if job.lane == "fast" else self._main
             try:
@@ -244,20 +327,18 @@ class StoreAwareScheduler:
         self.queue.mark_running(job_id)
         with self._lock:
             self.analyses_run += 1
-        outcome = analyze_spec(  # never raises
-            job.spec,
-            self.config,
-            request=job.request,
-            sessions=self.sessions,
-            registry=self.registry,
-        )
-        outcome = dataclasses.replace(outcome, lane=job.lane)
-        payload = outcome_payload(outcome)
-        members = self.queue.finish(
-            job_id,
-            result=payload,
-            error=None if outcome.ok else outcome.error,
-        )
+            self.lanes[job.lane].busy += 1
+        try:
+            if job.lane == "main" and self._cold is not None:
+                payload, error = self._execute_cold(job)
+            else:
+                payload, error = self._execute_in_process(job)
+        finally:
+            with self._lock:
+                stats = self.lanes[job.lane]
+                stats.busy = max(0, stats.busy - 1)
+        members = self.queue.finish(job_id, result=payload, error=error)
+        ok = error is None
         with self._lock:
             stats = self.lanes[job.lane]
             stats.depth = max(0, stats.depth - 1)
@@ -267,24 +348,78 @@ class StoreAwareScheduler:
                 if member.state == CANCELLED:
                     stats.cancelled += 1
                     continue  # a discarded result is not a wait served
-                if outcome.ok:
+                if ok:
                     stats.completed += 1
                 else:
                     stats.failed += 1
                 if member.wait_seconds is not None:
                     stats.total_wait_seconds += member.wait_seconds
 
+    def _execute_in_process(
+        self, job: Job
+    ) -> tuple[Optional[dict], Optional[str]]:
+        """Run one analysis in the service interpreter (warm path)."""
+        self.queue.record_worker(job.id, os.getpid())
+        outcome = analyze_spec(  # never raises
+            job.spec,
+            self.config,
+            request=job.request,
+            sessions=self.sessions,
+            registry=self.registry,
+        )
+        outcome = dataclasses.replace(outcome, lane=job.lane)
+        payload = outcome_payload(outcome)
+        return payload, None if outcome.ok else outcome.error
+
+    def _execute_cold(
+        self, job: Job
+    ) -> tuple[Optional[dict], Optional[str]]:
+        """Ship one analysis to a worker process and await its payload.
+
+        The stall fault-injection knob is read *here*, in the parent at
+        dispatch time, and rides the task — long-lived workers forked at
+        construction must not depend on their fork-time environment.
+        """
+        stall = float(os.environ.get(STALL_ENV_VAR) or 0.0)
+        result = self._cold.execute(
+            job.id, job.spec, self.config, job.request, stall_seconds=stall
+        )
+        self.queue.record_worker(job.id, result.pid)
+        if result.payload is not None:
+            payload = dict(result.payload)
+            payload["lane"] = job.lane
+            return payload, payload.get("error")
+        if result.killed:
+            # The worker was terminated by a cancel; the queue is in
+            # ``cancelling`` and finish() discards whatever we pass.
+            return None, "cancelled by client"
+        return None, (
+            f"analysis worker died (pid {result.pid}); "
+            "a replacement worker was started"
+        )
+
     # ------------------------------------------------------------------
     def cancel(self, job_id: str) -> tuple[Optional[Job], str]:
         """Cancel a job (see :meth:`JobQueue.cancel` for dispositions).
 
         Jobs cancelled before running are counted per lane; a running
-        job's ``cancelled`` tally lands when its worker completes.
+        job's ``cancelled`` tally lands when its worker completes.  A
+        running *out-of-process* cold job is actually interruptible:
+        its worker process is terminated (and replaced), so the
+        terminal ``cancelled`` state arrives without waiting for the
+        analysis to finish.
         """
         job, disposition = self.queue.cancel(job_id)
         if disposition == CANCEL_DONE and job is not None:
             with self._lock:
                 self.lanes[job.lane].cancelled += 1
+        elif (
+            disposition == CANCEL_PENDING
+            and job is not None
+            and job.lane == "main"
+            and self._cold is not None
+        ):
+            self._cold.kill(job.id)
         return job, disposition
 
     # ------------------------------------------------------------------
@@ -305,6 +440,17 @@ class StoreAwareScheduler:
                 "submitted": submitted,
                 "warm_hit_rate": warm / submitted if submitted else 0.0,
                 "warm_partial_submissions": self.warm_partial_submissions,
+                "cold": {
+                    "executor": self.cold_executor,
+                    "worker_pids": (
+                        self._cold.pids() if self._cold is not None else []
+                    ),
+                    "workers_restarted": (
+                        self._cold.workers_restarted
+                        if self._cold is not None
+                        else 0
+                    ),
+                },
                 "store": (
                     self._store.stats.as_dict()
                     if self._store is not None
@@ -322,9 +468,18 @@ class StoreAwareScheduler:
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work; with ``wait``, drain every queued job."""
         self._closed = True
+        if not wait and self._cold is not None:
+            # Terminate worker processes first: dispatchers blocked on a
+            # worker pipe observe the death immediately instead of
+            # waiting out whatever analysis was in flight.
+            self._cold.shutdown(wait=False)
         self._main.shutdown(wait=wait)
         if self._fast is not None:
             self._fast.shutdown(wait=wait)
+        if wait and self._cold is not None:
+            # Dispatchers are drained, so every worker is idle and
+            # exits on the shutdown signal.
+            self._cold.shutdown(wait=True)
 
     def __enter__(self) -> "StoreAwareScheduler":
         return self

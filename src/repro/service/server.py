@@ -1,13 +1,18 @@
-"""The HTTP front end: a stdlib JSON API over the scheduler.
+"""The HTTP front end: an asyncio JSON API over the scheduler.
 
 Endpoints (all JSON)::
 
     POST   /v1/jobs        submit an app spec -> 202 + the job record
+                           (503 while the server is draining)
     GET    /v1/jobs/<id>   one job's status (and result once done)
     DELETE /v1/jobs/<id>   cancel: queued jobs cancel immediately,
-                           running jobs are marked ``cancelling``
+                           running cold jobs' worker processes are
+                           terminated, running warm jobs are marked
+                           ``cancelling``
     GET    /v1/jobs        every retained job, submission order
-    GET    /v1/stats       lanes, job counts, warm-hit rate, store counters
+    GET    /v1/stats       lanes, job counts, warm-hit rate, store
+                           counters, plus the front end's own health
+                           (event-loop lag, draining flag)
     GET    /healthz        liveness
 
 A ``POST /v1/jobs`` body may carry per-job analysis overrides alongside
@@ -17,25 +22,50 @@ and ``hierarchy`` — which become an
 Differently-targeted submissions of one app never share a result, but
 they do share the scheduler's warm per-app session underneath.
 
-Built on ``http.server.ThreadingHTTPServer`` — one thread per
-connection, no third-party dependency — because the request handlers do
-no analysis work themselves: a submit probes the store and enqueues
-(milliseconds), everything else reads queue snapshots.  The worker
-lanes live in the :class:`StoreAwareScheduler` underneath.
+Three layers, so the protocol work is written once:
+
+* :class:`ServiceAPI` — the transport-agnostic router.  Every endpoint
+  is a pure ``(method, path, body) -> (status, payload, close)``
+  function over the scheduler; it also owns the *draining* flag that
+  turns submissions away with 503 during graceful shutdown.
+* :class:`AnalysisServer` — the production front end: a stdlib
+  ``asyncio.start_server`` event loop on a daemon thread.  Connection
+  handling (parsing, keep-alive, slow-client timeouts) is non-blocking
+  coroutine work; each parsed request is bridged to :class:`ServiceAPI`
+  via ``loop.run_in_executor`` so queue locks and store probes never
+  stall the loop.  With the scheduler's process cold lane, the service
+  interpreter only ever runs event-loop bookkeeping and warm
+  mmap-backed restores — cold CPU work lives in worker processes — so
+  warm tail latency no longer inflates under cold load.  A lag monitor
+  samples the event loop's scheduling delay and reports percentiles
+  under ``stats()["server"]``.
+* :class:`ThreadedAnalysisServer` — the previous
+  ``http.server.ThreadingHTTPServer`` stack (one thread per
+  connection), kept as the comparison baseline for
+  ``benchmarks/bench_sustained_traffic.py`` and for environments where
+  a thread-per-connection model is easier to reason about.  Same
+  :class:`ServiceAPI`, same endpoints, same lifecycle methods.
 
 :class:`ServiceClient` is the matching ``urllib`` client used by tests,
-CI smoke checks and scripts.
+CI smoke checks and scripts; it retries connection-refused/reset errors
+with bounded exponential backoff (the async server restarts workers and
+may be mid-listen during deploys), while HTTP errors and timeouts
+surface immediately.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
+import socket
 import threading
 import time
+from collections import deque
+from http.client import responses as _http_reasons
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Callable, Optional
 from urllib import request as urlrequest
-from urllib.error import HTTPError
+from urllib.error import HTTPError, URLError
 
 from repro.api.registry import builtin_rules
 from repro.api.request import AnalysisRequest, analysis_request_from_payload
@@ -45,16 +75,452 @@ from repro.service.jobs import (
     CANCEL_UNKNOWN,
     TERMINAL_STATES,
 )
-from repro.service.scheduler import StoreAwareScheduler
+from repro.service.scheduler import StoreAwareScheduler, _percentile
 from repro.workload.corpus import app_spec_from_request
 
 #: Largest request body a submission may carry (a spec is tiny; anything
 #: bigger is a client error, not a payload to buffer).
 MAX_BODY_BYTES = 64 * 1024
 
+#: Per-read timeouts on the async path: a client that stalls mid-request
+#: (or goes quiet between keep-alive requests) must not pin a connection
+#: handler forever.
+IO_TIMEOUT_SECONDS = 30.0
+
+#: How often the lag monitor samples the event loop's scheduling delay.
+LAG_SAMPLE_INTERVAL = 0.05
+
+
+class ServiceAPI:
+    """The transport-agnostic request router over one scheduler.
+
+    ``handle`` maps ``(method, path, body)`` to
+    ``(status, json_payload, close_connection)`` — both HTTP front ends
+    delegate here, so validation, error shapes and the draining
+    lifecycle are defined exactly once.  ``extra_stats`` (when given)
+    contributes the front end's own health under ``/v1/stats``'s
+    ``server`` key.
+    """
+
+    def __init__(
+        self,
+        scheduler: StoreAwareScheduler,
+        extra_stats: Optional[Callable[[], dict]] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.extra_stats = extra_stats
+        #: While True (graceful shutdown in progress) submissions are
+        #: rejected with 503; reads and cancels keep working so clients
+        #: can collect results from the drain.
+        self.draining = False
+
+    # ------------------------------------------------------------------
+    def handle(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> tuple[int, dict, bool]:
+        """Route one request; returns ``(status, payload, close)``.
+
+        ``close`` asks the transport to drop the connection after
+        responding — set on every error so a keep-alive client never
+        parses leftover bytes as its next response.
+        """
+        normalized = path.rstrip("/") or "/"
+        if method == "GET":
+            return self._get(normalized)
+        if method == "POST":
+            return self._post(normalized, body)
+        if method == "DELETE":
+            return self._delete(normalized)
+        return 501, {"error": f"unsupported method {method!r}"}, True
+
+    # ------------------------------------------------------------------
+    def _get(self, path: str) -> tuple[int, dict, bool]:
+        scheduler = self.scheduler
+        if path == "/healthz":
+            return 200, {"ok": True}, False
+        if path == "/v1/stats":
+            payload = scheduler.stats()
+            payload["server"] = (
+                self.extra_stats() if self.extra_stats is not None else None
+            )
+            return 200, payload, False
+        if path == "/v1/jobs":
+            return 200, {"jobs": scheduler.queue.snapshots()}, False
+        if path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/"):]
+            snapshot = scheduler.queue.snapshot(job_id)
+            if snapshot is None:
+                return 404, {"error": f"unknown or evicted job {job_id!r}"}, True
+            return 200, snapshot, False
+        return 404, {"error": f"no such endpoint {path!r}"}, True
+
+    def _post(
+        self, path: str, body: Optional[bytes]
+    ) -> tuple[int, dict, bool]:
+        if path != "/v1/jobs":
+            return 404, {"error": f"no such endpoint {path!r}"}, True
+        if self.draining:
+            return (
+                503,
+                {"error": "service is draining; not accepting submissions"},
+                True,
+            )
+        if not body or len(body) > MAX_BODY_BYTES:
+            return (
+                400,
+                {"error": "submission body required (a small JSON object)"},
+                True,
+            )
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return 400, {"error": "submission body is not valid JSON"}, True
+        scheduler = self.scheduler
+        try:
+            spec = app_spec_from_request(payload)
+            request = analysis_request_from_payload(
+                payload,
+                known_rules=self._known_rules(),
+                # Overrides layer onto the *service's* configuration, so
+                # a body naming only e.g. max_frames keeps the
+                # operator's rule selection.
+                defaults=AnalysisRequest.from_config(scheduler.config),
+            )
+        except ValueError as exc:
+            return 400, {"error": str(exc)}, True
+        try:
+            job = scheduler.submit(spec, request=request)
+        except RuntimeError as exc:  # shut down mid-flight
+            return 503, {"error": str(exc)}, True
+        # A fast-lane job can finish — and, under a tiny retention
+        # bound, even be evicted — before this snapshot; the job record
+        # itself is always a valid response body.
+        snapshot = scheduler.queue.snapshot(job.id)
+        return 202, snapshot if snapshot is not None else job.as_dict(), False
+
+    def _delete(self, path: str) -> tuple[int, dict, bool]:
+        if not path.startswith("/v1/jobs/"):
+            return 404, {"error": f"no such endpoint {path!r}"}, True
+        job_id = path[len("/v1/jobs/"):]
+        job, disposition = self.scheduler.cancel(job_id)
+        if disposition == CANCEL_UNKNOWN:
+            return 404, {"error": f"unknown or evicted job {job_id!r}"}, True
+        if disposition == CANCEL_TERMINAL:
+            return 409, {"error": f"job {job_id} already {job.state}"}, True
+        if disposition == CANCEL_CONFLICT:
+            return (
+                409,
+                {
+                    "error": (
+                        f"job {job_id} is shared by coalesced submissions; "
+                        f"cancel those followers instead"
+                    )
+                },
+                True,
+            )
+        # cancelled now, or cancelling while the worker is reaped
+        snapshot = self.scheduler.queue.snapshot(job_id)
+        return 200, snapshot if snapshot is not None else job.as_dict(), False
+
+    def _known_rules(self) -> tuple[str, ...]:
+        """The rule ids submissions may target on this service."""
+        if self.scheduler.registry is not None:
+            return self.scheduler.registry.rules
+        return builtin_rules()
+
+
+class AnalysisServer:
+    """A running analysis service: scheduler + asyncio HTTP front end.
+
+    ``port=0`` binds an ephemeral port; read the real one from
+    :attr:`address` — the listening socket is bound eagerly in the
+    constructor, so the address is authoritative before :meth:`start`.
+    The event loop runs on a daemon thread, so ``serve_forever``
+    semantics stay with the caller (the CLI blocks on :meth:`join`,
+    tests just use the context manager).
+
+    Request handling is non-blocking: coroutines own the sockets
+    (parsing, keep-alive, slow-client timeouts) and every parsed
+    request is dispatched to :class:`ServiceAPI` on the default
+    executor, so a slow store probe never stalls other connections.
+    """
+
+    def __init__(
+        self,
+        scheduler: StoreAwareScheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        """Bind the listener (not yet serving) over ``scheduler``."""
+        self.scheduler = scheduler
+        self.api = ServiceAPI(scheduler, extra_stats=self._server_stats)
+        self._sock = socket.create_server((host, port), backlog=128)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        #: Recent event-loop scheduling delays (seconds over the
+        #: monitor's intended sleep), for ``stats()["server"]``.
+        self._lag_samples: deque = deque(maxlen=512)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — authoritative even for ``port=0``."""
+        name = self._sock.getsockname()
+        return name[0], name[1]
+
+    # ------------------------------------------------------------------
+    def start(self) -> "AnalysisServer":
+        """Start serving on a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._started.clear()
+        self._startup_error = None
+        self._thread = threading.Thread(
+            target=self._run_loop, name="backdroid-asyncio", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            self._thread.join()
+            self._thread = None
+            raise self._startup_error
+        return self
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self._serve())
+        finally:
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                asyncio.set_event_loop(None)
+                loop.close()
+
+    async def _serve(self) -> None:
+        self._stop = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._handle_connection, sock=self._sock
+            )
+        except Exception as exc:  # bind/registration failure
+            self._startup_error = exc
+            self._started.set()
+            return
+        lag_task = asyncio.ensure_future(self._monitor_loop_lag())
+        self._started.set()
+        try:
+            await self._stop.wait()
+        finally:
+            lag_task.cancel()
+            server.close()
+            await server.wait_closed()
+            current = asyncio.current_task()
+            pending = [t for t in asyncio.all_tasks() if t is not current]
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        """One client connection: parse, dispatch, respond, keep alive."""
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    request_line = await asyncio.wait_for(
+                        reader.readline(), timeout=IO_TIMEOUT_SECONDS
+                    )
+                except (asyncio.TimeoutError, ConnectionError):
+                    return
+                if not request_line:
+                    return  # client closed the connection
+                if not request_line.strip():
+                    continue  # stray CRLF between pipelined requests
+                parts = request_line.decode("latin-1", "replace").split()
+                if len(parts) != 3:
+                    await self._respond(
+                        writer, 400, {"error": "malformed request line"},
+                        close=True,
+                    )
+                    return
+                method, target, version = parts
+                headers = await self._read_headers(reader)
+                if headers is None:
+                    return
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    await self._respond(
+                        writer, 400, {"error": "bad Content-Length"},
+                        close=True,
+                    )
+                    return
+                if length < 0 or length > MAX_BODY_BYTES:
+                    # Refuse without buffering: the unread body makes
+                    # the connection unusable, so it is dropped.
+                    await self._respond(
+                        writer,
+                        400,
+                        {
+                            "error": (
+                                "submission body required "
+                                "(a small JSON object)"
+                            )
+                        },
+                        close=True,
+                    )
+                    return
+                body = b""
+                if length:
+                    try:
+                        body = await asyncio.wait_for(
+                            reader.readexactly(length),
+                            timeout=IO_TIMEOUT_SECONDS,
+                        )
+                    except (
+                        asyncio.TimeoutError,
+                        asyncio.IncompleteReadError,
+                        ConnectionError,
+                    ):
+                        return
+                # Route off-loop: handlers take queue locks and probe
+                # the store; neither may stall other connections.
+                status, payload, close = await loop.run_in_executor(
+                    None, self.api.handle, method, target, body
+                )
+                close = (
+                    close
+                    or version == "HTTP/1.0"
+                    or headers.get("connection", "").lower() == "close"
+                )
+                ok = await self._respond(writer, status, payload, close=close)
+                if close or not ok:
+                    return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_headers(reader) -> Optional[dict]:
+        """Header block -> lowercase dict, or None on timeout/EOF."""
+        headers: dict[str, str] = {}
+        while True:
+            try:
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=IO_TIMEOUT_SECONDS
+                )
+            except (asyncio.TimeoutError, ConnectionError):
+                return None
+            if not line:
+                return None
+            if line in (b"\r\n", b"\n"):
+                return headers
+            name, sep, value = line.decode("latin-1", "replace").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+
+    @staticmethod
+    async def _respond(writer, status: int, payload: dict, close: bool) -> bool:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_http_reasons.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+        )
+        if close:
+            head += "Connection: close\r\n"
+        head += "\r\n"
+        try:
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+            return True
+        except (ConnectionError, OSError):
+            return False
+
+    # ------------------------------------------------------------------
+    async def _monitor_loop_lag(self) -> None:
+        """Sample how late the loop wakes a timed sleep (GIL pressure).
+
+        On the threaded stack this is the number that blows up under
+        cold load; with the process cold lane it stays flat — the
+        metric that makes the contention fix observable in production,
+        not just in benchmarks.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            before = loop.time()
+            await asyncio.sleep(LAG_SAMPLE_INTERVAL)
+            lag = loop.time() - before - LAG_SAMPLE_INTERVAL
+            self._lag_samples.append(max(0.0, lag))
+
+    def _server_stats(self) -> dict:
+        samples = sorted(self._lag_samples)
+        return {
+            "loop": "asyncio",
+            "draining": self.api.draining,
+            "event_loop_lag_seconds": {
+                "p50": _percentile(samples, 0.50),
+                "p99": _percentile(samples, 0.99),
+                "max": samples[-1] if samples else 0.0,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    def join(self) -> None:
+        """Block the caller until the event-loop thread exits."""
+        if self._thread is not None:
+            self._thread.join()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop accepting submissions and wait for in-flight jobs.
+
+        Sets the 503-on-submit draining flag (reads and cancels keep
+        working), then blocks until every queued/running job reaches a
+        terminal state or *timeout* elapses.  Returns True when the
+        queue went idle — the caller then shuts down with
+        ``drain=True``; on False, ``drain=False`` abandons the stragglers.
+        """
+        self.api.draining = True
+        return self.scheduler.queue.wait_idle(timeout)
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the listener, then (with ``drain``) finish queued jobs.
+
+        Ordering matters: closing the listener first guarantees no new
+        submissions race the drain, so every job accepted before
+        shutdown reaches a terminal state.  Safe on a never-started
+        server (only the bound socket is released).
+        """
+        if self._thread is not None:
+            loop, stop = self._loop, self._stop
+            if loop is not None and stop is not None:
+                try:
+                    loop.call_soon_threadsafe(stop.set)
+                except RuntimeError:
+                    pass  # loop already closed
+            self._thread.join()
+            self._thread = None
+        else:
+            self._sock.close()
+        self.scheduler.shutdown(wait=drain)
+
+    def __enter__(self) -> "AnalysisServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(drain=True)
+
 
 class _ServiceHandler(BaseHTTPRequestHandler):
-    """Routes requests to the scheduler attached to the server."""
+    """Thin ``http.server`` adapter over :class:`ServiceAPI`."""
 
     server: "_ServiceHTTPServer"
     protocol_version = "HTTP/1.1"
@@ -64,11 +530,12 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     #: dropped connection.
     timeout = 30
 
-    # ------------------------------------------------------------------
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         """Silence per-request stderr chatter (see ``/v1/stats``)."""
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send(self, status: int, payload: dict, close: bool) -> None:
+        if close:
+            self.close_connection = True
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -76,122 +543,33 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        # An errored request may leave an unread body on the socket
-        # (oversized POST, wrong path); dropping the connection keeps a
-        # keep-alive client from parsing those bytes as its next request.
-        self.close_connection = True
-        self._send_json(status, {"error": message})
+    def _route(self, method: str, body: Optional[bytes] = None) -> None:
+        status, payload, close = self.server.api.handle(
+            method, self.path, body
+        )
+        self._send(status, payload, close)
 
-    # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        """Serve ``/healthz``, ``/v1/stats``, ``/v1/jobs[/<id>]``.
-
-        Returns 200 with a JSON body, or 404 for unknown paths/jobs.
-        """
-        scheduler = self.server.scheduler
-        path = self.path.rstrip("/") or "/"
-        if path == "/healthz":
-            self._send_json(200, {"ok": True})
-        elif path == "/v1/stats":
-            self._send_json(200, scheduler.stats())
-        elif path == "/v1/jobs":
-            self._send_json(200, {"jobs": scheduler.queue.snapshots()})
-        elif path.startswith("/v1/jobs/"):
-            job_id = path[len("/v1/jobs/"):]
-            snapshot = scheduler.queue.snapshot(job_id)
-            if snapshot is None:
-                self._error(404, f"unknown or evicted job {job_id!r}")
-            else:
-                self._send_json(200, snapshot)
-        else:
-            self._error(404, f"no such endpoint {self.path!r}")
-
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        """``POST /v1/jobs``: validate, submit, answer 202 + record.
-
-        The body is a small JSON object naming the app spec plus
-        optional per-job overrides (``rules``/``backend``/
-        ``max_frames``/``hierarchy``).  400 on malformed bodies or
-        unknown rules, 503 when the scheduler is shut down.
-        """
-        if self.path.rstrip("/") != "/v1/jobs":
-            self._error(404, f"no such endpoint {self.path!r}")
-            return
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-        except ValueError:
-            self._error(400, "bad Content-Length")
-            return
-        if length <= 0 or length > MAX_BODY_BYTES:
-            self._error(400, "submission body required (a small JSON object)")
-            return
-        try:
-            payload = json.loads(self.rfile.read(length).decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            self._error(400, "submission body is not valid JSON")
-            return
-        scheduler = self.server.scheduler
-        try:
-            spec = app_spec_from_request(payload)
-            request = analysis_request_from_payload(
-                payload,
-                known_rules=self._known_rules(scheduler),
-                # Overrides layer onto the *service's* configuration, so
-                # a body naming only e.g. max_frames keeps the operator's
-                # rule selection.
-                defaults=AnalysisRequest.from_config(scheduler.config),
-            )
-        except ValueError as exc:
-            self._error(400, str(exc))
-            return
-        try:
-            job = scheduler.submit(spec, request=request)
-        except RuntimeError as exc:  # shut down mid-flight
-            self._error(503, str(exc))
-            return
-        # A fast-lane job can finish — and, under a tiny retention
-        # bound, even be evicted — before this snapshot; the job record
-        # itself is always a valid response body.
-        snapshot = self.server.scheduler.queue.snapshot(job.id)
-        self._send_json(202, snapshot if snapshot is not None else job.as_dict())
+        self._route("GET")
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
-        """``DELETE /v1/jobs/<id>``: cancel one job.
+        self._route("DELETE")
 
-        200 with the job snapshot on success (queued jobs cancel
-        immediately; running ones report ``cancelling``), 404 for
-        unknown ids, 409 when terminal or shared by coalesced
-        submissions.
-        """
-        path = self.path.rstrip("/")
-        if not path.startswith("/v1/jobs/"):
-            self._error(404, f"no such endpoint {self.path!r}")
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            length = int(self.headers.get("Content-Length", "0") or "0")
+        except ValueError:
+            self._send(400, {"error": "bad Content-Length"}, close=True)
             return
-        job_id = path[len("/v1/jobs/"):]
-        job, disposition = self.server.scheduler.cancel(job_id)
-        if disposition == CANCEL_UNKNOWN:
-            self._error(404, f"unknown or evicted job {job_id!r}")
-        elif disposition == CANCEL_TERMINAL:
-            self._error(409, f"job {job_id} already {job.state}")
-        elif disposition == CANCEL_CONFLICT:
-            self._error(
-                409,
-                f"job {job_id} is shared by coalesced submissions; "
-                f"cancel those followers instead",
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._send(
+                400,
+                {"error": "submission body required (a small JSON object)"},
+                close=True,
             )
-        else:  # cancelled now, or cancelling while the worker finishes
-            snapshot = self.server.scheduler.queue.snapshot(job_id)
-            self._send_json(
-                200, snapshot if snapshot is not None else job.as_dict()
-            )
-
-    @staticmethod
-    def _known_rules(scheduler: StoreAwareScheduler) -> tuple[str, ...]:
-        """The rule ids submissions may target on this service."""
-        if scheduler.registry is not None:
-            return scheduler.registry.rules
-        return builtin_rules()
+            return
+        body = self.rfile.read(length) if length else b""
+        self._route("POST", body)
 
 
 class _ServiceHTTPServer(ThreadingHTTPServer):
@@ -199,19 +577,20 @@ class _ServiceHTTPServer(ThreadingHTTPServer):
     #: Service restarts must not wait out TIME_WAIT sockets.
     allow_reuse_address = True
 
-    def __init__(self, address, scheduler: StoreAwareScheduler) -> None:
-        """Bind ``address`` and attach the scheduler handlers route to."""
+    def __init__(self, address, api: ServiceAPI) -> None:
+        """Bind ``address`` and attach the API the handlers route to."""
         super().__init__(address, _ServiceHandler)
-        self.scheduler = scheduler
+        self.api = api
 
 
-class AnalysisServer:
-    """A running analysis service: scheduler + HTTP listener.
+class ThreadedAnalysisServer:
+    """The thread-per-connection front end (comparison baseline).
 
-    ``port=0`` binds an ephemeral port; read the real one from
-    :attr:`address`.  The listener runs on a daemon thread so
-    ``serve_forever`` semantics stay with the caller (the CLI blocks on
-    :meth:`join`, tests just use the context manager).
+    Same :class:`ServiceAPI`, endpoints and lifecycle as
+    :class:`AnalysisServer`, served by ``ThreadingHTTPServer`` — the
+    pre-asyncio stack, kept for the sustained-traffic benchmark's
+    threaded-vs-async comparison and as a fallback front end
+    (``backdroid serve --loop threaded``).
     """
 
     def __init__(
@@ -220,12 +599,9 @@ class AnalysisServer:
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
-        """Bind the listener (not yet serving) over ``scheduler``.
-
-        ``port=0`` picks an ephemeral port; see :attr:`address`.
-        """
         self.scheduler = scheduler
-        self._http = _ServiceHTTPServer((host, port), scheduler)
+        self.api = ServiceAPI(scheduler, extra_stats=self._server_stats)
+        self._http = _ServiceHTTPServer((host, port), self.api)
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -233,8 +609,17 @@ class AnalysisServer:
         """The bound (host, port) — authoritative even for ``port=0``."""
         return self._http.server_address[0], self._http.server_address[1]
 
+    def _server_stats(self) -> dict:
+        return {
+            "loop": "threaded",
+            "draining": self.api.draining,
+            #: No event loop to lag — the analogous pressure shows up as
+            #: per-request latency instead (the benchmark measures it).
+            "event_loop_lag_seconds": None,
+        }
+
     # ------------------------------------------------------------------
-    def start(self) -> "AnalysisServer":
+    def start(self) -> "ThreadedAnalysisServer":
         """Start serving on a daemon thread; returns self for chaining."""
         if self._thread is not None:
             raise RuntimeError("server already started")
@@ -251,14 +636,14 @@ class AnalysisServer:
         if self._thread is not None:
             self._thread.join()
 
-    def shutdown(self, drain: bool = True) -> None:
-        """Stop the listener, then (with ``drain``) finish queued jobs.
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """503 new submissions, wait for in-flight jobs (see
+        :meth:`AnalysisServer.drain`)."""
+        self.api.draining = True
+        return self.scheduler.queue.wait_idle(timeout)
 
-        Ordering matters: closing the listener first guarantees no new
-        submissions race the drain, so every job accepted before
-        shutdown reaches a terminal state.  Safe on a never-started
-        server (only the bound socket is released).
-        """
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the listener, then (with ``drain``) finish queued jobs."""
         if self._thread is not None:
             self._http.shutdown()
         self._http.server_close()
@@ -267,7 +652,7 @@ class AnalysisServer:
             self._thread = None
         self.scheduler.shutdown(wait=drain)
 
-    def __enter__(self) -> "AnalysisServer":
+    def __enter__(self) -> "ThreadedAnalysisServer":
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
@@ -275,14 +660,49 @@ class AnalysisServer:
 
 
 class ServiceClient:
-    """Minimal ``urllib`` client for the service API (tests, CI, scripts)."""
+    """Minimal ``urllib`` client for the service API (tests, CI, scripts).
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+    Every request carries ``timeout``; connection-establishment
+    failures (refused/reset — a restarting or still-binding server) are
+    retried up to ``retries`` times with exponential backoff starting
+    at ``backoff_seconds``.  HTTP error statuses and read timeouts are
+    *not* retried — they mean the server answered (or accepted) the
+    request, and submissions are not idempotent.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        retries: int = 2,
+        backoff_seconds: float = 0.1,
+    ) -> None:
         """Point the client at ``host:port`` with one request timeout."""
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.base_url = f"http://{host}:{port}"
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_seconds = backoff_seconds
+        #: Connection-error retries performed over this client's
+        #: lifetime (observability for tests and scripts).
+        self.retries_used = 0
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _is_connection_error(exc: Exception) -> bool:
+        """True for errors where the request never reached the server."""
+        if isinstance(exc, ConnectionError):
+            return True
+        if isinstance(exc, URLError):
+            # Timeouts (socket.timeout is TimeoutError) mean the server
+            # may have the request — never resubmit those.
+            return isinstance(
+                exc.reason, ConnectionError
+            ) and not isinstance(exc.reason, TimeoutError)
+        return False
+
     def _request(
         self, method: str, path: str, payload: Optional[dict] = None
     ) -> tuple[int, dict]:
@@ -294,15 +714,23 @@ class ServiceClient:
         req = urlrequest.Request(
             self.base_url + path, data=data, headers=headers, method=method
         )
-        try:
-            with urlrequest.urlopen(req, timeout=self.timeout) as response:
-                return response.status, json.loads(response.read() or b"{}")
-        except HTTPError as exc:
-            body = exc.read()
+        attempt = 0
+        while True:
             try:
-                return exc.code, json.loads(body or b"{}")
-            except json.JSONDecodeError:
-                return exc.code, {"error": body.decode("utf-8", "replace")}
+                with urlrequest.urlopen(req, timeout=self.timeout) as response:
+                    return response.status, json.loads(response.read() or b"{}")
+            except HTTPError as exc:
+                body = exc.read()
+                try:
+                    return exc.code, json.loads(body or b"{}")
+                except json.JSONDecodeError:
+                    return exc.code, {"error": body.decode("utf-8", "replace")}
+            except (URLError, ConnectionError) as exc:
+                if attempt >= self.retries or not self._is_connection_error(exc):
+                    raise
+                time.sleep(self.backoff_seconds * (2 ** attempt))
+                attempt += 1
+                self.retries_used += 1
 
     # ------------------------------------------------------------------
     def health(self) -> dict:

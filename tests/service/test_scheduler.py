@@ -426,3 +426,195 @@ class TestCancellation:
         lanes = scheduler.stats()["lanes"]
         assert all(lane["depth"] == 0 for lane in lanes.values())
         assert sum(lane["cancelled"] for lane in lanes.values()) == 3
+
+
+class TestProcessColdLane:
+    """The out-of-process cold lane: PID isolation, cross-boundary
+    cancellation, worker-death containment."""
+
+    def test_cold_runs_out_of_process_warm_stays_in_process(self, tmp_path):
+        import os
+
+        config = _config(tmp_path, mode="index")
+        _warm(config, 0)
+        scheduler = StoreAwareScheduler(
+            config, workers=1, fast_lane_workers=1, cold_executor="process"
+        )
+        try:
+            warm = scheduler.submit(benchmark_app_spec(0, scale=SCALE))
+            cold = scheduler.submit(benchmark_app_spec(1, scale=SCALE))
+            warm_done = scheduler.wait(warm.id, timeout=60)
+            cold_done = scheduler.wait(cold.id, timeout=60)
+            # The acceptance bar: cold analyses execute in a worker
+            # process, warm restores in the service interpreter —
+            # and never rebuild an index.
+            assert cold_done.worker_pid is not None
+            assert cold_done.worker_pid != os.getpid()
+            assert warm_done.worker_pid == os.getpid()
+            assert warm_done.result["index_restored"] is True
+            assert warm_done.result["index_build_seconds"] == 0.0
+            assert cold_done.state == "done"
+            assert cold_done.result["lane"] == "main"
+            stats = scheduler.stats()
+            assert stats["lanes"]["main"]["kind"] == "process"
+            assert stats["lanes"]["fast"]["kind"] == "in-process"
+            assert stats["cold"]["executor"] == "process"
+            assert cold_done.worker_pid in stats["cold"]["worker_pids"]
+        finally:
+            scheduler.shutdown(wait=True)
+
+    def test_cancel_queued_cold_job_never_reaches_a_worker(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.service.workers import STALL_ENV_VAR
+
+        monkeypatch.setenv(STALL_ENV_VAR, "20")
+        scheduler = StoreAwareScheduler(
+            _config(tmp_path), workers=1, cold_executor="process"
+        )
+        try:
+            blocker = scheduler.submit(benchmark_app_spec(0, scale=SCALE))
+            _wait_for_state(scheduler, blocker.id, "running")
+            queued = scheduler.submit(benchmark_app_spec(1, scale=SCALE))
+            job, disposition = scheduler.cancel(queued.id)
+            assert disposition == "cancelled"
+            assert scheduler.queue.get(queued.id).state == "cancelled"
+            # The blocker dies with the scheduler's hard shutdown; the
+            # cancelled job must not have consumed a worker.
+            assert scheduler.stats()["cold"]["workers_restarted"] == 0
+        finally:
+            scheduler.shutdown(wait=False)
+
+    def test_cancel_running_cold_job_kills_the_worker(
+        self, tmp_path, monkeypatch
+    ):
+        import time
+
+        from repro.service.workers import STALL_ENV_VAR
+
+        monkeypatch.setenv(STALL_ENV_VAR, "30")
+        scheduler = StoreAwareScheduler(
+            _config(tmp_path), workers=1, cold_executor="process"
+        )
+        try:
+            job = scheduler.submit(benchmark_app_spec(0, scale=SCALE))
+            _wait_for_state(scheduler, job.id, "running")
+            before = scheduler.stats()["cold"]["worker_pids"]
+            started = time.monotonic()
+            _, disposition = scheduler.cancel(job.id)
+            assert disposition == "cancelling"
+            done = scheduler.wait(job.id, timeout=15)
+            elapsed = time.monotonic() - started
+            # The worker was terminated: the cancel resolves far inside
+            # the 30s stall, the result is discarded, and a replacement
+            # worker keeps the lane's capacity.
+            assert done.state == "cancelled"
+            assert done.result is None
+            assert elapsed < 10
+            stats = scheduler.stats()
+            assert stats["cold"]["workers_restarted"] == 1
+            assert stats["cold"]["worker_pids"] != before
+            monkeypatch.delenv(STALL_ENV_VAR)
+            after = scheduler.submit(benchmark_app_spec(1, scale=SCALE))
+            assert scheduler.wait(after.id, timeout=60).state == "done"
+        finally:
+            scheduler.shutdown(wait=False)
+
+    def test_cancel_shared_cold_primary_is_still_a_conflict(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.service.workers import STALL_ENV_VAR
+
+        monkeypatch.setenv(STALL_ENV_VAR, "20")
+        scheduler = StoreAwareScheduler(
+            _config(tmp_path), workers=1, cold_executor="process"
+        )
+        try:
+            first = scheduler.submit(benchmark_app_spec(0, scale=SCALE))
+            second = scheduler.submit(benchmark_app_spec(0, scale=SCALE))
+            assert second.coalesced_into == first.id
+            _, disposition = scheduler.cancel(first.id)
+            assert disposition == "conflict"
+            # The follower may detach and cancel alone.
+            _, disposition = scheduler.cancel(second.id)
+            assert disposition == "cancelled"
+        finally:
+            scheduler.shutdown(wait=False)
+
+    def test_worker_death_fails_only_that_job(self, tmp_path, monkeypatch):
+        import os
+        import signal as signal_module
+
+        from repro.service.workers import STALL_ENV_VAR
+
+        monkeypatch.setenv(STALL_ENV_VAR, "30")
+        scheduler = StoreAwareScheduler(
+            _config(tmp_path), workers=1, cold_executor="process"
+        )
+        try:
+            job = scheduler.submit(benchmark_app_spec(0, scale=SCALE))
+            _wait_for_state(scheduler, job.id, "running")
+            (pid,) = scheduler.stats()["cold"]["worker_pids"]
+            os.kill(pid, signal_module.SIGKILL)
+            done = scheduler.wait(job.id, timeout=15)
+            assert done.state == "failed"
+            assert "worker died" in done.error
+            monkeypatch.delenv(STALL_ENV_VAR)
+            # The lane recovered: the next job runs on the replacement.
+            after = scheduler.submit(benchmark_app_spec(1, scale=SCALE))
+            done_after = scheduler.wait(after.id, timeout=60)
+            assert done_after.state == "done"
+            assert done_after.worker_pid not in (None, pid)
+        finally:
+            scheduler.shutdown(wait=False)
+
+    def test_custom_registry_is_rejected_in_process_mode(self, tmp_path):
+        class FakeRegistry:
+            rules = ("custom",)
+
+        with pytest.raises(ValueError, match="registry"):
+            StoreAwareScheduler(
+                _config(tmp_path),
+                workers=1,
+                registry=FakeRegistry(),
+                cold_executor="process",
+            )
+
+    def test_unknown_cold_executor_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="cold_executor"):
+            StoreAwareScheduler(_config(tmp_path), cold_executor="fiber")
+
+
+class TestLaneObservability:
+    def test_lane_stats_report_kind_utilization_and_depth_percentiles(
+        self, tmp_path
+    ):
+        config = _config(tmp_path)
+        with StoreAwareScheduler(config, workers=2) as scheduler:
+            jobs = [
+                scheduler.submit(benchmark_app_spec(i, scale=SCALE))
+                for i in range(3)
+            ]
+            for job in jobs:
+                scheduler.wait(job.id, timeout=60)
+            lane = scheduler.stats()["lanes"]["main"]
+            assert lane["kind"] == "in-process"
+            assert 0.0 <= lane["utilization"] <= 1.0
+            percentiles = lane["depth_percentiles"]
+            assert set(percentiles) == {"p50", "p90", "p99"}
+            # Three submissions were sampled; the deepest observation
+            # bounds the p99.
+            assert percentiles["p99"] >= percentiles["p50"] >= 0.0
+            assert lane["busy"] == 0  # drained
+
+
+def _wait_for_state(scheduler, job_id, state, timeout=15.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = scheduler.queue.get(job_id)
+        if job is not None and job.state == state:
+            return job
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never reached {state!r}")

@@ -266,3 +266,179 @@ class TestShutdownDrain:
         server.shutdown(drain=True)  # stop listening, finish the queue
         states = {scheduler.queue.get(job["id"]).state for job in jobs}
         assert states == {"done"}
+
+
+class TestGracefulDrain:
+    def test_drain_rejects_submissions_but_serves_reads(
+        self, tmp_path, monkeypatch
+    ):
+        import threading
+
+        import repro.service.scheduler as scheduler_module
+
+        release = threading.Event()
+        real = scheduler_module.analyze_spec
+
+        def gated(spec, config=None, **kwargs):
+            release.wait(timeout=30)
+            return real(spec, config, **kwargs)
+
+        monkeypatch.setattr(scheduler_module, "analyze_spec", gated)
+        config = BackDroidConfig(
+            search_backend="indexed", store_dir=str(tmp_path / "store")
+        )
+        scheduler = StoreAwareScheduler(config, workers=1)
+        server = AnalysisServer(scheduler, port=0).start()
+        try:
+            client = ServiceClient(*server.address)
+            accepted = client.submit({"app": "bench:0", "scale": SCALE})
+            # Drain on a helper thread: it blocks until the gated
+            # analysis releases, and flips the 503 flag immediately.
+            drained = []
+            drainer = threading.Thread(
+                target=lambda: drained.append(server.drain(timeout=30))
+            )
+            drainer.start()
+            deadline = __import__("time").monotonic() + 5
+            while not server.api.draining:
+                assert __import__("time").monotonic() < deadline
+            with pytest.raises(ValueError, match="draining"):
+                client.submit({"app": "bench:1", "scale": SCALE})
+            # Reads keep working so clients can collect the drain.
+            assert client.health() == {"ok": True}
+            assert client.job(accepted["id"]) is not None
+            assert client.stats()["server"]["draining"] is True
+            release.set()
+            drainer.join(timeout=30)
+            assert drained == [True]
+            assert client.wait(accepted["id"], timeout=30)["state"] == "done"
+        finally:
+            release.set()
+            server.shutdown(drain=True)
+
+    def test_drain_timeout_reports_failure(self, tmp_path, monkeypatch):
+        import threading
+
+        import repro.service.scheduler as scheduler_module
+
+        release = threading.Event()
+        real = scheduler_module.analyze_spec
+
+        def gated(spec, config=None, **kwargs):
+            release.wait(timeout=30)
+            return real(spec, config, **kwargs)
+
+        monkeypatch.setattr(scheduler_module, "analyze_spec", gated)
+        config = BackDroidConfig(
+            search_backend="indexed", store_dir=str(tmp_path / "store")
+        )
+        scheduler = StoreAwareScheduler(config, workers=1)
+        server = AnalysisServer(scheduler, port=0).start()
+        try:
+            client = ServiceClient(*server.address)
+            client.submit({"app": "bench:0", "scale": SCALE})
+            assert server.drain(timeout=0.2) is False
+        finally:
+            release.set()
+            server.shutdown(drain=True)
+
+
+class TestServerStats:
+    def test_stats_report_front_end_health(self, service):
+        import time
+
+        time.sleep(0.15)  # let the lag monitor collect a few samples
+        stats = service.stats()
+        server_stats = stats["server"]
+        assert server_stats["loop"] == "asyncio"
+        assert server_stats["draining"] is False
+        lag = server_stats["event_loop_lag_seconds"]
+        assert set(lag) == {"p50", "p99", "max"}
+        assert 0.0 <= lag["p50"] <= lag["max"]
+        # Per-lane pool observability rides the same payload.
+        for lane in stats["lanes"].values():
+            assert lane["kind"] == "in-process"
+            assert "utilization" in lane and "depth_percentiles" in lane
+
+
+class TestClientRetries:
+    def test_connection_refused_is_retried_then_raised(self, monkeypatch):
+        import socket
+        import urllib.error
+
+        import repro.service.server as server_module
+
+        # A bound-but-unaccepting port: connections are refused after
+        # close, exercising the retry path deterministically.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        sleeps = []
+        monkeypatch.setattr(
+            server_module.time, "sleep", lambda s: sleeps.append(s)
+        )
+        client = ServiceClient(
+            "127.0.0.1", port, timeout=2, retries=2, backoff_seconds=0.05
+        )
+        with pytest.raises((urllib.error.URLError, ConnectionError)):
+            client.health()
+        assert client.retries_used == 2
+        # Exponential backoff: each wait doubles.
+        assert sleeps == [0.05, 0.1]
+
+    def test_http_errors_are_not_retried(self, service):
+        before = service.retries_used
+        with pytest.raises(ValueError):
+            service.submit({})  # 400: a client error, never a retry
+        assert service.retries_used == before
+
+    def test_retry_recovers_when_the_server_comes_back(
+        self, service, monkeypatch
+    ):
+        import urllib.error
+
+        import repro.service.server as server_module
+
+        real_urlopen = server_module.urlrequest.urlopen
+        failures = {"left": 2}
+
+        def flaky(req, timeout=None):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise urllib.error.URLError(ConnectionRefusedError(111))
+            return real_urlopen(req, timeout=timeout)
+
+        monkeypatch.setattr(server_module.urlrequest, "urlopen", flaky)
+        monkeypatch.setattr(server_module.time, "sleep", lambda s: None)
+        assert service.health() == {"ok": True}
+        assert service.retries_used == 2
+
+
+class TestThreadedBaselineParity:
+    def test_threaded_server_serves_the_same_api(self, tmp_path):
+        from repro.service import ThreadedAnalysisServer
+
+        config = BackDroidConfig(
+            search_backend="indexed",
+            store_dir=str(tmp_path / "store"),
+            store_mode="full",
+        )
+        outcome = analyze_spec(benchmark_app_spec(0, scale=SCALE), config)
+        assert outcome.ok, outcome.error
+        scheduler = StoreAwareScheduler(config, workers=2, fast_lane_workers=1)
+        with ThreadedAnalysisServer(scheduler, port=0) as server:
+            client = ServiceClient(*server.address)
+            assert client.health() == {"ok": True}
+            job = client.submit({"app": "bench:0", "scale": SCALE})
+            done = client.wait(job["id"], timeout=60)
+            assert done["state"] == "done"
+            assert done["result"]["store_hit"] is True
+            stats = client.stats()
+            assert stats["server"]["loop"] == "threaded"
+            assert stats["server"]["event_loop_lag_seconds"] is None
+            # Draining works identically on the baseline stack.
+            drained = server.drain(timeout=30)
+            assert drained is True
+            with pytest.raises(ValueError, match="draining"):
+                client.submit({"app": "bench:1", "scale": SCALE})
