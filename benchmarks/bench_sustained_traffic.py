@@ -38,7 +38,11 @@ async stack; the threaded run is the comparison baseline):
   probes are stat-only, so enqueueing must never parse shard payloads;
 * warm p99 service time under the saturating cold load is **>= 2x
   better** on the async stack than the threaded baseline — the
-  GIL-isolation payoff, measured end to end.
+  GIL-isolation payoff, measured end to end;
+* **telemetry overhead**: a third async run with tracing and the
+  metrics registry disabled; warm p99 service time with telemetry ON
+  must stay within 5% (plus a 1ms timer-resolution grace) of the
+  disabled run.
 
 Usage::
 
@@ -87,6 +91,13 @@ RESTORE_SPEEDUP_BAR = 2.0
 INGEST_BAR = 100.0
 #: Warm-p99 isolation bar: async + process cold lane vs threaded + GIL.
 WARM_ISOLATION_BAR = 2.0
+#: Telemetry overhead bar: warm p99 service time with tracing+metrics
+#: ON must land within this factor of the disabled run.
+TELEMETRY_OVERHEAD_BAR = 1.05
+#: Absolute grace on the overhead bar (seconds): at smoke scale the
+#: p99 window is a handful of millisecond-sized samples, where timer
+#: resolution and scheduler jitter alone exceed 5% of the value.
+TELEMETRY_OVERHEAD_GRACE_S = 0.001
 
 
 # ======================================================================
@@ -168,7 +179,9 @@ STACKS = {
 }
 
 
-def run_sustained_traffic(root: str, smoke: bool, stack: str) -> dict:
+def run_sustained_traffic(
+    root: str, smoke: bool, stack: str, telemetry: bool = True
+) -> dict:
     corpus = 3 if smoke else 8
     n_jobs = 30 if smoke else 600
     cold_every = 5  # one cold submission per five warm ones
@@ -178,9 +191,11 @@ def run_sustained_traffic(root: str, smoke: bool, stack: str) -> dict:
     # stay busy for the whole warm stream.
     cold_scale = 0.3 if smoke else 0.4
     server_cls, cold_executor = STACKS[stack]
-    # Per-stack store: cold submissions warm the store as they finish,
-    # so a shared directory would hand the second run a warmer corpus.
-    store_dir = str(Path(root) / f"service-store-{stack}")
+    # Per-variant store: cold submissions warm the store as they
+    # finish, so a shared directory would hand a later run a warmer
+    # corpus.
+    variant = stack if telemetry else f"{stack}-notelemetry"
+    store_dir = str(Path(root) / f"service-store-{variant}")
     config = BackDroidConfig(
         search_backend="indexed", store_dir=store_dir, store_mode="full"
     )
@@ -194,6 +209,8 @@ def run_sustained_traffic(root: str, smoke: bool, stack: str) -> dict:
         fast_lane_workers=1,
         max_finished_jobs=n_jobs + 16,
         cold_executor=cold_executor,
+        tracing_enabled=telemetry,
+        enable_metrics=telemetry,
     )
     with server_cls(scheduler, port=0) as server:
         host, port = server.address
@@ -296,6 +313,12 @@ def main(argv=None) -> int:
         restore = run_restore_comparison(root, args.smoke)
         threaded = run_sustained_traffic(root, args.smoke, "threaded")
         traffic = run_sustained_traffic(root, args.smoke, "async")
+        # Telemetry overhead: the same async stack with tracing and
+        # the metrics registry disabled.  The default-on run above is
+        # the "on" sample.
+        no_telemetry = run_sustained_traffic(
+            root, args.smoke, "async", telemetry=False
+        )
 
     isolation = (
         threaded["p99_warm_service"] / traffic["p99_warm_service"]
@@ -332,6 +355,9 @@ def main(argv=None) -> int:
         ["event-loop lag p99 (async)",
          f"{traffic['loop_lag_p99'] * 1e3:.2f}ms"
          if traffic["loop_lag_p99"] is not None else "n/a"],
+        ["warm service p99, telemetry on / off",
+         f"{traffic['p99_warm_service'] * 1e3:.1f}ms / "
+         f"{no_telemetry['p99_warm_service'] * 1e3:.1f}ms"],
     ]
     emit_table(
         "sustained_traffic",
@@ -376,6 +402,16 @@ def main(argv=None) -> int:
             f"({threaded['p99_warm_service'] * 1e3:.1f}ms -> "
             f"{traffic['p99_warm_service'] * 1e3:.1f}ms; "
             f"bar: >= {WARM_ISOLATION_BAR:.1f}x)",
+        ),
+        (
+            traffic["p99_warm_service"]
+            <= no_telemetry["p99_warm_service"] * TELEMETRY_OVERHEAD_BAR
+            + TELEMETRY_OVERHEAD_GRACE_S,
+            f"telemetry overhead: warm p99 service "
+            f"{traffic['p99_warm_service'] * 1e3:.1f}ms on vs "
+            f"{no_telemetry['p99_warm_service'] * 1e3:.1f}ms off "
+            f"(bar: <= {(TELEMETRY_OVERHEAD_BAR - 1) * 100:.0f}% + "
+            f"{TELEMETRY_OVERHEAD_GRACE_S * 1e3:.0f}ms grace)",
         ),
     ]
     failures = 0

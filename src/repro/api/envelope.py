@@ -32,8 +32,10 @@ from repro.search.loops import LoopKind
 #: guessing.  v2 added ``shards_patched`` to backend stats and to batch
 #: outcome payloads (the store's warm-partial restore counter); v3
 #: added the lazy-restore observables (``materialized_groups``,
-#: ``bytes_mapped``, ``bytes_decoded``) to both.
-SCHEMA_VERSION = 3
+#: ``bytes_mapped``, ``bytes_decoded``) to both; v4 added the optional
+#: ``trace`` section (the telemetry span tree recorded when tracing is
+#: enabled — ``null`` otherwise).
+SCHEMA_VERSION = 4
 
 #: Envelope self-identification (a bare dict in a log stays traceable).
 ENVELOPE_KIND = "backdroid-report"
@@ -203,6 +205,10 @@ class ReportEnvelope:
     report: AnalysisReport
     request: Optional["AnalysisRequest"] = None  # noqa: F821
     schema_version: int = SCHEMA_VERSION
+    #: Recorded telemetry, when the producer ran with tracing enabled:
+    #: ``{"trace_id": ..., "spans": [span dicts]}``.  Observability
+    #: data, not analysis output — excluded from text rendering.
+    trace: Optional[dict] = None
 
     # -- convenience passthroughs --------------------------------------
     @property
@@ -230,6 +236,7 @@ class ReportEnvelope:
                 self.request.as_dict() if self.request is not None else None
             ),
             "report": report_to_dict(self.report),
+            "trace": self.trace,
         }
 
     @classmethod
@@ -263,6 +270,7 @@ class ReportEnvelope:
                 else None
             ),
             schema_version=version,
+            trace=payload.get("trace"),
         )
 
     # ------------------------------------------------------------------

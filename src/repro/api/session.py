@@ -50,6 +50,7 @@ from repro.search.caching import SearchCommandCache, SinkReachabilityCache
 from repro.search.engine import CallerResolutionEngine
 from repro.search.loops import LoopDetector
 from repro.store import ArtifactStore
+from repro.telemetry import tracing
 
 
 def _index_materialized(stats: dict) -> bool:
@@ -200,8 +201,13 @@ class AnalysisSession:
         """
         request = request if request is not None else AnalysisRequest()
         started = time.perf_counter()
-        backend = self.backend_for(request.backend)
-        pre_stats = backend.describe()
+        with tracing.span("index.prepare") as prepare_span:
+            backend = self.backend_for(request.backend)
+            pre_stats = backend.describe()
+            prepare_span.set_attrs(
+                backend=backend.name,
+                prebuilt=_index_materialized(pre_stats),
+            )
         prebuilt = _index_materialized(pre_stats)
         # A disabled search cache still gets a private per-run cache (the
         # legacy engine behaved the same); it just goes unreported and
@@ -230,16 +236,31 @@ class AnalysisSession:
         sink_cache = SinkReachabilityCache()
         report = AnalysisReport(package=self.apk.package)
 
-        sites = find_sink_call_sites(
-            self.apk,
-            engine,
-            request.sink_specs(self.registry),
-            check_class_hierarchy=request.check_class_hierarchy,
-        )
+        with tracing.span("search.sinks") as search_span:
+            sites = find_sink_call_sites(
+                self.apk,
+                engine,
+                request.sink_specs(self.registry),
+                check_class_hierarchy=request.check_class_hierarchy,
+            )
+            search_span.set_attr("sites", len(sites))
+            index_obj = getattr(backend, "_index", None)
+            if index_obj is not None and getattr(index_obj, "lazy", False):
+                # The search is what faults shard groups in, so the
+                # laziness counters belong on this span.
+                search_span.set_attrs(
+                    materialized_groups=index_obj.materialized_groups,
+                    bytes_mapped=index_obj.bytes_mapped,
+                    bytes_decoded=index_obj.bytes_decoded,
+                )
         total = len(sites)
         for index, site in enumerate(sites):
             yield SinkDiscovered(site=site, index=index, total=total)
 
+        # The caller-resolution stage stays open across the per-sink
+        # yields, so it is opened without becoming the ambient span
+        # (code running between yields must not nest under it).
+        resolve_span = tracing.start_span("resolve.callers")
         for index, site in enumerate(sites):
             sink_started = time.perf_counter()
             record = SinkRecord(site=site, reachable=False)
@@ -277,6 +298,12 @@ class AnalysisSession:
             report.records.append(record)
             yield SinkAnalyzed(record=record, index=index, total=total)
 
+        resolve_span.set_attrs(
+            sinks=len(sites),
+            reachable=sum(1 for r in report.records if r.reachable),
+            cached=sum(1 for r in report.records if r.cached),
+        )
+        resolve_span.end()
         report.analysis_seconds = time.perf_counter() - started
         if request.enable_search_cache:
             lookups = cache.stats.lookups - cache_pre[0]

@@ -98,7 +98,22 @@ def cmd_analyze(args) -> int:
         store_mode=args.store_mode,
     )
     session = AnalysisSession.from_config(apk, config)
-    envelope = session.run(AnalysisRequest.from_config(config))
+    request = AnalysisRequest.from_config(config)
+    if args.trace:
+        # A throwaway per-invocation tracer: the root span is ambient,
+        # so the pipeline's library spans nest under it with no
+        # plumbing (same mechanism the service scheduler uses).
+        from repro import telemetry
+
+        tracer = telemetry.Tracer(enabled=True)
+        with tracer.span("analyze", attrs={"app": args.app}) as root:
+            envelope = session.run(request)
+        envelope.trace = {
+            "trace_id": root.trace_id,
+            "spans": tracer.collect(root.trace_id),
+        }
+    else:
+        envelope = session.run(request)
     report = envelope.report
     if args.json:
         print(json.dumps(envelope.as_dict(), indent=2, sort_keys=True))
@@ -108,6 +123,12 @@ def cmd_analyze(args) -> int:
         for note in report.notes:
             print()
             print(note)
+    if args.trace and envelope.trace:
+        from repro.telemetry import render_span_tree
+
+        print()
+        print("trace " + envelope.trace["trace_id"])
+        print(render_span_tree(envelope.trace["spans"]))
     return 1 if report.vulnerable else 0
 
 
@@ -371,6 +392,7 @@ def build_server(args):
         fast_lane_workers=args.fast_lane_workers,
         max_finished_jobs=args.retain_jobs,
         cold_executor=cold_executor,
+        enable_metrics=not getattr(args, "no_metrics", False),
     )
     server_cls = (
         ThreadedAnalysisServer
@@ -383,6 +405,9 @@ def build_server(args):
 def cmd_serve(args) -> int:
     import signal
 
+    from repro.telemetry.logs import configure_logging
+
+    configure_logging(getattr(args, "log_format", "text"))
     server = build_server(args)
     server.start()
     host, port = server.address
@@ -401,9 +426,12 @@ def cmd_serve(args) -> int:
     print(f"backdroid service listening on http://{host}:{port} "
           f"({args.loop} front end)")
     print(f"  {cold_note}, {store_note}")
-    print("  endpoints: POST /v1/jobs, GET /v1/jobs/<id>, "
-          "DELETE /v1/jobs/<id>, GET /v1/stats, GET /healthz  "
-          "(SIGTERM/Ctrl-C to drain and stop)")
+    metrics_note = (
+        "GET /metrics, " if scheduler.metrics is not None else ""
+    )
+    print("  endpoints: POST /v1/jobs, GET /v1/jobs/<id>[?trace=1], "
+          f"DELETE /v1/jobs/<id>, GET /v1/stats, {metrics_note}"
+          "GET /healthz  (SIGTERM/Ctrl-C to drain and stop)")
     # SIGTERM (orchestrators) and SIGINT (Ctrl-C) both trigger the
     # graceful drain: stop accepting (503), give in-flight jobs
     # --drain-timeout seconds, then shut down — hard if they overran.
@@ -479,6 +507,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--json", action="store_true",
                          help="emit the versioned ReportEnvelope JSON "
                          "instead of the text report")
+    analyze.add_argument("--trace", action="store_true",
+                         help="record a telemetry span tree for this run "
+                         "(printed after the report, or embedded in the "
+                         "--json envelope's 'trace' section)")
     add_backend_flag(analyze)
     add_store_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)
@@ -539,6 +571,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=30.0,
                        help="seconds to let in-flight jobs finish on "
                        "SIGTERM/SIGINT before abandoning them (default: 30)")
+    serve.add_argument("--log-format", choices=("text", "json"),
+                       default="text",
+                       help="structured log format; 'json' emits one "
+                       "object per line with trace/span ids stamped "
+                       "(default: %(default)s)")
+    serve.add_argument("--no-metrics", action="store_true",
+                       help="disable the metrics registry: /metrics "
+                       "returns 404 and /v1/stats omits the snapshot")
     serve.add_argument("--rules", default="")
     add_backend_flag(serve)
     add_store_flags(serve)

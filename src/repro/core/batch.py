@@ -33,6 +33,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.core.backdroid import BackDroidConfig
 from repro.store import WARM_LEVELS, ArtifactStore, store_key
+from repro.telemetry import tracing
 from repro.workload.generator import AppSpec, generate_app, spec_fingerprint
 
 #: Executor kinds selectable from the CLI.
@@ -179,11 +180,15 @@ def analyze_spec(
             repr(effective.search_cache_max_entries),
         ))
         session = sessions.get(cache_key) if sessions is not None else None
-        apk = session.apk if session is not None else generate_app(spec).apk
-        # Render the plaintext up front: preprocessing is paid identically
-        # by cold and warm paths, so neither the restore time below nor
-        # the analysis time should include it.
-        apk.disassembly
+        with tracing.span(
+            "app.generate",
+            attrs={"package": spec.package, "session_reused": session is not None},
+        ):
+            apk = session.apk if session is not None else generate_app(spec).apk
+            # Render the plaintext up front: preprocessing is paid
+            # identically by cold and warm paths, so neither the restore
+            # time below nor the analysis time should include it.
+            apk.disassembly
         started = time.perf_counter()
         store = effective.artifact_store()
         outcome_fp = _outcome_fingerprint(effective, registry)
@@ -195,19 +200,22 @@ def analyze_spec(
             )
         reuse_outcomes = store is not None and effective.store_mode == "full"
         if reuse_outcomes:
-            payload = store.load_outcome(apk.disassembly, outcome_fp)
-            if payload is not None:
-                try:
-                    restored = _outcome_from_payload(payload)
-                except (TypeError, ValueError):
-                    pass  # corrupt snapshot: fall through to re-analysis
-                else:
-                    return dataclasses.replace(
-                        restored,
-                        seconds=time.perf_counter() - started,
-                        store_hit=True,
-                        index_build_seconds=0.0,
-                    )
+            with tracing.span("store.outcome_restore") as outcome_span:
+                payload = store.load_outcome(apk.disassembly, outcome_fp)
+                outcome_span.set_attr("hit", payload is not None)
+                if payload is not None:
+                    try:
+                        restored = _outcome_from_payload(payload)
+                    except (TypeError, ValueError):
+                        # corrupt snapshot: fall through to re-analysis
+                        outcome_span.set_attr("hit", False)
+                    else:
+                        return dataclasses.replace(
+                            restored,
+                            seconds=time.perf_counter() - started,
+                            store_hit=True,
+                            index_build_seconds=0.0,
+                        )
         if session is None:
             session = AnalysisSession.from_config(
                 apk, effective, registry=registry

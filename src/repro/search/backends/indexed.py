@@ -33,6 +33,7 @@ from typing import Optional
 
 from repro.dex.disassembler import Disassembly
 from repro.search.backends.base import JoinedText, SearchBackend
+from repro.telemetry import tracing
 
 #: A bare dex reference-type descriptor, possibly array-wrapped.
 _DESCRIPTOR_RE = re.compile(r"\[*L[^;]+;")
@@ -272,14 +273,24 @@ class InvertedIndexBackend(SearchBackend):
                 )
             index = getattr(self.disassembly, "_token_index_cache", None)
             if index is None and self.store is not None:
-                index = self.store.load_index(self.disassembly)
+                with tracing.span("index.restore") as restore_span:
+                    index = self.store.load_index(self.disassembly)
+                    restore_span.set_attrs(
+                        hit=index is not None,
+                        lazy=bool(getattr(index, "lazy", False)),
+                        bytes_mapped=getattr(index, "bytes_mapped", 0),
+                    )
                 if index is not None:
                     # Share the restored index with sibling searchers.
                     self.disassembly._token_index_cache = index
             if index is None:
-                index = TokenIndex.for_disassembly(self.disassembly)
-                if self.store is not None:
-                    self.store.save_index(self.disassembly, index)
+                with tracing.span("index.fold") as fold_span:
+                    index = TokenIndex.for_disassembly(self.disassembly)
+                    fold_span.set_attr(
+                        "build_seconds", index.build_seconds
+                    )
+                    if self.store is not None:
+                        self.store.save_index(self.disassembly, index)
             self._index = index
             self.stats.index_build_seconds = index.build_seconds
             self.stats.index_restored = index.restored

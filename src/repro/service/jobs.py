@@ -95,6 +95,11 @@ class Job:
     #: pid for in-process lanes, a worker process's pid for the
     #: out-of-process cold lane.  None until execution starts.
     worker_pid: Optional[int] = None
+    #: The job's trace id (None when the scheduler's tracer is off).
+    trace_id: Optional[str] = None
+    #: Finished span dicts, attached once by the scheduler when the
+    #: job's root span closes.  Served only on request (``?trace=1``).
+    trace: Optional[list] = None
 
     @property
     def terminal(self) -> bool:
@@ -107,9 +112,14 @@ class Job:
             return None
         return max(0.0, self.started_at - self.submitted_at)
 
-    def as_dict(self) -> dict:
-        """The JSON shape the HTTP API serves."""
-        return {
+    def as_dict(self, include_trace: bool = False) -> dict:
+        """The JSON shape the HTTP API serves.
+
+        The span list is bulky and most polls don't want it, so it only
+        rides along with ``include_trace`` (the ``?trace=1`` query);
+        ``trace_id`` is always present for log correlation.
+        """
+        payload = {
             "id": self.id,
             "package": self.spec.package,
             "key": self.key,
@@ -125,9 +135,13 @@ class Job:
             "wait_seconds": self.wait_seconds,
             "coalesced_into": self.coalesced_into,
             "worker_pid": self.worker_pid,
+            "trace_id": self.trace_id,
             "result": self.result,
             "error": self.error,
         }
+        if include_trace:
+            payload["trace"] = list(self.trace) if self.trace else None
+        return payload
 
 
 class JobQueue:
@@ -209,11 +223,15 @@ class JobQueue:
         with self._lock:
             return self._jobs.get(job_id)
 
-    def snapshot(self, job_id: str) -> Optional[dict]:
+    def snapshot(
+        self, job_id: str, include_trace: bool = False
+    ) -> Optional[dict]:
         """A consistent JSON view of one job, or None when unknown."""
         with self._lock:
             job = self._jobs.get(job_id)
-            return None if job is None else job.as_dict()
+            if job is None:
+                return None
+            return job.as_dict(include_trace=include_trace)
 
     def snapshots(self) -> list[dict]:
         """JSON views of every retained job, in submission order."""
@@ -244,6 +262,24 @@ class JobQueue:
             job.worker_pid = pid
             for follower_id in self._followers.get(job_id, ()):
                 self._jobs[follower_id].worker_pid = pid
+
+    def set_trace_id(self, job_id: str, trace_id: Optional[str]) -> None:
+        """Stamp a job with its trace id (set once, at submit time)."""
+        if trace_id is None:
+            return
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                job.trace_id = trace_id
+
+    def attach_trace(self, job_id: str, spans: list) -> None:
+        """Attach a job's finished span list (the collected trace)."""
+        if not spans:
+            return
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                job.trace = list(spans)
 
     def finish(
         self,

@@ -40,6 +40,7 @@ from __future__ import annotations
 import dataclasses
 import os
 import threading
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -57,18 +58,21 @@ from repro.core.batch import (
 )
 from repro.service.jobs import CANCELLED, CANCEL_DONE, CANCEL_PENDING, Job, JobQueue
 from repro.service.workers import STALL_ENV_VAR, ProcessLane
+from repro.telemetry import tracing
+from repro.telemetry.logs import get_logger
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.quantiles import quantile
 from repro.workload.generator import AppSpec, spec_fingerprint
 
 #: How many recent depth observations each lane keeps for percentiles.
 DEPTH_SAMPLE_WINDOW = 512
 
+#: How many times a cold job is re-dispatched after its worker *dies*
+#: (crash/OOM — never after an explicit cancel kill).  One retry rides
+#: the already-forked replacement worker; a second death fails the job.
+COLD_DIED_RETRIES = 1
 
-def _percentile(samples: list, fraction: float) -> float:
-    """Nearest-rank percentile of a sorted sample list (0.0 if empty)."""
-    if not samples:
-        return 0.0
-    index = min(len(samples) - 1, max(0, int(fraction * len(samples))))
-    return float(samples[index])
+_log = get_logger("scheduler")
 
 
 @dataclass
@@ -107,6 +111,8 @@ class LaneStats:
         return self.busy / self.workers if self.workers else 0.0
 
     def as_dict(self) -> dict:
+        # The shared quantile helper reports ``None`` (JSON null) for
+        # empty/one-sample windows instead of fabricating a 0.
         ordered = sorted(self.depth_samples)
         return {
             "name": self.name,
@@ -120,9 +126,9 @@ class LaneStats:
             "busy": self.busy,
             "utilization": self.utilization,
             "depth_percentiles": {
-                "p50": _percentile(ordered, 0.50),
-                "p90": _percentile(ordered, 0.90),
-                "p99": _percentile(ordered, 0.99),
+                "p50": quantile(ordered, 0.50),
+                "p90": quantile(ordered, 0.90),
+                "p99": quantile(ordered, 0.99),
             },
             "mean_wait_seconds": self.mean_wait_seconds,
         }
@@ -154,6 +160,8 @@ class StoreAwareScheduler:
         session_cache_size: int = 4,
         registry=None,
         cold_executor: str = "thread",
+        tracing_enabled: bool = True,
+        enable_metrics: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be a positive integer")
@@ -230,6 +238,116 @@ class StoreAwareScheduler:
         self.warm_partial_submissions = 0
         self._lock = threading.Lock()
         self._closed = False
+        #: The scheduler's own tracer: library spans opened during a
+        #: job's execution land here via the ambient-span context var.
+        self.tracer = tracing.Tracer(enabled=tracing_enabled)
+        #: In-flight span handles per primary job id:
+        #: ``job_id -> (root_span, queue_span)``.
+        self._job_spans: dict[str, tuple] = {}
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if enable_metrics else None
+        )
+        if self.metrics is not None:
+            self._init_metrics()
+
+    # ------------------------------------------------------------------
+    def _init_metrics(self) -> None:
+        """Register the scheduler's named instruments (one registry per
+        scheduler; existing scattered stats export via callback gauges,
+        so their hot paths are untouched)."""
+        m = self.metrics
+        self._m_submitted = m.counter(
+            "backdroid_jobs_submitted_total",
+            "Jobs submitted, by dispatch lane.",
+            ("lane",),
+        )
+        self._m_completed = m.counter(
+            "backdroid_jobs_completed_total",
+            "Jobs that finished successfully, by lane.",
+            ("lane",),
+        )
+        self._m_failed = m.counter(
+            "backdroid_jobs_failed_total",
+            "Jobs that finished with an error, by lane.",
+            ("lane",),
+        )
+        self._m_cancelled = m.counter(
+            "backdroid_jobs_cancelled_total",
+            "Jobs cancelled by clients, by lane.",
+            ("lane",),
+        )
+        self._m_analyses = m.counter(
+            "backdroid_analyses_total",
+            "Analyses actually executed (coalesced jobs share one).",
+        )
+        self._m_warm = m.counter(
+            "backdroid_warm_submissions_total",
+            "Submissions the store probe classified warm.",
+        )
+        self._m_warm_partial = m.counter(
+            "backdroid_warm_partial_submissions_total",
+            "Warm submissions that were partial shard hits.",
+        )
+        self._m_probe = m.counter(
+            "backdroid_store_probe_total",
+            "Store probes at submit time, by hit level.",
+            ("level",),
+        )
+        self._m_wait = m.histogram(
+            "backdroid_job_wait_seconds",
+            "Queue wait (submission to execution start), by lane.",
+            ("lane",),
+        )
+        self._m_service = m.histogram(
+            "backdroid_job_service_seconds",
+            "Execution time (start to finish), by lane.",
+            ("lane",),
+        )
+        self._m_retries = m.counter(
+            "backdroid_cold_worker_retries_total",
+            "Cold dispatches retried after a worker death.",
+        )
+        depth = m.gauge(
+            "backdroid_lane_depth",
+            "Jobs currently queued or running, by lane.",
+            ("lane",),
+        )
+        busy = m.gauge(
+            "backdroid_lane_busy",
+            "Analyses executing right now, by lane.",
+            ("lane",),
+        )
+        for name, lane_stats in self.lanes.items():
+            depth.set_function(
+                lambda s=lane_stats: s.depth, lane=name
+            )
+            busy.set_function(
+                lambda s=lane_stats: s.busy, lane=name
+            )
+        m.gauge(
+            "backdroid_dedup_hits",
+            "Submissions coalesced onto an in-flight analysis.",
+        ).set_function(lambda: self.queue.dedup_hits)
+        m.gauge(
+            "backdroid_cold_worker_restarts",
+            "Cold worker processes restarted after kills/crashes.",
+        ).set_function(
+            lambda: (
+                self._cold.workers_restarted if self._cold is not None else 0
+            )
+        )
+        if self._store is not None:
+            store_gauge = m.gauge(
+                "backdroid_store_counter",
+                "Live artifact-store counters (see the label for which).",
+                ("counter",),
+            )
+            stats = self._store.stats
+            for counter_name in stats.as_dict():
+                store_gauge.set_function(
+                    lambda s=stats, n=counter_name: getattr(s, n),
+                    counter=counter_name,
+                )
 
     # ------------------------------------------------------------------
     def submit(
@@ -257,8 +375,14 @@ class StoreAwareScheduler:
                 else None
             )
             suffix = f"#{request.fingerprint()}"
+        root_span = self.tracer.start_span(
+            "job", attrs={"package": spec.package}
+        )
+        probe_span = self.tracer.start_span("store.probe", parent=root_span)
         key, level = probe_spec(spec, self._store, fingerprint)
         warm = level_is_warm(level, effective)
+        probe_span.set_attrs(level=level, warm=warm)
+        probe_span.end()
         lane = "fast" if warm and self._fast is not None else "main"
         # The fingerprint surrogate always rides along as a dedup alias:
         # analyze_spec teaches the store the spec -> sha mapping mid-run,
@@ -286,6 +410,36 @@ class StoreAwareScheduler:
             if is_primary:
                 stats.depth += 1
             stats.depth_samples.append(stats.depth)
+        if self.metrics is not None:
+            self._m_submitted.inc(lane=job.lane)
+            self._m_probe.inc(level=str(level))
+            if warm:
+                self._m_warm.inc()
+                if level == "partial":
+                    self._m_warm_partial.inc()
+        if root_span:
+            self.queue.set_trace_id(job.id, root_span.trace_id)
+            root_span.set_attrs(job_id=job.id, lane=job.lane, warm=warm)
+            if is_primary:
+                queue_span = self.tracer.start_span(
+                    "queue", parent=root_span, attrs={"lane": job.lane}
+                )
+                with self._lock:
+                    self._job_spans[job.id] = (root_span, queue_span)
+            else:
+                # A coalesced follower never executes: its short trace
+                # records the probe and points at the primary's trace.
+                primary = self.queue.get(job.coalesced_into)
+                root_span.set_attrs(
+                    coalesced_into=job.coalesced_into,
+                    primary_trace_id=(
+                        primary.trace_id if primary is not None else None
+                    ),
+                )
+                root_span.end()
+                self.queue.attach_trace(
+                    job.id, self.tracer.collect(root_span.trace_id)
+                )
         if is_primary:
             pool = self._fast if job.lane == "fast" else self._main
             try:
@@ -295,6 +449,7 @@ class StoreAwareScheduler:
                 # rejected new futures.  Fail the job (and any follower
                 # registered in the same instant) so nothing is left
                 # queued forever, then surface the closed state.
+                self._discard_job_spans(job.id, state="failed")
                 members = self.queue.finish(
                     job.id, error="scheduler shut down before dispatch"
                 )
@@ -306,6 +461,24 @@ class StoreAwareScheduler:
         return job
 
     # ------------------------------------------------------------------
+    def _pop_job_spans(self, job_id: str) -> tuple:
+        with self._lock:
+            return self._job_spans.pop(job_id, (None, None))
+
+    def _discard_job_spans(self, job_id: str, state: str) -> None:
+        """Close a job's open spans without serving them (cancelled or
+        shutdown-failed before a worker picked the job up)."""
+        root_span, queue_span = self._pop_job_spans(job_id)
+        if root_span is None:
+            return
+        if queue_span is not None:
+            queue_span.end()
+        root_span.set_attr("state", state)
+        root_span.end()
+        self.queue.attach_trace(
+            job_id, self.tracer.collect(root_span.trace_id)
+        )
+
     def _run(self, job_id: str, lane: str) -> None:
         job = self.queue.get(job_id)
         if job is None:
@@ -313,6 +486,7 @@ class StoreAwareScheduler:
             # retention before a worker got to it.  The job record is
             # gone but the lane slot it held is not — release it via the
             # lane captured at submit time.
+            self._discard_job_spans(job_id, state="evicted")
             with self._lock:
                 stats = self.lanes[lane]
                 stats.depth = max(0, stats.depth - 1)
@@ -320,25 +494,52 @@ class StoreAwareScheduler:
         if job.terminal:
             # Cancelled while queued: never analyze, just release the
             # lane slot the dead job still held.
+            self._discard_job_spans(job_id, state=job.state)
             with self._lock:
                 stats = self.lanes[job.lane]
                 stats.depth = max(0, stats.depth - 1)
             return
         self.queue.mark_running(job_id)
+        root_span, queue_span = self._pop_job_spans(job_id)
+        if queue_span is not None:
+            queue_span.set_attr("wait_seconds", job.wait_seconds)
+            queue_span.end()
         with self._lock:
             self.analyses_run += 1
             self.lanes[job.lane].busy += 1
+        if self.metrics is not None:
+            self._m_analyses.inc()
+        service_start = time.perf_counter()
         try:
             if job.lane == "main" and self._cold is not None:
-                payload, error = self._execute_cold(job)
+                payload, error = self._execute_cold(job, root_span)
             else:
-                payload, error = self._execute_in_process(job)
+                with self.tracer.span(
+                    "dispatch",
+                    parent=root_span,
+                    attrs={"executor": "in-process", "attempt": 1},
+                ):
+                    payload, error = self._execute_in_process(job)
         finally:
             with self._lock:
                 stats = self.lanes[job.lane]
                 stats.busy = max(0, stats.busy - 1)
+        service_seconds = time.perf_counter() - service_start
+        if root_span:
+            root_span.set_attr(
+                "state", "failed" if error is not None else "done"
+            )
+            root_span.end()
+            self.queue.attach_trace(
+                job_id, self.tracer.collect(root_span.trace_id)
+            )
         members = self.queue.finish(job_id, result=payload, error=error)
         ok = error is None
+        if error is not None:
+            _log.warning(
+                "job %s failed: %s", job_id, error,
+                extra={"trace_id": job.trace_id},
+            )
         with self._lock:
             stats = self.lanes[job.lane]
             stats.depth = max(0, stats.depth - 1)
@@ -354,6 +555,20 @@ class StoreAwareScheduler:
                     stats.failed += 1
                 if member.wait_seconds is not None:
                     stats.total_wait_seconds += member.wait_seconds
+        if self.metrics is not None:
+            self._m_service.observe(service_seconds, lane=job.lane)
+            for member in members:
+                if member.state == CANCELLED:
+                    self._m_cancelled.inc(lane=job.lane)
+                    continue
+                if ok:
+                    self._m_completed.inc(lane=job.lane)
+                else:
+                    self._m_failed.inc(lane=job.lane)
+                if member.wait_seconds is not None:
+                    self._m_wait.observe(
+                        member.wait_seconds, lane=job.lane
+                    )
 
     def _execute_in_process(
         self, job: Job
@@ -368,23 +583,61 @@ class StoreAwareScheduler:
             registry=self.registry,
         )
         outcome = dataclasses.replace(outcome, lane=job.lane)
-        payload = outcome_payload(outcome)
+        with tracing.span("report.render"):
+            payload = outcome_payload(outcome)
         return payload, None if outcome.ok else outcome.error
 
     def _execute_cold(
-        self, job: Job
+        self, job: Job, root_span=None
     ) -> tuple[Optional[dict], Optional[str]]:
         """Ship one analysis to a worker process and await its payload.
 
         The stall fault-injection knob is read *here*, in the parent at
         dispatch time, and rides the task — long-lived workers forked at
         construction must not depend on their fork-time environment.
+
+        A worker that *dies* mid-analysis (crash/OOM — not an explicit
+        cancel kill) gets :data:`COLD_DIED_RETRIES` re-dispatches onto
+        the replacement the lane already forked; each attempt opens its
+        own ``dispatch`` span under the same trace.
         """
-        stall = float(os.environ.get(STALL_ENV_VAR) or 0.0)
-        result = self._cold.execute(
-            job.id, job.spec, self.config, job.request, stall_seconds=stall
-        )
-        self.queue.record_worker(job.id, result.pid)
+        attempts = 1 + COLD_DIED_RETRIES
+        result = None
+        for attempt in range(1, attempts + 1):
+            stall = float(os.environ.get(STALL_ENV_VAR) or 0.0)
+            dispatch_span = self.tracer.start_span(
+                "dispatch",
+                parent=root_span,
+                attrs={"executor": "process", "attempt": attempt},
+            )
+            result = self._cold.execute(
+                job.id,
+                job.spec,
+                self.config,
+                job.request,
+                stall_seconds=stall,
+                trace_ctx=dispatch_span.context(),
+            )
+            self.queue.record_worker(job.id, result.pid)
+            if result.spans:
+                self.tracer.attach(dispatch_span.trace_id, result.spans)
+            dispatch_span.set_attrs(
+                worker_pid=result.pid,
+                killed=result.killed,
+                died=result.died,
+            )
+            dispatch_span.end()
+            if result.died and attempt < attempts:
+                _log.warning(
+                    "cold worker (pid %s) died running job %s; retrying "
+                    "on the replacement (attempt %d/%d)",
+                    result.pid, job.id, attempt + 1, attempts,
+                    extra={"trace_id": job.trace_id},
+                )
+                if self.metrics is not None:
+                    self._m_retries.inc()
+                continue
+            break
         if result.payload is not None:
             payload = dict(result.payload)
             payload["lane"] = job.lane
@@ -413,6 +666,8 @@ class StoreAwareScheduler:
         if disposition == CANCEL_DONE and job is not None:
             with self._lock:
                 self.lanes[job.lane].cancelled += 1
+            if self.metrics is not None:
+                self._m_cancelled.inc(lane=job.lane)
         elif (
             disposition == CANCEL_PENDING
             and job is not None
@@ -462,6 +717,11 @@ class StoreAwareScheduler:
                     else None
                 ),
             }
+        # Embedded for backward-compatible JSON scraping; the same
+        # instruments serve ``GET /metrics`` as Prometheus text.
+        payload["metrics"] = (
+            self.metrics.as_dict() if self.metrics is not None else None
+        )
         return payload
 
     # ------------------------------------------------------------------

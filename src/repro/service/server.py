@@ -11,9 +11,16 @@ Endpoints (all JSON)::
                            ``cancelling``
     GET    /v1/jobs        every retained job, submission order
     GET    /v1/stats       lanes, job counts, warm-hit rate, store
-                           counters, plus the front end's own health
+                           counters, the metrics registry snapshot,
+                           plus the front end's own health
                            (event-loop lag, draining flag)
+    GET    /metrics        the same instruments as Prometheus text
+                           (404 when the scheduler was built with
+                           metrics disabled)
     GET    /healthz        liveness
+
+``GET /v1/jobs/<id>?trace=1`` additionally returns the job's collected
+span tree under ``"trace"`` (see :mod:`repro.telemetry.tracing`).
 
 A ``POST /v1/jobs`` body may carry per-job analysis overrides alongside
 the app spec — ``rules`` (list of rule ids), ``backend``, ``max_frames``
@@ -75,8 +82,18 @@ from repro.service.jobs import (
     CANCEL_UNKNOWN,
     TERMINAL_STATES,
 )
-from repro.service.scheduler import StoreAwareScheduler, _percentile
+from repro.service.scheduler import StoreAwareScheduler
+from repro.telemetry.quantiles import quantile
 from repro.workload.corpus import app_spec_from_request
+
+#: Content type of the ``GET /metrics`` exposition body.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Event-loop lag histogram buckets (seconds): lag is healthy in the
+#: sub-millisecond range and pathological past tens of milliseconds.
+LAG_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0,
+)
 
 #: Largest request body a submission may carry (a spec is tiny; anything
 #: bigger is a client error, not a payload to buffer).
@@ -113,31 +130,65 @@ class ServiceAPI:
         #: rejected with 503; reads and cancels keep working so clients
         #: can collect results from the drain.
         self.draining = False
+        self._m_requests = (
+            scheduler.metrics.counter(
+                "backdroid_http_requests_total",
+                "HTTP requests served, by method and status.",
+                ("method", "status"),
+            )
+            if scheduler.metrics is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     def handle(
         self, method: str, path: str, body: Optional[bytes] = None
-    ) -> tuple[int, dict, bool]:
+    ) -> tuple[int, object, bool]:
         """Route one request; returns ``(status, payload, close)``.
 
-        ``close`` asks the transport to drop the connection after
-        responding — set on every error so a keep-alive client never
-        parses leftover bytes as its next response.
+        ``payload`` is a JSON-able dict for every endpoint except
+        ``GET /metrics``, whose payload is the Prometheus text body (a
+        ``str`` — transports type the response accordingly).  ``close``
+        asks the transport to drop the connection after responding —
+        set on every error so a keep-alive client never parses leftover
+        bytes as its next response.
         """
+        path, _, query_text = path.partition("?")
         normalized = path.rstrip("/") or "/"
+        query = {}
+        for pair in query_text.split("&"):
+            name, sep, value = pair.partition("=")
+            if name:
+                query[name] = value if sep else "1"
         if method == "GET":
-            return self._get(normalized)
-        if method == "POST":
-            return self._post(normalized, body)
-        if method == "DELETE":
-            return self._delete(normalized)
-        return 501, {"error": f"unsupported method {method!r}"}, True
+            result = self._get(normalized, query)
+        elif method == "POST":
+            result = self._post(normalized, body)
+        elif method == "DELETE":
+            result = self._delete(normalized)
+        else:
+            result = 501, {"error": f"unsupported method {method!r}"}, True
+        if self._m_requests is not None:
+            self._m_requests.inc(method=method, status=str(result[0]))
+        return result
 
     # ------------------------------------------------------------------
-    def _get(self, path: str) -> tuple[int, dict, bool]:
+    @staticmethod
+    def _flag(query: dict, name: str) -> bool:
+        return query.get(name, "").lower() in ("1", "true", "yes")
+
+    def _get(self, path: str, query: dict) -> tuple[int, object, bool]:
         scheduler = self.scheduler
         if path == "/healthz":
             return 200, {"ok": True}, False
+        if path == "/metrics":
+            if scheduler.metrics is None:
+                return (
+                    404,
+                    {"error": "metrics are disabled on this service"},
+                    True,
+                )
+            return 200, scheduler.metrics.render_prometheus(), False
         if path == "/v1/stats":
             payload = scheduler.stats()
             payload["server"] = (
@@ -148,7 +199,9 @@ class ServiceAPI:
             return 200, {"jobs": scheduler.queue.snapshots()}, False
         if path.startswith("/v1/jobs/"):
             job_id = path[len("/v1/jobs/"):]
-            snapshot = scheduler.queue.snapshot(job_id)
+            snapshot = scheduler.queue.snapshot(
+                job_id, include_trace=self._flag(query, "trace")
+            )
             if snapshot is None:
                 return 404, {"error": f"unknown or evicted job {job_id!r}"}, True
             return 200, snapshot, False
@@ -263,6 +316,15 @@ class AnalysisServer:
         #: Recent event-loop scheduling delays (seconds over the
         #: monitor's intended sleep), for ``stats()["server"]``.
         self._lag_samples: deque = deque(maxlen=512)
+        self._m_lag = (
+            scheduler.metrics.histogram(
+                "backdroid_event_loop_lag_seconds",
+                "Event-loop scheduling delay per lag-monitor sample.",
+                buckets=LAG_BUCKETS,
+            )
+            if scheduler.metrics is not None
+            else None
+        )
 
     @property
     def address(self) -> tuple[str, int]:
@@ -428,11 +490,16 @@ class AnalysisServer:
                 headers[name.strip().lower()] = value.strip()
 
     @staticmethod
-    async def _respond(writer, status: int, payload: dict, close: bool) -> bool:
-        body = json.dumps(payload).encode("utf-8")
+    async def _respond(writer, status: int, payload, close: bool) -> bool:
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = PROMETHEUS_CONTENT_TYPE
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_http_reasons.get(status, 'OK')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
         )
         if close:
@@ -458,18 +525,22 @@ class AnalysisServer:
         while True:
             before = loop.time()
             await asyncio.sleep(LAG_SAMPLE_INTERVAL)
-            lag = loop.time() - before - LAG_SAMPLE_INTERVAL
-            self._lag_samples.append(max(0.0, lag))
+            lag = max(0.0, loop.time() - before - LAG_SAMPLE_INTERVAL)
+            self._lag_samples.append(lag)
+            if self._m_lag is not None:
+                self._m_lag.observe(lag)
 
     def _server_stats(self) -> dict:
+        # Shared quantile helper: sub-two-sample windows report null
+        # (a fresh server has no lag distribution yet, not a zero one).
         samples = sorted(self._lag_samples)
         return {
             "loop": "asyncio",
             "draining": self.api.draining,
             "event_loop_lag_seconds": {
-                "p50": _percentile(samples, 0.50),
-                "p99": _percentile(samples, 0.99),
-                "max": samples[-1] if samples else 0.0,
+                "p50": quantile(samples, 0.50),
+                "p99": quantile(samples, 0.99),
+                "max": quantile(samples, 1.0),
             },
         }
 
@@ -533,12 +604,17 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         """Silence per-request stderr chatter (see ``/v1/stats``)."""
 
-    def _send(self, status: int, payload: dict, close: bool) -> None:
+    def _send(self, status: int, payload, close: bool) -> None:
         if close:
             self.close_connection = True
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = PROMETHEUS_CONTENT_TYPE
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -704,8 +780,17 @@ class ServiceClient:
         return False
 
     def _request(
-        self, method: str, path: str, payload: Optional[dict] = None
-    ) -> tuple[int, dict]:
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        retries: Optional[int] = None,
+        raw: bool = False,
+    ) -> tuple[int, object]:
+        """One request; ``retries`` overrides the client default (0 for
+        the retry-free read paths) and ``raw`` returns the body text
+        instead of parsed JSON (the ``/metrics`` exposition)."""
+        max_retries = self.retries if retries is None else retries
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
@@ -718,15 +803,20 @@ class ServiceClient:
         while True:
             try:
                 with urlrequest.urlopen(req, timeout=self.timeout) as response:
-                    return response.status, json.loads(response.read() or b"{}")
+                    body = response.read()
+                    if raw:
+                        return response.status, body.decode("utf-8", "replace")
+                    return response.status, json.loads(body or b"{}")
             except HTTPError as exc:
                 body = exc.read()
+                if raw:
+                    return exc.code, body.decode("utf-8", "replace")
                 try:
                     return exc.code, json.loads(body or b"{}")
                 except json.JSONDecodeError:
                     return exc.code, {"error": body.decode("utf-8", "replace")}
             except (URLError, ConnectionError) as exc:
-                if attempt >= self.retries or not self._is_connection_error(exc):
+                if attempt >= max_retries or not self._is_connection_error(exc):
                     raise
                 time.sleep(self.backoff_seconds * (2 ** attempt))
                 attempt += 1
@@ -744,9 +834,11 @@ class ServiceClient:
             raise ValueError(payload.get("error", f"HTTP {status}"))
         return payload
 
-    def job(self, job_id: str) -> Optional[dict]:
-        """One job's snapshot, or None for unknown/evicted ids."""
-        status, payload = self._request("GET", f"/v1/jobs/{job_id}")
+    def job(self, job_id: str, trace: bool = False) -> Optional[dict]:
+        """One job's snapshot, or None for unknown/evicted ids.  Pass
+        ``trace=True`` to include the recorded span tree (``?trace=1``)."""
+        path = f"/v1/jobs/{job_id}" + ("?trace=1" if trace else "")
+        status, payload = self._request("GET", path)
         return None if status == 404 else payload
 
     def cancel(self, job_id: str) -> dict:
@@ -765,8 +857,20 @@ class ServiceClient:
         return self._request("GET", "/v1/jobs")[1]["jobs"]
 
     def stats(self) -> dict:
-        """The ``/v1/stats`` payload: lanes, jobs, warm rate, store."""
-        return self._request("GET", "/v1/stats")[1]
+        """The ``/v1/stats`` payload: lanes, jobs, warm rate, store,
+        and (when enabled) the embedded metrics snapshot.  Read-only
+        observability path: never retried, so a probe during shutdown
+        fails fast instead of backing off."""
+        return self._request("GET", "/v1/stats", retries=0)[1]
+
+    def metrics(self) -> str:
+        """The raw Prometheus exposition text from ``/metrics``.
+        Retry-free like :meth:`stats`; raises ``ValueError`` when the
+        server runs with metrics disabled (HTTP 404)."""
+        status, body = self._request("GET", "/metrics", retries=0, raw=True)
+        if status >= 400:
+            raise ValueError(f"HTTP {status}: {body.strip()}")
+        return body
 
     def wait(
         self, job_id: str, timeout: float = 30.0, poll_seconds: float = 0.05

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.batch import analyze_spec, outcome_payload
+from repro.telemetry import tracing
 
 #: Fault-injection hook (tests, chaos drills): when set in the parent's
 #: environment at dispatch time, every cold task stalls this many
@@ -68,7 +69,9 @@ def run_analysis_payload(spec, config=None, request=None) -> dict:
     has to unpickle analysis objects from an untrusted-after-crash
     worker — only primitives cross back.
     """
-    return outcome_payload(run_analysis(spec, config, request))
+    outcome = run_analysis(spec, config, request)
+    with tracing.span("report.render"):
+        return outcome_payload(outcome)
 
 
 def _worker_main(conn, nice: int = 0) -> None:
@@ -77,6 +80,11 @@ def _worker_main(conn, nice: int = 0) -> None:
     A ``None`` task (or a closed pipe) is the shutdown signal.  The
     stall knob rides the task itself so the parent's environment at
     dispatch time — not the child's at fork time — controls it.
+
+    Trace propagation: when the task carries a serialized span context,
+    the worker runs the analysis under a local tracer's ``worker`` span
+    parented on it and ships the finished span dicts home in the
+    result, so the job's trace crosses the process boundary intact.
     """
     if nice:
         try:
@@ -90,12 +98,23 @@ def _worker_main(conn, nice: int = 0) -> None:
             return
         if task is None:
             return
-        spec, config, request, stall_seconds = task
+        spec, config, request, stall_seconds, trace_ctx = task
         if stall_seconds:
             time.sleep(stall_seconds)
-        payload = run_analysis_payload(spec, config, request)
+        spans: list = []
+        if trace_ctx is not None:
+            worker_tracer = tracing.Tracer(enabled=True)
+            with worker_tracer.span(
+                "worker", parent=trace_ctx, attrs={"stage": "cold-analysis"}
+            ):
+                payload = run_analysis_payload(spec, config, request)
+            spans = worker_tracer.collect(trace_ctx["trace_id"])
+        else:
+            payload = run_analysis_payload(spec, config, request)
         try:
-            conn.send({"pid": os.getpid(), "payload": payload})
+            conn.send(
+                {"pid": os.getpid(), "payload": payload, "spans": spans}
+            )
         except (BrokenPipeError, OSError):
             return
 
@@ -113,13 +132,15 @@ class ColdResult:
     from failed), ``killed`` (the worker was terminated by an explicit
     cancel; the result is discarded by design), or ``died`` (the worker
     vanished without being asked to — crash, OOM kill — and the lane
-    already forked a replacement).
+    already forked a replacement).  ``spans`` carries the worker-side
+    finished span dicts when the dispatch shipped a trace context.
     """
 
     payload: Optional[dict]
     pid: Optional[int]
     killed: bool = False
     died: bool = False
+    spans: tuple = ()
 
 
 class _Worker:
@@ -236,13 +257,22 @@ class ProcessLane:
 
     # ------------------------------------------------------------------
     def execute(
-        self, token: str, spec, config, request, stall_seconds: float = 0.0
+        self,
+        token: str,
+        spec,
+        config,
+        request,
+        stall_seconds: float = 0.0,
+        trace_ctx: Optional[dict] = None,
     ) -> ColdResult:
         """Run one analysis on an idle worker; blocks until it resolves.
 
         *token* is the handle :meth:`kill` targets (the scheduler uses
-        the job id).  Returns a :class:`ColdResult`; never raises for
-        worker-side trouble.
+        the job id).  *trace_ctx* is a serialized span context
+        (:meth:`repro.telemetry.tracing.Span.context`) the worker
+        parents its spans on; the finished spans come back on
+        ``ColdResult.spans``.  Returns a :class:`ColdResult`; never
+        raises for worker-side trouble.
         """
         worker = self._idle.get()
         with self._lock:
@@ -255,7 +285,9 @@ class ProcessLane:
             self._running[token] = worker
         result = None
         try:
-            worker.conn.send((spec, config, request, stall_seconds))
+            worker.conn.send(
+                (spec, config, request, stall_seconds, trace_ctx)
+            )
             result = worker.conn.recv()
         except (EOFError, BrokenPipeError, OSError):
             result = None
@@ -266,7 +298,11 @@ class ProcessLane:
                 self._kill_requested.discard(token)
         if result is not None:
             self._idle.put(worker)
-            return ColdResult(result["payload"], result["pid"])
+            return ColdResult(
+                result["payload"],
+                result["pid"],
+                spans=tuple(result.get("spans") or ()),
+            )
         # The worker is gone (terminated by kill(), or crashed).  Reap
         # it and fork a replacement so the lane keeps its capacity.
         pid = worker.pid

@@ -147,6 +147,9 @@ class StoreStats:
     #: Shard groups lazily decoded across every lazy restore, re-faults
     #: after LRU eviction included.
     groups_materialized: int = 0
+    #: Decoded groups dropped by the lazy index's LRU bound (each later
+    #: re-touch is a re-fault counted in ``groups_materialized``).
+    group_cache_evictions: int = 0
     #: Legacy JSON shards converted to the binary container in place
     #: (``gc``/``warm``/``migrate``).
     shards_migrated: int = 0
@@ -169,6 +172,7 @@ class StoreStats:
             "corrupt_entries": self.corrupt_entries,
             "lazy_restores": self.lazy_restores,
             "groups_materialized": self.groups_materialized,
+            "group_cache_evictions": self.group_cache_evictions,
             "shards_migrated": self.shards_migrated,
         }
 

@@ -84,6 +84,9 @@ class LazyTokenIndex:
         #: Groups healed from the live disassembly (mirrors the eager
         #: restore's patch counter).
         self.patched_groups = 0
+        #: Decoded groups dropped by the LRU bound on this index (also
+        #: aggregated into ``StoreStats.group_cache_evictions``).
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     # Laziness observables
@@ -178,6 +181,9 @@ class LazyTokenIndex:
             self._stats.groups_materialized += 1
         while len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
+            self.evictions += 1
+            if self._stats is not None:
+                self._stats.group_cache_evictions += 1
         return group
 
     # ------------------------------------------------------------------

@@ -1,0 +1,41 @@
+"""Unified telemetry: tracing, metrics, structured logs.
+
+The service pipeline spans threads *and* processes (submit on the event
+loop, dispatch on a lane thread, cold analysis in a forked worker), so
+its observability layer has to be explicit about propagation:
+
+* :mod:`repro.telemetry.tracing` — lightweight spans with
+  ``trace_id``/``span_id``/parent links, wall + CPU time, and a
+  serializable span *context* small enough to ride the worker pipe;
+* :mod:`repro.telemetry.metrics` — a registry of named counters,
+  gauges and histograms with Prometheus text exposition;
+* :mod:`repro.telemetry.logs` — a JSON log formatter that stamps every
+  record with the active trace/span id;
+* :mod:`repro.telemetry.quantiles` — the one nearest-rank quantile
+  helper shared by lane stats, the event-loop lag monitor and the
+  histogram type (empty/one-sample windows report ``None``, not 0).
+"""
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.quantiles import quantile
+from repro.telemetry.tracing import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_span,
+    render_span_tree,
+    span,
+    start_span,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "current_span",
+    "quantile",
+    "render_span_tree",
+    "span",
+    "start_span",
+]

@@ -1,0 +1,93 @@
+"""Structured logging: a JSON formatter that carries trace context.
+
+``backdroid serve --log-format json`` installs
+:class:`JsonLogFormatter` on the ``backdroid`` logger tree.  Every
+record becomes one JSON object per line with a fixed core schema —
+``ts``, ``level``, ``logger``, ``message`` — plus ``trace_id``/
+``span_id`` stamped from the *active* span (the tracing context
+variable), so a job's log lines join its trace without any call-site
+changes.  Explicit ``extra={"trace_id": ...}`` fields win over the
+ambient span (used where a job finishes outside its dispatch scope).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Optional
+
+from repro.telemetry.tracing import current_span
+
+#: The root of the service's logger tree.
+LOGGER_NAME = "backdroid"
+
+#: ``LogRecord`` attributes that are plumbing, not payload: anything
+#: else on a record (``extra=`` fields) is included in the JSON object.
+_RESERVED = frozenset(
+    (
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "message", "module",
+        "msecs", "msg", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+    )
+)
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record, trace-stamped when a span is active."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        data = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        span = current_span()
+        if span is not None and span.trace_id is not None:
+            data["trace_id"] = span.trace_id
+            data["span_id"] = span.span_id
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            data[key] = value
+        if record.exc_info:
+            data["exc"] = self.formatException(record.exc_info)
+        return json.dumps(data, default=str, sort_keys=True)
+
+
+def get_logger(area: Optional[str] = None) -> logging.Logger:
+    """The service logger (or one of its ``backdroid.<area>`` children)."""
+    name = f"{LOGGER_NAME}.{area}" if area else LOGGER_NAME
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    log_format: str = "text", level: int = logging.INFO
+) -> logging.Logger:
+    """Install one stream handler on the ``backdroid`` logger tree.
+
+    ``log_format`` is ``"text"`` (conventional single-line records) or
+    ``"json"`` (:class:`JsonLogFormatter`).  Idempotent: reconfiguring
+    replaces the previously installed handler instead of stacking.
+    """
+    if log_format not in ("text", "json"):
+        raise ValueError(
+            f"log_format must be 'text' or 'json', got {log_format!r}"
+        )
+    logger = logging.getLogger(LOGGER_NAME)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler()
+    if log_format == "json":
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(levelname)s %(name)s: %(message)s"
+            )
+        )
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

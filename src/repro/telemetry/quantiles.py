@@ -1,0 +1,51 @@
+"""The shared nearest-rank quantile helper.
+
+One implementation serves the scheduler's lane-depth percentiles, the
+async server's event-loop lag stats and the metrics histogram type, so
+they agree on edge cases: a window with fewer than two samples has no
+meaningful distribution and reports ``None`` (rendered as JSON
+``null``), never a fabricated 0.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+#: The default fractions ``summarize`` reports, matching the
+#: ``p50``/``p90``/``p99`` keys the service has always exposed.
+DEFAULT_FRACTIONS = (0.50, 0.90, 0.99)
+
+
+def quantile(samples: Iterable[float], fraction: float) -> Optional[float]:
+    """Nearest-rank quantile of *samples*; ``None`` below two samples.
+
+    *fraction* is in ``[0, 1]`` (``0.99`` for p99; ``1.0`` is the max).
+    The input need not be sorted.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be within [0, 1], got {fraction!r}")
+    ordered = sorted(samples)
+    count = len(ordered)
+    if count < 2:
+        return None
+    rank = max(1, min(count, math.ceil(fraction * count)))
+    return float(ordered[rank - 1])
+
+
+def summarize(
+    samples: Iterable[float],
+    fractions: Iterable[float] = DEFAULT_FRACTIONS,
+) -> dict:
+    """``{"p50": ..., "p90": ..., ...}`` over one sample window.
+
+    Keys are derived from the fraction (``0.5 -> "p50"``,
+    ``0.999 -> "p99.9"``); values follow :func:`quantile`'s ``None``
+    semantics for degenerate windows.
+    """
+    ordered = sorted(samples)
+    result = {}
+    for fraction in fractions:
+        label = f"{fraction * 100:g}"
+        result[f"p{label}"] = quantile(ordered, fraction)
+    return result

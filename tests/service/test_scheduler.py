@@ -499,6 +499,15 @@ class TestProcessColdLane:
         try:
             job = scheduler.submit(benchmark_app_spec(0, scale=SCALE))
             _wait_for_state(scheduler, job.id, "running")
+            # "running" is stamped just before the dispatch; wait until
+            # the lane has actually bound the task to a worker, so the
+            # cancel exercises the live-worker kill path rather than
+            # the kill-raced-dispatch refusal (also correct, but it
+            # never terminates a worker).
+            deadline = time.monotonic() + 10
+            while job.id not in scheduler._cold._running:
+                assert time.monotonic() < deadline, "task never bound"
+                time.sleep(0.005)
             before = scheduler.stats()["cold"]["worker_pids"]
             started = time.monotonic()
             _, disposition = scheduler.cancel(job.id)
@@ -541,7 +550,49 @@ class TestProcessColdLane:
         finally:
             scheduler.shutdown(wait=False)
 
-    def test_worker_death_fails_only_that_job(self, tmp_path, monkeypatch):
+    def test_worker_death_retries_once_then_fails_only_that_job(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+        import signal as signal_module
+        import time
+
+        from repro.service.workers import STALL_ENV_VAR
+
+        monkeypatch.setenv(STALL_ENV_VAR, "30")
+        scheduler = StoreAwareScheduler(
+            _config(tmp_path), workers=1, cold_executor="process"
+        )
+        try:
+            job = scheduler.submit(benchmark_app_spec(0, scale=SCALE))
+            _wait_for_state(scheduler, job.id, "running")
+            # A dying worker no longer fails the job outright: it gets
+            # one re-dispatch onto the replacement.  Kill that worker
+            # too, so both attempts are exhausted.
+            killed = set()
+            deadline = time.monotonic() + 15
+            while len(killed) < 2 and time.monotonic() < deadline:
+                pids = set(scheduler.stats()["cold"]["worker_pids"])
+                for pid in pids - killed:
+                    os.kill(pid, signal_module.SIGKILL)
+                    killed.add(pid)
+                time.sleep(0.05)
+            done = scheduler.wait(job.id, timeout=15)
+            assert done.state == "failed"
+            assert "worker died" in done.error
+            monkeypatch.delenv(STALL_ENV_VAR)
+            # The lane recovered: the next job runs on a replacement.
+            after = scheduler.submit(benchmark_app_spec(1, scale=SCALE))
+            done_after = scheduler.wait(after.id, timeout=60)
+            assert done_after.state == "done"
+            assert done_after.worker_pid is not None
+            assert done_after.worker_pid not in killed
+        finally:
+            scheduler.shutdown(wait=False)
+
+    def test_worker_death_once_retries_to_success(
+        self, tmp_path, monkeypatch
+    ):
         import os
         import signal as signal_module
 
@@ -555,16 +606,14 @@ class TestProcessColdLane:
             job = scheduler.submit(benchmark_app_spec(0, scale=SCALE))
             _wait_for_state(scheduler, job.id, "running")
             (pid,) = scheduler.stats()["cold"]["worker_pids"]
-            os.kill(pid, signal_module.SIGKILL)
-            done = scheduler.wait(job.id, timeout=15)
-            assert done.state == "failed"
-            assert "worker died" in done.error
+            # Clear the stall before the kill: the retry attempt
+            # re-reads it at dispatch time and completes normally.
             monkeypatch.delenv(STALL_ENV_VAR)
-            # The lane recovered: the next job runs on the replacement.
-            after = scheduler.submit(benchmark_app_spec(1, scale=SCALE))
-            done_after = scheduler.wait(after.id, timeout=60)
-            assert done_after.state == "done"
-            assert done_after.worker_pid not in (None, pid)
+            os.kill(pid, signal_module.SIGKILL)
+            done = scheduler.wait(job.id, timeout=60)
+            assert done.state == "done"
+            assert done.worker_pid not in (None, pid)
+            assert scheduler.stats()["cold"]["workers_restarted"] >= 1
         finally:
             scheduler.shutdown(wait=False)
 

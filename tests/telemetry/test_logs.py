@@ -1,0 +1,94 @@
+"""Structured logging: the JSON formatter and its trace stamping."""
+
+import json
+import logging
+
+import pytest
+
+from repro.telemetry import Tracer
+from repro.telemetry.logs import (
+    JsonLogFormatter,
+    configure_logging,
+    get_logger,
+)
+
+
+def _record(message="hello", **extra):
+    record = logging.LogRecord(
+        name="backdroid.scheduler",
+        level=logging.INFO,
+        pathname=__file__,
+        lineno=1,
+        msg=message,
+        args=(),
+        exc_info=None,
+    )
+    for key, value in extra.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestJsonFormatter:
+    def test_core_schema(self):
+        data = json.loads(JsonLogFormatter().format(_record()))
+        assert data["level"] == "info"
+        assert data["logger"] == "backdroid.scheduler"
+        assert data["message"] == "hello"
+        assert isinstance(data["ts"], float)
+        assert "trace_id" not in data  # no ambient span
+
+    def test_trace_ids_stamped_from_the_active_span(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("job") as span:
+            data = json.loads(JsonLogFormatter().format(_record()))
+        assert data["trace_id"] == span.trace_id
+        assert data["span_id"] == span.span_id
+
+    def test_extra_fields_ride_along(self):
+        data = json.loads(
+            JsonLogFormatter().format(_record(job_id="job-7", lane="main"))
+        )
+        assert data["job_id"] == "job-7"
+        assert data["lane"] == "main"
+
+    def test_exception_rendered_into_exc(self):
+        try:
+            raise ValueError("bad")
+        except ValueError:
+            record = _record()
+            record.exc_info = __import__("sys").exc_info()
+        data = json.loads(JsonLogFormatter().format(record))
+        assert "ValueError: bad" in data["exc"]
+
+    def test_output_is_one_line(self):
+        text = JsonLogFormatter().format(_record("multi\nline"))
+        assert "\n" not in text
+
+
+class TestConfigureLogging:
+    @pytest.fixture(autouse=True)
+    def _reset(self):
+        yield
+        logger = logging.getLogger("backdroid")
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)
+        logger.propagate = True
+
+    def test_idempotent_reconfiguration(self):
+        logger = configure_logging("json")
+        configure_logging("json")
+        assert len(logger.handlers) == 1
+        assert isinstance(logger.handlers[0].formatter, JsonLogFormatter)
+
+    def test_text_format_uses_a_plain_formatter(self):
+        logger = configure_logging("text")
+        assert not isinstance(logger.handlers[0].formatter, JsonLogFormatter)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("yaml")
+
+    def test_area_loggers_inherit_the_handler(self):
+        configure_logging("json")
+        assert get_logger("scheduler").name == "backdroid.scheduler"
+        assert get_logger().name == "backdroid"

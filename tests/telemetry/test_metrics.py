@@ -1,0 +1,142 @@
+"""The metrics registry: instrument semantics and Prometheus rendering."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_counts_per_label_set(self, registry):
+        c = registry.counter("jobs_total", "jobs", ("lane",))
+        c.inc(lane="main")
+        c.inc(lane="main")
+        c.inc(lane="fast")
+        assert c.value(lane="main") == 2.0
+        assert c.value(lane="fast") == 1.0
+
+    def test_negative_increment_rejected(self, registry):
+        c = registry.counter("ups_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_wrong_label_set_rejected(self, registry):
+        c = registry.counter("jobs_total", "jobs", ("lane",))
+        with pytest.raises(ValueError):
+            c.inc(shard="x")
+        with pytest.raises(ValueError):
+            c.inc()  # missing the declared label entirely
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4.0
+
+    def test_callback_backed_series(self, registry):
+        depth = {"value": 7}
+        g = registry.gauge("lane_depth", "", ("lane",))
+        g.set_function(lambda: depth["value"], lane="main")
+        assert g.value(lane="main") == 7.0
+        depth["value"] = 3
+        assert g.value(lane="main") == 3.0
+
+    def test_inc_on_callback_series_rejected(self, registry):
+        g = registry.gauge("depth")
+        g.set_function(lambda: 1.0)
+        with pytest.raises(ValueError):
+            g.inc()
+
+    def test_dying_callback_never_breaks_a_scrape(self, registry):
+        g = registry.gauge("depth", "", ("lane",))
+        g.set_function(lambda: 1.0, lane="main")
+
+        def boom():
+            raise RuntimeError("scheduler went away")
+
+        g.set_function(boom, lane="fast")
+        collected = dict(g.collect())
+        assert collected == {("main",): 1.0}
+        assert "depth" in registry.render_prometheus()
+
+
+class TestHistogram:
+    def test_observe_and_quantile(self, registry):
+        h = registry.histogram("latency_seconds")
+        for ms in range(1, 101):
+            h.observe(ms / 1000.0)
+        assert h.quantile(0.5) == pytest.approx(0.050)
+        assert h.quantile(0.99) == pytest.approx(0.099)
+
+    def test_quantile_null_semantics(self, registry):
+        # Satellite (a): empty and one-sample windows are null, not 0.
+        h = registry.histogram("latency_seconds")
+        assert h.quantile(0.99) is None
+        h.observe(0.010)
+        assert h.quantile(0.99) is None
+        h.observe(0.020)
+        assert h.quantile(0.99) == pytest.approx(0.020)
+
+    def test_prometheus_buckets_are_cumulative_and_end_at_inf(self, registry):
+        h = registry.histogram(
+            "latency_seconds", "how slow", buckets=(0.01, 0.1, 1.0)
+        )
+        h.observe(0.005)
+        h.observe(0.05)
+        h.observe(5.0)  # beyond the last bound: only +Inf catches it
+        text = registry.render_prometheus()
+        assert '# TYPE latency_seconds histogram' in text
+        assert 'latency_seconds_bucket{le="0.01"} 1' in text
+        assert 'latency_seconds_bucket{le="0.1"} 2' in text
+        assert 'latency_seconds_bucket{le="1"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert 'latency_seconds_count 3' in text
+
+    def test_no_buckets_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("empty", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self, registry):
+        first = registry.counter("jobs_total", "jobs", ("lane",))
+        again = registry.counter("jobs_total", "jobs", ("lane",))
+        assert first is again
+
+    def test_type_mismatch_rejected(self, registry):
+        registry.counter("jobs_total")
+        with pytest.raises(ValueError):
+            registry.gauge("jobs_total")
+
+    def test_label_mismatch_rejected(self, registry):
+        registry.counter("jobs_total", "jobs", ("lane",))
+        with pytest.raises(ValueError):
+            registry.counter("jobs_total", "jobs", ("shard",))
+
+    def test_label_values_are_escaped(self, registry):
+        c = registry.counter("odd_total", "", ("tag",))
+        c.inc(tag='a"b\\c\nd')
+        text = registry.render_prometheus()
+        assert r'odd_total{tag="a\"b\\c\nd"} 1' in text
+
+    def test_as_dict_snapshot(self, registry):
+        c = registry.counter("jobs_total", "jobs", ("lane",))
+        c.inc(lane="main")
+        h = registry.histogram("latency_seconds")
+        h.observe(0.01)
+        h.observe(0.02)
+        snapshot = registry.as_dict()
+        assert snapshot["jobs_total"]["type"] == "counter"
+        assert snapshot["jobs_total"]["series"] == [
+            {"labels": {"lane": "main"}, "value": 1.0}
+        ]
+        latency = snapshot["latency_seconds"]["series"][0]
+        assert latency["count"] == 2
+        assert latency["p99"] == pytest.approx(0.02)

@@ -1,0 +1,53 @@
+"""The shared nearest-rank quantile helper and its edge-case contract."""
+
+import pytest
+
+from repro.telemetry import quantile
+from repro.telemetry.quantiles import summarize
+
+
+class TestQuantile:
+    def test_empty_window_reports_null_not_zero(self):
+        # The satellite contract: an empty percentile window is an
+        # absence of data, never a fake 0.
+        assert quantile([], 0.5) is None
+
+    def test_single_sample_reports_null(self):
+        # One observation cannot anchor a distribution either.
+        assert quantile([42.0], 0.99) is None
+
+    def test_two_samples_is_the_smallest_reportable_window(self):
+        assert quantile([1.0, 3.0], 0.5) == 1.0
+        assert quantile([1.0, 3.0], 1.0) == 3.0
+
+    def test_nearest_rank_on_a_known_distribution(self):
+        samples = list(range(1, 101))  # 1..100
+        assert quantile(samples, 0.50) == 50.0
+        assert quantile(samples, 0.90) == 90.0
+        assert quantile(samples, 0.99) == 99.0
+        assert quantile(samples, 1.00) == 100.0
+
+    def test_unsorted_input_is_sorted_internally(self):
+        assert quantile([5.0, 1.0, 3.0], 0.5) == 3.0
+
+    def test_zero_fraction_is_the_minimum(self):
+        assert quantile([7.0, 2.0, 9.0], 0.0) == 2.0
+
+    def test_fraction_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            quantile([1.0, 2.0], 1.5)
+        with pytest.raises(ValueError):
+            quantile([1.0, 2.0], -0.1)
+
+    def test_result_is_a_float(self):
+        value = quantile([1, 2, 3], 0.5)
+        assert isinstance(value, float)
+
+
+class TestSummarize:
+    def test_default_fractions(self):
+        summary = summarize([float(i) for i in range(1, 101)])
+        assert summary == {"p50": 50.0, "p90": 90.0, "p99": 99.0}
+
+    def test_empty_summary_is_all_null(self):
+        assert summarize([]) == {"p50": None, "p90": None, "p99": None}
