@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""CI smoke for the multi-node service, end to end over real processes.
+
+Boots a two-node cluster (real ``backdroid serve`` subprocesses over
+one shared store) behind a front end, then asserts the subsystem's
+load-bearing behaviors:
+
+* a warm job and a cold job both complete through the front end, each
+  stamped with the node that ran it;
+* every node's ``/metrics`` exposition carries its own ``node="..."``
+  label on the served samples;
+* SIGKILLing the node that owns an in-flight job reclaims the job onto
+  the surviving peer under the same trace, and the specmap lease moves
+  to the survivor with a bumped fencing token.
+
+Exits nonzero on the first violated assertion, so CI can run it
+directly::
+
+    PYTHONPATH=src python scripts/ci_cluster_smoke.py
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.core import BackDroidConfig, analyze_spec  # noqa: E402
+from repro.service import ClusterHarness, ServiceClient  # noqa: E402
+from repro.store import ArtifactStore  # noqa: E402
+from repro.workload.corpus import benchmark_app_spec  # noqa: E402
+
+SCALE = 0.05
+LEASE_TTL = 1.5
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+def wait_job(client: ServiceClient, job_id: str, timeout: float) -> dict:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        snapshot = client.job(job_id)
+        if snapshot is not None and snapshot["state"] in (
+            "done",
+            "failed",
+            "cancelled",
+        ):
+            return snapshot
+        time.sleep(0.1)
+    raise SystemExit(f"FAIL: job {job_id} did not finish in {timeout}s")
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="ci-cluster-"))
+    store = tmp / "store"
+    try:
+        # Pre-warm one app so the cluster serves a genuinely warm job.
+        outcome = analyze_spec(
+            benchmark_app_spec(0, scale=SCALE),
+            BackDroidConfig(
+                search_backend="indexed",
+                store_dir=str(store),
+                store_mode="full",
+            ),
+        )
+        check(outcome.ok, f"pre-warm failed: {outcome.error}")
+
+        with ClusterHarness(
+            store,
+            nodes=2,
+            store_mode="full",
+            lease_ttl=LEASE_TTL,
+            heartbeat_interval=0.25,
+            env_overrides={"n1": {"BACKDROID_COLD_STALL_SECONDS": "45"}},
+        ) as harness:
+            front = harness.front_end(monitor_interval=0.2)
+            client = ServiceClient(*front.address, timeout=15.0)
+
+            # Warm + cold jobs complete through the front end, stamped
+            # with the executing node.
+            warm = wait_job(
+                client,
+                client.submit(
+                    {"app": "bench:0", "scale": SCALE, "node": "n2"}
+                )["id"],
+                timeout=30.0,
+            )
+            check(warm["state"] == "done", f"warm job: {warm}")
+            check(warm["result"]["store_hit"] is True, "warm job ran cold")
+            check(warm["node_id"] == "n2", f"warm node: {warm['node_id']}")
+            cold = wait_job(
+                client,
+                client.submit(
+                    {"app": "bench:1", "scale": SCALE, "node": "n2"}
+                )["id"],
+                timeout=60.0,
+            )
+            check(cold["state"] == "done", f"cold job: {cold}")
+            check(cold["result"]["store_hit"] is False, "cold job was warm")
+            print("ok: warm + cold jobs served through the front end")
+
+            # Per-node metric labels on each node's own scrape.
+            for node_id, (host, port) in zip(
+                ("n1", "n2"), harness.endpoints()
+            ):
+                text = ServiceClient(host, port, timeout=10.0).metrics()
+                check(
+                    f'node="{node_id}"' in text,
+                    f"{node_id}: /metrics lacks its node label",
+                )
+                check(
+                    "backdroid_jobs_submitted_total" in text,
+                    f"{node_id}: /metrics lacks job counters",
+                )
+            print("ok: per-node /metrics labels")
+
+            # Failover: kill the owner of a stalled in-flight cold job.
+            victim = client.submit(
+                {"app": "bench:2", "scale": SCALE, "node": "n1"}
+            )
+            trace_id = victim["trace_id"]
+            time.sleep(0.5)
+            harness.kill_node("n1")
+            recovered = wait_job(client, victim["id"], timeout=60.0)
+            check(
+                recovered["state"] == "done",
+                f"failover job: {recovered}",
+            )
+            check(
+                recovered["node_id"] == "n2",
+                f"failover ran on {recovered['node_id']}",
+            )
+            check(recovered["attempts"] == 2, "expected one re-dispatch")
+            check(
+                recovered["trace_id"] == trace_id,
+                "trace changed across failover",
+            )
+            stats = client.stats()
+            check(
+                stats["routing"]["reclaims"] >= 1,
+                f"no reclaim recorded: {stats['routing']}",
+            )
+            # n2 reclaims the lease on its next heartbeat after the
+            # dead owner's grant expires — poll past that window.
+            artifact_store = ArtifactStore(store)
+            deadline = time.time() + LEASE_TTL + 3.0
+            lease = None
+            while time.time() < deadline:
+                lease = artifact_store.read_lease("specmap")
+                if lease is not None and lease["owner"] == "n2":
+                    break
+                time.sleep(0.1)
+            check(
+                lease is not None and lease["owner"] == "n2",
+                f"lease did not move: {lease}",
+            )
+            check(lease["token"] >= 2, f"fencing token not bumped: {lease}")
+            print("ok: SIGKILL failover reclaimed under the same trace")
+        print("cluster smoke: all checks passed")
+        return 0
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

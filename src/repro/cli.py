@@ -391,8 +391,10 @@ def build_server(args):
         workers=workers,
         fast_lane_workers=args.fast_lane_workers,
         max_finished_jobs=args.retain_jobs,
+        session_cache_size=getattr(args, "session_cache", 4),
         cold_executor=cold_executor,
         enable_metrics=not getattr(args, "no_metrics", False),
+        node_id=getattr(args, "node_id", None),
     )
     server_cls = (
         ThreadedAnalysisServer
@@ -402,15 +404,89 @@ def build_server(args):
     return server_cls(scheduler, host=args.host, port=args.port)
 
 
+def _serve_front_end(args) -> int:
+    """``serve --peers``: the cluster front end (router, no analyses).
+
+    Discovers nodes through the shared store's gossip directory and
+    routes/forwards submissions; see :mod:`repro.service.cluster`.
+    """
+    import signal
+
+    from repro.service.cluster import ClusterFrontEnd, ClusterRouter
+
+    router = ClusterRouter(
+        args.store,
+        lease_ttl=args.lease_ttl,
+        client_timeout=30.0,
+    )
+    front = ClusterFrontEnd(router, host=args.host, port=args.port)
+    front.start()
+    host, port = front.address
+    print(f"backdroid cluster front end listening on http://{host}:{port}")
+    print(f"  routing over store {args.store} "
+          f"(lease ttl {args.lease_ttl:g}s); nodes register by "
+          "heartbeating the same store")
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _request_stop)
+        except ValueError:
+            break
+    try:
+        while not stop.is_set():
+            stop.wait(1.0)
+    except KeyboardInterrupt:
+        pass
+    front.drain()
+    front.shutdown()
+    return 0
+
+
 def cmd_serve(args) -> int:
     import signal
 
     from repro.telemetry.logs import configure_logging
 
     configure_logging(getattr(args, "log_format", "text"))
+    node_id = getattr(args, "node_id", None)
+    peers = getattr(args, "peers", None)
+    if (node_id or peers) and not args.store:
+        raise SystemExit("--node-id/--peers require --store (the shared "
+                         "store is the coordination substrate)")
+    if node_id and peers:
+        raise SystemExit("--node-id (worker) and --peers (front end) are "
+                         "mutually exclusive")
+    if peers:
+        return _serve_front_end(args)
+    if node_id:
+        # Installed before the scheduler is built: the cold lane's
+        # worker processes fork at construction and must inherit the
+        # guard so only the lease holder publishes specmap entries.
+        from repro.service.cluster import install_specmap_guard
+
+        install_specmap_guard(args.store, node_id)
     server = build_server(args)
     server.start()
     host, port = server.address
+    node = None
+    if node_id:
+        from repro.service.cluster import ClusterNode
+
+        node = ClusterNode(
+            server.scheduler,
+            args.store,
+            node_id,
+            (host, port),
+            lease_ttl=args.lease_ttl,
+            heartbeat_interval=getattr(args, "heartbeat_interval", None),
+        )
+        # Started (first beat synchronous) before the banner prints, so
+        # anything that saw the banner can already route to this node.
+        node.start()
     store_note = (
         f"store {args.store} (mode {args.store_mode}), "
         f"{args.fast_lane_workers} fast-lane worker(s)"
@@ -426,6 +502,9 @@ def cmd_serve(args) -> int:
     print(f"backdroid service listening on http://{host}:{port} "
           f"({args.loop} front end)")
     print(f"  {cold_note}, {store_note}")
+    if node is not None:
+        print(f"  cluster node {node_id} (lease ttl {args.lease_ttl:g}s, "
+              f"heartbeat {node.heartbeat_interval:g}s)")
     metrics_note = (
         "GET /metrics, " if scheduler.metrics is not None else ""
     )
@@ -454,6 +533,10 @@ def cmd_serve(args) -> int:
     drained = server.drain(timeout=args.drain_timeout)
     if not drained:
         print("drain timeout exceeded; abandoning unfinished jobs")
+    if node is not None:
+        # Withdraw from the cluster after the drain: peers keep seeing
+        # a live (draining) node until its jobs settle.
+        node.stop()
     server.shutdown(drain=drained)
     return 0
 
@@ -564,6 +647,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cold-workers", type=int, default=None,
                        help="cold-lane worker processes (default: --workers; "
                        "0 runs cold analyses in-process instead)")
+    serve.add_argument("--session-cache", type=int, default=4,
+                       help="warm per-app sessions kept resident "
+                       "(default: 4; 0 disables the session cache)")
     serve.add_argument("--loop", choices=("asyncio", "threaded"),
                        default="asyncio",
                        help="HTTP front end: asyncio event loop (default) "
@@ -579,6 +665,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-metrics", action="store_true",
                        help="disable the metrics registry: /metrics "
                        "returns 404 and /v1/stats omits the snapshot")
+    serve.add_argument("--node-id", default=None, metavar="ID",
+                       help="join the cluster on the shared --store as "
+                       "this node: heartbeat the node directory, contend "
+                       "for the specmap lease, stamp node_id on "
+                       "jobs/results and metrics")
+    serve.add_argument("--peers", default=None, metavar="MODE",
+                       choices=("auto", "store"),
+                       help="run the cluster *front end* instead of a "
+                       "worker: route submissions to nodes discovered "
+                       "through the shared --store's gossip directory "
+                       "('auto' and 'store' are synonyms)")
+    serve.add_argument("--lease-ttl", type=float, default=10.0,
+                       help="cluster lease/heartbeat TTL in seconds: a "
+                       "node silent this long is treated as dead and its "
+                       "lease and in-flight jobs are reclaimed "
+                       "(default: 10)")
+    serve.add_argument("--heartbeat-interval", type=float, default=None,
+                       help="seconds between cluster heartbeats "
+                       "(default: lease TTL / 3)")
     serve.add_argument("--rules", default="")
     add_backend_flag(serve)
     add_store_flags(serve)

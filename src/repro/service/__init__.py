@@ -27,11 +27,29 @@ would run:
   ``GET /healthz``): the transport-agnostic :class:`ServiceAPI` router,
   the asyncio :class:`AnalysisServer` front end, the legacy
   :class:`ThreadedAnalysisServer` baseline, and the matching (retrying)
-  :class:`ServiceClient`.
+  :class:`ServiceClient`;
+* :mod:`repro.service.cluster` — multi-node sharding over one shared
+  store: :class:`NodeDirectory` heartbeat gossip, the fenced
+  :class:`SpecmapLease`, the content-key-routing :class:`ClusterRouter`
+  / :class:`ClusterFrontEnd` (failover re-dispatch under the same
+  trace), and the subprocess :class:`ClusterHarness` used by tests,
+  CI and the scaling benchmark.
 
-The CLI front end is ``backdroid serve``.
+The CLI front end is ``backdroid serve`` (``--node-id`` joins a
+cluster; ``--peers store`` runs the front end).
 """
 
+from repro.service.cluster import (
+    DEFAULT_LEASE_TTL,
+    SPECMAP_LEASE,
+    ClusterFrontEnd,
+    ClusterHarness,
+    ClusterNode,
+    ClusterRouter,
+    NodeDirectory,
+    SpecmapLease,
+    install_specmap_guard,
+)
 from repro.service.jobs import (
     CANCELLED,
     CANCELLING,
@@ -63,13 +81,22 @@ __all__ = [
     "RUNNING",
     "TERMINAL_STATES",
     "AnalysisServer",
+    "ClusterFrontEnd",
+    "ClusterHarness",
+    "ClusterNode",
+    "ClusterRouter",
     "ColdResult",
+    "DEFAULT_LEASE_TTL",
     "Job",
     "JobQueue",
     "LaneStats",
+    "NodeDirectory",
     "ProcessLane",
+    "SPECMAP_LEASE",
     "ServiceAPI",
     "ServiceClient",
+    "SpecmapLease",
     "StoreAwareScheduler",
     "ThreadedAnalysisServer",
+    "install_specmap_guard",
 ]

@@ -97,6 +97,8 @@ class Job:
     worker_pid: Optional[int] = None
     #: The job's trace id (None when the scheduler's tracer is off).
     trace_id: Optional[str] = None
+    #: Cluster node that executed the job (None on single-node serves).
+    node_id: Optional[str] = None
     #: Finished span dicts, attached once by the scheduler when the
     #: job's root span closes.  Served only on request (``?trace=1``).
     trace: Optional[list] = None
@@ -136,6 +138,7 @@ class Job:
             "coalesced_into": self.coalesced_into,
             "worker_pid": self.worker_pid,
             "trace_id": self.trace_id,
+            "node_id": self.node_id,
             "result": self.result,
             "error": self.error,
         }
@@ -171,6 +174,7 @@ class JobQueue:
         warm: bool = False,
         aliases: tuple[str, ...] = (),
         request: Optional[object] = None,
+        node_id: Optional[str] = None,
     ) -> tuple[Job, bool]:
         """Register a submission; returns ``(job, is_primary)``.
 
@@ -191,6 +195,7 @@ class JobQueue:
                 lane=lane,
                 warm=warm,
                 request=request,
+                node_id=node_id,
                 submitted_at=time.time(),
             )
             primary_id = next(

@@ -41,7 +41,7 @@ import dataclasses
 import os
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
@@ -162,6 +162,7 @@ class StoreAwareScheduler:
         cold_executor: str = "thread",
         tracing_enabled: bool = True,
         enable_metrics: bool = True,
+        node_id: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be a positive integer")
@@ -182,6 +183,11 @@ class StoreAwareScheduler:
                 "catalogue"
             )
         self.cold_executor = cold_executor
+        #: Cluster identity (None on single-node serves).  Stamped on
+        #: every job/result payload and, as a ``node`` const label, on
+        #: every metric series, so per-node scrapes stay
+        #: distinguishable once aggregated.
+        self.node_id = node_id
         self.config = config if config is not None else BackDroidConfig()
         self.queue = JobQueue(max_finished=max_finished_jobs)
         #: Client sink specs/detectors served by every lane (None = the
@@ -244,8 +250,17 @@ class StoreAwareScheduler:
         #: In-flight span handles per primary job id:
         #: ``job_id -> (root_span, queue_span)``.
         self._job_spans: dict[str, tuple] = {}
+        #: Recently served content keys (newest last, bounded): the
+        #: cluster gossip payload that lets a front end route repeat
+        #: submissions of an app to the node already holding its
+        #: session/shards.
+        self._served_keys: "OrderedDict[str, float]" = OrderedDict()
         self.metrics: Optional[MetricsRegistry] = (
-            MetricsRegistry() if enable_metrics else None
+            MetricsRegistry(
+                const_labels={"node": node_id} if node_id else None
+            )
+            if enable_metrics
+            else None
         )
         if self.metrics is not None:
             self._init_metrics()
@@ -351,7 +366,10 @@ class StoreAwareScheduler:
 
     # ------------------------------------------------------------------
     def submit(
-        self, spec: AppSpec, request: Optional[AnalysisRequest] = None
+        self,
+        spec: AppSpec,
+        request: Optional[AnalysisRequest] = None,
+        parent_trace: Optional[dict] = None,
     ) -> Job:
         """Probe, route, enqueue; returns the job record immediately.
 
@@ -360,6 +378,11 @@ class StoreAwareScheduler:
         submissions of one app coalesce only when their requests match
         — differently-targeted jobs run separately (but still share the
         warm per-app session underneath).
+
+        ``parent_trace`` is a serialized ``{"trace_id", "span_id"}``
+        context (a cluster front end's dispatch span): the job's root
+        span parents on it, so one trace follows a job across
+        processes.
         """
         if self._closed:
             raise RuntimeError("scheduler is shut down")
@@ -376,7 +399,7 @@ class StoreAwareScheduler:
             )
             suffix = f"#{request.fingerprint()}"
         root_span = self.tracer.start_span(
-            "job", attrs={"package": spec.package}
+            "job", parent=parent_trace, attrs={"package": spec.package}
         )
         probe_span = self.tracer.start_span("store.probe", parent=root_span)
         key, level = probe_spec(spec, self._store, fingerprint)
@@ -399,7 +422,9 @@ class StoreAwareScheduler:
             warm=warm,
             aliases=aliases,
             request=request,
+            node_id=self.node_id,
         )
+        self._record_served_key(key)
         with self._lock:
             stats = self.lanes[job.lane]
             stats.submitted += 1
@@ -459,6 +484,25 @@ class StoreAwareScheduler:
                     stats.failed += len(members)
                 raise RuntimeError("scheduler is shut down") from None
         return job
+
+    # ------------------------------------------------------------------
+    _SERVED_KEYS_BOUND = 512
+
+    def _record_served_key(self, key: str) -> None:
+        """Remember a content key this node served (bounded, LRU)."""
+        with self._lock:
+            self._served_keys.pop(key, None)
+            self._served_keys[key] = time.time()
+            while len(self._served_keys) > self._SERVED_KEYS_BOUND:
+                self._served_keys.popitem(last=False)
+
+    def warm_keys(self, limit: int = 128) -> list[str]:
+        """The newest content keys this node served (newest first) —
+        the shard-availability payload gossiped via the store's node
+        manifests."""
+        with self._lock:
+            keys = list(self._served_keys)
+        return keys[::-1][:limit]
 
     # ------------------------------------------------------------------
     def _pop_job_spans(self, job_id: str) -> tuple:
@@ -533,6 +577,12 @@ class StoreAwareScheduler:
             self.queue.attach_trace(
                 job_id, self.tracer.collect(root_span.trace_id)
             )
+        if payload is not None and self.node_id is not None:
+            # Stamp on a copy: the store-bound outcome payload schema
+            # rejects unknown fields, so the node id rides only the
+            # served job result.
+            payload = dict(payload)
+            payload["node_id"] = self.node_id
         members = self.queue.finish(job_id, result=payload, error=error)
         ok = error is None
         if error is not None:
@@ -689,6 +739,7 @@ class StoreAwareScheduler:
             submitted = sum(lane.submitted for lane in self.lanes.values())
             warm = self.warm_submissions
             payload = {
+                "node_id": self.node_id,
                 "lanes": lanes,
                 "jobs": jobs,
                 "analyses_run": self.analyses_run,

@@ -241,8 +241,26 @@ class ServiceAPI:
             )
         except ValueError as exc:
             return 400, {"error": str(exc)}, True
+        parent_trace = payload.get("trace")
+        if parent_trace is not None and not (
+            isinstance(parent_trace, dict)
+            and isinstance(parent_trace.get("trace_id"), str)
+            and isinstance(parent_trace.get("span_id"), str)
+        ):
+            return (
+                400,
+                {
+                    "error": (
+                        "trace must be a serialized span context: "
+                        '{"trace_id": ..., "span_id": ...}'
+                    )
+                },
+                True,
+            )
         try:
-            job = scheduler.submit(spec, request=request)
+            job = scheduler.submit(
+                spec, request=request, parent_trace=parent_trace
+            )
         except RuntimeError as exc:  # shut down mid-flight
             return 503, {"error": str(exc)}, True
         # A fast-lane job can finish — and, under a tiny retention
@@ -744,26 +762,48 @@ class ServiceClient:
     at ``backoff_seconds``.  HTTP error statuses and read timeouts are
     *not* retried — they mean the server answered (or accepted) the
     request, and submissions are not idempotent.
+
+    With multiple ``endpoints`` (a cluster of nodes, or a front end
+    plus direct node fallbacks), a connection failure **rotates** to
+    the next endpoint immediately — a reset against a draining node is
+    the next host's problem, not a reason to burn backoff budget —
+    and only once every endpoint has failed in a row does the client
+    sleep and consume a retry.
     """
 
     def __init__(
         self,
-        host: str,
-        port: int,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
         timeout: float = 10.0,
         retries: int = 2,
         backoff_seconds: float = 0.1,
+        endpoints: Optional[list] = None,
     ) -> None:
-        """Point the client at ``host:port`` with one request timeout."""
+        """Point the client at ``host:port`` — or a list of
+        ``(host, port)`` ``endpoints`` tried in rotation."""
         if retries < 0:
             raise ValueError("retries must be >= 0")
-        self.base_url = f"http://{host}:{port}"
+        if endpoints:
+            self.endpoints = [(h, int(p)) for h, p in endpoints]
+        elif host is not None and port is not None:
+            self.endpoints = [(host, int(port))]
+        else:
+            raise ValueError("pass host/port or a non-empty endpoints list")
+        self._endpoint_index = 0
         self.timeout = timeout
         self.retries = retries
         self.backoff_seconds = backoff_seconds
         #: Connection-error retries performed over this client's
         #: lifetime (observability for tests and scripts).
         self.retries_used = 0
+        #: Endpoint rotations after connection failures (failovers).
+        self.rotations = 0
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.endpoints[self._endpoint_index]
+        return f"http://{host}:{port}"
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -796,11 +836,14 @@ class ServiceClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        req = urlrequest.Request(
-            self.base_url + path, data=data, headers=headers, method=method
-        )
         attempt = 0
+        failed_in_row = 0
         while True:
+            # Rebuilt per attempt: a rotation changes the base url.
+            req = urlrequest.Request(
+                self.base_url + path, data=data, headers=headers,
+                method=method,
+            )
             try:
                 with urlrequest.urlopen(req, timeout=self.timeout) as response:
                     body = response.read()
@@ -816,11 +859,22 @@ class ServiceClient:
                 except json.JSONDecodeError:
                     return exc.code, {"error": body.decode("utf-8", "replace")}
             except (URLError, ConnectionError) as exc:
-                if attempt >= max_retries or not self._is_connection_error(exc):
+                if not self._is_connection_error(exc):
+                    raise
+                failed_in_row += 1
+                if len(self.endpoints) > 1:
+                    self._endpoint_index = (
+                        self._endpoint_index + 1
+                    ) % len(self.endpoints)
+                    self.rotations += 1
+                    if failed_in_row < len(self.endpoints):
+                        continue  # next endpoint, no backoff consumed
+                if attempt >= max_retries:
                     raise
                 time.sleep(self.backoff_seconds * (2 ** attempt))
                 attempt += 1
                 self.retries_used += 1
+                failed_in_row = 0
 
     # ------------------------------------------------------------------
     def health(self) -> dict:

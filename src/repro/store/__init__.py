@@ -33,6 +33,7 @@ from repro.store.artifacts import (
     StoreProbe,
     StoreStats,
     VerifyEntry,
+    set_specmap_guard,
     store_key,
 )
 from repro.store.binshard import (
@@ -77,6 +78,7 @@ __all__ = [
     "encode_shard",
     "group_label",
     "partition_disassembly",
+    "set_specmap_guard",
     "shard_key",
     "store_key",
 ]

@@ -63,7 +63,7 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.dex.disassembler import Disassembly, LineToken
 from repro.search.backends.indexed import TokenIndex
@@ -153,6 +153,9 @@ class StoreStats:
     #: Legacy JSON shards converted to the binary container in place
     #: (``gc``/``warm``/``migrate``).
     shards_migrated: int = 0
+    #: Specmap writes suppressed by an installed advisory guard (a
+    #: cluster node that does not hold the specmap lease).
+    specmap_writes_skipped: int = 0
 
     def as_dict(self) -> dict:
         """All counters as a JSON-able dict (service ``/v1/stats``)."""
@@ -174,6 +177,7 @@ class StoreStats:
             "groups_materialized": self.groups_materialized,
             "group_cache_evictions": self.group_cache_evictions,
             "shards_migrated": self.shards_migrated,
+            "specmap_writes_skipped": self.specmap_writes_skipped,
         }
 
 
@@ -362,6 +366,31 @@ def store_key(disassembly: Disassembly) -> str:
 
 #: One shared StoreStats per store root per process (see StoreStats).
 _STATS_BY_ROOT: dict[str, StoreStats] = {}
+
+#: Advisory per-root predicates consulted before specmap writes.  A
+#: cluster node installs one so only the lease holder publishes spec →
+#: key mappings (see :mod:`repro.service.cluster`); the registry lives
+#: at module level so every handle on the root — including ones
+#: constructed inside forked cold workers — sees the same policy.
+_SPECMAP_GUARDS: dict[str, Callable[[], bool]] = {}
+
+
+def set_specmap_guard(
+    root, guard: Optional[Callable[[], bool]] = None
+) -> None:
+    """Install (or clear, with ``guard=None``) a specmap write guard.
+
+    The guard is called with no arguments just before each
+    :meth:`ArtifactStore.save_spec_key` write on ``root``; returning
+    False suppresses the write (counted as ``specmap_writes_skipped``).
+    The predicate must rely on on-disk state only: cold worker
+    processes forked after installation re-evaluate it independently.
+    """
+    key = os.path.abspath(str(root))
+    if guard is None:
+        _SPECMAP_GUARDS.pop(key, None)
+    else:
+        _SPECMAP_GUARDS[key] = guard
 
 
 class ArtifactStore:
@@ -1004,6 +1033,10 @@ class ArtifactStore:
         """
         if self.load_spec_key(spec_fingerprint) == key:
             return  # already current
+        guard = _SPECMAP_GUARDS.get(os.path.abspath(str(self.root)))
+        if guard is not None and not guard():
+            self.stats.specmap_writes_skipped += 1
+            return
         self._write_json(
             self._spec_path(spec_fingerprint),
             {
@@ -1024,6 +1057,149 @@ class ArtifactStore:
             self.stats.corrupt_entries += 1
             return None
         return target
+
+    # ------------------------------------------------------------------
+    # Cluster coordination (node manifests + advisory leases)
+    # ------------------------------------------------------------------
+    # The store doubles as the coordination substrate for multi-node
+    # ``backdroid serve``: nodes gossip liveness/shard availability as
+    # small JSON manifests under ``cluster/nodes/`` and serialize
+    # specmap ownership through an advisory lease under
+    # ``cluster/leases/``.  Both reuse the atomic-rename publish and
+    # version/key payload validation of every other artifact, so a torn
+    # or stale file degrades to "absent" rather than corrupting
+    # routing.
+
+    def _node_path(self, node_id: str) -> Path:
+        return self.root / "cluster" / "nodes" / f"{node_id}.json"
+
+    def _lease_path(self, name: str) -> Path:
+        return self.root / "cluster" / "leases" / f"{name}.json"
+
+    def save_node_manifest(self, node_id: str, payload: dict) -> None:
+        """Publish one node's heartbeat/gossip manifest (atomic)."""
+        body = dict(payload)
+        body["version"] = self._write_version
+        body["key"] = node_id
+        body["node_id"] = node_id
+        body["updated_at"] = time.time()
+        self._write_json(self._node_path(node_id), body)
+
+    def load_node_manifest(self, node_id: str) -> Optional[dict]:
+        """One node's manifest, or None when absent/corrupt."""
+        return self._read_json(self._node_path(node_id), node_id)
+
+    def load_node_manifests(self) -> list[dict]:
+        """Every readable node manifest, sorted by node id."""
+        nodes_dir = self.root / "cluster" / "nodes"
+        if not nodes_dir.is_dir():
+            return []
+        manifests = []
+        for path in sorted(nodes_dir.iterdir()):
+            if path.suffix != ".json":
+                continue
+            payload = self._read_json(path, path.stem)
+            if payload is not None:
+                manifests.append(payload)
+        return manifests
+
+    def remove_node_manifest(self, node_id: str) -> None:
+        """Withdraw a node's manifest (shutdown); missing is fine."""
+        try:
+            self._node_path(node_id).unlink()
+        except OSError:
+            pass
+
+    def read_lease(self, name: str) -> Optional[dict]:
+        """The current lease payload, or None when never acquired."""
+        return self._read_json(self._lease_path(name), name)
+
+    def acquire_lease(
+        self, name: str, owner: str, ttl_seconds: float
+    ) -> Optional[dict]:
+        """Acquire or renew the advisory lease ``name`` for ``owner``.
+
+        Returns the written lease payload on success, None when another
+        owner holds an unexpired lease.  Renewal by the current owner
+        keeps its fencing token; reclaiming an expired (or absent)
+        lease bumps it.  Reclaim races between peers are serialized by
+        an ``O_EXCL`` claim file per candidate token: exactly one
+        contender creates ``<name>.<token>.claim`` and publishes the
+        lease, the loser backs off and re-reads.  The lease is
+        *advisory* — it gates cooperative writers (the specmap guard),
+        it does not fence arbitrary I/O.
+        """
+        now = time.time()
+        current = self.read_lease(name)
+        if current is not None:
+            expires = current.get("expires_at")
+            unexpired = isinstance(expires, (int, float)) and expires > now
+            if unexpired and current.get("owner") != owner:
+                return None
+            if unexpired and current.get("owner") == owner:
+                payload = {
+                    "version": self._write_version,
+                    "key": name,
+                    "owner": owner,
+                    "token": current.get("token"),
+                    "acquired_at": current.get("acquired_at", now),
+                    "expires_at": now + ttl_seconds,
+                }
+                self._write_json(self._lease_path(name), payload)
+                return payload
+        prior_token = (current or {}).get("token")
+        if not isinstance(prior_token, int):
+            prior_token = 0
+        next_token = prior_token + 1
+        lease_dir = self._lease_path(name).parent
+        lease_dir.mkdir(parents=True, exist_ok=True)
+        claim = lease_dir / f"{name}.{next_token}.claim"
+        try:
+            fd = os.open(
+                claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            return None  # a peer is reclaiming this generation
+        with os.fdopen(fd, "w") as handle:
+            handle.write(owner)
+        payload = {
+            "version": self._write_version,
+            "key": name,
+            "owner": owner,
+            "token": next_token,
+            "acquired_at": now,
+            "expires_at": now + ttl_seconds,
+        }
+        self._write_json(self._lease_path(name), payload)
+        # Sweep claim markers from settled generations (including our
+        # own once the lease is published).
+        for stale in lease_dir.glob(f"{name}.*.claim"):
+            try:
+                tok = int(stale.name.split(".")[-2])
+            except (ValueError, IndexError):
+                continue
+            if tok <= next_token:
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
+        return payload
+
+    def release_lease(self, name: str, owner: str) -> bool:
+        """Expire the lease if ``owner`` holds it.  True when released.
+
+        The payload is rewritten with ``expires_at`` in the past rather
+        than unlinked: the fencing token's history must survive a
+        voluntary release, so the next owner still gets a strictly
+        larger generation.
+        """
+        current = self.read_lease(name)
+        if current is None or current.get("owner") != owner:
+            return False
+        released = dict(current)
+        released["expires_at"] = 0.0
+        self._write_json(self._lease_path(name), released)
+        return True
 
     # ------------------------------------------------------------------
     # Verification (the ``backdroid store verify`` action)
@@ -1333,6 +1509,24 @@ class ArtifactStore:
                 result.bytes_reclaimed += size
             except OSError:
                 continue
+        # Cluster coordination files (node manifests, leases, claim
+        # markers) age out by the same rule: a heartbeating node
+        # refreshes its files far more often than any sane cutoff, so
+        # only debris from departed nodes is swept.
+        cluster_dir = self.root / "cluster"
+        if cluster_dir.is_dir():
+            for path in cluster_dir.rglob("*"):
+                if not path.is_file():
+                    continue
+                try:
+                    stat = path.stat()
+                    if stat.st_mtime > cutoff:
+                        continue
+                    size = stat.st_size
+                    path.unlink()
+                    result.bytes_reclaimed += size
+                except OSError:
+                    continue
         if self.shard_format == "binary":
             for shard in list(self._shard_files()):
                 if shard.suffix != ".json" or shard.stem not in referenced:

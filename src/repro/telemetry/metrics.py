@@ -72,14 +72,23 @@ class _Instrument:
 
     kind = "untyped"
 
-    def __init__(self, name: str, help_text: str, labelnames: Iterable[str]):
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Iterable[str],
+        const_labels: Optional[dict] = None,
+    ):
         self.name = name
         self.help = help_text
-        self.labelnames = tuple(labelnames)
+        self.const_labels = dict(const_labels or {})
+        self.labelnames = tuple(self.const_labels) + tuple(labelnames)
         self._lock = threading.Lock()
         self._series: "OrderedDict[tuple, object]" = OrderedDict()
 
     def _key(self, labels: dict) -> tuple:
+        if self.const_labels:
+            labels = {**self.const_labels, **labels}
         if set(labels) != set(self.labelnames):
             raise ValueError(
                 f"{self.name} takes labels {self.labelnames}, "
@@ -174,8 +183,10 @@ class Histogram(_Instrument):
         help_text: str,
         labelnames: Iterable[str] = (),
         buckets: Iterable[float] = DEFAULT_BUCKETS,
+        const_labels: Optional[dict] = None,
     ) -> None:
-        super().__init__(name, help_text, labelnames)
+        super().__init__(name, help_text, labelnames,
+                         const_labels=const_labels)
         self.buckets = tuple(sorted(float(b) for b in buckets))
         if not self.buckets:
             raise ValueError("a histogram needs at least one bucket bound")
@@ -235,8 +246,13 @@ class Histogram(_Instrument):
 class MetricsRegistry:
     """Get-or-create instruments by name; render them all at once."""
 
-    def __init__(self) -> None:
+    def __init__(self, const_labels: Optional[dict] = None) -> None:
+        """``const_labels`` are stamped on every series of every
+        instrument (e.g. ``{"node": "n1"}`` in a cluster node), so one
+        scrape endpoint per node stays distinguishable after
+        aggregation."""
         self._lock = threading.Lock()
+        self.const_labels = dict(const_labels or {})
         self._instruments: "OrderedDict[str, _Instrument]" = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -244,15 +260,19 @@ class MetricsRegistry:
         with self._lock:
             existing = self._instruments.get(name)
             if existing is not None:
+                expected = tuple(self.const_labels) + tuple(labelnames)
                 if not isinstance(existing, cls) or (
-                    existing.labelnames != tuple(labelnames)
+                    existing.labelnames != expected
                 ):
                     raise ValueError(
                         f"instrument {name!r} already registered as "
                         f"{existing.kind} with labels {existing.labelnames}"
                     )
                 return existing
-            instrument = cls(name, help_text, labelnames, **kwargs)
+            instrument = cls(
+                name, help_text, labelnames,
+                const_labels=self.const_labels, **kwargs
+            )
             self._instruments[name] = instrument
             return instrument
 

@@ -1,0 +1,88 @@
+"""Cluster/single-node parity: sharding must not change the answers.
+
+The six-app bench corpus runs twice per backend — once locally through
+``analyze_spec`` (the reference) and once through a 3-node cluster
+front end on a fresh shared store — and the result payloads must be
+identical after stripping fields that legitimately vary with *where*
+and *how fast* the analysis ran (timing, cache hits, lane, node).
+"""
+
+import time
+
+import pytest
+
+from repro.core import BackDroidConfig, analyze_spec, outcome_payload
+from repro.service import ServiceClient
+from repro.workload.corpus import benchmark_app_spec
+
+APPS = 6
+SCALE = 0.05
+
+#: Execution-environment fields; everything else must match exactly.
+VOLATILE = {
+    "seconds",
+    "index_build_seconds",
+    "store_hit",
+    "index_restored",
+    "shards_patched",
+    "materialized_groups",
+    "bytes_mapped",
+    "bytes_decoded",
+    "lane",
+    "node_id",
+}
+
+
+def sanitized(payload):
+    return {k: v for k, v in payload.items() if k not in VOLATILE}
+
+
+@pytest.mark.parametrize("backend", ["linear", "indexed"])
+def test_three_node_cluster_matches_single_process(
+    cluster_factory, tmp_path, backend
+):
+    references = {}
+    for index in range(APPS):
+        outcome = analyze_spec(
+            benchmark_app_spec(index, scale=SCALE),
+            BackDroidConfig(search_backend=backend),
+        )
+        assert outcome.ok, outcome.error
+        references[outcome.package] = sanitized(outcome_payload(outcome))
+
+    harness = cluster_factory(
+        nodes=3,
+        store_dir=tmp_path / f"store-{backend}",
+        backend=backend,
+        lease_ttl=5.0,
+        heartbeat_interval=0.5,
+    )
+    front = harness.front_end()
+    client = ServiceClient(*front.address, timeout=30.0)
+    submitted = [
+        client.submit({"app": f"bench:{index}", "scale": SCALE})
+        for index in range(APPS)
+    ]
+
+    deadline = time.time() + 120.0
+    results = {}
+    for entry in submitted:
+        while True:
+            snapshot = client.job(entry["id"])
+            if snapshot is not None and snapshot["state"] in (
+                "done",
+                "failed",
+                "cancelled",
+            ):
+                break
+            assert time.time() < deadline, "cluster run timed out"
+            time.sleep(0.1)
+        assert snapshot["state"] == "done", snapshot.get("error")
+        assert snapshot["node_id"] in {"n1", "n2", "n3"}
+        results[snapshot["result"]["package"]] = sanitized(
+            snapshot["result"]
+        )
+
+    assert set(results) == set(references)
+    for package, reference in references.items():
+        assert results[package] == reference, package

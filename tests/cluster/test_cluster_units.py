@@ -1,0 +1,228 @@
+"""In-process units: leases, node gossip, the specmap guard, routing."""
+
+import json
+import time
+
+import pytest
+
+from repro.service.cluster import (
+    ClusterRouter,
+    NodeDirectory,
+    SpecmapLease,
+    install_specmap_guard,
+)
+from repro.store import ArtifactStore, set_specmap_guard
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestLease:
+    def test_acquire_then_renew_keeps_token(self, store):
+        lease = SpecmapLease(store, "n1", ttl_seconds=5.0)
+        assert lease.try_acquire()
+        assert lease.token == 1
+        assert lease.holds()
+        assert lease.try_acquire()  # renew
+        assert lease.token == 1
+        assert lease.acquisitions == 2
+
+    def test_unexpired_lease_excludes_other_owners(self, store):
+        assert SpecmapLease(store, "n1", ttl_seconds=5.0).try_acquire()
+        other = SpecmapLease(store, "n2", ttl_seconds=5.0)
+        assert not other.try_acquire()
+        assert not other.holds()
+        assert other.info()["owner"] == "n1"
+
+    def test_expired_lease_reclaim_bumps_fencing_token(self, store):
+        first = SpecmapLease(store, "n1", ttl_seconds=0.1)
+        assert first.try_acquire()
+        time.sleep(0.15)
+        assert not first.holds()
+        second = SpecmapLease(store, "n2", ttl_seconds=5.0)
+        assert second.try_acquire()
+        assert second.token == 2  # a new ownership generation
+        # The stale owner can no longer renew.
+        assert not first.try_acquire()
+
+    def test_release_frees_the_lease_but_keeps_token_history(self, store):
+        lease = SpecmapLease(store, "n1", ttl_seconds=5.0)
+        assert lease.try_acquire()
+        assert lease.release()
+        assert not lease.holds()
+        # Released != unlinked: the fencing-token history survives, so
+        # the next owner's generation is still strictly larger.
+        assert store.read_lease("specmap")["token"] == 1
+        other = SpecmapLease(store, "n2", ttl_seconds=5.0)
+        assert other.try_acquire()
+        assert other.token == 2
+
+    def test_release_refused_for_non_owner(self, store):
+        assert SpecmapLease(store, "n1", ttl_seconds=5.0).try_acquire()
+        assert not SpecmapLease(store, "n2").release()
+        assert store.read_lease("specmap")["owner"] == "n1"
+
+    def test_claim_race_loser_backs_off(self, store):
+        # A peer mid-reclaim holds the O_EXCL claim marker for the next
+        # fencing generation; the loser's acquire returns None instead
+        # of double-claiming.
+        claims = store.root / "cluster" / "leases"
+        claims.mkdir(parents=True)
+        (claims / "specmap.1.claim").write_text("peer")
+        assert store.acquire_lease("specmap", "n1", 5.0) is None
+
+    def test_corrupt_lease_file_reads_as_absent(self, store):
+        assert store.acquire_lease("specmap", "n1", 5.0)
+        store._lease_path("specmap").write_text("not json")
+        assert store.read_lease("specmap") is None
+
+
+class TestNodeDirectory:
+    def test_announce_roundtrip_and_liveness(self, store):
+        directory = NodeDirectory(store, ttl_seconds=5.0)
+        directory.announce("n1", {"host": "127.0.0.1", "port": 1234})
+        nodes = directory.nodes()
+        assert [n["node_id"] for n in nodes] == ["n1"]
+        assert nodes[0]["port"] == 1234
+        assert nodes[0]["stale"] is False
+        assert "n1" in directory.live()
+
+    def test_stale_manifest_excluded_after_ttl(self, store):
+        directory = NodeDirectory(store, ttl_seconds=0.5)
+        directory.announce("dead", {"host": "127.0.0.1", "port": 1})
+        path = store._node_path("dead")
+        payload = json.loads(path.read_text())
+        payload["updated_at"] = time.time() - 60.0
+        path.write_text(json.dumps(payload))
+        assert directory.nodes() == []
+        assert "dead" not in directory.live()
+        flagged = directory.nodes(include_stale=True)
+        assert flagged and flagged[0]["stale"] is True
+
+    def test_remove_withdraws_the_manifest(self, store):
+        directory = NodeDirectory(store, ttl_seconds=5.0)
+        directory.announce("n1", {})
+        directory.remove("n1")
+        assert directory.nodes(include_stale=True) == []
+
+    def test_gc_sweeps_aged_cluster_files(self, store):
+        directory = NodeDirectory(store, ttl_seconds=5.0)
+        directory.announce("n1", {})
+        assert store.acquire_lease("specmap", "n1", 5.0)
+        store.gc(max_age_seconds=0.0)
+        assert store.load_node_manifests() == []
+        assert store.read_lease("specmap") is None
+
+
+class TestSpecmapGuard:
+    def test_non_holder_writes_are_skipped_and_counted(self, tmp_path):
+        root = tmp_path / "store"
+        store = ArtifactStore(root)
+        install_specmap_guard(root, "n2")
+        try:
+            skipped_before = store.stats.specmap_writes_skipped
+            store.save_spec_key("aa" * 20, "bb" * 20)
+            assert store.load_spec_key("aa" * 20) is None
+            assert (
+                store.stats.specmap_writes_skipped == skipped_before + 1
+            )
+            # Once n2 holds the lease, the same write goes through.
+            assert store.acquire_lease("specmap", "n2", 5.0)
+            store.save_spec_key("aa" * 20, "bb" * 20)
+            assert store.load_spec_key("aa" * 20) == "bb" * 20
+        finally:
+            set_specmap_guard(root, None)
+
+    def test_guard_checks_disk_not_memory(self, tmp_path):
+        # The guard must re-read ownership per call (forked cold
+        # workers evaluate it long after installation): losing the
+        # lease flips the verdict without reinstalling anything.
+        root = tmp_path / "store"
+        store = ArtifactStore(root)
+        guard = install_specmap_guard(root, "n1")
+        try:
+            assert store.acquire_lease("specmap", "n1", 5.0)
+            assert guard() is True
+            store.release_lease("specmap", "n1")
+            assert store.acquire_lease("specmap", "n2", 5.0)
+            assert guard() is False
+        finally:
+            set_specmap_guard(root, None)
+
+
+class TestRouting:
+    def _router(self, tmp_path, manifests):
+        store = ArtifactStore(tmp_path / "store")
+        directory = NodeDirectory(store, ttl_seconds=5.0)
+        for node_id, manifest in manifests.items():
+            directory.announce(node_id, manifest)
+        return ClusterRouter(tmp_path / "store", lease_ttl=5.0)
+
+    def test_gossip_affinity_routes_to_the_holder(self, tmp_path):
+        router = self._router(
+            tmp_path,
+            {
+                "n1": {"host": "h", "port": 1, "depth": 0,
+                       "warm_keys": []},
+                "n2": {"host": "h", "port": 2, "depth": 0,
+                       "warm_keys": ["k-hot"]},
+            },
+        )
+        live = router.directory.live()
+        assert router._candidates("k-hot", live)[0] == "n2"
+        assert router.affinity_hits == 1
+
+    def test_fallback_is_least_loaded(self, tmp_path):
+        router = self._router(
+            tmp_path,
+            {
+                "n1": {"host": "h", "port": 1, "depth": 7,
+                       "warm_keys": []},
+                "n2": {"host": "h", "port": 2, "depth": 0,
+                       "warm_keys": []},
+            },
+        )
+        live = router.directory.live()
+        assert router._candidates("k-unknown", live)[0] == "n2"
+        assert router.affinity_hits == 0
+
+    def test_sticky_beats_gossip_and_load(self, tmp_path):
+        router = self._router(
+            tmp_path,
+            {
+                "n1": {"host": "h", "port": 1, "depth": 9,
+                       "warm_keys": []},
+                "n2": {"host": "h", "port": 2, "depth": 0,
+                       "warm_keys": ["k"]},
+            },
+        )
+        router._sticky["k"] = "n1"
+        live = router.directory.live()
+        assert router._candidates("k", live)[0] == "n1"
+
+    def test_pin_and_exclude(self, tmp_path):
+        router = self._router(
+            tmp_path,
+            {
+                "n1": {"host": "h", "port": 1, "depth": 0,
+                       "warm_keys": []},
+                "n2": {"host": "h", "port": 2, "depth": 0,
+                       "warm_keys": []},
+            },
+        )
+        live = router.directory.live()
+        assert router._candidates("k", live, pin="n2")[0] == "n2"
+        assert router._candidates("k", live, exclude=("n1",)) == ["n2"]
+        assert router._candidates("k", live, exclude=("n1", "n2")) == []
+
+    def test_tiebreak_is_deterministic(self, tmp_path):
+        manifests = {
+            f"n{i}": {"host": "h", "port": i, "depth": 0, "warm_keys": []}
+            for i in range(1, 4)
+        }
+        router = self._router(tmp_path, manifests)
+        live = router.directory.live()
+        first = router._candidates("some-key", live)
+        assert first == router._candidates("some-key", live)

@@ -415,6 +415,61 @@ class TestClientRetries:
         assert service.retries_used == 2
 
 
+class TestClientEndpointFailover:
+    @staticmethod
+    def _dead_port():
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return port
+
+    def test_rotates_to_next_endpoint_without_burning_a_retry(
+        self, service
+    ):
+        # First endpoint refuses connections; the client must rotate to
+        # the live one immediately — no backoff sleep, no retry spent.
+        live = service.endpoints[0]
+        client = ServiceClient(
+            endpoints=[("127.0.0.1", self._dead_port()), live],
+            timeout=2,
+            retries=0,
+        )
+        assert client.health() == {"ok": True}
+        assert client.rotations >= 1
+        assert client.retries_used == 0
+        # Subsequent requests stay on the endpoint that worked.
+        assert client.health() == {"ok": True}
+
+    def test_all_endpoints_dead_still_raises(self, monkeypatch):
+        import urllib.error
+
+        import repro.service.server as server_module
+
+        monkeypatch.setattr(
+            server_module.time, "sleep", lambda s: None
+        )
+        client = ServiceClient(
+            endpoints=[
+                ("127.0.0.1", self._dead_port()),
+                ("127.0.0.1", self._dead_port()),
+            ],
+            timeout=2,
+            retries=1,
+        )
+        with pytest.raises((urllib.error.URLError, ConnectionError)):
+            client.health()
+        # Every endpoint was tried each cycle before a retry was spent.
+        assert client.retries_used == 1
+        assert client.rotations >= 2
+
+    def test_endpoint_list_requires_at_least_one(self):
+        with pytest.raises(ValueError):
+            ServiceClient(endpoints=[])
+
+
 class TestThreadedBaselineParity:
     def test_threaded_server_serves_the_same_api(self, tmp_path):
         from repro.service import ThreadedAnalysisServer
